@@ -1,0 +1,71 @@
+"""Ablation — Gemini cache-signing vs GlobeDoc owner-signing (§5).
+
+Gemini's untrusted caches sign every response (an RSA *sign* per
+request, server-side); GlobeDoc's owner signs once offline and replicas
+serve plain data (clients pay an RSA *verify* once per binding). This
+bench measures the per-request server-side crypto cost of each design.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.gemini import GeminiCache, GeminiClient
+from repro.harness.report import render_table
+from repro.net.rpc import RpcClient
+from repro.net.transport import LoopbackTransport
+from repro.crypto.keys import KeyPair
+from repro.sim.clock import RealClock
+
+FILES = {f"page{i}.html": b"x" * 4096 for i in range(8)}
+
+
+@pytest.fixture(scope="module")
+def gemini():
+    cache = GeminiCache(host="squid", keys=KeyPair.generate(), clock=RealClock())
+    cache.fill(FILES)
+    transport = LoopbackTransport()
+    transport.register(cache.endpoint, cache.rpc_server().handle_frame)
+    client = GeminiClient(RpcClient(transport), cache.endpoint, cache.public_key)
+    return cache, client
+
+
+def test_gemini_per_request_signing(benchmark, gemini):
+    cache, client = gemini
+
+    def serve_eight():
+        for name in FILES:
+            client.get(name)
+
+    benchmark(serve_eight)
+    assert cache.sign_count >= len(FILES)
+    print()
+    print(
+        render_table(
+            ["Design", "Server crypto per request", "Bogus data"],
+            [
+                ["Gemini", "1 RSA sign (measured here)", "served now, convicted later"],
+                ["GlobeDoc", "none (owner signed offline)", "rejected at the client"],
+            ],
+        )
+    )
+
+
+def test_globedoc_replica_serving_cost(benchmark):
+    """The GlobeDoc counterpart: serving an element is pure data
+    movement — no signing — so replica throughput is crypto-free."""
+    from repro.globedoc.element import PageElement
+    from repro.globedoc.owner import DocumentOwner
+    from repro.server.localrep import ReplicaLR
+
+    owner = DocumentOwner("vu.nl/bench", keys=KeyPair.generate(1024))
+    for name, content in FILES.items():
+        owner.put_element(PageElement(name, content))
+    lr = ReplicaLR(owner.publish(validity=3600).state())
+
+    def serve_eight():
+        for name in FILES:
+            lr.get_element(name)
+
+    benchmark(serve_eight)
+    assert lr.serve_count >= len(FILES)

@@ -1,0 +1,34 @@
+"""Figure 4 — Security overhead vs data size, per client site.
+
+Regenerates the paper's curve: six single-element objects (1 KB–1 MB),
+one replica on Amsterdam-primary, accessed from Amsterdam-secondary,
+Paris, and Ithaca; reports security time as a percentage of total
+access time.
+
+Expected shape (checked by assertions): ~25 % at 1 KB, monotonically
+decreasing per client, with the LAN client worst at 1 MB.
+"""
+
+from __future__ import annotations
+
+from repro.harness.fig4 import run_fig4, rows_as_series
+from repro.harness.report import render_fig4
+from repro.util.sizes import KB, MB
+
+
+def test_fig4_security_overhead(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig4(repeats=3), rounds=1, iterations=1
+    )
+    print()
+    print(render_fig4(rows))
+
+    series = rows_as_series(rows)
+    # Shape assertions — the figure's qualitative claims.
+    for client, client_rows in series.items():
+        assert client_rows[0].overhead_percent > client_rows[-1].overhead_percent
+    at_1kb = {r.client: r.overhead_percent for r in rows if r.size_bytes == KB}
+    assert all(15.0 <= v <= 50.0 for v in at_1kb.values())
+    at_1mb = {r.client: r.overhead_percent for r in rows if r.size_bytes == MB}
+    assert at_1mb["Amsterdam"] > at_1mb["Paris"]
+    assert at_1mb["Amsterdam"] > at_1mb["Ithaca"]

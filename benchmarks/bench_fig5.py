@@ -1,0 +1,27 @@
+"""Figure 5 — Performance comparison, Amsterdam client.
+
+GlobeDoc (secure proxy) vs Apache-style plain HTTP vs Apache+SSL for
+the three 11-element objects (15 KB / 105 KB / 1005 KB), retrieved from
+the Amsterdam vantage point.
+
+Expected shape (checked): http < globedoc < ssl for every object, with
+the GlobeDoc/HTTP gap shrinking as object size grows.
+"""
+
+from __future__ import annotations
+
+from repro.harness.fig567 import run_fig567_for_client
+from repro.harness.report import render_fig567
+
+
+def test_fig5_amsterdam(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig567_for_client("Amsterdam", repeats=3), rounds=1, iterations=1
+    )
+    print()
+    print(render_fig567(rows, "Amsterdam"))
+
+    labels = sorted({r.object_label for r in rows})
+    for label in labels:
+        times = {r.scheme: r.seconds for r in rows if r.object_label == label}
+        assert times["http"] < times["globedoc"] < times["ssl"], label

@@ -1,0 +1,25 @@
+"""Table 1 — Experimental setting.
+
+Regenerates the paper's testbed table (plus the simulation-calibration
+columns) and benchmarks full testbed construction (all services wired).
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiment import Testbed
+from repro.harness.report import render_table
+from repro.harness.table1 import TABLE1_COLUMNS, table1_rows
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1_rows)
+    assert len(rows) == 4
+    print()
+    print("Table 1 — Experimental setting")
+    print(render_table(TABLE1_COLUMNS, rows))
+
+
+def test_testbed_construction(benchmark):
+    """Cost of standing up the whole §4 stack (zone keys, services)."""
+    testbed = benchmark.pedantic(Testbed, rounds=2, iterations=1)
+    assert len(testbed.network.host_names) == 4

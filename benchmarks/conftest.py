@@ -1,0 +1,23 @@
+"""Benchmark configuration.
+
+Each bench regenerates one of the paper's tables/figures (or an
+ablation) under pytest-benchmark and prints the resulting table — run
+with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    # Benches are ordered: Table 1 first, then figures, then ablations.
+    order = {"table1": 0, "fig4": 1, "fig5": 2, "fig6": 3, "fig7": 4}
+
+    def rank(item):
+        for key, value in order.items():
+            if key in item.nodeid:
+                return value
+        return 10
+
+    items.sort(key=rank)

@@ -1,0 +1,65 @@
+"""Attack probes: drive the proxy against an adversary, classify the outcome.
+
+``run_attack_probe`` asks a proxy for a URL and reduces the result to an
+:class:`AttackOutcome`, giving the attack tests and the security-matrix
+bench one vocabulary: did the attack *succeed* (wrong bytes accepted),
+was it *detected* (security failure page), or did it cause *denial of
+service* (binding/lookup failure)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.proxy.clientproxy import GlobeDocProxy, ProxyResponse
+
+__all__ = ["AttackOutcome", "ProbeResult", "run_attack_probe"]
+
+
+class AttackOutcome(str, Enum):
+    """How an attacked access ended, from the attacker's perspective."""
+
+    #: The client accepted bytes different from the owner's content.
+    SUCCEEDED = "succeeded"
+    #: The client got the owner's genuine, current content (attack moot).
+    SERVED_GENUINE = "served-genuine"
+    #: The security pipeline rejected the data ("Security Check Failed").
+    DETECTED = "detected"
+    #: The access failed operationally (lookup/binding error): DoS only.
+    DENIAL_OF_SERVICE = "denial-of-service"
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """The classified outcome plus the raw response for assertions."""
+
+    outcome: AttackOutcome
+    response: ProxyResponse
+    failure_type: str = ""
+
+
+def run_attack_probe(
+    proxy: GlobeDocProxy,
+    url: str,
+    genuine_content: Optional[bytes],
+) -> ProbeResult:
+    """Fetch *url* through *proxy* and classify against *genuine_content*.
+
+    *genuine_content* is what the owner actually published for that
+    element (None if the probe does not check bytes, e.g. pure-DoS
+    scenarios).
+    """
+    response = proxy.handle(url)
+    if response.status == 200:
+        if genuine_content is None or response.content == genuine_content:
+            return ProbeResult(outcome=AttackOutcome.SERVED_GENUINE, response=response)
+        return ProbeResult(outcome=AttackOutcome.SUCCEEDED, response=response)
+    if response.status == 403 and response.security_failure:
+        return ProbeResult(
+            outcome=AttackOutcome.DETECTED,
+            response=response,
+            failure_type=response.security_failure,
+        )
+    return ProbeResult(outcome=AttackOutcome.DENIAL_OF_SERVICE, response=response)

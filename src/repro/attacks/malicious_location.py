@@ -1,0 +1,71 @@
+"""A lying Location Service (§3.1.2, §3.3).
+
+"A malicious Location Service server can return false contact points to
+its clients, making these clients bind to replicas which are not part
+of the objects they want to contact. However … the most harm a
+malicious Location Service server can do is a temporary denial of
+service." This subclass redirects lookups for selected OIDs to an
+attacker-chosen address; the attack test shows the proxy rejects the
+impostor replica (key/OID mismatch) and fails over or reports a
+*binding* failure — never serves wrong content.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.location.service import LocationService
+from repro.location.tree import DomainTree
+from repro.net.address import ContactAddress
+from repro.net.rpc import rpc_method
+
+__all__ = ["LyingLocationService"]
+
+
+class LyingLocationService(LocationService):
+    """Redirects (or prepends) false contact addresses per OID."""
+
+    def __init__(self, tree: Optional[DomainTree] = None) -> None:
+        super().__init__(tree)
+        self._lies: Dict[str, List[ContactAddress]] = {}
+        self._suppress_truth: Dict[str, bool] = {}
+        self.lie_count = 0
+
+    def lie_about(
+        self,
+        oid_hex: str,
+        false_addresses: List[ContactAddress],
+        suppress_truth: bool = True,
+    ) -> None:
+        """Answer lookups for *oid_hex* with *false_addresses*.
+
+        With ``suppress_truth=False`` the genuine addresses are appended
+        after the false ones — the case where the client can still
+        recover by failover.
+        """
+        self._lies[oid_hex] = list(false_addresses)
+        self._suppress_truth[oid_hex] = suppress_truth
+
+    def _lying_answer(self, oid: str, origin_site: str, honest_fn) -> dict:
+        self.lie_count += 1
+        addresses = [a.to_dict() for a in self._lies[oid]]
+        if not self._suppress_truth.get(oid, True):
+            try:
+                honest = honest_fn(oid, origin_site)
+                addresses.extend(honest["addresses"])
+            except Exception:
+                pass
+        return {"oid": oid, "addresses": addresses, "nodes_visited": 1}
+
+    @rpc_method("location.lookup")
+    def lookup(self, oid: str, origin_site: str) -> dict:
+        if oid not in self._lies:
+            return super().lookup(oid, origin_site)
+        return self._lying_answer(oid, origin_site, super().lookup)
+
+    @rpc_method("location.lookup_all")
+    def lookup_all(self, oid: str, origin_site: str) -> dict:
+        # A consistent adversary lies on the widened failover path too.
+        if oid not in self._lies:
+            return super().lookup_all(oid, origin_site)
+        return self._lying_answer(oid, origin_site, super().lookup_all)

@@ -1,0 +1,146 @@
+"""Generic certificate machinery.
+
+A *certificate* here is a signed statement with a validity window and a
+declared type tag. GlobeDoc's integrity certificate
+(:mod:`repro.globedoc.integrity`) and CA identity certificates
+(:mod:`repro.crypto.identity`) are both built on this base, which keeps
+signature handling, expiry checks, and wire encoding in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.crypto.hashes import HashSuite, SHA1
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.signing import SignedEnvelope
+from repro.errors import CertificateError
+from repro.sim.clock import Clock
+
+__all__ = ["Certificate"]
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A typed, signed statement with optional validity window.
+
+    ``body`` carries type-specific fields; ``cert_type`` disambiguates so
+    a signature over one certificate type can never be replayed as
+    another (type is part of the signed payload).
+    """
+
+    cert_type: str
+    body: Mapping[str, Any]
+    not_before: Optional[float]
+    not_after: Optional[float]
+    envelope: SignedEnvelope
+
+    @staticmethod
+    def _payload(
+        cert_type: str,
+        body: Mapping[str, Any],
+        not_before: Optional[float],
+        not_after: Optional[float],
+    ) -> dict:
+        return {
+            "type": cert_type,
+            "body": dict(body),
+            "not_before": not_before,
+            "not_after": not_after,
+        }
+
+    @classmethod
+    def issue(
+        cls,
+        signer: KeyPair,
+        cert_type: str,
+        body: Mapping[str, Any],
+        not_before: Optional[float] = None,
+        not_after: Optional[float] = None,
+        suite: HashSuite = SHA1,
+    ) -> "Certificate":
+        """Create and sign a certificate."""
+        if not_before is not None and not_after is not None and not_after < not_before:
+            raise CertificateError(
+                f"validity window is empty: not_after {not_after} < not_before {not_before}"
+            )
+        payload = cls._payload(cert_type, body, not_before, not_after)
+        envelope = SignedEnvelope.create(signer, payload, suite=suite)
+        return cls(
+            cert_type=cert_type,
+            body=dict(body),
+            not_before=not_before,
+            not_after=not_after,
+            envelope=envelope,
+        )
+
+    def verify(
+        self,
+        key: PublicKey,
+        clock: Optional[Clock] = None,
+        expected_type: Optional[str] = None,
+    ) -> Mapping[str, Any]:
+        """Check signature, type, and validity window; return the body.
+
+        Raises :class:`~repro.errors.CertificateError` on any failure.
+        """
+        if expected_type is not None and self.cert_type != expected_type:
+            raise CertificateError(
+                f"certificate type {self.cert_type!r} != expected {expected_type!r}"
+            )
+        try:
+            payload = self.envelope.verify(key)
+        except Exception as exc:
+            raise CertificateError(f"certificate signature invalid: {exc}") from exc
+        # Defend against field/envelope mismatch: the authoritative values
+        # are the ones inside the signed payload.
+        if (
+            payload.get("type") != self.cert_type
+            or payload.get("not_before") != self.not_before
+            or payload.get("not_after") != self.not_after
+            or payload.get("body") != dict(self.body)
+        ):
+            raise CertificateError("certificate fields do not match signed payload")
+        if clock is not None:
+            now = clock.now()
+            if self.not_before is not None and now < self.not_before:
+                raise CertificateError(
+                    f"certificate not yet valid (now={now}, not_before={self.not_before})"
+                )
+            if self.not_after is not None and now > self.not_after:
+                raise CertificateError(
+                    f"certificate expired (now={now}, not_after={self.not_after})"
+                )
+        return self.body
+
+    def to_dict(self) -> dict:
+        """Wire representation."""
+        return {
+            "cert_type": self.cert_type,
+            "body": dict(self.body),
+            "not_before": self.not_before,
+            "not_after": self.not_after,
+            "envelope": self.envelope.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Certificate":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                cert_type=str(data["cert_type"]),
+                body=dict(data["body"]),
+                not_before=data["not_before"],
+                not_after=data["not_after"],
+                envelope=SignedEnvelope.from_dict(data["envelope"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise CertificateError(f"malformed certificate: {exc}") from exc
+
+    @property
+    def wire_size(self) -> int:
+        """Approximate serialized size (bytes), for transfer accounting."""
+        from repro.util.encoding import canonical_bytes
+
+        return len(canonical_bytes(self.to_dict()))

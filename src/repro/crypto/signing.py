@@ -1,0 +1,95 @@
+"""Signing of structured payloads.
+
+Certificates and resource records are dict-like structures; they are
+signed over their *canonical encoding* (:mod:`repro.util.encoding`), so a
+signature made by owner tooling on one host verifies bit-exactly on any
+other. :class:`SignedEnvelope` bundles a payload with its signature for
+transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.crypto.hashes import HashSuite, SHA1, suite_by_name
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.errors import SignatureError
+from repro.util.encoding import canonical_bytes
+
+__all__ = ["sign_payload", "verify_payload", "SignedEnvelope"]
+
+
+def sign_payload(signer: KeyPair, payload: Any, suite: HashSuite = SHA1) -> bytes:
+    """Sign the canonical encoding of *payload*."""
+    return signer.sign(canonical_bytes(payload), suite=suite)
+
+
+def verify_payload(
+    key: PublicKey, signature: bytes, payload: Any, suite: HashSuite = SHA1
+) -> None:
+    """Verify *signature* over the canonical encoding of *payload*.
+
+    Raises :class:`~repro.errors.SignatureError` on failure.
+    """
+    key.verify(signature, canonical_bytes(payload), suite=suite)
+
+
+@dataclass(frozen=True)
+class SignedEnvelope:
+    """A payload plus detached signature, self-describing its hash suite.
+
+    This is the unit stored on untrusted object servers: the server can
+    forward it but cannot alter the payload without breaking the
+    signature.
+    """
+
+    payload: Mapping[str, Any]
+    signature: bytes
+    suite_name: str = SHA1.name
+
+    @classmethod
+    def create(
+        cls, signer: KeyPair, payload: Mapping[str, Any], suite: HashSuite = SHA1
+    ) -> "SignedEnvelope":
+        """Sign *payload* and wrap it."""
+        return cls(
+            payload=dict(payload),
+            signature=sign_payload(signer, payload, suite=suite),
+            suite_name=suite.name,
+        )
+
+    @property
+    def suite(self) -> HashSuite:
+        return suite_by_name(self.suite_name)
+
+    def verify(self, key: PublicKey) -> Mapping[str, Any]:
+        """Verify the signature; return the payload on success."""
+        verify_payload(key, self.signature, self.payload, suite=self.suite)
+        return self.payload
+
+    def to_dict(self) -> dict:
+        """Wire representation (canonically encodable)."""
+        return {
+            "payload": dict(self.payload),
+            "signature": self.signature,
+            "suite": self.suite_name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SignedEnvelope":
+        """Inverse of :meth:`to_dict`; validates structure."""
+        try:
+            payload = data["payload"]
+            signature = data["signature"]
+            suite_name = data["suite"]
+        except (KeyError, TypeError) as exc:
+            raise SignatureError(f"malformed signed envelope: {exc}") from exc
+        if not isinstance(payload, Mapping) or not isinstance(signature, bytes):
+            raise SignatureError("malformed signed envelope fields")
+        return cls(payload=dict(payload), signature=signature, suite_name=str(suite_name))
+
+    @property
+    def wire_size(self) -> int:
+        """Approximate serialized size in bytes (for transfer accounting)."""
+        return len(canonical_bytes(self.to_dict()))

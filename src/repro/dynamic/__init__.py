@@ -1,0 +1,39 @@
+"""Dynamic Web content on untrusted replicas (§6 future work).
+
+Static content is secured by signing it once — "this does not work in
+the case of dynamic data: it would require the object owner to sign the
+results for every possible client query, which is clearly not
+feasible. In such a setting, a solution based on auditing the untrusted
+servers … combined with a probabilistic double-checking of the dynamic
+Web content these untrusted servers generate is likely to be more
+effective."
+
+This package implements exactly that design:
+
+* :class:`~repro.dynamic.service.DynamicReplica` — an untrusted server
+  evaluating the owner's query function, *signing every response* with
+  its own replica key (so cheating leaves evidence);
+* :class:`~repro.dynamic.client.DynamicClient` — queries replicas, keeps
+  signed receipts, and with probability *p* re-issues the query to the
+  owner's trusted origin and compares;
+* :class:`~repro.dynamic.audit.DynamicAuditor` — offline receipt audit
+  that convicts replicas whose signed answers disagree with the origin.
+
+Detection is therefore *probabilistic and eventual* for dynamic data —
+in contrast to the static pipeline's immediate rejection — matching the
+paper's analysis of why the static technique cannot carry over.
+"""
+
+from repro.dynamic.service import DynamicReplica, DynamicOrigin, QueryFunction
+from repro.dynamic.client import DynamicClient, DynamicReceipt, Mismatch
+from repro.dynamic.audit import DynamicAuditor
+
+__all__ = [
+    "DynamicReplica",
+    "DynamicOrigin",
+    "QueryFunction",
+    "DynamicClient",
+    "DynamicReceipt",
+    "Mismatch",
+    "DynamicAuditor",
+]

@@ -1,0 +1,89 @@
+"""Offline auditing of dynamic-content receipts (§6, following [12]).
+
+The auditor holds the owner's trusted query function/state and replays
+archived receipts: any replica-signed answer that diverges from the
+recomputed truth convicts that replica ("caught red-handed"). Receipts
+whose signatures do not verify are inadmissible — nobody can frame a
+replica with forged receipts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.crypto.keys import PublicKey
+from repro.dynamic.client import DynamicReceipt
+from repro.dynamic.service import QueryFunction
+from repro.errors import SignatureError
+from repro.globedoc.document import DocumentState
+
+__all__ = ["DynamicAuditor", "Conviction", "AuditReport"]
+
+
+@dataclass(frozen=True)
+class Conviction:
+    """One proven lie: the receipt plus the recomputed truth."""
+
+    receipt: DynamicReceipt
+    truth: bytes
+
+    @property
+    def replica_key_der(self) -> bytes:
+        return self.receipt.replica_key_der
+
+
+@dataclass
+class AuditReport:
+    """Aggregate audit outcome."""
+
+    audited: int = 0
+    inadmissible: int = 0
+    convictions: List[Conviction] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.convictions
+
+    def convicted_keys(self) -> List[bytes]:
+        return sorted({c.replica_key_der for c in self.convictions})
+
+
+class DynamicAuditor:
+    """Replays receipts against the owner's ground truth."""
+
+    def __init__(self, state: DocumentState, query_fn: QueryFunction) -> None:
+        self.state = state
+        self.query_fn = query_fn
+
+    def truth_for(self, query: str) -> bytes:
+        return bytes(self.query_fn(self.state, str(query)))
+
+    def audit(
+        self,
+        receipts: Iterable[DynamicReceipt],
+        replica_keys: Optional[Dict[bytes, PublicKey]] = None,
+    ) -> AuditReport:
+        """Audit *receipts*; *replica_keys* maps key DER → PublicKey for
+        signature re-verification (receipts for unknown keys, or with
+        bad signatures, are counted inadmissible, never convicted)."""
+        report = AuditReport()
+        for receipt in receipts:
+            report.audited += 1
+            key = None
+            if replica_keys is not None:
+                key = replica_keys.get(receipt.replica_key_der)
+            else:
+                key = PublicKey(der=receipt.replica_key_der)
+            if key is None:
+                report.inadmissible += 1
+                continue
+            try:
+                receipt.envelope.verify(key)
+            except SignatureError:
+                report.inadmissible += 1
+                continue
+            truth = self.truth_for(receipt.query)
+            if truth != receipt.answer:
+                report.convictions.append(Conviction(receipt=receipt, truth=truth))
+        return report

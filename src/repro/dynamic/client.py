@@ -1,0 +1,137 @@
+"""Client side of dynamic content: receipts + probabilistic double-check.
+
+The client cannot verify a dynamic answer against an owner signature
+(none exists per query), so it:
+
+1. verifies the *replica's* signature (non-repudiation — the receipt
+   will convict a cheater);
+2. with probability ``check_probability``, re-issues the query to the
+   owner's trusted origin and compares byte-for-byte — a mismatch is an
+   immediate, in-band detection;
+3. archives every receipt for the offline auditor.
+
+With cheat rate *c* and check probability *p*, a cheater survives *n*
+queries undetected with probability ``(1 - c·p)^n`` — driven to zero by
+either knob; the dynamic-content test suite checks this bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Optional
+
+import numpy as np
+
+from repro.crypto.keys import PublicKey
+from repro.crypto.signing import SignedEnvelope
+from repro.errors import AuthenticityError, ReproError, SignatureError
+from repro.net.address import Endpoint
+from repro.net.rpc import RpcClient
+from repro.sim.random import make_rng
+
+__all__ = ["DynamicReceipt", "Mismatch", "DynamicClient"]
+
+
+@dataclass(frozen=True)
+class DynamicReceipt:
+    """A replica-signed (query, answer) pair the client archives."""
+
+    envelope: SignedEnvelope
+    replica_key_der: bytes
+
+    @property
+    def query(self) -> str:
+        return str(self.envelope.payload["query"])
+
+    @property
+    def answer(self) -> bytes:
+        return bytes(self.envelope.payload["answer"])
+
+    @property
+    def served_at(self) -> float:
+        return float(self.envelope.payload["served_at"])
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """A detected divergence between replica answer and origin truth."""
+
+    receipt: DynamicReceipt
+    origin_answer: bytes
+
+
+class DynamicClient:
+    """Queries a dynamic replica with probabilistic origin double-checks."""
+
+    def __init__(
+        self,
+        rpc: RpcClient,
+        replica_endpoint: Endpoint,
+        replica_key: PublicKey,
+        origin_endpoint: Optional[Endpoint] = None,
+        check_probability: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= check_probability <= 1.0:
+            raise ReproError(
+                f"check probability must be in [0, 1], got {check_probability}"
+            )
+        self.rpc = rpc
+        self.replica_endpoint = replica_endpoint
+        self.replica_key = replica_key
+        self.origin_endpoint = origin_endpoint
+        self.check_probability = check_probability
+        self._rng = make_rng(seed)
+        self.receipts: List[DynamicReceipt] = []
+        self.mismatches: List[Mismatch] = []
+        self.checks_performed = 0
+
+    def query(self, query: str) -> bytes:
+        """Ask the replica; maybe double-check against the origin.
+
+        Raises :class:`~repro.errors.AuthenticityError` when a check
+        catches the replica lying (the answer is NOT returned), or when
+        the receipt's signature is invalid.
+        """
+        raw = self.rpc.call(self.replica_endpoint, "dynamic.query", query=query)
+        receipt = self._verify_receipt(raw)
+        self.receipts.append(receipt)
+        if (
+            self.origin_endpoint is not None
+            and self.check_probability > 0
+            and self._rng.random() < self.check_probability
+        ):
+            self._double_check(receipt)
+        return receipt.answer
+
+    def _verify_receipt(self, raw: Mapping[str, Any]) -> DynamicReceipt:
+        try:
+            envelope = SignedEnvelope.from_dict(raw["envelope"])
+        except (KeyError, TypeError) as exc:
+            raise AuthenticityError(f"malformed dynamic response: {exc}") from exc
+        key_der = bytes(envelope.payload.get("replica_key_der", b""))
+        if key_der != self.replica_key.der:
+            raise AuthenticityError("dynamic response signed by an unexpected key")
+        try:
+            envelope.verify(self.replica_key)
+        except SignatureError as exc:
+            raise AuthenticityError(f"dynamic response signature invalid: {exc}") from exc
+        return DynamicReceipt(envelope=envelope, replica_key_der=key_der)
+
+    def _double_check(self, receipt: DynamicReceipt) -> None:
+        self.checks_performed += 1
+        truth = bytes(
+            self.rpc.call(
+                self.origin_endpoint, "dynamic.origin_query", query=receipt.query
+            )
+        )
+        if truth != receipt.answer:
+            self.mismatches.append(Mismatch(receipt=receipt, origin_answer=truth))
+            raise AuthenticityError(
+                f"dynamic content mismatch for query {receipt.query!r}: "
+                "replica answer diverges from the origin (receipt archived)"
+            )
+
+    @property
+    def caught_cheating(self) -> bool:
+        return bool(self.mismatches)

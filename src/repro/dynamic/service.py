@@ -1,0 +1,140 @@
+"""Dynamic-content services: trusted origin and untrusted replicas.
+
+The owner ships a *query function* — deterministic code over the
+document state (think: search over the elements, a templated page per
+query string). The origin runs it on trusted hardware; replicas run the
+same function on untrusted hardware and must **sign** every response,
+binding (query, answer, time, replica key) into a receipt the client
+archives for auditing.
+
+Determinism matters: the audit compares a replica's signed answer with
+the origin's answer *for the same query*, so the function must be a
+pure function of (state, query). The owner is responsible for that
+property (e.g. no wall-clock reads inside the function).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.crypto.hashes import HashSuite, SHA1
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.signing import SignedEnvelope
+from repro.errors import ReproError
+from repro.globedoc.document import DocumentState
+from repro.net.address import Endpoint
+from repro.net.rpc import RpcServer, rpc_method
+from repro.sim.clock import Clock, RealClock
+
+__all__ = ["QueryFunction", "DynamicOrigin", "DynamicReplica"]
+
+#: The owner's dynamic logic: (document state, query) -> response bytes.
+QueryFunction = Callable[[DocumentState, str], bytes]
+
+
+class DynamicOrigin:
+    """The owner's trusted evaluation point for dynamic queries.
+
+    Serves plain (unsigned) answers — clients contacting the origin
+    already trust it; its role in the security design is to be the
+    ground truth double-checks and audits compare against.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        state: DocumentState,
+        query_fn: QueryFunction,
+        service: str = "dynamic-origin",
+    ) -> None:
+        self.host = host
+        self.service = service
+        self.state = state
+        self.query_fn = query_fn
+        self.query_count = 0
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return Endpoint(host=self.host, service=self.service)
+
+    def evaluate(self, query: str) -> bytes:
+        self.query_count += 1
+        return bytes(self.query_fn(self.state, str(query)))
+
+    @rpc_method("dynamic.origin_query")
+    def rpc_query(self, query: str) -> bytes:
+        return self.evaluate(query)
+
+    def update_state(self, state: DocumentState) -> None:
+        """New document version: subsequent answers reflect it."""
+        self.state = state
+
+    def rpc_server(self) -> RpcServer:
+        server = RpcServer(name=f"dynamic-origin@{self.host}")
+        server.register_object(self)
+        return server
+
+
+class DynamicReplica:
+    """An untrusted host evaluating the owner's query function.
+
+    Every answer is wrapped in a :class:`SignedEnvelope` under the
+    replica's own key — the non-repudiable receipt. ``cheat_on`` turns
+    the replica malicious for matching queries: it serves (and signs!)
+    attacker-chosen bytes, which is what the audit later convicts.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        state: DocumentState,
+        query_fn: QueryFunction,
+        keys: Optional[KeyPair] = None,
+        clock: Optional[Clock] = None,
+        service: str = "dynamic",
+        suite: HashSuite = SHA1,
+    ) -> None:
+        self.host = host
+        self.service = service
+        self.state = state
+        self.query_fn = query_fn
+        self.keys = keys if keys is not None else KeyPair.generate()
+        self.clock = clock if clock is not None else RealClock()
+        self.suite = suite
+        self._cheats: Dict[str, bytes] = {}
+        self.query_count = 0
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return Endpoint(host=self.host, service=self.service)
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self.keys.public
+
+    def cheat_on(self, query: str, bogus: bytes) -> None:
+        """Become malicious for *query*: serve *bogus* instead."""
+        self._cheats[str(query)] = bytes(bogus)
+
+    @rpc_method("dynamic.query")
+    def rpc_query(self, query: str) -> dict:
+        query = str(query)
+        self.query_count += 1
+        if query in self._cheats:
+            answer = self._cheats[query]
+        else:
+            answer = bytes(self.query_fn(self.state, query))
+        payload = {
+            "query": query,
+            "answer": answer,
+            "served_at": self.clock.now(),
+            "replica_key_der": self.keys.public.der,
+        }
+        envelope = SignedEnvelope.create(self.keys, payload, suite=self.suite)
+        return {"envelope": envelope.to_dict()}
+
+    def rpc_server(self) -> RpcServer:
+        server = RpcServer(name=f"dynamic@{self.host}")
+        server.register_object(self)
+        return server

@@ -1,0 +1,144 @@
+"""Exception hierarchy for the GlobeDoc reproduction.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing security violations (which must never be silently
+swallowed) from operational failures (which a resilient client may retry
+against another replica).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "EncodingError",
+    "CryptoError",
+    "SignatureError",
+    "CertificateError",
+    "SecurityError",
+    "AuthenticityError",
+    "FreshnessError",
+    "ConsistencyError",
+    "NamingError",
+    "NameNotFound",
+    "ZoneValidationError",
+    "LocationError",
+    "ObjectNotFound",
+    "NetworkError",
+    "TransportError",
+    "RpcError",
+    "ServerError",
+    "AccessDenied",
+    "ReplicaError",
+    "ResourceExceeded",
+    "BindingError",
+    "UrlError",
+    "ReplicationError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class EncodingError(ReproError):
+    """A value could not be canonically encoded or decoded."""
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class SignatureError(CryptoError):
+    """A digital signature failed to verify."""
+
+
+class CertificateError(CryptoError):
+    """A certificate is malformed, expired, or untrusted."""
+
+
+class SecurityError(ReproError):
+    """Base class for violations of the GlobeDoc security properties.
+
+    These indicate a *hostile* condition (tampering, replay, swap) —
+    never an ordinary operational failure — and correspond to the paper's
+    "Security Check Failed" page.
+    """
+
+
+class AuthenticityError(SecurityError):
+    """Retrieved data was not created by the object owner (§3.2.1)."""
+
+
+class FreshnessError(SecurityError):
+    """Retrieved data is genuine but outside its validity interval (§3.2.1)."""
+
+
+class ConsistencyError(SecurityError):
+    """Retrieved data is genuine and fresh but not what was requested (§3.2.1)."""
+
+
+class NamingError(ReproError):
+    """Base class for naming-service failures."""
+
+
+class NameNotFound(NamingError):
+    """The naming service has no record for the requested name."""
+
+
+class ZoneValidationError(NamingError):
+    """A DNSsec-style zone signature chain failed to validate."""
+
+
+class LocationError(ReproError):
+    """Base class for location-service failures."""
+
+
+class ObjectNotFound(LocationError):
+    """The location service has no contact address for the OID."""
+
+
+class NetworkError(ReproError):
+    """Base class for transport/RPC failures."""
+
+
+class TransportError(NetworkError):
+    """A message could not be delivered."""
+
+
+class RpcError(NetworkError):
+    """The remote peer returned an error response."""
+
+
+class ServerError(ReproError):
+    """Base class for object-server failures."""
+
+
+class AccessDenied(ServerError):
+    """The caller's key is not authorised for the requested admin operation."""
+
+
+class ReplicaError(ServerError):
+    """A replica is missing, duplicated, or in an invalid state."""
+
+
+class ResourceExceeded(ServerError):
+    """A replica operation would exceed the server's declared resource
+    limits (§6: disk space, replica slots, bandwidth)."""
+
+
+class BindingError(ReproError):
+    """The client proxy failed to bind to a GlobeDoc object."""
+
+
+class UrlError(ReproError):
+    """A hybrid URL could not be parsed or constructed."""
+
+
+class ReplicationError(ReproError):
+    """A replication policy or coordinator operation failed."""
+
+
+class WorkloadError(ReproError):
+    """A workload description is invalid."""

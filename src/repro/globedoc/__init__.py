@@ -1,0 +1,32 @@
+"""The GlobeDoc object model (§2 of the paper).
+
+A Web *document* is a collection of logically related *page elements*
+(HTML, images, applets, …) encapsulated in one Globe distributed shared
+object, identified by a self-certifying 160-bit OID, and protected by an
+owner-signed *integrity certificate* carrying one (name, hash, validity)
+row per element.
+"""
+
+from repro.globedoc.element import PageElement
+from repro.globedoc.document import DocumentState, GlobeDocInterface
+from repro.globedoc.oid import ObjectId
+from repro.globedoc.integrity import IntegrityCertificate, ElementEntry
+from repro.globedoc.urls import HybridUrl, GLOBE_PREFIX
+from repro.globedoc.links import extract_links, rewrite_links, Link
+from repro.globedoc.owner import DocumentOwner, SignedDocument
+
+__all__ = [
+    "PageElement",
+    "DocumentState",
+    "GlobeDocInterface",
+    "ObjectId",
+    "IntegrityCertificate",
+    "ElementEntry",
+    "HybridUrl",
+    "GLOBE_PREFIX",
+    "extract_links",
+    "rewrite_links",
+    "Link",
+    "DocumentOwner",
+    "SignedDocument",
+]

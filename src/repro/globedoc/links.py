@@ -1,0 +1,109 @@
+"""Hyperlink structure of GlobeDoc HTML elements (§2).
+
+"A relative hyper-link contained in some GlobeDoc object's element
+refers to another element in that same object. Likewise, an absolute
+hyper-link may refer to an element contained in another GlobeDoc
+object." This module extracts both kinds from HTML content and rewrites
+site-relative links when a conventional website is imported into
+GlobeDoc objects (used by the publishing example and the workload
+generator).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.globedoc.urls import GLOBE_PREFIX, HybridUrl
+
+__all__ = ["Link", "extract_links", "rewrite_links", "intra_object_links"]
+
+# href/src attributes in single or double quotes. A real parser is not
+# needed: the generator emits well-formed attributes and the paper's
+# model only cares about the link graph, not full HTML semantics.
+_LINK_RE = re.compile(
+    r"""(?P<attr>href|src)\s*=\s*(?P<quote>["'])(?P<target>[^"']*)(?P=quote)""",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class Link:
+    """One hyperlink occurrence inside an HTML element."""
+
+    attr: str
+    target: str
+    start: int
+    end: int
+
+    @property
+    def is_absolute(self) -> bool:
+        """Absolute links carry a scheme (globe://, http://, …)."""
+        return "://" in self.target
+
+    @property
+    def is_globedoc(self) -> bool:
+        return self.target.startswith(GLOBE_PREFIX + "://")
+
+    @property
+    def is_site_absolute(self) -> bool:
+        """Site-absolute paths (``/page2``) refer to *other documents* of
+        the site — candidates for rewriting to hybrid URLs on import."""
+        return self.target.startswith("/")
+
+    @property
+    def is_relative(self) -> bool:
+        """Relative links refer to elements of the *same* object."""
+        return (
+            not self.is_absolute
+            and not self.is_site_absolute
+            and not self.target.startswith("#")
+        )
+
+    def as_hybrid(self) -> Optional[HybridUrl]:
+        """Parse an absolute GlobeDoc link, else None."""
+        if not self.is_globedoc:
+            return None
+        return HybridUrl.parse(self.target)
+
+
+def extract_links(html: str) -> List[Link]:
+    """All href/src links in *html*, in document order."""
+    links = []
+    for match in _LINK_RE.finditer(html):
+        links.append(
+            Link(
+                attr=match.group("attr").lower(),
+                target=match.group("target"),
+                start=match.start("target"),
+                end=match.end("target"),
+            )
+        )
+    return links
+
+
+def intra_object_links(html: str) -> List[str]:
+    """Names of same-object elements referenced by *html* (relative links)."""
+    return [link.target for link in extract_links(html) if link.is_relative]
+
+
+def rewrite_links(html: str, mapper: Callable[[str], Optional[str]]) -> str:
+    """Rewrite link targets via *mapper*.
+
+    *mapper* receives each target and returns the replacement, or
+    ``None`` to keep the original. Used when importing a plain website:
+    absolute links to other documents become ``globe://`` hybrid URLs,
+    relative links are left alone (they already name sibling elements).
+    """
+    out = []
+    cursor = 0
+    for link in extract_links(html):
+        replacement = mapper(link.target)
+        if replacement is None:
+            continue
+        out.append(html[cursor : link.start])
+        out.append(replacement)
+        cursor = link.end
+    out.append(html[cursor:])
+    return "".join(out)

@@ -1,0 +1,31 @@
+"""Experiment harness: regenerates every table and figure of §4.
+
+* :mod:`~repro.harness.experiment` — testbed wiring (topology, services,
+  servers, client stacks).
+* :mod:`~repro.harness.table1` — the experimental-setting table.
+* :mod:`~repro.harness.fig4` — security-overhead-vs-size experiment.
+* :mod:`~repro.harness.fig567` — GlobeDoc vs Apache vs Apache+SSL.
+* :mod:`~repro.harness.ablations` — design-choice ablations.
+* :mod:`~repro.harness.report` — text rendering of result tables.
+
+Run ``python -m repro.harness <table1|fig4|fig5|fig6|fig7|all>``.
+"""
+
+from repro.harness.experiment import Testbed, ClientStack, PublishedObject
+from repro.harness.fig4 import Fig4Row, run_fig4
+from repro.harness.fig567 import Fig567Row, run_fig567, run_fig567_for_client
+from repro.harness.table1 import table1_rows
+from repro.harness.report import render_table
+
+__all__ = [
+    "Testbed",
+    "ClientStack",
+    "PublishedObject",
+    "Fig4Row",
+    "run_fig4",
+    "Fig567Row",
+    "run_fig567",
+    "run_fig567_for_client",
+    "table1_rows",
+    "render_table",
+]

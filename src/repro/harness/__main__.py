@@ -1,0 +1,89 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.harness table1
+    python -m repro.harness fig4 [--repeats N]
+    python -m repro.harness fig5|fig6|fig7 [--repeats N]
+    python -m repro.harness all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.fig4 import run_fig4
+from repro.harness.fig567 import FIGURE_OF_CLIENT, run_fig567_for_client
+from repro.harness.report import render_fig4, render_fig567, render_table
+from repro.harness.table1 import TABLE1_COLUMNS, table1_rows
+
+_CLIENT_OF_FIGURE = {f"fig{num}": client for client, num in FIGURE_OF_CLIENT.items()}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "target",
+        choices=["table1", "fig4", "fig5", "fig6", "fig7", "loadtest", "all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="samples per point")
+    parser.add_argument("--seed", type=int, default=0, help="content seed")
+    args = parser.parse_args(argv)
+
+    targets = (
+        ["table1", "fig4", "fig5", "fig6", "fig7"] if args.target == "all" else [args.target]
+    )
+    for target in targets:
+        if target == "table1":
+            print("Table 1 — Experimental setting")
+            print(render_table(TABLE1_COLUMNS, table1_rows()))
+        elif target == "fig4":
+            rows = run_fig4(repeats=args.repeats, seed=args.seed)
+            print(render_fig4(rows))
+        elif target == "loadtest":
+            _run_loadtest(seed=args.seed)
+        else:
+            client = _CLIENT_OF_FIGURE[target]
+            rows = run_fig567_for_client(client, repeats=args.repeats, seed=args.seed)
+            print(render_fig567(rows, client))
+        print()
+    return 0
+
+
+def _run_loadtest(seed: int = 0) -> None:
+    """The §1 flash-crowd load study (see bench_flash_crowd.py)."""
+    import importlib.util
+    import pathlib
+
+    bench_path = (
+        pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "bench_flash_crowd.py"
+    )
+    if bench_path.exists():
+        spec = importlib.util.spec_from_file_location("bench_flash_crowd", bench_path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)  # type: ignore[union-attr]
+        from repro.replication.strategies import HotspotReplication, NoReplication
+
+        static = module.run_crowd(NoReplication)
+        dynamic = module.run_crowd(
+            lambda: HotspotReplication(create_rate=1.0, destroy_rate=0.01, window=15.0)
+        )
+        site = module.CROWD_SITE
+        print("Load study — flash crowd at Cornell (mean client latency)")
+        rows = []
+        for label, lo, hi in (("pre-crowd (0-30 s)", 0.0, 30.0), ("crowd peak (45-60 s)", 45.0, 60.0)):
+            s = static.latency_summary(site=site, start=lo, end=hi)
+            d = dynamic.latency_summary(site=site, start=lo, end=hi)
+            rows.append([label, f"{s.mean*1e3:.1f} ms", f"{d.mean*1e3:.1f} ms"])
+        print(render_table(["Phase", "single server", "hotspot replication"], rows))
+    else:  # installed without the benchmarks tree
+        print("loadtest requires the repository checkout (benchmarks/ present)")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,286 @@
+"""Testbed wiring: the paper's §4 setup, ready to run.
+
+One :class:`Testbed` assembles the whole stack on the simulated Table-1
+WAN:
+
+* on **ginger** (Amsterdam primary): the naming service (root + ``nl`` +
+  ``nl/vu`` zones), the location service (three-site domain tree), a
+  GlobeDoc object server, an Apache-style static server, and an
+  Apache+SSL-style server;
+* on each client host: a freshly wired proxy stack
+  (:class:`ClientStack`) whose verification CPU is charged to that
+  host.
+
+The same wiring is reused by the figure experiments, the ablations, the
+attack tests (which swap in adversarial components), and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines.plainhttp import StaticHttpServer
+from repro.baselines.ssl_channel import SslClient, SslServer
+from repro.crypto.identity import CertificateAuthority, TrustStore
+from repro.globedoc.owner import DocumentOwner, SignedDocument
+from repro.globedoc.urls import HybridUrl
+from repro.location.service import LocationClient, LocationService
+from repro.location.tree import DomainTree
+from repro.naming.records import OidRecord
+from repro.naming.service import NameService, SecureResolver
+from repro.naming.zone import Zone
+from repro.naming.dnssec import SignedZone
+from repro.net.address import ContactAddress, Endpoint
+from repro.net.rpc import RpcClient
+from repro.net.simnet import SimHost, SimNetwork
+from repro.net.topology import WanTopology, paper_testbed
+from repro.proxy.binding import Binder
+from repro.proxy.checks import SecurityChecker
+from repro.proxy.clientproxy import GlobeDocProxy
+from repro.server.admin import AdminClient
+from repro.server.objectserver import ObjectServer
+from repro.sim.clock import SimClock
+
+__all__ = ["Testbed", "ClientStack", "PublishedObject", "HOST_SITE"]
+
+#: Site of each Table-1 host in the location-service domain tree.
+HOST_SITE = {
+    "ginger.cs.vu.nl": "root/europe/vu",
+    "sporty.cs.vu.nl": "root/europe/vu",
+    "canardo.inria.fr": "root/europe/inria",
+    "ensamble02.cornell.edu": "root/us/cornell",
+}
+
+SERVICES_HOST = "ginger.cs.vu.nl"
+
+
+@dataclass
+class PublishedObject:
+    """A document placed on the testbed: owner + current signed version."""
+
+    owner: DocumentOwner
+    document: SignedDocument
+    name: str
+    replica_addresses: Dict[str, ContactAddress] = field(default_factory=dict)
+
+    @property
+    def oid_hex(self) -> str:
+        return self.owner.oid.hex
+
+    def url(self, element: str) -> str:
+        return HybridUrl.for_name(self.name, element).raw
+
+
+@dataclass
+class ClientStack:
+    """Everything a client host needs to browse securely."""
+
+    host: SimHost
+    transport: object
+    rpc: RpcClient
+    resolver: SecureResolver
+    location: LocationClient
+    binder: Binder
+    checker: SecurityChecker
+    proxy: GlobeDocProxy
+
+    def fresh_proxy(
+        self, cache_binding: bool = True, require_identity: bool = False
+    ) -> GlobeDocProxy:
+        """A new proxy sharing this stack's wiring (fresh sessions)."""
+        return GlobeDocProxy(
+            self.binder,
+            self.checker,
+            self.rpc,
+            cache_binding=cache_binding,
+            require_identity=require_identity,
+        )
+
+
+class Testbed:
+    """The §4 experimental setup on the simulated WAN."""
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    def __init__(self, clock: Optional[SimClock] = None, start_time: float = 0.0) -> None:
+        self.topology: WanTopology = paper_testbed(
+            clock if clock is not None else SimClock(start_time)
+        )
+        self.network: SimNetwork = self.topology.network
+        self.clock: SimClock = self.topology.clock
+        self._build_services()
+        self._published: Dict[str, PublishedObject] = {}
+
+    # ------------------------------------------------------------------
+    # Service construction (all on the Amsterdam primary)
+    # ------------------------------------------------------------------
+
+    def _build_services(self) -> None:
+        # Naming: root -> nl -> nl/vu zone chain, DNSsec-signed.
+        self.root_zone = SignedZone(Zone(""))
+        self.nl_zone = SignedZone(Zone("nl"))
+        self.vu_zone = SignedZone(Zone("nl/vu"))
+        self.naming = NameService(self.root_zone)
+        self.naming.add_zone(self.nl_zone)
+        self.naming.add_zone(self.vu_zone)
+
+        # Location: one domain tree with the three sites.
+        tree = DomainTree()
+        for site in sorted(set(HOST_SITE.values())):
+            tree.add_site(site)
+        self.location_service = LocationService(tree)
+
+        # GlobeDoc object server + baselines, all on ginger.
+        services_host = self.network.host(SERVICES_HOST)
+        self.object_server = ObjectServer(
+            host=SERVICES_HOST, site=HOST_SITE[SERVICES_HOST], clock=self.clock
+        )
+        self.http_server = StaticHttpServer(host=SERVICES_HOST)
+        self.ssl_server = SslServer(
+            host=SERVICES_HOST, compute_context=services_host.compute_native
+        )
+
+        self.network.register(
+            Endpoint(SERVICES_HOST, "naming"), self.naming.rpc_server().handle_frame
+        )
+        self.network.register(
+            Endpoint(SERVICES_HOST, "location"),
+            self.location_service.rpc_server().handle_frame,
+        )
+        self.network.register(
+            Endpoint(SERVICES_HOST, "objectserver"),
+            self.object_server.rpc_server().handle_frame,
+        )
+        self.network.register(
+            Endpoint(SERVICES_HOST, "http"), self.http_server.rpc_server().handle_frame
+        )
+        self.network.register(
+            Endpoint(SERVICES_HOST, "https"), self.ssl_server.rpc_server().handle_frame
+        )
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    @property
+    def naming_endpoint(self) -> Endpoint:
+        return Endpoint(SERVICES_HOST, "naming")
+
+    @property
+    def location_endpoint(self) -> Endpoint:
+        return Endpoint(SERVICES_HOST, "location")
+
+    @property
+    def objectserver_endpoint(self) -> Endpoint:
+        return Endpoint(SERVICES_HOST, "objectserver")
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+
+    def publish(
+        self,
+        owner: DocumentOwner,
+        validity: float = 24 * 3600.0,
+        ttl: float = 3600.0,
+    ) -> PublishedObject:
+        """Publish *owner*'s document: replica on ginger, naming +
+        location records registered. Also mirrors the elements onto the
+        HTTP and SSL baseline servers (same bytes, same host) so the
+        Fig. 5–7 comparison is apples-to-apples."""
+        document = owner.publish(validity=validity)
+        self.object_server.keystore.authorize(owner.name, owner.public_key)
+
+        # Owner pushes from the secondary VU host (as in the paper: the
+        # owner workstation is not the serving host).
+        admin = AdminClient(
+            RpcClient(self.network.transport_for("sporty.cs.vu.nl")),
+            self.objectserver_endpoint,
+            owner.keys,
+            self.clock,
+        )
+        result = admin.create_replica(document)
+        address = ContactAddress.from_dict(result["address"])
+
+        site = HOST_SITE[SERVICES_HOST]
+        self.location_service.tree.insert(owner.oid.hex, site, address)
+        self.naming.register(OidRecord(name=owner.name, oid=owner.oid, ttl=ttl))
+
+        for name, element in document.elements.items():
+            path = f"{owner.name}/{name}"
+            self.http_server.put_file(path, element.content)
+            self.ssl_server.put_file(path, element.content)
+
+        published = PublishedObject(
+            owner=owner,
+            document=document,
+            name=owner.name,
+            replica_addresses={site: address},
+        )
+        self._published[owner.oid.hex] = published
+        return published
+
+    def published(self, oid_hex: str) -> PublishedObject:
+        return self._published[oid_hex]
+
+    # ------------------------------------------------------------------
+    # Client stacks
+    # ------------------------------------------------------------------
+
+    def client_stack(
+        self,
+        host_name: str,
+        trust_store: Optional[TrustStore] = None,
+        cache_binding: bool = True,
+        location_ttl: float = 60.0,
+    ) -> ClientStack:
+        """Wire a full proxy stack on *host_name*."""
+        host = self.network.host(host_name)
+        transport = self.network.transport_for(host_name)
+        rpc = RpcClient(transport)
+        resolver = SecureResolver(
+            rpc, self.naming_endpoint, self.naming.root_key, clock=self.clock
+        )
+        location = LocationClient(
+            rpc,
+            self.location_endpoint,
+            origin_site=HOST_SITE[host_name],
+            clock=self.clock,
+            cache_ttl=location_ttl,
+        )
+        binder = Binder(resolver, location, rpc)
+        checker = SecurityChecker(
+            self.clock, trust_store=trust_store, compute_context=host.compute
+        )
+        proxy = GlobeDocProxy(binder, checker, rpc, cache_binding=cache_binding)
+        return ClientStack(
+            host=host,
+            transport=transport,
+            rpc=rpc,
+            resolver=resolver,
+            location=location,
+            binder=binder,
+            checker=checker,
+            proxy=proxy,
+        )
+
+    def ssl_client(self, host_name: str) -> SslClient:
+        """An HTTPS client on *host_name* against the ginger SSL server."""
+        host = self.network.host(host_name)
+        rpc = RpcClient(self.network.transport_for(host_name))
+        # wget+OpenSSL is native code: CPU factor applies, JVM memory
+        # pressure does not (see SimHost.compute_native).
+        return SslClient(
+            rpc, self.ssl_server.endpoint, compute_context=host.compute_native
+        )
+
+    def charge_client_overhead(self) -> float:
+        """The fixed browser→proxy cost per access (non-security).
+
+        Advances the clock; returns the seconds charged so callers can
+        record it as a timer phase.
+        """
+        overhead = self.topology.client_overhead
+        self.clock.advance(overhead)
+        return overhead

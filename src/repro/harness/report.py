@@ -1,0 +1,63 @@
+"""Plain-text rendering of experiment results (the bench/CLI output)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.harness.fig4 import Fig4Row, rows_as_series
+from repro.harness.fig567 import Fig567Row
+from repro.util.sizes import format_size
+
+__all__ = ["render_table", "render_fig4", "render_fig567"]
+
+
+def render_table(columns: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """A fixed-width text table."""
+    widths = [len(str(c)) for c in columns]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    header = "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_fig4(rows: List[Fig4Row]) -> str:
+    """Figure 4 as a size × client table of overhead percentages."""
+    series = rows_as_series(rows)
+    clients = list(series)
+    sizes = sorted({row.size_bytes for row in rows})
+    table_rows = []
+    for size in sizes:
+        cells = [format_size(size)]
+        for client in clients:
+            match = next((r for r in series[client] if r.size_bytes == size), None)
+            cells.append(f"{match.overhead_percent:.1f}%" if match else "-")
+        table_rows.append(cells)
+    title = "Figure 4 — Security overhead (percentage of total access time)"
+    return title + "\n" + render_table(["Data size"] + clients, table_rows)
+
+
+def render_fig567(rows: List[Fig567Row], client: str) -> str:
+    """One of Figures 5–7 as an object × scheme table of seconds."""
+    mine = [r for r in rows if r.client == client]
+    objects = sorted({r.object_label for r in mine}, key=lambda label: next(
+        r.total_bytes for r in mine if r.object_label == label
+    ))
+    schemes = sorted({r.scheme for r in mine})
+    table_rows = []
+    for obj in objects:
+        cells = [obj]
+        for scheme in schemes:
+            match = next(
+                (r for r in mine if r.object_label == obj and r.scheme == scheme), None
+            )
+            cells.append(f"{match.seconds*1000:.1f} ms" if match else "-")
+        table_rows.append(cells)
+    figure = mine[0].figure if mine else 0
+    title = f"Figure {figure} — Performance comparison, {client} client"
+    return title + "\n" + render_table(["Object"] + schemes, table_rows)

@@ -1,0 +1,48 @@
+"""Table 1: the experimental setting.
+
+The paper's table lists each host's architecture, RAM, OS and Java
+version; our reproduction adds the two calibration columns the
+simulation substitutes for real hardware (CPU factor and memory
+pressure — see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.net.topology import TABLE1_HOSTS
+
+__all__ = ["table1_rows", "TABLE1_COLUMNS"]
+
+TABLE1_COLUMNS = (
+    "Host",
+    "Location",
+    "Architecture",
+    "RAM",
+    "OS",
+    "CPU factor",
+    "Mem pressure",
+)
+
+
+def table1_rows() -> List[List[str]]:
+    """Table 1 as printable rows."""
+    location_of = {
+        "VU": "VU, Amsterdam",
+        "INRIA": "Inria, Paris",
+        "Cornell": "Cornell, Ithaca NY",
+    }
+    rows = []
+    for profile in TABLE1_HOSTS:
+        rows.append(
+            [
+                profile.name,
+                location_of.get(profile.site, profile.site),
+                profile.arch,
+                f"{profile.ram_mb} MB" if profile.ram_mb < 1024 else f"{profile.ram_mb // 1024} GB",
+                profile.os,
+                f"{profile.cpu_factor:g}x",
+                f"{profile.memory_pressure:g}x",
+            ]
+        )
+    return rows

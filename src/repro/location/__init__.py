@@ -1,0 +1,27 @@
+"""The Globe Location Service (§2.1.2).
+
+Maps OIDs onto contact addresses through a distributed search tree over
+a hierarchy of domains (site → region → … → root). An object is
+recorded at each site where it has a contact address and, recursively,
+in every enclosing domain up to the root: site-level records hold the
+actual addresses, higher-level records hold pointers to the next level
+down. Lookups expand ring by ring from the client's site, so a nearby
+replica is found without touching the root.
+
+The service is **untrusted** by design: a lying answer can cause at most
+denial of service because the proxy's self-certifying-OID check rejects
+any replica that is not part of the requested object (§3.1.2).
+"""
+
+from repro.location.tree import DomainTree, DomainNode
+from repro.location.service import LocationService, LocationClient, LookupResult
+from repro.location.cache import AddressCache
+
+__all__ = [
+    "DomainTree",
+    "DomainNode",
+    "LocationService",
+    "LocationClient",
+    "LookupResult",
+    "AddressCache",
+]

@@ -1,0 +1,70 @@
+"""TTL cache for OID → contact-address mappings (client side).
+
+Deliberately small and explicit: bounded size with FIFO eviction, TTL
+expiry against the injected clock, and explicit invalidation for failed
+binds. The location ablation bench uses hit-rate accounting to show the
+cache/TTL trade-off under replica churn.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.address import ContactAddress
+from repro.sim.clock import Clock, RealClock
+
+__all__ = ["AddressCache"]
+
+
+class AddressCache:
+    """Bounded TTL cache keyed by OID hex."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        ttl: float = 60.0,
+        max_entries: int = 1024,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError(f"cache TTL must be positive, got {ttl}")
+        if max_entries <= 0:
+            raise ValueError(f"cache size must be positive, got {max_entries}")
+        self.clock = clock if clock is not None else RealClock()
+        self.ttl = ttl
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, Tuple[float, List[ContactAddress]]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, oid_hex: str) -> Optional[List[ContactAddress]]:
+        entry = self._entries.get(oid_hex)
+        if entry is None:
+            self.misses += 1
+            return None
+        expires, addresses = entry
+        if self.clock.now() >= expires:
+            del self._entries[oid_hex]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return list(addresses)
+
+    def put(self, oid_hex: str, addresses: List[ContactAddress]) -> None:
+        while len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+        self._entries[oid_hex] = (self.clock.now() + self.ttl, list(addresses))
+
+    def invalidate(self, oid_hex: str) -> None:
+        self._entries.pop(oid_hex, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,182 @@
+"""The Location Service RPC front end and client.
+
+The server walks the domain tree on behalf of the querying proxy and
+reports, along with the addresses, the number of tree nodes the search
+visited — the cost metric used by the location ablation bench (the paper
+argues expanding-ring search scales where DNS-style flat records do
+not). Besides lookup, the interface supports the insertion, deletion and
+move of contact-address mappings used by the replication coordinator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Optional
+
+from repro.errors import LocationError
+from repro.globedoc.oid import ObjectId
+from repro.location.cache import AddressCache
+from repro.location.tree import DomainTree
+from repro.net.address import ContactAddress
+from repro.net.rpc import RpcClient, RpcServer, rpc_method
+from repro.sim.clock import Clock
+
+__all__ = ["LocationService", "LocationClient", "LookupResult"]
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Addresses for an OID, closest-domain first, plus search cost."""
+
+    oid_hex: str
+    addresses: List[ContactAddress]
+    nodes_visited: int
+    from_cache: bool = False
+
+    @property
+    def closest(self) -> ContactAddress:
+        if not self.addresses:
+            raise LocationError("lookup result holds no addresses")
+        return self.addresses[0]
+
+
+class LocationService:
+    """Server side: owns the domain tree.
+
+    Holds no secrets and signs nothing — by design the proxy treats its
+    answers as hints to be verified against the self-certifying OID.
+    """
+
+    def __init__(self, tree: Optional[DomainTree] = None) -> None:
+        self.tree = tree if tree is not None else DomainTree()
+
+    def add_site(self, path: str) -> None:
+        self.tree.add_site(path)
+
+    # ------------------------------------------------------------------
+    # RPC interface
+    # ------------------------------------------------------------------
+
+    @rpc_method("location.lookup")
+    def lookup(self, oid: str, origin_site: str) -> dict:
+        addresses, visited = self.tree.lookup(oid, origin_site)
+        return {
+            "oid": oid,
+            "addresses": [a.to_dict() for a in addresses],
+            "nodes_visited": visited,
+        }
+
+    @rpc_method("location.lookup_all")
+    def lookup_all(self, oid: str, origin_site: str) -> dict:
+        """Widened lookup: every address in the tree, closest ring first.
+
+        Used by clients on failover, after the closest replica turned
+        out broken or malicious — the recovery path behind the paper's
+        "temporary denial of service" bound.
+        """
+        near, visited = self.tree.lookup(oid, origin_site)  # raises if none
+        rest = [a for a in self.tree.all_addresses(oid) if a not in near]
+        return {
+            "oid": oid,
+            "addresses": [a.to_dict() for a in near + rest],
+            "nodes_visited": visited + self.tree.total_records(),
+        }
+
+    @rpc_method("location.insert")
+    def insert(self, oid: str, site: str, address: Mapping[str, Any]) -> int:
+        return self.tree.insert(oid, site, ContactAddress.from_dict(address))
+
+    @rpc_method("location.delete")
+    def delete(self, oid: str, site: str, address: Mapping[str, Any]) -> int:
+        return self.tree.delete(oid, site, ContactAddress.from_dict(address))
+
+    @rpc_method("location.move")
+    def move(
+        self, oid: str, address: Mapping[str, Any], from_site: str, to_site: str
+    ) -> int:
+        return self.tree.move(
+            oid, ContactAddress.from_dict(address), from_site, to_site
+        )
+
+    def rpc_server(self) -> RpcServer:
+        server = RpcServer(name="location")
+        server.register_object(self)
+        return server
+
+
+class LocationClient:
+    """Client side: queries the service, caches addresses with a TTL.
+
+    The cache matters for the paper's model — replica addresses change
+    frequently under dynamic replication, so the TTL is short by default
+    and a failed bind should :meth:`invalidate` the entry.
+    """
+
+    def __init__(
+        self,
+        client: RpcClient,
+        service_target,
+        origin_site: str,
+        clock: Optional[Clock] = None,
+        cache_ttl: float = 60.0,
+    ) -> None:
+        self.client = client
+        self.target = service_target
+        self.origin_site = origin_site
+        self.cache = AddressCache(clock=clock, ttl=cache_ttl)
+
+    def lookup(self, oid: ObjectId, widen: bool = False) -> LookupResult:
+        """Find contact addresses for *oid*.
+
+        ``widen=True`` performs the exhaustive all-rings lookup used for
+        failover; widened results are not cached (they reflect a failure
+        condition, not the steady state).
+        """
+        if not widen:
+            cached = self.cache.get(oid.hex)
+            if cached is not None:
+                return LookupResult(
+                    oid_hex=oid.hex, addresses=cached, nodes_visited=0, from_cache=True
+                )
+        op = "location.lookup_all" if widen else "location.lookup"
+        answer = self.client.call(
+            self.target, op, oid=oid.hex, origin_site=self.origin_site
+        )
+        addresses = [ContactAddress.from_dict(a) for a in answer["addresses"]]
+        result = LookupResult(
+            oid_hex=oid.hex,
+            addresses=addresses,
+            nodes_visited=int(answer["nodes_visited"]),
+        )
+        if not widen:
+            self.cache.put(oid.hex, addresses)
+        return result
+
+    def register_replica(self, oid: ObjectId, site: str, address: ContactAddress) -> int:
+        """Insert a contact address (replication coordinator path)."""
+        self.cache.invalidate(oid.hex)
+        return int(
+            self.client.call(
+                self.target,
+                "location.insert",
+                oid=oid.hex,
+                site=site,
+                address=address.to_dict(),
+            )
+        )
+
+    def unregister_replica(self, oid: ObjectId, site: str, address: ContactAddress) -> int:
+        self.cache.invalidate(oid.hex)
+        return int(
+            self.client.call(
+                self.target,
+                "location.delete",
+                oid=oid.hex,
+                site=site,
+                address=address.to_dict(),
+            )
+        )
+
+    def invalidate(self, oid: ObjectId) -> None:
+        """Drop the cached addresses after a failed bind."""
+        self.cache.invalidate(oid.hex)

@@ -1,0 +1,26 @@
+"""Secure naming (§2.1.1, §3.1).
+
+Maps human-readable object names onto self-certifying OIDs through a
+DNSsec-like hierarchy of signed zones. Crucially, the records are
+**location independent** — they hold OIDs, never replica addresses —
+which is what lets massively replicated objects change addresses without
+churning the name system (the paper's scalability argument against
+storing IPs in DNSsec).
+"""
+
+from repro.naming.records import OidRecord, RECORD_TYPE_OID
+from repro.naming.zone import Zone, ZoneKeys
+from repro.naming.dnssec import SignedZone, ChainValidator, DelegationRecord
+from repro.naming.service import NameService, SecureResolver
+
+__all__ = [
+    "OidRecord",
+    "RECORD_TYPE_OID",
+    "Zone",
+    "ZoneKeys",
+    "SignedZone",
+    "ChainValidator",
+    "DelegationRecord",
+    "NameService",
+    "SecureResolver",
+]

@@ -1,0 +1,99 @@
+"""Naming-service resource records.
+
+Per §3.1.2, DNSsec resource records are extended to carry self-certifying
+OIDs instead of IP addresses. A record binds one fully qualified object
+name to one OID (an object may have *several* names resolving to the
+same OID — the converse never holds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.errors import NamingError
+from repro.globedoc.oid import ObjectId
+
+__all__ = ["OidRecord", "RECORD_TYPE_OID", "normalize_name", "split_name", "parent_zone"]
+
+RECORD_TYPE_OID = "GLOBE-OID"
+
+_MAX_NAME = 255
+
+
+def normalize_name(name: str) -> str:
+    """Normalise an object name: lowercase, no leading/trailing slashes.
+
+    Object names are path-like (``vu.nl/research/report``): the first
+    segment is DNS-ish and lowercased; path segments are kept verbatim
+    apart from slash trimming.
+    """
+    if not isinstance(name, str) or not name.strip():
+        raise NamingError("object name must be a non-empty string")
+    cleaned = name.strip().strip("/")
+    if not cleaned or len(cleaned) > _MAX_NAME:
+        raise NamingError(f"invalid object name: {name!r}")
+    head, _, rest = cleaned.partition("/")
+    head = head.lower()
+    if not head:
+        raise NamingError(f"invalid object name: {name!r}")
+    return head + ("/" + rest if rest else "")
+
+
+def split_name(name: str) -> list:
+    """Split a normalised name into zone labels, most-significant first.
+
+    ``vu.nl/research/report`` → ``["nl", "vu", "research", "report"]``:
+    the DNS part reverses (hierarchy is right-to-left), the path part
+    appends in order.
+    """
+    normalized = normalize_name(name)
+    head, _, rest = normalized.partition("/")
+    labels = list(reversed(head.split(".")))
+    if rest:
+        labels.extend(rest.split("/"))
+    return labels
+
+
+def parent_zone(zone: str) -> Optional[str]:
+    """The enclosing zone of *zone* (``"nl/vu"`` → ``"nl"``), None at root."""
+    if not zone:
+        return None
+    head, _, _ = zone.rpartition("/")
+    return head  # "" means the root zone
+
+
+@dataclass(frozen=True)
+class OidRecord:
+    """One name → OID binding, with a TTL for resolver caching."""
+
+    name: str
+    oid: ObjectId
+    ttl: float = 3600.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", normalize_name(self.name))
+        if self.ttl <= 0:
+            raise NamingError(f"record TTL must be positive, got {self.ttl}")
+
+    @property
+    def record_type(self) -> str:
+        return RECORD_TYPE_OID
+
+    def to_dict(self) -> dict:
+        return {
+            "type": RECORD_TYPE_OID,
+            "name": self.name,
+            "oid": self.oid.to_dict(),
+            "ttl": self.ttl,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OidRecord":
+        if data.get("type") != RECORD_TYPE_OID:
+            raise NamingError(f"not an OID record: {data.get('type')!r}")
+        return cls(
+            name=str(data["name"]),
+            oid=ObjectId.from_dict(data["oid"]),
+            ttl=float(data.get("ttl", 3600.0)),
+        )

@@ -1,0 +1,220 @@
+"""The naming service: the network-facing resolver over signed zones.
+
+``NameService`` hosts a forest of signed zones behind an RPC interface;
+``SecureResolver`` is the client side, performing iterative resolution
+from the root and validating the DNSsec chain against its trust anchor.
+Resolution results are cached per record TTL (the caching DNS makes
+efficient — possible here precisely because records are
+location-independent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.crypto.keys import PublicKey
+from repro.errors import NameNotFound, NamingError, ZoneValidationError
+from repro.globedoc.oid import ObjectId
+from repro.naming.dnssec import ChainValidator, DelegationRecord, SignedOidRecord, SignedZone
+from repro.naming.records import normalize_name
+from repro.net.rpc import RpcClient, RpcServer, rpc_method
+from repro.sim.clock import Clock, RealClock
+
+__all__ = ["NameService", "SecureResolver", "ResolutionResult"]
+
+
+@dataclass(frozen=True)
+class ResolutionResult:
+    """A validated name resolution: the OID plus chain metadata."""
+
+    name: str
+    oid: ObjectId
+    ttl: float
+    chain_length: int
+    from_cache: bool = False
+
+
+class NameService:
+    """Server side: holds signed zones and answers resolution queries.
+
+    The query model is single-shot: the server walks its own delegation
+    chain and returns the full proof (chain + signed record) in one
+    response, like a validating recursive resolver returning RRSIGs.
+    """
+
+    def __init__(self, root_zone: SignedZone) -> None:
+        if root_zone.zone_path != "":
+            raise NamingError("the root zone must have the empty path")
+        self.root = root_zone
+        self._zones: Dict[str, SignedZone] = {"": root_zone}
+
+    def add_zone(self, zone: SignedZone, parent: Optional[SignedZone] = None) -> None:
+        """Attach *zone*, delegating from *parent* (default: its natural
+        parent, which must already be attached)."""
+        if parent is None:
+            parent_path = zone.zone_path.rpartition("/")[0]
+            parent = self._zones.get(parent_path)
+            if parent is None:
+                raise NamingError(
+                    f"parent zone {parent_path!r} not attached for {zone.zone_path!r}"
+                )
+        parent.delegate(zone)
+        self._zones[zone.zone_path] = zone
+
+    def zone(self, path: str) -> SignedZone:
+        try:
+            return self._zones[path]
+        except KeyError:
+            raise NameNotFound(f"no such zone: {path!r}") from None
+
+    @property
+    def root_key(self) -> PublicKey:
+        """The trust anchor clients must be configured with."""
+        return self.root.public_key
+
+    def register(self, record) -> None:
+        """Publish a record in the deepest attached zone covering it."""
+        zone = self._authoritative_zone(record.name)
+        zone.add_record(record)
+
+    def _authoritative_zone(self, name: str) -> SignedZone:
+        zone = self.root
+        while True:
+            child_path = zone.delegation_for(name)
+            if child_path is None or child_path not in self._zones:
+                return zone
+            zone = self._zones[child_path]
+
+    # ------------------------------------------------------------------
+    # RPC interface
+    # ------------------------------------------------------------------
+
+    @rpc_method("naming.resolve")
+    def resolve_with_proof(self, name: str) -> dict:
+        """Walk the chain for *name*; return delegations + signed record."""
+        name = normalize_name(name)
+        chain: List[DelegationRecord] = []
+        zone = self.root
+        while True:
+            child_path = zone.delegation_for(name)
+            if child_path is None or child_path not in self._zones:
+                break
+            chain.append(zone.delegation_record(child_path))
+            zone = self._zones[child_path]
+        signed = zone.signed_lookup(name)  # raises NameNotFound
+        return {
+            "chain": [link.to_dict() for link in chain],
+            "record": signed.to_dict(),
+        }
+
+    @rpc_method("naming.resolve_step")
+    def resolve_step(self, name: str, zone_path: str) -> dict:
+        """One iterative-resolution step (real-DNS style, one RTT per
+        zone level): from *zone_path*, return either the delegation one
+        level closer to the answer or the signed record itself."""
+        name = normalize_name(name)
+        zone = self.zone(zone_path)
+        child_path = zone.delegation_for(name)
+        if child_path is not None and child_path in self._zones:
+            return {
+                "delegation": zone.delegation_record(child_path).to_dict(),
+                "next_zone": child_path,
+            }
+        return {"record": zone.signed_lookup(name).to_dict()}
+
+    def rpc_server(self) -> RpcServer:
+        """An RPC server exposing this service's operations."""
+        server = RpcServer(name="naming")
+        server.register_object(self)
+        return server
+
+
+class SecureResolver:
+    """Client side: queries a NameService endpoint and validates the proof.
+
+    ``trust_anchor`` is the root zone key, obtained out of band (like a
+    DNSsec root key). Without it, no answer is accepted.
+    """
+
+    def __init__(
+        self,
+        client: RpcClient,
+        service_target,
+        trust_anchor: PublicKey,
+        clock: Optional[Clock] = None,
+        iterative: bool = True,
+        max_depth: int = 16,
+    ) -> None:
+        self.client = client
+        self.target = service_target
+        self.validator = ChainValidator(trust_anchor, clock=clock)
+        self.clock = clock if clock is not None else RealClock()
+        self.iterative = iterative
+        self.max_depth = max_depth
+        self._cache: Dict[str, Tuple[float, ResolutionResult]] = {}
+
+    def resolve(self, name: str) -> ResolutionResult:
+        """Resolve *name* to a validated OID (cached per record TTL).
+
+        In the default *iterative* mode the resolver issues one query per
+        zone level (root → … → authoritative), paying one round trip
+        each, exactly like an uncached DNS resolution; ``iterative=False``
+        fetches the whole proof in a single query.
+        """
+        name = normalize_name(name)
+        cached = self._cache.get(name)
+        if cached is not None:
+            expires, result = cached
+            if self.clock.now() < expires:
+                return ResolutionResult(
+                    name=result.name,
+                    oid=result.oid,
+                    ttl=result.ttl,
+                    chain_length=result.chain_length,
+                    from_cache=True,
+                )
+            del self._cache[name]
+        if self.iterative:
+            answer = self._resolve_iteratively(name)
+        else:
+            answer = self.client.call(self.target, "naming.resolve", name=name)
+        record = self._validate_answer(answer)
+        result = ResolutionResult(
+            name=record.name,
+            oid=record.oid,
+            ttl=record.ttl,
+            chain_length=len(answer.get("chain", [])),
+        )
+        self._cache[name] = (self.clock.now() + record.ttl, result)
+        return result
+
+    def _resolve_iteratively(self, name: str) -> dict:
+        """Walk zone by zone, collecting the delegation chain."""
+        chain: list = []
+        zone_path = ""
+        for _ in range(self.max_depth):
+            step = self.client.call(
+                self.target, "naming.resolve_step", name=name, zone_path=zone_path
+            )
+            if "record" in step:
+                return {"chain": chain, "record": step["record"]}
+            chain.append(step["delegation"])
+            zone_path = str(step["next_zone"])
+        raise ZoneValidationError(
+            f"delegation chain for {name!r} exceeds max depth {self.max_depth}"
+        )
+
+    def _validate_answer(self, answer: Mapping[str, Any]):
+        if not isinstance(answer, Mapping) or "record" not in answer:
+            raise ZoneValidationError("malformed naming response")
+        chain = [DelegationRecord.from_dict(d) for d in answer.get("chain", [])]
+        signed = SignedOidRecord.from_dict(answer["record"])
+        return self.validator.validate(chain, signed)
+
+    def flush_cache(self) -> None:
+        self._cache.clear()
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)

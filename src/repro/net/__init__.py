@@ -1,0 +1,39 @@
+"""Network substrate: addresses, wire messages, RPC, and transports.
+
+One RPC layer rides on three interchangeable transports:
+
+* :class:`~repro.net.transport.LoopbackTransport` — direct in-process
+  calls, zero cost; used by unit tests.
+* :class:`~repro.net.simnet.SimNetwork` — the simulated WAN with
+  per-link latency/bandwidth and per-host CPU factors; used by the
+  experiment harness to replay the paper's four-host testbed.
+* :class:`~repro.net.tcpnet.TcpTransport` — real sockets with the same
+  wire format; used by integration tests and the live examples.
+"""
+
+from repro.net.address import ContactAddress, Endpoint
+from repro.net.message import Request, Response
+from repro.net.rpc import RpcClient, RpcServer, rpc_method
+from repro.net.transport import LoopbackTransport, Transport
+from repro.net.simnet import HostProfile, LinkSpec, SimHost, SimNetwork, SimTransport
+from repro.net.topology import TABLE1_HOSTS, WanTopology, paper_testbed
+
+__all__ = [
+    "ContactAddress",
+    "Endpoint",
+    "Request",
+    "Response",
+    "RpcClient",
+    "RpcServer",
+    "rpc_method",
+    "LoopbackTransport",
+    "Transport",
+    "HostProfile",
+    "LinkSpec",
+    "SimHost",
+    "SimNetwork",
+    "SimTransport",
+    "TABLE1_HOSTS",
+    "WanTopology",
+    "paper_testbed",
+]

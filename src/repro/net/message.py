@@ -1,0 +1,102 @@
+"""RPC wire messages.
+
+Requests and responses serialise through the canonical encoder so the
+bytes are identical on the loopback, simulated, and TCP transports —
+which in turn makes simulated transfer sizes honest (the simulator
+charges for the *actual* encoded bytes, including certificate and key
+payloads, reproducing the paper's "about 2KB of extra information").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import EncodingError, RpcError, TransportError
+from repro.util.encoding import from_wire, to_wire
+
+__all__ = ["Request", "Response"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """An operation invocation on a remote endpoint."""
+
+    op: str
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_bytes(self) -> bytes:
+        return to_wire({"kind": "request", "op": self.op, "args": dict(self.args)})
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Request":
+        try:
+            decoded = from_wire(data)
+        except EncodingError as exc:
+            raise TransportError(f"undecodable request frame: {exc}") from exc
+        if not isinstance(decoded, dict) or decoded.get("kind") != "request":
+            raise TransportError("malformed request frame")
+        return cls(op=str(decoded["op"]), args=dict(decoded.get("args", {})))
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.to_bytes())
+
+
+@dataclass(frozen=True)
+class Response:
+    """Result of a request: a value on success, an error string otherwise.
+
+    ``error_type`` carries the exception class name so the client side
+    can re-raise security errors as security errors (a tampering
+    detection must not degrade into a generic RPC failure).
+    """
+
+    ok: bool
+    value: Any = None
+    error: str = ""
+    error_type: str = ""
+
+    @classmethod
+    def success(cls, value: Any) -> "Response":
+        return cls(ok=True, value=value)
+
+    @classmethod
+    def failure(cls, exc: BaseException) -> "Response":
+        return cls(ok=False, error=str(exc), error_type=type(exc).__name__)
+
+    def to_bytes(self) -> bytes:
+        return to_wire(
+            {
+                "kind": "response",
+                "ok": self.ok,
+                "value": self.value,
+                "error": self.error,
+                "error_type": self.error_type,
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Response":
+        try:
+            decoded = from_wire(data)
+        except EncodingError as exc:
+            raise TransportError(f"undecodable response frame: {exc}") from exc
+        if not isinstance(decoded, dict) or decoded.get("kind") != "response":
+            raise TransportError("malformed response frame")
+        return cls(
+            ok=bool(decoded["ok"]),
+            value=decoded.get("value"),
+            error=str(decoded.get("error", "")),
+            error_type=str(decoded.get("error_type", "")),
+        )
+
+    def unwrap(self) -> Any:
+        """Return the value or raise the transported error."""
+        if self.ok:
+            return self.value
+        raise RpcError(f"{self.error_type or 'RemoteError'}: {self.error}")
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.to_bytes())

@@ -1,0 +1,116 @@
+"""RPC layer: method registration and remote invocation.
+
+An :class:`RpcServer` exposes a set of named operations as a frame
+handler that any transport can host. :class:`RpcClient` encodes calls
+and decodes results. Exceptions raised by handlers travel back with
+their class name; client-side, security exceptions re-raise as the
+proper :mod:`repro.errors` types so attack detection survives the wire.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, Callable, Dict, Optional
+
+import repro.errors as _errors
+from repro.errors import RpcError, TransportError
+from repro.net.address import ContactAddress, Endpoint
+from repro.net.message import Request, Response
+from repro.net.transport import Transport
+
+__all__ = ["RpcServer", "RpcClient", "rpc_method"]
+
+logger = logging.getLogger(__name__)
+
+Handler = Callable[..., Any]
+
+_RPC_ATTR = "_rpc_op_name"
+
+
+def rpc_method(op: str) -> Callable[[Handler], Handler]:
+    """Decorator marking a method as the handler for operation *op*.
+
+    Classes passing an instance to :meth:`RpcServer.register_object` get
+    all marked methods exposed.
+    """
+
+    def mark(fn: Handler) -> Handler:
+        setattr(fn, _RPC_ATTR, op)
+        return fn
+
+    return mark
+
+
+class RpcServer:
+    """Dispatches decoded requests to registered operation handlers."""
+
+    def __init__(self, name: str = "rpc") -> None:
+        self.name = name
+        self._ops: Dict[str, Handler] = {}
+
+    def register(self, op: str, handler: Handler) -> None:
+        if op in self._ops:
+            raise RpcError(f"operation {op!r} already registered on {self.name}")
+        self._ops[op] = handler
+
+    def register_object(self, obj: Any) -> None:
+        """Register every ``@rpc_method``-marked method of *obj*."""
+        for attr_name in dir(obj):
+            attr = getattr(obj, attr_name)
+            op = getattr(attr, _RPC_ATTR, None)
+            if op is not None and callable(attr):
+                self.register(op, attr)
+
+    @property
+    def operations(self) -> list:
+        return sorted(self._ops)
+
+    def handle_frame(self, frame: bytes) -> bytes:
+        """The transport-facing entry point: bytes in, bytes out.
+
+        Handler exceptions become error responses; nothing escapes to
+        the transport (a malformed request must not kill a server).
+        """
+        try:
+            request = Request.from_bytes(frame)
+        except Exception as exc:
+            return Response.failure(TransportError(f"bad request frame: {exc}")).to_bytes()
+        handler = self._ops.get(request.op)
+        if handler is None:
+            return Response.failure(RpcError(f"unknown operation {request.op!r}")).to_bytes()
+        try:
+            value = handler(**dict(request.args))
+        except Exception as exc:
+            logger.debug("handler %s failed: %s", request.op, exc)
+            return Response.failure(exc).to_bytes()
+        return Response.success(value).to_bytes()
+
+
+# Error classes that are re-raised with their original type client-side.
+_REHYDRATABLE = {
+    name: getattr(_errors, name)
+    for name in _errors.__all__
+    if isinstance(getattr(_errors, name), type)
+}
+
+
+class RpcClient:
+    """Client-side call helper over any :class:`Transport`."""
+
+    def __init__(self, transport: Transport) -> None:
+        self.transport = transport
+
+    def call(self, target, op: str, **args: Any) -> Any:
+        """Invoke *op* at *target* (an Endpoint or ContactAddress)."""
+        endpoint = target.endpoint if isinstance(target, ContactAddress) else target
+        if not isinstance(endpoint, Endpoint):
+            raise RpcError(f"invalid RPC target: {target!r}")
+        request = Request(op=op, args=args)
+        frame = self.transport.request(endpoint, request.to_bytes())
+        response = Response.from_bytes(frame)
+        if response.ok:
+            return response.value
+        exc_cls = _REHYDRATABLE.get(response.error_type)
+        if exc_cls is not None:
+            raise exc_cls(response.error)
+        raise RpcError(f"{response.error_type or 'RemoteError'}: {response.error}")

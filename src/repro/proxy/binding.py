@@ -1,0 +1,115 @@
+"""Binding to a GlobeDoc object (§2.1, Fig. 1).
+
+Binding has two phases: *finding* the object (name lookup to an OID,
+location lookup to contact addresses) and *installing* a local
+representative (here: a forwarding :class:`~repro.server.localrep.ProxyLR`
+bound to a chosen contact address). The location service is untrusted,
+so the binder supports failover: if the replica behind an address fails
+the key/OID check later, the session rebinds to the next address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import BindingError, ObjectNotFound
+from repro.globedoc.oid import ObjectId
+from repro.globedoc.urls import HybridUrl
+from repro.location.service import LocationClient
+from repro.naming.service import SecureResolver
+from repro.net.address import ContactAddress
+from repro.net.rpc import RpcClient
+from repro.proxy.metrics import AccessTimer
+from repro.server.localrep import ProxyLR
+
+__all__ = ["Binder", "BoundObject"]
+
+
+@dataclass
+class BoundObject:
+    """A bound object: OID, the addresses found, and the installed LR."""
+
+    oid: ObjectId
+    addresses: List[ContactAddress]
+    address_index: int
+    lr: ProxyLR
+
+    @property
+    def address(self) -> ContactAddress:
+        return self.addresses[self.address_index]
+
+    @property
+    def has_alternative(self) -> bool:
+        return self.address_index + 1 < len(self.addresses)
+
+
+class Binder:
+    """Performs name → OID → contact-address → LR installation."""
+
+    def __init__(
+        self,
+        resolver: SecureResolver,
+        location: LocationClient,
+        rpc: RpcClient,
+    ) -> None:
+        self.resolver = resolver
+        self.location = location
+        self.rpc = rpc
+
+    def resolve_oid(self, url: HybridUrl, timer: AccessTimer) -> ObjectId:
+        """Phase 1a: the object's OID, from the URL or the naming service."""
+        if url.oid is not None:
+            return url.oid
+        if url.object_name is None:
+            raise BindingError(f"not a GlobeDoc URL: {url.raw!r}")
+        with timer.phase("resolve_name"):
+            result = self.resolver.resolve(url.object_name)
+        return result.oid
+
+    def bind(self, url: HybridUrl, timer: AccessTimer) -> BoundObject:
+        """Full binding: find the object and install a forwarding LR."""
+        oid = self.resolve_oid(url, timer)
+        with timer.phase("find_replica"):
+            lookup = self.location.lookup(oid)
+        if not lookup.addresses:
+            raise ObjectNotFound(f"no replicas registered for OID {oid.hex[:12]}…")
+        return self._install(oid, lookup.addresses, 0)
+
+    def rebind(self, bound: BoundObject) -> BoundObject:
+        """Failover to the next contact address after a bad replica.
+
+        When the current address list is exhausted, performs a *widened*
+        location lookup (all rings) and continues with any addresses not
+        yet tried — a lying or broken nearest replica must cause only a
+        temporary disruption while genuine replicas exist elsewhere.
+        Also drops the cached location entry so a later bind re-queries
+        the (possibly recovered) location service.
+        """
+        self.location.invalidate(bound.oid)
+        if bound.has_alternative:
+            return self._install(bound.oid, bound.addresses, bound.address_index + 1)
+        tried = set(map(str, bound.addresses))
+        try:
+            widened = self.location.lookup(bound.oid, widen=True)
+        except ObjectNotFound:
+            widened = None
+        fresh = (
+            [a for a in widened.addresses if str(a) not in tried] if widened else []
+        )
+        if not fresh:
+            raise BindingError(
+                f"no alternative replicas for OID {bound.oid.hex[:12]}… "
+                "(all known contact addresses exhausted)"
+            )
+        return self._install(bound.oid, list(bound.addresses) + fresh, len(bound.addresses))
+
+    def _install(
+        self, oid: ObjectId, addresses: List[ContactAddress], index: int
+    ) -> BoundObject:
+        return BoundObject(
+            oid=oid,
+            addresses=list(addresses),
+            address_index=index,
+            lr=ProxyLR(self.rpc, addresses[index]),
+        )

@@ -1,0 +1,152 @@
+"""The security check pipeline (§3.2.2, §3.3, Fig. 3).
+
+Four client-side checks make data from untrusted replicas trustworthy:
+
+1. the public key retrieved from the replica hashes to the
+   self-certifying OID (else the replica is not part of the object);
+2. optionally, an identity certificate from a CA in the user's trust
+   store binds the object key to a real-world name ("Certified as:");
+3. the integrity certificate's signature verifies under the object key;
+4. each retrieved element passes consistency (name match), authenticity
+   (hash match) and freshness (validity interval) against the cert.
+
+``SecurityChecker`` is transport-agnostic and side-effect free; all
+verification CPU is charged through an optional *compute context* so
+the simulated host pays for it (see :meth:`SimHost.compute`).
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Callable, ContextManager, List, Optional
+
+from repro.crypto.identity import IdentityCertificate, TrustStore
+from repro.crypto.keys import PublicKey
+from repro.errors import AuthenticityError
+from repro.globedoc.element import PageElement
+from repro.globedoc.integrity import ElementEntry, IntegrityCertificate
+from repro.globedoc.oid import ObjectId
+from repro.proxy.metrics import AccessTimer
+from repro.sim.clock import Clock
+
+__all__ = ["SecurityChecker", "VerifiedBinding"]
+
+ComputeContext = Callable[[], ContextManager[None]]
+
+
+@dataclass
+class VerifiedBinding:
+    """The outcome of a successful secure binding to one object."""
+
+    oid: ObjectId
+    public_key: PublicKey
+    integrity: IntegrityCertificate
+    certified_as: Optional[str] = None
+
+
+class SecurityChecker:
+    """Stateless verification primitives used by the secure session."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        trust_store: Optional[TrustStore] = None,
+        compute_context: Optional[ComputeContext] = None,
+    ) -> None:
+        self.clock = clock
+        self.trust_store = trust_store if trust_store is not None else TrustStore()
+        self._compute = compute_context if compute_context is not None else nullcontext
+
+    # ------------------------------------------------------------------
+    # Individual checks (each charges its own timer phase)
+    # ------------------------------------------------------------------
+
+    def check_public_key(
+        self, oid: ObjectId, key: PublicKey, timer: AccessTimer
+    ) -> PublicKey:
+        """Step 5 of Fig. 3: SHA-1(key) must equal the OID."""
+        with timer.phase("verify_public_key"), self._compute():
+            return oid.check_key(key)
+
+    def check_identity(
+        self,
+        key: PublicKey,
+        certificates: List[IdentityCertificate],
+        timer: AccessTimer,
+        require: bool = False,
+    ) -> Optional[str]:
+        """Step 7 of Fig. 3: find an identity proof from a trusted CA.
+
+        Returns the certified name or None. With ``require=True`` a
+        missing proof raises (strict mode for e-commerce-grade use,
+        §3.1.2); default is advisory, matching the paper's UI flow.
+        """
+        with timer.phase("verify_identity_proofs"), self._compute():
+            match = self.trust_store.first_match(
+                certificates, clock=self.clock, expected_subject_key=key
+            )
+        if match is not None:
+            return match.subject_name
+        if require:
+            raise AuthenticityError(
+                "no identity certificate from a trusted CA was presented"
+            )
+        return None
+
+    def check_certificate(
+        self,
+        key: PublicKey,
+        integrity: IntegrityCertificate,
+        oid: ObjectId,
+        timer: AccessTimer,
+    ) -> IntegrityCertificate:
+        """Step 9 of Fig. 3: certificate signed by the object key, and
+        issued for this OID (prevents cross-object certificate replay)."""
+        with timer.phase("verify_certificate"), self._compute():
+            integrity.verify_signature(key)
+            if integrity.oid_hex != oid.hex:
+                raise AuthenticityError(
+                    "integrity certificate was issued for a different object"
+                )
+        return integrity
+
+    def check_element(
+        self,
+        integrity: IntegrityCertificate,
+        requested_name: str,
+        element: PageElement,
+        timer: AccessTimer,
+    ) -> ElementEntry:
+        """Steps 11–13 of Fig. 3: hash, freshness, consistency.
+
+        Phase accounting separates the (size-proportional) hash from the
+        (constant) freshness/consistency comparisons, matching the
+        paper's observation that hashing dominates large transfers.
+        """
+        # Consistency: the right name, and part of the object.
+        with timer.phase("check_consistency"):
+            if element.name != requested_name:
+                from repro.errors import ConsistencyError
+
+                raise ConsistencyError(
+                    f"server returned {element.name!r} for request {requested_name!r}"
+                )
+            entry = integrity.entry_for(requested_name)
+        # Authenticity: content hash (the expensive, size-proportional part).
+        with timer.phase("verify_element_hash"), self._compute():
+            if element.content_hash(integrity.suite) != entry.content_hash:
+                raise AuthenticityError(
+                    f"content hash mismatch for element {requested_name!r}"
+                )
+        # Freshness: validity interval against retrieval time.
+        with timer.phase("check_freshness"):
+            now = self.clock.now()
+            if now > entry.expires_at:
+                from repro.errors import FreshnessError
+
+                raise FreshnessError(
+                    f"element {requested_name!r} expired at {entry.expires_at} "
+                    f"(retrieved at {now})"
+                )
+        return entry

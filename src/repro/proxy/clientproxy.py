@@ -1,0 +1,207 @@
+"""The user-facing GlobeDoc proxy (§2.1, §4).
+
+"The client proxy … identifies GlobeDoc names from the hybrid URLs
+passed by the client browser, does name resolution and replica location,
+retrieves the desired page elements and performs the authenticity,
+freshness and consistency tests … The proxy also transparently handles
+any regular HTTP requests it receives from the browser."
+
+:class:`GlobeDocProxy` is that component: a URL in, a response out.
+Security violations never escape as exceptions — they render the
+paper's "Security Check Failed" page, because the browser upstream only
+speaks HTTP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import (
+    BindingError,
+    NamingError,
+    LocationError,
+    ReproError,
+    SecurityError,
+    TransportError,
+    UrlError,
+)
+from repro.globedoc.urls import HybridUrl
+from repro.location.service import LocationClient
+from repro.naming.service import SecureResolver
+from repro.net.address import Endpoint
+from repro.net.rpc import RpcClient
+from repro.proxy.binding import Binder
+from repro.proxy.checks import SecurityChecker
+from repro.proxy.metrics import AccessMetrics, AccessTimer
+from repro.proxy.session import SecureSession
+
+__all__ = ["GlobeDocProxy", "ProxyResponse"]
+
+SECURITY_FAILED_HTML = (
+    b"<html><head><title>Security Check Failed</title></head>"
+    b"<body><h1>Security Check Failed</h1><p>%s</p></body></html>"
+)
+
+NOT_FOUND_HTML = (
+    b"<html><head><title>Not Found</title></head>"
+    b"<body><h1>Document Not Found</h1><p>%s</p></body></html>"
+)
+
+
+@dataclass(frozen=True)
+class ProxyResponse:
+    """What the browser gets back from the proxy."""
+
+    status: int
+    content: bytes
+    content_type: str = "text/html"
+    certified_as: Optional[str] = None
+    metrics: Optional[AccessMetrics] = None
+    security_failure: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+
+class GlobeDocProxy:
+    """One user's proxy: sessions per object, passthrough for plain HTTP."""
+
+    def __init__(
+        self,
+        binder: Binder,
+        checker: SecurityChecker,
+        rpc: RpcClient,
+        cache_binding: bool = True,
+        require_identity: bool = False,
+        content_cache=None,
+        session_ttl: Optional[float] = None,
+    ) -> None:
+        self.binder = binder
+        self.checker = checker
+        self.rpc = rpc
+        self.cache_binding = cache_binding
+        self.require_identity = require_identity
+        self.content_cache = content_cache
+        #: Re-bind sessions older than this (seconds). Without it a
+        #: long-lived proxy would never notice replicas placed closer by
+        #: dynamic replication; with it, bindings follow the replica set
+        #: at the location-cache/naming-TTL cadence.
+        self.session_ttl = session_ttl
+        self._sessions: Dict[str, SecureSession] = {}
+        self._session_created: Dict[str, float] = {}
+        self.request_count = 0
+        self.failure_count = 0
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    def handle(self, url: str, timer: Optional[AccessTimer] = None) -> ProxyResponse:
+        """Serve one browser request (hybrid URL or plain HTTP)."""
+        self.request_count += 1
+        try:
+            parsed = HybridUrl.parse(url)
+        except UrlError as exc:
+            return ProxyResponse(
+                status=400, content=NOT_FOUND_HTML % str(exc).encode()
+            )
+        if not parsed.is_globedoc:
+            return self._passthrough(parsed)
+        return self._handle_globedoc(parsed, timer)
+
+    def _handle_globedoc(
+        self, url: HybridUrl, timer: Optional[AccessTimer]
+    ) -> ProxyResponse:
+        own_timer = timer is None
+        if own_timer:
+            timer = AccessTimer(self.checker.clock)
+        assert timer is not None
+        try:
+            session = self._session_for(url, timer)
+            result = session.fetch(url.element_name, timer)
+        except SecurityError as exc:
+            # §3.3: failed checks render the Security Check Failed page.
+            self.failure_count += 1
+            return ProxyResponse(
+                status=403,
+                content=SECURITY_FAILED_HTML % str(exc).encode(),
+                metrics=timer.finish(),
+                security_failure=type(exc).__name__,
+            )
+        except (NamingError, LocationError, BindingError, TransportError) as exc:
+            self.failure_count += 1
+            return ProxyResponse(
+                status=404,
+                content=NOT_FOUND_HTML % str(exc).encode(),
+                metrics=timer.finish(),
+            )
+        return ProxyResponse(
+            status=200,
+            content=result.element.content,
+            content_type=result.element.content_type,
+            certified_as=result.certified_as,
+            metrics=result.metrics,
+        )
+
+    def _session_for(self, url: HybridUrl, timer: AccessTimer) -> SecureSession:
+        key = url.oid.hex if url.oid is not None else str(url.object_name)
+        session = self._sessions.get(key)
+        if (
+            session is not None
+            and self.session_ttl is not None
+            and self.checker.clock.now() - self._session_created.get(key, 0.0)
+            > self.session_ttl
+        ):
+            session = None  # stale binding: re-resolve and re-bind
+        if session is None:
+            bound = self.binder.bind(url, timer)
+            session = SecureSession(
+                binder=self.binder,
+                checker=self.checker,
+                bound=bound,
+                cache_binding=self.cache_binding,
+                require_identity=self.require_identity,
+                content_cache=self.content_cache,
+            )
+            self._sessions[key] = session
+            self._session_created[key] = self.checker.clock.now()
+        return session
+
+    def _passthrough(self, url: HybridUrl) -> ProxyResponse:
+        """Transparent handling of a regular HTTP request: forward to the
+        origin's HTTP front (the plain-HTTP baseline server)."""
+        from urllib.parse import urlsplit
+
+        parts = urlsplit(url.raw)
+        try:
+            answer = self.rpc.call(
+                Endpoint(host=parts.netloc, service="http"),
+                "http.get",
+                path=parts.path or "/",
+            )
+        except ReproError as exc:
+            self.failure_count += 1
+            return ProxyResponse(status=502, content=NOT_FOUND_HTML % str(exc).encode())
+        return ProxyResponse(
+            status=int(answer["status"]),
+            content=bytes(answer["body"]),
+            content_type=str(answer.get("content_type", "text/html")),
+        )
+
+    # ------------------------------------------------------------------
+    # Session management
+    # ------------------------------------------------------------------
+
+    def drop_session(self, object_key: str) -> None:
+        self._sessions.pop(object_key, None)
+        self._session_created.pop(object_key, None)
+
+    def drop_all_sessions(self) -> None:
+        self._sessions.clear()
+        self._session_created.clear()
+
+    @property
+    def session_count(self) -> int:
+        return len(self._sessions)

@@ -1,0 +1,128 @@
+"""Verified-element cache for the client proxy.
+
+The integrity certificate makes client caching *safe by construction*:
+a cached element can be served without contacting any replica for as
+long as its certificate row is valid — the exact guarantee the paper's
+freshness property provides. The cache stores only elements that
+already passed every security check, keyed by (OID, element name), and
+expires them at their per-element ``expires_at`` (never later, even if
+the configured TTL is longer).
+
+This is the client half of the ``ttl-cache`` replication strategy and
+the mechanism behind Squid-style proxy caching in the GlobeDoc world —
+with the crucial difference that staleness is bounded by the *owner's*
+signed interval, not by a cache operator's configuration.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.globedoc.element import PageElement
+from repro.sim.clock import Clock, RealClock
+
+__all__ = ["ContentCache", "CachedElement"]
+
+
+@dataclass(frozen=True)
+class CachedElement:
+    """A verified element plus its hard expiry."""
+
+    element: PageElement
+    expires_at: float
+    cached_at: float
+
+
+class ContentCache:
+    """Bounded (OID, name) → verified element cache.
+
+    ``max_bytes`` bounds total cached content; eviction is LRU. The
+    effective lifetime of an entry is ``min(cached_at + ttl,
+    certificate expires_at)`` — the owner's freshness constraint always
+    wins.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        ttl: float = 300.0,
+        max_bytes: int = 64 * 1024 * 1024,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError(f"TTL must be positive, got {ttl}")
+        if max_bytes <= 0:
+            raise ValueError(f"cache size must be positive, got {max_bytes}")
+        self.clock = clock if clock is not None else RealClock()
+        self.ttl = ttl
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[Tuple[str, str], CachedElement]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def get(self, oid_hex: str, name: str) -> Optional[PageElement]:
+        """A still-valid verified element, or None."""
+        key = (oid_hex, name)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        now = self.clock.now()
+        if now > entry.expires_at or now > entry.cached_at + self.ttl:
+            self._evict(key)
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.element
+
+    def put(self, oid_hex: str, element: PageElement, expires_at: float) -> None:
+        """Insert a *verified* element with its certificate expiry.
+
+        Oversized elements (bigger than the whole cache) are skipped.
+        """
+        if element.size > self.max_bytes:
+            return
+        key = (oid_hex, element.name)
+        self._evict(key)
+        while self._bytes + element.size > self.max_bytes and self._entries:
+            self._evict(next(iter(self._entries)))
+        self._entries[key] = CachedElement(
+            element=element, expires_at=expires_at, cached_at=self.clock.now()
+        )
+        self._bytes += element.size
+
+    def invalidate_object(self, oid_hex: str) -> int:
+        """Drop every cached element of one object (e.g. on a version
+        bump the client learned about); returns entries removed."""
+        doomed = [key for key in self._entries if key[0] == oid_hex]
+        for key in doomed:
+            self._evict(key)
+        return len(doomed)
+
+    def _evict(self, key: Tuple[str, str]) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._bytes -= entry.element.size
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0

@@ -1,0 +1,176 @@
+"""A secure session with one GlobeDoc object.
+
+Implements the full flow of Fig. 3 on top of a bound object: fetch and
+verify the public key (steps 4–5), optional identity proofs (6–7), the
+integrity certificate (8–9), then per-element retrieval with the hash /
+freshness / consistency checks (10–13). The verified binding is cached
+so subsequent element fetches skip the (~2 KB) key+certificate exchange
+— the knob the certificate-cache ablation turns off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SecurityError
+from repro.globedoc.element import PageElement
+from repro.proxy.binding import Binder, BoundObject
+from repro.proxy.checks import SecurityChecker, VerifiedBinding
+from repro.proxy.metrics import AccessMetrics, AccessTimer
+
+__all__ = ["SecureSession", "FetchResult"]
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """A verified element plus the access timing decomposition."""
+
+    element: PageElement
+    metrics: AccessMetrics
+    certified_as: Optional[str] = None
+
+    @property
+    def content(self) -> bytes:
+        return self.element.content
+
+
+class SecureSession:
+    """Per-object secure binding state.
+
+    A session is created by the proxy the first time an object is
+    accessed and reused afterwards. ``cache_binding=False`` forces the
+    paper's worst case — every element access repeats the key and
+    certificate exchange — and is what Fig. 4 measures (single-element
+    objects access the object exactly once anyway).
+    """
+
+    def __init__(
+        self,
+        binder: Binder,
+        checker: SecurityChecker,
+        bound: BoundObject,
+        cache_binding: bool = True,
+        require_identity: bool = False,
+        max_rebinds: int = 3,
+        content_cache=None,
+    ) -> None:
+        self.binder = binder
+        self.checker = checker
+        self.bound = bound
+        self.cache_binding = cache_binding
+        self.require_identity = require_identity
+        self.max_rebinds = max_rebinds
+        self.content_cache = content_cache
+        self._verified: Optional[VerifiedBinding] = None
+        self.rebind_count = 0
+
+    # ------------------------------------------------------------------
+    # Secure binding (steps 4–9 of Fig. 3)
+    # ------------------------------------------------------------------
+
+    def establish(self, timer: AccessTimer) -> VerifiedBinding:
+        """Fetch + verify key, identity proofs, and integrity certificate.
+
+        On a key/OID mismatch (malicious or wrong replica, possibly via
+        a lying location service) the session fails over to the next
+        contact address — the paper's "at most denial of service"
+        argument made concrete.
+        """
+        if self._verified is not None and self.cache_binding:
+            return self._verified
+        while True:
+            try:
+                verified = self._establish_once(timer)
+                break
+            except SecurityError as security_exc:
+                if self.rebind_count >= self.max_rebinds:
+                    raise
+                self.rebind_count += 1
+                try:
+                    self.bound = self.binder.rebind(self.bound)
+                except Exception:
+                    # No alternative replica: the security violation is
+                    # the root cause the user must see, not the binding
+                    # exhaustion it led to.
+                    raise security_exc
+        self._verified = verified
+        return verified
+
+    def _establish_once(self, timer: AccessTimer) -> VerifiedBinding:
+        lr = self.bound.lr
+        with timer.phase("get_public_key"):
+            key = lr.get_public_key()
+        key = self.checker.check_public_key(self.bound.oid, key, timer)
+
+        certified_as = None
+        if len(self.checker.trust_store) > 0 or self.require_identity:
+            with timer.phase("get_identity_proofs"):
+                proofs = lr.get_identity_certificates()
+            certified_as = self.checker.check_identity(
+                key, proofs, timer, require=self.require_identity
+            )
+
+        with timer.phase("get_integrity_certificate"):
+            integrity = lr.get_integrity_certificate()
+        integrity = self.checker.check_certificate(
+            key, integrity, self.bound.oid, timer
+        )
+        return VerifiedBinding(
+            oid=self.bound.oid,
+            public_key=key,
+            integrity=integrity,
+            certified_as=certified_as,
+        )
+
+    # ------------------------------------------------------------------
+    # Element retrieval (steps 10–13 of Fig. 3)
+    # ------------------------------------------------------------------
+
+    def fetch(self, element_name: str, timer: Optional[AccessTimer] = None) -> FetchResult:
+        """Retrieve and verify one element.
+
+        Raises :class:`~repro.errors.SecurityError` subclasses on any
+        violation — the caller renders the "Security Check Failed" page.
+        """
+        own_timer = timer is None
+        if own_timer:
+            timer = AccessTimer(self.checker.clock)
+        assert timer is not None
+        # Verified-content cache: a hit is servable with no network at
+        # all — the owner's signed validity interval makes this safe.
+        if self.content_cache is not None:
+            with timer.phase("content_cache_lookup"):
+                cached = self.content_cache.get(self.bound.oid.hex, element_name)
+            if cached is not None:
+                return FetchResult(
+                    element=cached,
+                    metrics=timer.finish(),
+                    certified_as=(
+                        self._verified.certified_as if self._verified else None
+                    ),
+                )
+        verified = self.establish(timer)
+        if not self.cache_binding:
+            self._verified = None
+        with timer.phase("get_page_element"):
+            element = self.bound.lr.get_element(element_name)
+        entry = self.checker.check_element(
+            verified.integrity, element_name, element, timer
+        )
+        if self.content_cache is not None:
+            self.content_cache.put(self.bound.oid.hex, element, entry.expires_at)
+        return FetchResult(
+            element=element,
+            metrics=timer.finish(),
+            certified_as=verified.certified_as,
+        )
+
+    @property
+    def verified(self) -> Optional[VerifiedBinding]:
+        return self._verified
+
+    def invalidate(self) -> None:
+        """Drop the cached binding (e.g. after a freshness failure, to
+        re-fetch a newer certificate from the replica)."""
+        self._verified = None

@@ -1,0 +1,188 @@
+"""Replica auditing — the operational side of §3.3.
+
+"If attackers are able to corrupt some of the LS's servers, this can be
+easily detected, and appropriate measures (rebooting servers, restoring
+the original data content from backups, etc.) can be taken."
+
+:class:`ReplicaAuditor` is that detector, run by owners or operators:
+enumerate every contact address registered for an OID, fetch key /
+certificate / elements from each, and run the *same* checks a client
+proxy runs. The output classifies each replica — healthy, corrupt (with
+the specific violation), or unreachable — and an operator can then
+evict the bad address from the location service
+(:meth:`ReplicaAuditor.evict`), restoring the healthy steady state.
+
+The auditor needs no privileged access: it uses exactly the public data
+surface clients use, so it works against replicas it does not control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import (
+    AuthenticityError,
+    ConsistencyError,
+    FreshnessError,
+    ReproError,
+    SecurityError,
+)
+from repro.globedoc.oid import ObjectId
+from repro.location.service import LocationClient
+from repro.net.address import ContactAddress
+from repro.net.rpc import RpcClient
+from repro.server.localrep import ProxyLR
+from repro.sim.clock import Clock
+
+__all__ = ["ReplicaAuditor", "ReplicaVerdict", "ReplicaHealth", "AuditSummary"]
+
+
+class ReplicaHealth(str, Enum):
+    """Classification of one audited replica."""
+
+    HEALTHY = "healthy"
+    CORRUPT = "corrupt"
+    UNREACHABLE = "unreachable"
+
+
+@dataclass(frozen=True)
+class ReplicaVerdict:
+    """Audit outcome for one contact address."""
+
+    address: ContactAddress
+    health: ReplicaHealth
+    violation: str = ""
+    elements_checked: int = 0
+    version: Optional[int] = None
+
+
+@dataclass
+class AuditSummary:
+    """All verdicts for one object."""
+
+    oid_hex: str
+    verdicts: List[ReplicaVerdict] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> List[ReplicaVerdict]:
+        return [v for v in self.verdicts if v.health is ReplicaHealth.HEALTHY]
+
+    @property
+    def corrupt(self) -> List[ReplicaVerdict]:
+        return [v for v in self.verdicts if v.health is ReplicaHealth.CORRUPT]
+
+    @property
+    def unreachable(self) -> List[ReplicaVerdict]:
+        return [v for v in self.verdicts if v.health is ReplicaHealth.UNREACHABLE]
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt and not self.unreachable
+
+
+class ReplicaAuditor:
+    """Sweeps every registered replica of an object with client checks."""
+
+    def __init__(
+        self,
+        rpc: RpcClient,
+        location: LocationClient,
+        clock: Clock,
+    ) -> None:
+        self.rpc = rpc
+        self.location = location
+        self.clock = clock
+
+    # ------------------------------------------------------------------
+
+    def audit(self, oid: ObjectId, sample_elements: Optional[int] = None) -> AuditSummary:
+        """Audit every contact address registered for *oid*.
+
+        *sample_elements* bounds how many elements are content-checked
+        per replica (None = all — a full sweep).
+        """
+        summary = AuditSummary(oid_hex=oid.hex)
+        try:
+            lookup = self.location.lookup(oid, widen=True)
+            addresses = lookup.addresses
+        except ReproError:
+            return summary  # nothing registered, nothing to audit
+        for address in addresses:
+            summary.verdicts.append(self._audit_one(oid, address, sample_elements))
+        return summary
+
+    def _audit_one(
+        self,
+        oid: ObjectId,
+        address: ContactAddress,
+        sample_elements: Optional[int],
+    ) -> ReplicaVerdict:
+        lr = ProxyLR(self.rpc, address)
+        checked = 0
+        try:
+            key = oid.check_key(lr.get_public_key())
+            integrity = lr.get_integrity_certificate()
+            integrity.verify_signature(key)
+            if integrity.oid_hex != oid.hex:
+                raise AuthenticityError("certificate issued for another object")
+            names = integrity.element_names
+            if sample_elements is not None:
+                names = names[:sample_elements]
+            for name in names:
+                element = lr.get_element(name)
+                integrity.check_element(name, element, self.clock)
+                checked += 1
+            # The replica must also *claim* exactly the certified set.
+            claimed = set(lr.list_elements())
+            certified = set(integrity.element_names)
+            if claimed != certified:
+                raise ConsistencyError(
+                    f"replica claims elements {sorted(claimed ^ certified)} "
+                    "outside its certificate"
+                )
+        except SecurityError as exc:
+            return ReplicaVerdict(
+                address=address,
+                health=ReplicaHealth.CORRUPT,
+                violation=f"{type(exc).__name__}: {exc}",
+                elements_checked=checked,
+            )
+        except ReproError as exc:
+            return ReplicaVerdict(
+                address=address,
+                health=ReplicaHealth.UNREACHABLE,
+                violation=f"{type(exc).__name__}: {exc}",
+                elements_checked=checked,
+            )
+        return ReplicaVerdict(
+            address=address,
+            health=ReplicaHealth.HEALTHY,
+            elements_checked=checked,
+            version=integrity.version,
+        )
+
+    # ------------------------------------------------------------------
+
+    def evict(self, oid: ObjectId, verdict: ReplicaVerdict, site: str) -> None:
+        """Remove a corrupt/unreachable replica's address from the
+        location service — the 'appropriate measure' of §3.3."""
+        if verdict.health is ReplicaHealth.HEALTHY:
+            raise ReproError("refusing to evict a healthy replica")
+        self.location.unregister_replica(oid, site, verdict.address)
+
+    def audit_and_evict(
+        self, oid: ObjectId, site_of: Dict[str, str], sample_elements: Optional[int] = None
+    ) -> AuditSummary:
+        """Full cycle: audit, then evict everything unhealthy.
+
+        *site_of* maps address host → location-tree site (the operator
+        knows where each server is registered).
+        """
+        summary = self.audit(oid, sample_elements=sample_elements)
+        for verdict in summary.corrupt + summary.unreachable:
+            site = site_of.get(verdict.address.host)
+            if site is not None:
+                self.evict(oid, verdict, site)
+        return summary

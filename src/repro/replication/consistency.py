@@ -1,0 +1,133 @@
+"""Consistency maintenance across replicas.
+
+When the owner publishes a new document version, replicas must converge.
+Two models, matching the design space the paper's object model admits:
+
+* :class:`PushInvalidation` — the coordinator pushes the new signed
+  state to every replica immediately (master/slave, strong-ish);
+* :class:`TtlConsistency` — replicas keep serving until their elements'
+  integrity-certificate validity expires, then must refresh (weak, but
+  *safe*: the security pipeline turns staleness into a detectable
+  freshness failure rather than silent wrong data).
+
+:class:`StalenessTracker` measures how stale served content was —
+the metric the consistency ablation reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
+
+from repro.globedoc.owner import SignedDocument
+from repro.sim.clock import Clock
+
+__all__ = [
+    "ConsistencyModel",
+    "PushInvalidation",
+    "TtlConsistency",
+    "StalenessTracker",
+]
+
+#: Callback that pushes a signed document version to the replica at a site.
+PushFn = Callable[[str, SignedDocument], None]
+
+
+class ConsistencyModel(Protocol):
+    """How a new version propagates to existing replicas."""
+
+    name: str
+
+    def on_publish(
+        self,
+        document: SignedDocument,
+        replica_sites: Sequence[str],
+        push: PushFn,
+    ) -> List[str]:
+        """Handle a new version; returns the sites updated eagerly."""
+        ...
+
+
+class PushInvalidation:
+    """Eagerly push every new version to every replica."""
+
+    name = "push-invalidation"
+
+    def on_publish(
+        self,
+        document: SignedDocument,
+        replica_sites: Sequence[str],
+        push: PushFn,
+    ) -> List[str]:
+        updated = []
+        for site in replica_sites:
+            push(site, document)
+            updated.append(site)
+        return updated
+
+
+@dataclass
+class TtlConsistency:
+    """Let replicas age out; push nothing.
+
+    ``refresh_sites`` may name sites that still get eager pushes (e.g.
+    the home site), everything else converges at certificate expiry.
+    """
+
+    refresh_sites: Sequence[str] = ()
+    name: str = "ttl"
+
+    def on_publish(
+        self,
+        document: SignedDocument,
+        replica_sites: Sequence[str],
+        push: PushFn,
+    ) -> List[str]:
+        updated = []
+        for site in replica_sites:
+            if site in self.refresh_sites:
+                push(site, document)
+                updated.append(site)
+        return updated
+
+
+@dataclass
+class StalenessTracker:
+    """Records, per serve, how far behind the latest version it was."""
+
+    clock: Clock
+    latest_version: int = 0
+    published_at: Dict[int, float] = field(default_factory=dict)
+    stale_serves: int = 0
+    fresh_serves: int = 0
+    total_staleness: float = 0.0
+
+    def on_publish(self, version: int) -> None:
+        self.latest_version = max(self.latest_version, version)
+        self.published_at[version] = self.clock.now()
+
+    def on_serve(self, version: int) -> None:
+        if version >= self.latest_version:
+            self.fresh_serves += 1
+            return
+        self.stale_serves += 1
+        newer = min(
+            (v for v in self.published_at if v > version),
+            default=self.latest_version,
+        )
+        published = self.published_at.get(newer)
+        if published is not None:
+            self.total_staleness += max(0.0, self.clock.now() - published)
+
+    @property
+    def serves(self) -> int:
+        return self.fresh_serves + self.stale_serves
+
+    @property
+    def stale_fraction(self) -> float:
+        return self.stale_serves / self.serves if self.serves else 0.0
+
+    @property
+    def mean_staleness(self) -> float:
+        """Mean seconds-behind across stale serves (0 if none)."""
+        return self.total_staleness / self.stale_serves if self.stale_serves else 0.0

@@ -1,0 +1,95 @@
+"""Flash-crowd detection (§1).
+
+"When a Web document suddenly becomes very popular (a phenomenon known
+as a flash crowd), clients experience long delays … The single hosting
+server simply cannot cope." The detector watches the aggregate request
+rate of a document and flags the crowd when the short-window rate
+exceeds a multiple of the long-window baseline — the trigger the
+hotspot replication strategy (and the flash-crowd example) reacts to.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from repro.errors import ReplicationError
+
+__all__ = ["FlashCrowdDetector", "CrowdEvent"]
+
+
+@dataclass(frozen=True)
+class CrowdEvent:
+    """A detected state change in a document's popularity."""
+
+    time: float
+    kind: str  # "onset" | "subsided"
+    short_rate: float
+    baseline_rate: float
+
+
+@dataclass
+class FlashCrowdDetector:
+    """Two-window rate comparator.
+
+    ``short_window`` captures the surge, ``long_window`` the baseline.
+    Onset fires when ``short_rate >= surge_factor * max(baseline,
+    min_baseline)``; subsidence when it drops back below half that. The
+    hysteresis prevents flapping on bursty traces.
+    """
+
+    short_window: float = 10.0
+    long_window: float = 300.0
+    surge_factor: float = 5.0
+    min_baseline: float = 0.2  # req/s assumed even for quiet documents
+    _times: Deque[float] = field(default_factory=deque)
+    _active: bool = False
+    events: List[CrowdEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.short_window >= self.long_window:
+            raise ReplicationError("short window must be shorter than long window")
+        if self.surge_factor <= 1.0:
+            raise ReplicationError("surge factor must exceed 1")
+
+    @property
+    def active(self) -> bool:
+        """Is a flash crowd currently in progress?"""
+        return self._active
+
+    def observe(self, time: float) -> Optional[CrowdEvent]:
+        """Feed one request timestamp; returns an event on state change."""
+        self._times.append(time)
+        cutoff = time - self.long_window
+        while self._times and self._times[0] < cutoff:
+            self._times.popleft()
+
+        short_count = sum(1 for t in self._times if t >= time - self.short_window)
+        short_rate = short_count / self.short_window
+        baseline_rate = max(len(self._times) / self.long_window, self.min_baseline)
+
+        threshold = self.surge_factor * baseline_rate
+        event: Optional[CrowdEvent] = None
+        if not self._active and short_rate >= threshold:
+            self._active = True
+            event = CrowdEvent(
+                time=time, kind="onset", short_rate=short_rate, baseline_rate=baseline_rate
+            )
+        elif self._active and short_rate < threshold / 2:
+            self._active = False
+            event = CrowdEvent(
+                time=time,
+                kind="subsided",
+                short_rate=short_rate,
+                baseline_rate=baseline_rate,
+            )
+        if event is not None:
+            self.events.append(event)
+        return event
+
+    def rates(self, now: float) -> Tuple[float, float]:
+        """(short_rate, baseline_rate) without recording a request."""
+        short_count = sum(1 for t in self._times if t >= now - self.short_window)
+        baseline = max(len(self._times) / self.long_window, self.min_baseline)
+        return short_count / self.short_window, baseline

@@ -1,0 +1,154 @@
+"""Hosting negotiation (§6 future work).
+
+"We are working on the design of a policy language that would allow
+object owners to express quality of service requirements before
+instantiating new object replicas. At the same time server
+administrators will be able to specify resource limitations … for the
+replicas they are willing to host."
+
+Owner side: :class:`QosRequirements` — a declarative statement of what
+a replica placement needs. Server side: the hosting *quote* produced by
+:meth:`ObjectServer.rpc_quote` (limits + headroom). The pure function
+:func:`evaluate_offer` decides whether a quote satisfies requirements
+(returning the reasons when it does not), and :func:`choose_site` ranks
+acceptable quotes. The coordinator consults these before placement, so
+a replica is only ever pushed to a server that agreed to carry it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ReplicationError
+
+__all__ = [
+    "QosRequirements",
+    "OfferEvaluation",
+    "evaluate_offer",
+    "choose_site",
+    "HostingAgreement",
+]
+
+
+@dataclass(frozen=True)
+class QosRequirements:
+    """What the owner demands of a hosting server for one document.
+
+    ``disk_bytes`` should be at least the document size (the coordinator
+    fills it in automatically); the rest are service-quality demands.
+    """
+
+    disk_bytes: int = 0
+    min_bandwidth_bytes_per_sec: float = 0.0
+    required_sites: Tuple[str, ...] = ()
+    forbidden_sites: Tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "disk_bytes": self.disk_bytes,
+            "min_bandwidth_bytes_per_sec": self.min_bandwidth_bytes_per_sec,
+            "required_sites": list(self.required_sites),
+            "forbidden_sites": list(self.forbidden_sites),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QosRequirements":
+        return cls(
+            disk_bytes=int(data.get("disk_bytes", 0)),
+            min_bandwidth_bytes_per_sec=float(
+                data.get("min_bandwidth_bytes_per_sec", 0.0)
+            ),
+            required_sites=tuple(data.get("required_sites", ())),
+            forbidden_sites=tuple(data.get("forbidden_sites", ())),
+        )
+
+
+@dataclass(frozen=True)
+class OfferEvaluation:
+    """Outcome of matching one quote against requirements."""
+
+    site: str
+    host: str
+    acceptable: bool
+    reasons: Tuple[str, ...] = ()
+    #: Larger is better among acceptable offers (free disk headroom).
+    score: float = 0.0
+
+
+def evaluate_offer(
+    requirements: QosRequirements, quote: Mapping[str, Any]
+) -> OfferEvaluation:
+    """Does *quote* (an ``ObjectServer.rpc_quote`` result) satisfy
+    *requirements*? Never raises on a rejectable offer — rejection
+    reasons are data, so the owner can report why placement failed."""
+    site = str(quote.get("site", ""))
+    host = str(quote.get("host", ""))
+    reasons: List[str] = []
+
+    if requirements.required_sites and site not in requirements.required_sites:
+        reasons.append(f"site {site!r} not in required sites")
+    if site in requirements.forbidden_sites:
+        reasons.append(f"site {site!r} is forbidden")
+
+    disk_free = quote.get("disk_free")
+    if disk_free is not None and disk_free < requirements.disk_bytes:
+        reasons.append(
+            f"insufficient disk: need {requirements.disk_bytes}, free {disk_free:.0f}"
+        )
+    slots_free = quote.get("replica_slots_free")
+    if slots_free is not None and slots_free < 1:
+        reasons.append("no replica slots free")
+
+    limits = quote.get("limits", {})
+    bandwidth_limit = limits.get("bandwidth_bytes_per_sec")
+    if (
+        requirements.min_bandwidth_bytes_per_sec > 0
+        and bandwidth_limit is not None
+    ):
+        headroom = bandwidth_limit - float(quote.get("bandwidth_in_use", 0.0))
+        if headroom < requirements.min_bandwidth_bytes_per_sec:
+            reasons.append(
+                f"insufficient bandwidth headroom: need "
+                f"{requirements.min_bandwidth_bytes_per_sec:.0f} B/s, have {headroom:.0f}"
+            )
+
+    score = 0.0
+    if not reasons:
+        score = disk_free if disk_free is not None else float("inf")
+    return OfferEvaluation(
+        site=site,
+        host=host,
+        acceptable=not reasons,
+        reasons=tuple(reasons),
+        score=score,
+    )
+
+
+def choose_site(
+    requirements: QosRequirements, quotes: Sequence[Mapping[str, Any]]
+) -> OfferEvaluation:
+    """The best acceptable offer among *quotes*.
+
+    Raises :class:`~repro.errors.ReplicationError` carrying every
+    rejection reason when no offer qualifies.
+    """
+    evaluations = [evaluate_offer(requirements, quote) for quote in quotes]
+    acceptable = [e for e in evaluations if e.acceptable]
+    if not acceptable:
+        detail = "; ".join(
+            f"{e.site}: {', '.join(e.reasons)}" for e in evaluations
+        ) or "no quotes offered"
+        raise ReplicationError(f"no hosting offer satisfies the requirements ({detail})")
+    return max(acceptable, key=lambda e: e.score)
+
+
+@dataclass(frozen=True)
+class HostingAgreement:
+    """A concluded negotiation: where the replica goes and under what
+    terms — recorded by the coordinator for audit."""
+
+    site: str
+    host: str
+    requirements: QosRequirements
+    quote: Mapping[str, Any]

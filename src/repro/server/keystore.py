@@ -1,0 +1,56 @@
+"""The object-server keystore (§4).
+
+"The server administrator sets up a Java keystore listing the public
+keys for all entities allowed to create GlobeDoc replicas on the server;
+such entities can be either GlobeDoc owners (individuals) or other
+GlobeDoc object servers (in this way we can support dynamic replication
+algorithms)."
+
+Entities are identified by their public key; names are administrative
+labels only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.crypto.keys import PublicKey
+from repro.errors import AccessDenied
+
+__all__ = ["Keystore"]
+
+
+class Keystore:
+    """Administrator-maintained registry of authorised public keys."""
+
+    def __init__(self) -> None:
+        self._by_key: Dict[bytes, str] = {}
+
+    def authorize(self, label: str, key: PublicKey) -> None:
+        """Authorise *key* under administrative *label*."""
+        self._by_key[key.der] = label
+
+    def revoke(self, key: PublicKey) -> None:
+        """Remove *key*; silently ignores unknown keys (idempotent)."""
+        self._by_key.pop(key.der, None)
+
+    def is_authorized(self, key: PublicKey) -> bool:
+        return key.der in self._by_key
+
+    def label_of(self, key: PublicKey) -> str:
+        """The label of an authorised key; AccessDenied if unknown."""
+        label = self._by_key.get(key.der)
+        if label is None:
+            raise AccessDenied("key is not in the server keystore")
+        return label
+
+    def require(self, key: PublicKey) -> str:
+        """Assert authorisation; returns the label."""
+        return self.label_of(key)
+
+    @property
+    def labels(self) -> List[str]:
+        return sorted(self._by_key.values())
+
+    def __len__(self) -> int:
+        return len(self._by_key)

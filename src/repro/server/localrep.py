@@ -1,0 +1,110 @@
+"""Local representatives (§2.1).
+
+Binding to a GlobeDoc installs a *local representative* in the binding
+process. It is either a **full replica** holding a copy of the object
+state (:class:`ReplicaLR`) or a lightweight **forwarding proxy**
+(:class:`ProxyLR`) that relays method invocations to a remote replica.
+Both implement :class:`~repro.globedoc.document.GlobeDocInterface`, so
+the client proxy is oblivious to which one it got — Globe's replication
+transparency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional
+
+from repro.crypto.identity import IdentityCertificate
+from repro.crypto.keys import PublicKey
+from repro.errors import ConsistencyError
+from repro.globedoc.document import DocumentState
+from repro.globedoc.element import PageElement
+from repro.globedoc.integrity import IntegrityCertificate
+from repro.net.address import ContactAddress
+from repro.net.rpc import RpcClient
+
+__all__ = ["ReplicaLR", "ProxyLR"]
+
+
+class ReplicaLR:
+    """A stateful local representative: a full copy of the object state.
+
+    This is what object servers host. Note the *server* never verifies
+    anything — it simply stores and serves; verification is entirely the
+    client proxy's job (the server is untrusted).
+    """
+
+    def __init__(self, state: DocumentState) -> None:
+        self.state = state
+        self.serve_count = 0
+        self.bytes_served = 0
+
+    # -- GlobeDocInterface -------------------------------------------------
+
+    def get_public_key(self) -> PublicKey:
+        return self.state.public_key
+
+    def get_identity_certificates(self) -> List[IdentityCertificate]:
+        return list(self.state.identity_certs)
+
+    def get_integrity_certificate(self) -> IntegrityCertificate:
+        if self.state.integrity is None:
+            raise ConsistencyError("replica holds no integrity certificate")
+        return self.state.integrity
+
+    def get_element(self, name: str) -> PageElement:
+        element = self.state.element(name)
+        self.serve_count += 1
+        self.bytes_served += element.size
+        return element
+
+    def list_elements(self) -> List[str]:
+        return self.state.element_names
+
+    # -- State updates (owner/coordinator push) ----------------------------
+
+    def update_state(self, state: DocumentState) -> None:
+        """Replace the replica state (owner pushed a new version)."""
+        self.state = state
+
+    @property
+    def version(self) -> int:
+        return self.state.integrity.version if self.state.integrity else 0
+
+
+class ProxyLR:
+    """A stateless local representative forwarding to a remote replica.
+
+    Used when binding chose not to (or could not) install a full copy:
+    every method is an RPC to the replica's contact address. Payloads
+    come back as wire dicts and are re-hydrated here; they remain
+    *unverified* — the security pipeline operates on top of either LR
+    flavour identically.
+    """
+
+    def __init__(self, client: RpcClient, address: ContactAddress) -> None:
+        self.client = client
+        self.address = address
+
+    def _call(self, op: str, **args: Any) -> Any:
+        return self.client.call(
+            self.address, op, replica_id=self.address.replica_id, **args
+        )
+
+    def get_public_key(self) -> PublicKey:
+        der = self._call("globedoc.get_public_key")
+        return PublicKey(der=bytes(der))
+
+    def get_identity_certificates(self) -> List[IdentityCertificate]:
+        raw = self._call("globedoc.get_identity_certificates")
+        return [IdentityCertificate.from_dict(c) for c in raw]
+
+    def get_integrity_certificate(self) -> IntegrityCertificate:
+        raw = self._call("globedoc.get_integrity_certificate")
+        return IntegrityCertificate.from_dict(raw)
+
+    def get_element(self, name: str) -> PageElement:
+        raw = self._call("globedoc.get_element", name=name)
+        return PageElement.from_dict(raw)
+
+    def list_elements(self) -> List[str]:
+        return list(self._call("globedoc.list_elements"))

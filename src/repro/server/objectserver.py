@@ -1,0 +1,251 @@
+"""The Globe object server (§2.1.3).
+
+"An object server is a process that provides an address space, contact
+points and runtime services to the local representatives that it hosts"
+plus "a remotely accessible interface that allows other local
+representatives, other Globe object servers, or administrators to
+request services from it", i.e. replica creation and destruction.
+
+Two RPC surfaces:
+
+* the **data** interface (``globedoc.*``) — unauthenticated, serves
+  replica content to anyone; clients verify everything themselves;
+* the **admin** interface (``admin.*``) — authenticated with signed
+  commands checked against the keystore (standing in for the paper's
+  TLS-with-client-keys channel); each entity may only manage the
+  replicas it created.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.crypto.keys import PublicKey
+from repro.errors import AccessDenied, ReplicaError, ServerError
+from repro.globedoc.owner import SignedDocument
+from repro.net.address import ContactAddress, Endpoint
+from repro.net.rpc import RpcServer, rpc_method
+from repro.server.admin import AdminCommand, AdminVerifier
+from repro.server.keystore import Keystore
+from repro.server.localrep import ReplicaLR
+from repro.sim.clock import Clock, RealClock
+
+__all__ = ["ObjectServer", "HostedReplica"]
+
+DEFAULT_SERVICE = "objectserver"
+
+
+@dataclass
+class HostedReplica:
+    """A replica plus its hosting metadata."""
+
+    replica_id: str
+    oid_hex: str
+    lr: ReplicaLR
+    creator_label: str
+    creator_key_der: bytes
+
+
+class ObjectServer:
+    """Hosts GlobeDoc replicas on one (simulated or real) host."""
+
+    def __init__(
+        self,
+        host: str,
+        site: str,
+        keystore: Optional[Keystore] = None,
+        clock: Optional[Clock] = None,
+        service: str = DEFAULT_SERVICE,
+        limits: Optional["ResourceLimits"] = None,
+    ) -> None:
+        from repro.server.resources import ResourceAccountant, ResourceLimits
+
+        self.host = host
+        self.site = site
+        self.keystore = keystore if keystore is not None else Keystore()
+        self.clock = clock if clock is not None else RealClock()
+        self.service = service
+        self._replicas: Dict[str, HostedReplica] = {}
+        self._by_oid: Dict[str, str] = {}
+        self._verifier = AdminVerifier(self.keystore, self.clock)
+        self.resources = ResourceAccountant(
+            limits if limits is not None else ResourceLimits(), self.clock
+        )
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return Endpoint(host=self.host, service=self.service)
+
+    def contact_address(self, oid_hex: str) -> ContactAddress:
+        """The contact address for the replica of *oid_hex* on this server."""
+        replica_id = self._by_oid.get(oid_hex)
+        if replica_id is None:
+            raise ReplicaError(f"no replica of {oid_hex[:12]}… on {self.host}")
+        return ContactAddress(
+            endpoint=self.endpoint,
+            protocol="globedoc/replica",
+            replica_id=replica_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Replica lifecycle (authenticated admin surface)
+    # ------------------------------------------------------------------
+
+    def create_replica(
+        self, document: SignedDocument, creator_key: PublicKey, creator_label: str
+    ) -> HostedReplica:
+        """Install a replica of *document* (internal, pre-authenticated)."""
+        oid_hex = document.oid.hex
+        if oid_hex in self._by_oid:
+            raise ReplicaError(f"replica of {oid_hex[:12]}… already hosted on {self.host}")
+        replica_id = f"{oid_hex[:16]}@{self.host}"
+        # Admission control: the administrator's declared limits (§6).
+        self.resources.admit_replica(replica_id, document.total_size)
+        hosted = HostedReplica(
+            replica_id=replica_id,
+            oid_hex=oid_hex,
+            lr=ReplicaLR(document.state()),
+            creator_label=creator_label,
+            creator_key_der=creator_key.der,
+        )
+        self._replicas[replica_id] = hosted
+        self._by_oid[oid_hex] = replica_id
+        return hosted
+
+    def destroy_replica(self, replica_id: str, requester_key: PublicKey) -> None:
+        """Remove a replica; only its creator may do so (§4)."""
+        hosted = self._replicas.get(replica_id)
+        if hosted is None:
+            raise ReplicaError(f"no such replica {replica_id!r} on {self.host}")
+        if hosted.creator_key_der != requester_key.der:
+            raise AccessDenied(
+                f"replica {replica_id!r} was created by {hosted.creator_label!r}; "
+                "only its creator may destroy it"
+            )
+        del self._replicas[replica_id]
+        self._by_oid.pop(hosted.oid_hex, None)
+        self.resources.release_replica(replica_id)
+
+    def update_replica(
+        self, document: SignedDocument, requester_key: PublicKey
+    ) -> HostedReplica:
+        """Push a new document version to an existing replica."""
+        oid_hex = document.oid.hex
+        replica_id = self._by_oid.get(oid_hex)
+        if replica_id is None:
+            raise ReplicaError(f"no replica of {oid_hex[:12]}… on {self.host}")
+        hosted = self._replicas[replica_id]
+        if hosted.creator_key_der != requester_key.der:
+            raise AccessDenied("only the replica creator may update it")
+        self.resources.resize_replica(replica_id, document.total_size)
+        hosted.lr.update_state(document.state())
+        return hosted
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def replica(self, replica_id: str) -> HostedReplica:
+        hosted = self._replicas.get(replica_id)
+        if hosted is None:
+            raise ReplicaError(f"no such replica {replica_id!r} on {self.host}")
+        return hosted
+
+    def replica_for_oid(self, oid_hex: str) -> HostedReplica:
+        replica_id = self._by_oid.get(oid_hex)
+        if replica_id is None:
+            raise ReplicaError(f"no replica of {oid_hex[:12]}… on {self.host}")
+        return self._replicas[replica_id]
+
+    def hosts_oid(self, oid_hex: str) -> bool:
+        return oid_hex in self._by_oid
+
+    @property
+    def replica_ids(self) -> List[str]:
+        return sorted(self._replicas)
+
+    @property
+    def replica_count(self) -> int:
+        return len(self._replicas)
+
+    # ------------------------------------------------------------------
+    # RPC data interface (untrusted surface)
+    # ------------------------------------------------------------------
+
+    def _lr(self, replica_id: str) -> ReplicaLR:
+        return self.replica(replica_id).lr
+
+    @rpc_method("globedoc.get_public_key")
+    def rpc_get_public_key(self, replica_id: str) -> bytes:
+        return self._lr(replica_id).get_public_key().der
+
+    @rpc_method("globedoc.get_identity_certificates")
+    def rpc_get_identity_certificates(self, replica_id: str) -> list:
+        return [c.to_dict() for c in self._lr(replica_id).get_identity_certificates()]
+
+    @rpc_method("globedoc.get_integrity_certificate")
+    def rpc_get_integrity_certificate(self, replica_id: str) -> dict:
+        return self._lr(replica_id).get_integrity_certificate().to_dict()
+
+    @rpc_method("globedoc.get_element")
+    def rpc_get_element(self, replica_id: str, name: str) -> dict:
+        element = self._lr(replica_id).get_element(name)
+        # Bandwidth enforcement: a serve that would exceed the declared
+        # budget is refused (the client fails over to another replica).
+        self.resources.charge_serve(element.size)
+        return element.to_dict()
+
+    @rpc_method("server.quote")
+    def rpc_quote(self) -> dict:
+        """Hosting quote for negotiation (§6): limits + current headroom.
+
+        Unauthenticated by design — capacity advertisement is public,
+        like any hosting offer.
+        """
+        return {"host": self.host, "site": self.site, **self.resources.quote()}
+
+    @rpc_method("globedoc.list_elements")
+    def rpc_list_elements(self, replica_id: str) -> list:
+        return self._lr(replica_id).list_elements()
+
+    # ------------------------------------------------------------------
+    # RPC admin interface (authenticated surface)
+    # ------------------------------------------------------------------
+
+    @rpc_method("admin.execute")
+    def rpc_admin_execute(self, command: Mapping[str, Any]) -> Any:
+        """Verify and dispatch a signed admin command."""
+        cmd = AdminCommand.from_dict(command)
+        requester_key, label = self._verifier.verify(cmd)
+        if cmd.op == "create_replica":
+            document = SignedDocument.from_dict(cmd.args["document"])
+            hosted = self.create_replica(document, requester_key, label)
+            return {
+                "replica_id": hosted.replica_id,
+                "address": self.contact_address(hosted.oid_hex).to_dict(),
+            }
+        if cmd.op == "destroy_replica":
+            self.destroy_replica(str(cmd.args["replica_id"]), requester_key)
+            return {"destroyed": True}
+        if cmd.op == "update_replica":
+            document = SignedDocument.from_dict(cmd.args["document"])
+            hosted = self.update_replica(document, requester_key)
+            return {"replica_id": hosted.replica_id, "version": hosted.lr.version}
+        if cmd.op == "list_replicas":
+            return {
+                "replicas": [
+                    {"replica_id": r, "oid": self._replicas[r].oid_hex}
+                    for r in self.replica_ids
+                ]
+            }
+        raise ServerError(f"unknown admin operation {cmd.op!r}")
+
+    def rpc_server(self) -> RpcServer:
+        server = RpcServer(name=f"objectserver@{self.host}")
+        server.register_object(self)
+        return server

@@ -1,0 +1,68 @@
+"""Clock abstraction: real wall time or controllable simulated time.
+
+Times are POSIX-style floats (seconds). ``SimClock`` only moves when the
+simulation advances it, which is what makes freshness attacks testable:
+a test can publish an element valid for 60 s, advance the clock 61 s,
+and assert the proxy raises :class:`~repro.errors.FreshnessError`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Clock", "RealClock", "SimClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Minimal clock interface used throughout the library."""
+
+    def now(self) -> float:
+        """Current time in seconds since the epoch (simulated or real)."""
+        ...
+
+
+class RealClock:
+    """Wall-clock time; used by the TCP integration path and examples."""
+
+    def now(self) -> float:
+        return time.time()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "RealClock()"
+
+
+class SimClock:
+    """A clock that advances only under explicit control.
+
+    The event scheduler advances it between events; model code advances
+    it directly to account for compute or transfer time.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by *seconds* (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to an absolute *timestamp* (never backwards)."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards from {self._now} to {timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimClock(now={self._now})"

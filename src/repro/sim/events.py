@@ -1,0 +1,104 @@
+"""A small discrete-event scheduler driving a :class:`SimClock`.
+
+Used by the flash-crowd and replication experiments, where many clients
+issue requests concurrently and the coordinator reacts to load. Events
+fire in timestamp order; ties break in submission order so runs are
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.clock import SimClock
+
+__all__ = ["Event", "EventScheduler"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordering: (time, sequence number)."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when its time comes."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Priority-queue event loop over a :class:`SimClock`.
+
+    Callbacks may schedule further events (at or after the current time),
+    which is how request/response chains and periodic policies are built.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def at(self, when: float, action: Callable[[], None]) -> Event:
+        """Schedule *action* at absolute simulated time *when*."""
+        if when < self.clock.now():
+            raise ValueError(
+                f"cannot schedule event at {when} before current time {self.clock.now()}"
+            )
+        event = Event(time=when, seq=next(self._seq), action=action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule *action* *delay* seconds from now (delay >= 0)."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.at(self.clock.now() + delay, action)
+
+    def step(self) -> bool:
+        """Run the next non-cancelled event. Returns False if queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.action()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Drain the queue, optionally stopping at time *until* or after
+        *max_events* events. Returns the number of events executed."""
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                break
+            if not self.step():
+                break
+            executed += 1
+        if until is not None and self.clock.now() < until:
+            self.clock.advance_to(until)
+        return executed

@@ -1,0 +1,29 @@
+"""Shared utilities: canonical encoding, time helpers, statistics, sizes."""
+
+from repro.util.encoding import (
+    canonical_bytes,
+    canonical_json,
+    from_canonical_bytes,
+    b64encode,
+    b64decode,
+    to_wire,
+    from_wire,
+)
+from repro.util.sizes import KB, MB, format_size
+from repro.util.stats import Summary, summarize, percentile
+
+__all__ = [
+    "canonical_bytes",
+    "canonical_json",
+    "from_canonical_bytes",
+    "b64encode",
+    "b64decode",
+    "to_wire",
+    "from_wire",
+    "KB",
+    "MB",
+    "format_size",
+    "Summary",
+    "summarize",
+    "percentile",
+]

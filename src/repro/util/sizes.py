@@ -1,0 +1,37 @@
+"""Byte-size constants and formatting helpers.
+
+The paper expresses all workload sizes in decimal-looking "KB"/"MB" that
+are actually binary multiples (1 KB image = 1024 bytes); we follow that
+convention so element sizes match the experiment descriptions exactly.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KB", "MB", "format_size", "parse_size"]
+
+KB = 1024
+MB = 1024 * KB
+
+_UNITS = [(MB, "MB"), (KB, "KB")]
+
+
+def format_size(num_bytes: int) -> str:
+    """Render a byte count the way the paper labels its x-axes (1KB, 1MB)."""
+    if num_bytes < 0:
+        raise ValueError("size must be non-negative")
+    for factor, unit in _UNITS:
+        if num_bytes >= factor and num_bytes % factor == 0:
+            return f"{num_bytes // factor}{unit}"
+    if num_bytes >= KB:
+        return f"{num_bytes / KB:.1f}KB"
+    return f"{num_bytes}B"
+
+
+def parse_size(text: str) -> int:
+    """Parse strings like ``"100KB"``, ``"1MB"``, ``"512"`` or ``"512B"``."""
+    cleaned = text.strip().upper()
+    for suffix, factor in (("MB", MB), ("KB", KB), ("B", 1)):
+        if cleaned.endswith(suffix):
+            number = cleaned[: -len(suffix)].strip()
+            return int(float(number) * factor)
+    return int(cleaned)

@@ -1,0 +1,69 @@
+"""Small statistics helpers used by the experiment harness and benches.
+
+The paper reports 24-hour averages of repeated measurements; the harness
+repeats each configuration and reports mean/median/p95, computed here
+with plain NumPy so results are reproducible and dependency-light.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "percentile", "geometric_mean"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics over a sample of measurements (seconds, bytes, …)."""
+
+    count: int
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+    p95: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean:.6g} median={self.median:.6g} "
+            f"std={self.std:.3g} min={self.minimum:.6g} max={self.maximum:.6g} "
+            f"p95={self.p95:.6g}"
+        )
+
+
+def summarize(samples: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` over *samples*; raises on empty input."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        std=float(arr.std(ddof=0)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        p95=float(np.percentile(arr, 95)),
+    )
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (0–100) of *samples*."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot take a percentile of an empty sample")
+    return float(np.percentile(arr, q))
+
+
+def geometric_mean(samples: Sequence[float]) -> float:
+    """Geometric mean, used when averaging speedup ratios across workloads."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot average an empty sample")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires strictly positive samples")
+    return float(np.exp(np.log(arr).mean()))

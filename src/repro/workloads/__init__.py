@@ -1,0 +1,37 @@
+"""Workload construction: the paper's objects, synthetic sites, traces."""
+
+from repro.workloads.sizes import (
+    FIG4_ELEMENT_SIZES,
+    FIG567_OBJECT_SPECS,
+    ObjectSpec,
+    fig4_objects,
+    fig567_objects,
+)
+from repro.workloads.generator import (
+    make_element,
+    make_document_owner,
+    make_website,
+    WebsiteSpec,
+)
+from repro.workloads.trace import (
+    RequestEvent,
+    TraceConfig,
+    generate_trace,
+    inject_flash_crowd,
+)
+
+__all__ = [
+    "FIG4_ELEMENT_SIZES",
+    "FIG567_OBJECT_SPECS",
+    "ObjectSpec",
+    "fig4_objects",
+    "fig567_objects",
+    "make_element",
+    "make_document_owner",
+    "make_website",
+    "WebsiteSpec",
+    "RequestEvent",
+    "TraceConfig",
+    "generate_trace",
+    "inject_flash_crowd",
+]

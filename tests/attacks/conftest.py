@@ -1,0 +1,64 @@
+"""Attack test wiring: a testbed where the location service can be made
+to point at a malicious replica of a published document."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.malicious_server import MaliciousReplica
+from repro.globedoc.element import PageElement
+from repro.globedoc.owner import DocumentOwner
+from repro.harness.experiment import Testbed
+from repro.net.address import Endpoint
+from tests.conftest import fast_keys
+
+ELEMENTS = {
+    "index.html": b"<html>genuine news story</html>",
+    "retraction.html": b"<html>retraction of the story</html>",
+}
+
+EVIL_HOST = "canardo.inria.fr"  # the attacker controls the Paris host
+
+
+@pytest.fixture
+def testbed():
+    return Testbed()
+
+
+@pytest.fixture
+def victim(testbed):
+    """A published document with a second (yet honest) owner state kept
+    around so attacks can serve stale versions."""
+    owner = DocumentOwner("vu.nl/news", keys=fast_keys(), clock=testbed.clock)
+    for name, content in ELEMENTS.items():
+        owner.put_element(PageElement(name, content))
+    published = testbed.publish(owner, validity=3600)
+    return published
+
+
+@pytest.fixture
+def deploy_malicious(testbed, victim):
+    """Factory: host a MaliciousReplica for the victim document at the
+    attacker host and register it in the location service at the
+    client's own site (so it is found *first* in the expanding ring)."""
+
+    def deploy(behavior, site: str = "root/europe/inria") -> MaliciousReplica:
+        replica = MaliciousReplica(
+            host=EVIL_HOST, document=victim.document, behavior=behavior
+        )
+        testbed.network.register(
+            Endpoint(EVIL_HOST, "objectserver"), replica.rpc_server().handle_frame
+        )
+        testbed.location_service.tree.insert(
+            victim.owner.oid.hex, site, replica.contact_address()
+        )
+        return replica
+
+    return deploy
+
+
+@pytest.fixture
+def paris_stack(testbed, victim):
+    """A client at the attacker's site — its expanding-ring lookup finds
+    the malicious replica before the genuine Amsterdam one."""
+    return testbed.client_stack(EVIL_HOST)

@@ -1,0 +1,56 @@
+"""Content masquerading via an impostor replica (secure naming, §3.1):
+a replica serving a different object's key and state can never pass as
+the requested object because the OID is self-certifying."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.adversary import AttackOutcome, run_attack_probe
+from repro.attacks.malicious_server import ImpostorBehavior
+from repro.globedoc.element import PageElement
+from repro.globedoc.owner import DocumentOwner
+from tests.conftest import fast_keys
+from tests.attacks.conftest import ELEMENTS
+
+
+@pytest.fixture
+def impostor_doc(testbed):
+    owner = DocumentOwner("evil.example/fake", keys=fast_keys(), clock=testbed.clock)
+    owner.put_element(PageElement("index.html", b"<html>masquerade</html>"))
+    return owner.publish(validity=3600)
+
+
+class TestImpostor:
+    def test_impostor_key_rejected(
+        self, deploy_malicious, paris_stack, victim, impostor_doc
+    ):
+        """The impostor's public key does not hash to the requested OID;
+        the binding fails over (here: to the genuine VU replica)."""
+        deploy_malicious(ImpostorBehavior(impostor_doc))
+        probe = run_attack_probe(
+            paris_stack.proxy, victim.url("index.html"), ELEMENTS["index.html"]
+        )
+        # With the genuine replica still registered, failover recovers.
+        assert probe.outcome is AttackOutcome.SERVED_GENUINE
+        assert probe.response.content != b"<html>masquerade</html>"
+
+    def test_impostor_content_never_accepted(
+        self, testbed, deploy_malicious, victim, impostor_doc
+    ):
+        """Even when the impostor is the *only* reachable replica, its
+        content is never rendered as the victim document."""
+        deploy_malicious(ImpostorBehavior(impostor_doc))
+        # Remove the genuine replica from the location service entirely.
+        site = "root/europe/vu"
+        for address in testbed.location_service.tree.addresses_at(
+            victim.owner.oid.hex, site
+        ):
+            testbed.location_service.tree.delete(victim.owner.oid.hex, site, address)
+        stack = testbed.client_stack("canardo.inria.fr")
+        probe = run_attack_probe(stack.proxy, victim.url("index.html"), ELEMENTS["index.html"])
+        assert probe.outcome in (
+            AttackOutcome.DETECTED,
+            AttackOutcome.DENIAL_OF_SERVICE,
+        )
+        assert b"masquerade" not in probe.response.content

@@ -1,0 +1,92 @@
+"""The lying Location Service (§3.1.2, §3.3): "the most harm a malicious
+Location Service server can do is a temporary denial of service"."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.adversary import AttackOutcome, run_attack_probe
+from repro.attacks.malicious_location import LyingLocationService
+from repro.attacks.malicious_server import ImpostorBehavior, MaliciousReplica
+from repro.globedoc.element import PageElement
+from repro.globedoc.owner import DocumentOwner
+from repro.harness.experiment import Testbed
+from repro.net.address import Endpoint
+from tests.conftest import fast_keys
+from tests.attacks.conftest import ELEMENTS
+
+
+@pytest.fixture
+def lying_testbed(testbed, victim):
+    """Swap the genuine location service for a lying one that redirects
+    lookups of the victim OID to an impostor replica (a different object
+    entirely, served from the attacker's host)."""
+    impostor_owner = DocumentOwner(
+        "evil.example/fake", keys=fast_keys(), clock=testbed.clock
+    )
+    impostor_owner.put_element(
+        PageElement("index.html", b"<html>fake masqueraded page</html>")
+    )
+    impostor_doc = impostor_owner.publish(validity=3600)
+
+    impostor = MaliciousReplica(
+        host="canardo.inria.fr",
+        document=victim.document,
+        behavior=ImpostorBehavior(impostor_doc),
+        replica_id="impostor",
+    )
+    testbed.network.register(
+        Endpoint("canardo.inria.fr", "objectserver"), impostor.rpc_server().handle_frame
+    )
+
+    liar = LyingLocationService(testbed.location_service.tree)
+    testbed.network.register(  # replaces the honest handler
+        testbed.location_endpoint, liar.rpc_server().handle_frame
+    )
+    return testbed, liar, impostor
+
+
+class TestLyingLocation:
+    def test_pure_lie_is_denial_of_service_only(self, lying_testbed, victim):
+        """All addresses false → the client gets *no* page, never a fake
+        one: binding fails after the key/OID check rejects the impostor."""
+        testbed, liar, impostor = lying_testbed
+        liar.lie_about(
+            victim.owner.oid.hex, [impostor.contact_address()], suppress_truth=True
+        )
+        stack = testbed.client_stack("sporty.cs.vu.nl")
+        probe = run_attack_probe(stack.proxy, victim.url("index.html"), ELEMENTS["index.html"])
+        assert probe.outcome in (
+            AttackOutcome.DENIAL_OF_SERVICE,
+            AttackOutcome.DETECTED,
+        )
+        assert probe.response.content != b"<html>fake masqueraded page</html>"
+        assert liar.lie_count > 0
+
+    def test_failover_recovers_when_truth_available(self, lying_testbed, victim):
+        """False addresses prepended but genuine ones still listed → the
+        proxy rejects the impostor and fails over to the real replica:
+        only a *temporary* disruption."""
+        testbed, liar, impostor = lying_testbed
+        liar.lie_about(
+            victim.owner.oid.hex, [impostor.contact_address()], suppress_truth=False
+        )
+        stack = testbed.client_stack("sporty.cs.vu.nl")
+        probe = run_attack_probe(stack.proxy, victim.url("index.html"), ELEMENTS["index.html"])
+        assert probe.outcome is AttackOutcome.SERVED_GENUINE
+        assert impostor.requests_served > 0  # the impostor was contacted…
+        # …but its key failed the OID check, so its content never surfaced.
+
+    def test_unrelated_objects_unaffected(self, lying_testbed, testbed_extra_doc):
+        testbed, liar, _ = lying_testbed
+        published = testbed_extra_doc
+        stack = testbed.client_stack("sporty.cs.vu.nl")
+        probe = run_attack_probe(stack.proxy, published.url("index.html"), b"other doc")
+        assert probe.outcome is AttackOutcome.SERVED_GENUINE
+
+
+@pytest.fixture
+def testbed_extra_doc(testbed):
+    owner = DocumentOwner("vu.nl/other", keys=fast_keys(), clock=testbed.clock)
+    owner.put_element(PageElement("index.html", b"other doc"))
+    return testbed.publish(owner)

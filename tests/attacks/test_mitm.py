@@ -1,0 +1,92 @@
+"""Man-in-the-middle (§3.2.1): in-flight tampering is caught by GlobeDoc
+but sails through plain HTTP — the paper's opening vulnerability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.mitm import MitmTransport
+from repro.baselines.plainhttp import PlainHttpClient
+from repro.net.rpc import RpcClient
+from repro.proxy.binding import Binder
+from repro.proxy.checks import SecurityChecker
+from repro.proxy.clientproxy import GlobeDocProxy
+from repro.location.service import LocationClient
+from repro.naming.service import SecureResolver
+from tests.attacks.conftest import ELEMENTS
+
+
+@pytest.fixture
+def mitm_stack(testbed, victim):
+    """A Paris client whose transport passes through an injecting MITM."""
+    inner = testbed.network.transport_for("canardo.inria.fr")
+    mitm = MitmTransport(inner, MitmTransport.content_injector(b"<!-- injected -->"))
+    rpc = RpcClient(mitm)
+    resolver = SecureResolver(
+        rpc, testbed.naming_endpoint, testbed.naming.root_key, clock=testbed.clock
+    )
+    location = LocationClient(
+        rpc, testbed.location_endpoint, origin_site="root/europe/inria", clock=testbed.clock
+    )
+    checker = SecurityChecker(testbed.clock)
+    proxy = GlobeDocProxy(Binder(resolver, location, rpc), checker, rpc)
+    return proxy, mitm, rpc
+
+
+class TestMitm:
+    def test_globedoc_detects_injection(self, mitm_stack, victim):
+        proxy, mitm, _ = mitm_stack
+        response = proxy.handle(victim.url("index.html"))
+        assert response.status == 403
+        assert response.security_failure == "AuthenticityError"
+        assert mitm.intercepted > 0
+
+    def test_plain_http_accepts_injection(self, mitm_stack, testbed, victim):
+        """The same attack against the HTTP baseline succeeds silently —
+        the vulnerability GlobeDoc exists to close."""
+        _, mitm, rpc = mitm_stack
+        client = PlainHttpClient(rpc, testbed.http_server.endpoint)
+        body = client.get(f"{victim.name}/index.html")
+        assert body == ELEMENTS["index.html"] + b"<!-- injected -->"
+
+    def test_passive_mitm_changes_nothing(self, testbed, victim):
+        inner = testbed.network.transport_for("canardo.inria.fr")
+        mitm = MitmTransport(inner, rewrite=None)
+        rpc = RpcClient(mitm)
+        resolver = SecureResolver(
+            rpc, testbed.naming_endpoint, testbed.naming.root_key, clock=testbed.clock
+        )
+        location = LocationClient(
+            rpc,
+            testbed.location_endpoint,
+            origin_site="root/europe/inria",
+            clock=testbed.clock,
+        )
+        proxy = GlobeDocProxy(
+            Binder(resolver, location, rpc), SecurityChecker(testbed.clock), rpc
+        )
+        response = proxy.handle(victim.url("index.html"))
+        assert response.ok
+        assert response.content == ELEMENTS["index.html"]
+        assert mitm.intercepted == 0
+
+    def test_replayed_frame_degrades_to_error_not_content(self, testbed, victim):
+        """Replacing responses with canned garbage causes failures, never
+        acceptance of attacker content."""
+        inner = testbed.network.transport_for("canardo.inria.fr")
+        mitm = MitmTransport(inner, MitmTransport.response_replayer(b"\x00garbage"))
+        rpc = RpcClient(mitm)
+        resolver = SecureResolver(
+            rpc, testbed.naming_endpoint, testbed.naming.root_key, clock=testbed.clock
+        )
+        location = LocationClient(
+            rpc,
+            testbed.location_endpoint,
+            origin_site="root/europe/inria",
+            clock=testbed.clock,
+        )
+        proxy = GlobeDocProxy(
+            Binder(resolver, location, rpc), SecurityChecker(testbed.clock), rpc
+        )
+        response = proxy.handle(victim.url("index.html"))
+        assert not response.ok

@@ -1,0 +1,104 @@
+"""The r-OSFS baseline: root-signed Merkle store and its freshness limits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.rosfs import RosfsClient, RosfsServer, RosfsStore
+from repro.errors import AuthenticityError, FreshnessError, ReproError
+from repro.net.address import Endpoint
+from repro.net.rpc import RpcClient
+from repro.net.transport import LoopbackTransport
+from repro.sim.clock import SimClock
+from tests.conftest import EPOCH, fast_keys
+
+
+@pytest.fixture
+def clock():
+    return SimClock(EPOCH)
+
+
+@pytest.fixture
+def wired(clock):
+    store = RosfsStore(keys=fast_keys())
+    store.put_file("index.html", b"<html>fs</html>")
+    store.put_file("img/a.png", b"PNG-A")
+    store.put_file("img/b.png", b"PNG-B")
+    store.publish(valid_until=EPOCH + 600)
+    server = RosfsServer(host="replica", store=store)
+    transport = LoopbackTransport()
+    transport.register(server.endpoint, server.rpc_server().handle_frame)
+    client = RosfsClient(
+        RpcClient(transport), server.endpoint, store.public_key, clock
+    )
+    return store, server, client, transport
+
+
+class TestStore:
+    def test_publish_required(self):
+        store = RosfsStore(keys=fast_keys())
+        store.put_file("a", b"x")
+        with pytest.raises(ReproError, match="not published"):
+            store.proof_for("a")
+
+    def test_empty_publish_rejected(self):
+        with pytest.raises(ReproError):
+            RosfsStore(keys=fast_keys()).publish(valid_until=1.0)
+
+    def test_unknown_file(self, wired):
+        store, *_ = wired
+        with pytest.raises(ReproError):
+            store.proof_for("ghost")
+
+    def test_update_requires_republish(self, wired, clock):
+        store, _, client, _ = wired
+        old_root = store.root_certificate.body["root"]
+        store.put_file("index.html", b"<html>v2</html>")
+        store.publish(valid_until=EPOCH + 600)
+        assert store.root_certificate.body["root"] != old_root
+        assert store.publish_count == 2
+
+
+class TestClient:
+    def test_verified_fetch(self, wired):
+        _, _, client, _ = wired
+        assert client.get_file("index.html") == b"<html>fs</html>"
+        assert client.get_file("img/b.png") == b"PNG-B"
+
+    def test_root_fetched_once_per_interval(self, wired):
+        _, _, client, _ = wired
+        client.get_file("index.html")
+        client.get_file("img/a.png")
+        assert client.root_fetches == 1
+
+    def test_tamper_detected(self, wired):
+        store, _, client, _ = wired
+        # Tamper server-side without republishing (an attacker cannot
+        # re-sign the root).
+        store._files["index.html"] = b"evil"
+        with pytest.raises(AuthenticityError):
+            client.get_file("index.html")
+
+    def test_wrong_owner_key_rejected(self, wired, clock):
+        store, server, _, transport = wired
+        stranger = fast_keys()
+        client = RosfsClient(
+            RpcClient(transport), server.endpoint, stranger.public, clock
+        )
+        from repro.errors import CertificateError
+
+        with pytest.raises((AuthenticityError, CertificateError)):
+            client.get_file("index.html")
+
+    def test_global_freshness_only(self, wired, clock):
+        """The paper's criticism: ONE interval for the whole store. Once
+        it lapses, *every* file is stale — there is no per-element knob."""
+        _, _, client, _ = wired
+        client.get_file("index.html")
+        clock.advance(601.0)
+        from repro.errors import CertificateError
+
+        with pytest.raises((FreshnessError, CertificateError)):
+            client.get_file("index.html")
+        with pytest.raises((FreshnessError, CertificateError)):
+            client.get_file("img/a.png")  # collateral staleness

@@ -1,0 +1,102 @@
+"""The SSL/TLS baseline: handshake, record protection, trust gap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.ssl_channel import (
+    SslClient,
+    SslServer,
+    TlsSession,
+    _decrypt_record,
+    _encrypt_record,
+)
+from repro.errors import CryptoError, ReproError, RpcError
+from repro.net.rpc import RpcClient
+from repro.net.transport import LoopbackTransport
+from tests.conftest import fast_keys
+
+
+@pytest.fixture
+def wired():
+    server = SslServer(host="apache", keys=fast_keys())
+    server.put_files({"index.html": b"<html>secret home</html>"})
+    transport = LoopbackTransport()
+    transport.register(server.endpoint, server.rpc_server().handle_frame)
+    client = SslClient(RpcClient(transport), server.endpoint)
+    return server, client
+
+
+class TestRecords:
+    def test_roundtrip(self):
+        session = TlsSession.derive("s", b"premaster")
+        record = _encrypt_record(session.enc_key, session.mac_key, b"payload")
+        assert _decrypt_record(session.enc_key, session.mac_key, record) == b"payload"
+
+    def test_ciphertext_differs_from_plaintext(self):
+        session = TlsSession.derive("s", b"premaster")
+        record = _encrypt_record(session.enc_key, session.mac_key, b"payload")
+        assert b"payload" not in record
+
+    def test_tampered_record_rejected(self):
+        session = TlsSession.derive("s", b"premaster")
+        record = bytearray(_encrypt_record(session.enc_key, session.mac_key, b"payload"))
+        record[-1] ^= 0xFF
+        with pytest.raises(CryptoError):
+            _decrypt_record(session.enc_key, session.mac_key, bytes(record))
+
+    def test_wrong_key_rejected(self):
+        a = TlsSession.derive("s", b"premaster-a")
+        b = TlsSession.derive("s", b"premaster-b")
+        record = _encrypt_record(a.enc_key, a.mac_key, b"payload")
+        with pytest.raises(CryptoError):
+            _decrypt_record(b.enc_key, b.mac_key, record)
+
+    def test_short_record_rejected(self):
+        session = TlsSession.derive("s", b"p")
+        with pytest.raises(CryptoError):
+            _decrypt_record(session.enc_key, session.mac_key, b"short")
+
+
+class TestChannel:
+    def test_handshake_and_get(self, wired):
+        server, client = wired
+        body = client.get("index.html")
+        assert body == b"<html>secret home</html>"
+        assert server.handshake_count == 1
+        assert server.request_count == 1
+
+    def test_per_request_handshakes(self, wired):
+        server, client = wired
+        client.get_many(["index.html", "index.html"], per_request_handshake=True)
+        assert server.handshake_count == 2
+
+    def test_persistent_connection(self, wired):
+        server, client = wired
+        client.handshake()
+        client.get("index.html", new_connection=False)
+        client.get("index.html", new_connection=False)
+        assert server.handshake_count == 1
+
+    def test_404(self, wired):
+        _, client = wired
+        with pytest.raises(ReproError):
+            client.get("ghost")
+
+    def test_get_without_session_rejected_server_side(self, wired):
+        server, _ = wired
+        with pytest.raises(CryptoError):
+            server.rpc_get(session_id="nonexistent", path="index.html")
+
+
+class TestTrustGap:
+    def test_malicious_server_defeats_tls(self, wired):
+        """The paper's core criticism of TLS (§3.2.1): 'The secure
+        channel … does not help at all if a malicious server sends bogus
+        data over it.' A compromised server swaps the content; the
+        channel verifies perfectly and the client accepts the bogus
+        bytes."""
+        server, client = wired
+        server.put_file("index.html", b"<html>bogus but encrypted</html>")
+        body = client.get("index.html")
+        assert body == b"<html>bogus but encrypted</html>"  # accepted!

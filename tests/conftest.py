@@ -1,0 +1,69 @@
+"""Shared fixtures.
+
+RSA key generation is the only expensive primitive, so tests share
+session-scoped keys where freshness does not matter and use 1024-bit
+keys (the paper's era size) where it does. SimClock fixtures start at a
+fixed epoch so expiry arithmetic in tests is readable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.identity import CertificateAuthority
+from repro.crypto.keys import KeyPair
+from repro.globedoc.element import PageElement
+from repro.globedoc.owner import DocumentOwner
+from repro.sim.clock import SimClock
+
+#: Readable test epoch: 2005-01-01-ish.
+EPOCH = 1_100_000_000.0
+
+#: Era-faithful and fast to generate; used for throwaway identities.
+FAST_BITS = 1024
+
+
+def fast_keys() -> KeyPair:
+    """A fresh 1024-bit key pair (cheap; for identity-unique needs)."""
+    return KeyPair.generate(FAST_BITS)
+
+
+@pytest.fixture(scope="session")
+def shared_keys() -> KeyPair:
+    """A session-wide key pair for tests that only need *a* valid key."""
+    return KeyPair.generate(FAST_BITS)
+
+
+@pytest.fixture(scope="session")
+def other_keys() -> KeyPair:
+    """A second, distinct session-wide key pair ('the wrong key')."""
+    return KeyPair.generate(FAST_BITS)
+
+
+@pytest.fixture(scope="session")
+def session_ca() -> CertificateAuthority:
+    """A session-wide certificate authority."""
+    return CertificateAuthority("TestRoot CA", keys=KeyPair.generate(FAST_BITS))
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock(EPOCH)
+
+
+@pytest.fixture
+def make_owner(clock):
+    """Factory: a DocumentOwner with staged elements and fast keys.
+
+    ``make_owner(name, {"index.html": b"..."} )`` — keys are fresh per
+    call (each owner must have a unique OID).
+    """
+
+    def build(name: str = "vu.nl/test", elements=None) -> DocumentOwner:
+        owner = DocumentOwner(name, keys=fast_keys(), clock=clock)
+        staged = elements if elements is not None else {"index.html": b"<html>hi</html>"}
+        for elem_name, content in staged.items():
+            owner.put_element(PageElement(elem_name, content))
+        return owner
+
+    return build

@@ -1,0 +1,109 @@
+"""Generic certificates: typing, validity windows, field binding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.certificates import Certificate
+from repro.errors import CertificateError
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def cert(shared_keys):
+    return Certificate.issue(
+        shared_keys, "test/type", {"field": "value"}, not_before=100.0, not_after=200.0
+    )
+
+
+class TestIssueVerify:
+    def test_verify_within_window(self, cert, shared_keys):
+        body = cert.verify(shared_keys.public, clock=SimClock(150.0))
+        assert body == {"field": "value"}
+
+    def test_expired_rejected(self, cert, shared_keys):
+        with pytest.raises(CertificateError, match="expired"):
+            cert.verify(shared_keys.public, clock=SimClock(201.0))
+
+    def test_not_yet_valid_rejected(self, cert, shared_keys):
+        with pytest.raises(CertificateError, match="not yet valid"):
+            cert.verify(shared_keys.public, clock=SimClock(99.0))
+
+    def test_boundary_times_valid(self, cert, shared_keys):
+        cert.verify(shared_keys.public, clock=SimClock(100.0))
+        cert.verify(shared_keys.public, clock=SimClock(200.0))
+
+    def test_no_clock_skips_window(self, cert, shared_keys):
+        # Verification without a clock checks signature only.
+        cert.verify(shared_keys.public)
+
+    def test_wrong_key_rejected(self, cert, other_keys):
+        with pytest.raises(CertificateError):
+            cert.verify(other_keys.public)
+
+    def test_type_check(self, cert, shared_keys):
+        cert.verify(shared_keys.public, expected_type="test/type")
+        with pytest.raises(CertificateError, match="type"):
+            cert.verify(shared_keys.public, expected_type="other/type")
+
+    def test_empty_window_rejected_at_issue(self, shared_keys):
+        with pytest.raises(CertificateError):
+            Certificate.issue(
+                shared_keys, "t", {}, not_before=200.0, not_after=100.0
+            )
+
+    def test_unbounded_certificate(self, shared_keys):
+        cert = Certificate.issue(shared_keys, "t", {"x": 1})
+        cert.verify(shared_keys.public, clock=SimClock(1e12))
+
+
+class TestFieldBinding:
+    """The outer dataclass fields must match the signed payload — no
+    mix-and-match attacks."""
+
+    def test_forged_window_rejected(self, cert, shared_keys):
+        forged = Certificate(
+            cert_type=cert.cert_type,
+            body=cert.body,
+            not_before=cert.not_before,
+            not_after=1e12,  # attacker extends validity outside the signature
+            envelope=cert.envelope,
+        )
+        with pytest.raises(CertificateError, match="do not match"):
+            forged.verify(shared_keys.public, clock=SimClock(150.0))
+
+    def test_forged_body_rejected(self, cert, shared_keys):
+        forged = Certificate(
+            cert_type=cert.cert_type,
+            body={"field": "evil"},
+            not_before=cert.not_before,
+            not_after=cert.not_after,
+            envelope=cert.envelope,
+        )
+        with pytest.raises(CertificateError):
+            forged.verify(shared_keys.public)
+
+    def test_forged_type_rejected(self, cert, shared_keys):
+        forged = Certificate(
+            cert_type="admin/root",
+            body=cert.body,
+            not_before=cert.not_before,
+            not_after=cert.not_after,
+            envelope=cert.envelope,
+        )
+        with pytest.raises(CertificateError):
+            forged.verify(shared_keys.public)
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self, cert, shared_keys):
+        restored = Certificate.from_dict(cert.to_dict())
+        restored.verify(shared_keys.public, clock=SimClock(150.0))
+        assert restored.body == cert.body
+
+    def test_malformed_rejected(self):
+        with pytest.raises(CertificateError):
+            Certificate.from_dict({"cert_type": "x"})
+
+    def test_wire_size(self, cert):
+        assert cert.wire_size > 100

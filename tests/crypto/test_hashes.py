@@ -1,0 +1,64 @@
+"""Hash suites: known vectors, streaming equivalence, suite registry."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.hashes import SHA1, SHA256, digest, hexdigest, suite_by_name
+from repro.errors import CryptoError
+
+
+class TestKnownVectors:
+    def test_sha1_abc(self):
+        # FIPS 180-1 test vector, the standard the paper cites.
+        assert SHA1.hexdigest(b"abc") == "a9993e364706816aba3e25717850c26c9cd0d89d"
+
+    def test_sha256_abc(self):
+        assert (
+            SHA256.hexdigest(b"abc")
+            == "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_digest_sizes(self):
+        assert SHA1.digest_size == 20
+        assert SHA256.digest_size == 32
+        assert len(SHA1.digest(b"")) == 20
+        assert len(SHA256.digest(b"")) == 32
+
+
+class TestApi:
+    def test_default_suite_is_sha1(self):
+        assert digest(b"x") == SHA1.digest(b"x")
+        assert hexdigest(b"x") == SHA1.hexdigest(b"x")
+
+    def test_multi_chunk_equals_concatenation(self):
+        assert SHA1.digest(b"ab", b"cd") == SHA1.digest(b"abcd")
+
+    def test_suite_by_name(self):
+        assert suite_by_name("sha1") is SHA1
+        assert suite_by_name("SHA256") is SHA256
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(CryptoError):
+            suite_by_name("md5")
+
+    def test_signature_hash_types(self):
+        assert SHA1.signature_hash().name == "sha1"
+        assert SHA256.signature_hash().name == "sha256"
+
+
+class TestStreaming:
+    @given(st.lists(st.binary(max_size=128), max_size=10))
+    def test_stream_equals_oneshot(self, chunks):
+        whole = b"".join(chunks)
+        assert SHA1.digest_stream(chunks) == SHA1.digest(whole)
+        assert SHA256.digest_stream(chunks) == SHA256.digest(whole)
+
+    @given(st.binary(max_size=1024))
+    def test_matches_hashlib(self, data):
+        assert SHA1.digest(data) == hashlib.sha1(data).digest()
+        assert SHA256.digest(data) == hashlib.sha256(data).digest()

@@ -1,0 +1,129 @@
+"""CAs, identity certificates, and the user trust store (§3.1.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.identity import CertificateAuthority, IdentityCertificate, TrustStore
+from repro.errors import CertificateError
+from repro.sim.clock import SimClock
+from tests.conftest import fast_keys
+
+
+@pytest.fixture
+def subject_keys():
+    return fast_keys()
+
+
+class TestCertify:
+    def test_issue_and_verify(self, session_ca, subject_keys):
+        cert = session_ca.certify("VU Amsterdam", subject_keys.public)
+        name = cert.verify(session_ca.public_key)
+        assert name == "VU Amsterdam"
+        assert cert.issuer_name == session_ca.name
+        assert cert.subject_key == subject_keys.public
+
+    def test_wrong_issuer_key_rejected(self, session_ca, subject_keys, other_keys):
+        cert = session_ca.certify("VU Amsterdam", subject_keys.public)
+        with pytest.raises(CertificateError):
+            cert.verify(other_keys.public)
+
+    def test_subject_key_binding(self, session_ca, subject_keys, other_keys):
+        cert = session_ca.certify("VU Amsterdam", subject_keys.public)
+        with pytest.raises(CertificateError, match="subject key"):
+            cert.verify(
+                session_ca.public_key, expected_subject_key=other_keys.public
+            )
+
+    def test_expiry(self, session_ca, subject_keys):
+        cert = session_ca.certify("VU", subject_keys.public, not_after=1000.0)
+        cert.verify(session_ca.public_key, clock=SimClock(999.0))
+        with pytest.raises(CertificateError):
+            cert.verify(session_ca.public_key, clock=SimClock(1001.0))
+
+    def test_dict_roundtrip(self, session_ca, subject_keys):
+        cert = session_ca.certify("VU", subject_keys.public)
+        restored = IdentityCertificate.from_dict(cert.to_dict())
+        assert restored.verify(session_ca.public_key) == "VU"
+
+    def test_from_dict_rejects_wrong_type(self, shared_keys):
+        from repro.crypto.certificates import Certificate
+
+        not_identity = Certificate.issue(shared_keys, "other/type", {})
+        with pytest.raises(CertificateError):
+            IdentityCertificate.from_dict(not_identity.to_dict())
+
+    def test_issued_count(self, subject_keys):
+        ca = CertificateAuthority("Counter CA", keys=fast_keys())
+        assert ca.issued_count == 0
+        ca.certify("a", subject_keys.public)
+        ca.certify("b", subject_keys.public)
+        assert ca.issued_count == 2
+
+
+class TestTrustStore:
+    def test_add_and_query(self, session_ca):
+        store = TrustStore()
+        assert not store.trusts(session_ca.name)
+        store.add_ca(session_ca)
+        assert store.trusts(session_ca.name)
+        assert store.trusted_key(session_ca.name) == session_ca.public_key
+        assert len(store) == 1
+
+    def test_remove(self, session_ca):
+        store = TrustStore()
+        store.add_ca(session_ca)
+        store.remove(session_ca.name)
+        assert not store.trusts(session_ca.name)
+
+    def test_first_match_finds_trusted(self, session_ca, subject_keys):
+        store = TrustStore()
+        store.add_ca(session_ca)
+        untrusted_ca = CertificateAuthority("Shady CA", keys=fast_keys())
+        certs = [
+            untrusted_ca.certify("Shady Name", subject_keys.public),
+            session_ca.certify("Good Name", subject_keys.public),
+        ]
+        match = store.first_match(certs)
+        assert match is not None
+        assert match.subject_name == "Good Name"
+
+    def test_first_match_none_when_untrusted(self, subject_keys):
+        store = TrustStore()
+        shady = CertificateAuthority("Shady CA", keys=fast_keys())
+        certs = [shady.certify("Name", subject_keys.public)]
+        assert store.first_match(certs) is None
+
+    def test_first_match_skips_invalid(self, session_ca, subject_keys, other_keys):
+        """A certificate claiming a trusted issuer but not signed by it
+        must be skipped, not trusted."""
+        store = TrustStore()
+        store.add_ca(session_ca)
+        impostor_ca = CertificateAuthority(session_ca.name, keys=fast_keys())
+        forged = impostor_ca.certify("Forged Name", subject_keys.public)
+        assert store.first_match([forged]) is None
+
+    def test_first_match_subject_key_filter(self, session_ca, subject_keys, other_keys):
+        """A valid certificate about a *different* key must not certify
+        this object (stolen-certificate replay)."""
+        store = TrustStore()
+        store.add_ca(session_ca)
+        cert_for_other = session_ca.certify("Other Entity", other_keys.public)
+        assert (
+            store.first_match([cert_for_other], expected_subject_key=subject_keys.public)
+            is None
+        )
+
+    def test_first_match_respects_order(self, session_ca, subject_keys):
+        store = TrustStore()
+        store.add_ca(session_ca)
+        first = session_ca.certify("First", subject_keys.public)
+        second = session_ca.certify("Second", subject_keys.public)
+        match = store.first_match([first, second])
+        assert match.subject_name == "First"
+
+    def test_names_sorted(self, session_ca):
+        store = TrustStore()
+        store.add("zeta", session_ca.public_key)
+        store.add("alpha", session_ca.public_key)
+        assert store.names() == ["alpha", "zeta"]

@@ -1,0 +1,192 @@
+"""Dynamic content on untrusted replicas: signing, probabilistic
+double-checking, and receipt auditing (§6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamic.audit import DynamicAuditor
+from repro.dynamic.client import DynamicClient
+from repro.dynamic.service import DynamicOrigin, DynamicReplica
+from repro.errors import AuthenticityError
+from repro.globedoc.element import PageElement
+from repro.net.rpc import RpcClient
+from repro.net.transport import LoopbackTransport
+from repro.sim.clock import SimClock
+from tests.conftest import fast_keys
+
+
+def search_fn(state, query: str) -> bytes:
+    """The owner's dynamic logic: a deterministic search over elements."""
+    hits = [
+        name
+        for name in state.element_names
+        if query.encode() in state.element(name).content
+    ]
+    return ("results:" + ",".join(hits)).encode()
+
+
+@pytest.fixture
+def world(clock, make_owner):
+    owner = make_owner(
+        "vu.nl/search",
+        {
+            "a.txt": b"apples and oranges",
+            "b.txt": b"bananas and apples",
+            "c.txt": b"cherries",
+        },
+    )
+    state = owner.publish(validity=3600).state()
+
+    origin = DynamicOrigin(host="origin-host", state=state, query_fn=search_fn)
+    replica = DynamicReplica(
+        host="replica-host", state=state, query_fn=search_fn,
+        keys=fast_keys(), clock=clock,
+    )
+    transport = LoopbackTransport()
+    transport.register(origin.endpoint, origin.rpc_server().handle_frame)
+    transport.register(replica.endpoint, replica.rpc_server().handle_frame)
+    rpc = RpcClient(transport)
+    return owner, state, origin, replica, rpc
+
+
+def make_client(world, check_probability=0.0, seed=0):
+    _, _, origin, replica, rpc = world
+    return DynamicClient(
+        rpc,
+        replica.endpoint,
+        replica.public_key,
+        origin_endpoint=origin.endpoint,
+        check_probability=check_probability,
+        seed=seed,
+    )
+
+
+class TestHonestReplica:
+    def test_query_result(self, world):
+        client = make_client(world)
+        assert client.query("apples") == b"results:a.txt,b.txt"
+        assert client.query("cherries") == b"results:c.txt"
+        assert client.query("mangoes") == b"results:"
+
+    def test_receipts_archived(self, world):
+        client = make_client(world)
+        client.query("apples")
+        client.query("bananas")
+        assert len(client.receipts) == 2
+        assert client.receipts[0].query == "apples"
+
+    def test_double_checks_pass(self, world):
+        client = make_client(world, check_probability=1.0)
+        for query in ("apples", "bananas", "cherries"):
+            client.query(query)
+        assert client.checks_performed == 3
+        assert not client.caught_cheating
+
+    def test_check_probability_bounds(self, world):
+        _, _, origin, replica, rpc = world
+        with pytest.raises(Exception):
+            DynamicClient(rpc, replica.endpoint, replica.public_key,
+                          check_probability=1.5)
+
+    def test_origin_query_cost(self, world):
+        """p = 0.5 means roughly half the queries hit the origin."""
+        _, _, origin, replica, rpc = world
+        client = make_client(world, check_probability=0.5, seed=3)
+        for i in range(60):
+            client.query("apples")
+        assert 15 <= client.checks_performed <= 45
+        assert origin.query_count == client.checks_performed
+
+
+class TestCheatingReplica:
+    def test_cheat_served_when_unchecked(self, world):
+        """Without double-checking, the lie goes through (signed!) —
+        the fundamental limit the paper predicts for dynamic data."""
+        _, _, _, replica, _ = world
+        replica.cheat_on("apples", b"results:evil.txt")
+        client = make_client(world, check_probability=0.0)
+        assert client.query("apples") == b"results:evil.txt"
+
+    def test_cheat_caught_by_double_check(self, world):
+        _, _, _, replica, _ = world
+        replica.cheat_on("apples", b"results:evil.txt")
+        client = make_client(world, check_probability=1.0)
+        with pytest.raises(AuthenticityError, match="mismatch"):
+            client.query("apples")
+        assert client.caught_cheating
+        assert client.mismatches[0].origin_answer == b"results:a.txt,b.txt"
+
+    def test_probabilistic_detection_converges(self, world):
+        """With p=0.2 and a cheater lying on every query, detection is
+        near-certain within a few dozen queries."""
+        _, _, _, replica, _ = world
+        replica.cheat_on("apples", b"results:evil.txt")
+        client = make_client(world, check_probability=0.2, seed=7)
+        caught_after = None
+        for i in range(100):
+            try:
+                client.query("apples")
+            except AuthenticityError:
+                caught_after = i + 1
+                break
+        assert caught_after is not None and caught_after <= 60
+
+    def test_signature_still_required_from_cheater(self, world):
+        """Cheating does not exempt the replica from signing — unsigned
+        answers are rejected outright."""
+        _, _, origin, replica, rpc = world
+        stranger = fast_keys()
+        client = DynamicClient(
+            rpc, replica.endpoint, stranger.public,  # wrong expected key
+            origin_endpoint=origin.endpoint,
+        )
+        with pytest.raises(AuthenticityError):
+            client.query("apples")
+
+
+class TestAudit:
+    def test_clean_audit(self, world):
+        owner, state, origin, replica, rpc = world
+        client = make_client(world)
+        for query in ("apples", "bananas"):
+            client.query(query)
+        auditor = DynamicAuditor(state, search_fn)
+        report = auditor.audit(client.receipts)
+        assert report.clean
+        assert report.audited == 2
+
+    def test_audit_convicts_cheater(self, world):
+        owner, state, origin, replica, rpc = world
+        replica.cheat_on("apples", b"results:evil.txt")
+        client = make_client(world, check_probability=0.0)
+        client.query("apples")
+        client.query("bananas")  # honest answer
+        report = DynamicAuditor(state, search_fn).audit(client.receipts)
+        assert len(report.convictions) == 1
+        conviction = report.convictions[0]
+        assert conviction.receipt.query == "apples"
+        assert conviction.truth == b"results:a.txt,b.txt"
+        assert conviction.replica_key_der == replica.public_key.der
+
+    def test_forged_receipt_inadmissible(self, world):
+        """An attacker cannot frame a replica: receipts failing signature
+        verification are not convictions."""
+        owner, state, origin, replica, rpc = world
+        client = make_client(world)
+        client.query("apples")
+        genuine = client.receipts[0]
+        from repro.crypto.signing import SignedEnvelope
+        from repro.dynamic.client import DynamicReceipt
+
+        forged = DynamicReceipt(
+            envelope=SignedEnvelope(
+                payload={**dict(genuine.envelope.payload), "answer": b"framed"},
+                signature=genuine.envelope.signature,
+                suite_name=genuine.envelope.suite_name,
+            ),
+            replica_key_der=genuine.replica_key_der,
+        )
+        report = DynamicAuditor(state, search_fn).audit([forged])
+        assert report.clean
+        assert report.inadmissible == 1

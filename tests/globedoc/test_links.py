@@ -1,0 +1,82 @@
+"""Hyperlink extraction and rewriting."""
+
+from __future__ import annotations
+
+from repro.globedoc.links import extract_links, intra_object_links, rewrite_links
+
+HTML = (
+    '<html><body>'
+    '<a href="img/photo.png">relative</a>'
+    '<a href="globe://vu.nl/other!/index.html">absolute globedoc</a>'
+    '<a href="http://example.com/x">absolute http</a>'
+    '<img src="icons/star.gif">'
+    '<a href="#section">fragment</a>'
+    "</body></html>"
+)
+
+
+class TestExtraction:
+    def test_finds_all_links(self):
+        links = extract_links(HTML)
+        assert [l.target for l in links] == [
+            "img/photo.png",
+            "globe://vu.nl/other!/index.html",
+            "http://example.com/x",
+            "icons/star.gif",
+            "#section",
+        ]
+
+    def test_attr_kinds(self):
+        links = extract_links(HTML)
+        assert links[0].attr == "href"
+        assert links[3].attr == "src"
+
+    def test_classification(self):
+        links = extract_links(HTML)
+        assert links[0].is_relative and not links[0].is_absolute
+        assert links[1].is_absolute and links[1].is_globedoc
+        assert links[2].is_absolute and not links[2].is_globedoc
+        assert not links[4].is_relative  # fragments are not element refs
+
+    def test_as_hybrid(self):
+        links = extract_links(HTML)
+        hybrid = links[1].as_hybrid()
+        assert hybrid is not None
+        assert hybrid.object_name == "vu.nl/other"
+        assert links[0].as_hybrid() is None
+
+    def test_single_quotes(self):
+        links = extract_links("<a href='x.html'>y</a>")
+        assert links[0].target == "x.html"
+
+    def test_no_links(self):
+        assert extract_links("<p>plain text</p>") == []
+
+
+class TestIntraObjectLinks:
+    def test_only_relative(self):
+        assert intra_object_links(HTML) == ["img/photo.png", "icons/star.gif"]
+
+
+class TestRewriting:
+    def test_rewrite_selected(self):
+        out = rewrite_links(
+            HTML,
+            lambda t: "globe://new/target!/x.html" if t.startswith("http://") else None,
+        )
+        assert "http://example.com/x" not in out
+        assert "globe://new/target!/x.html" in out
+        # Untouched links survive verbatim.
+        assert 'href="img/photo.png"' in out
+
+    def test_identity_rewrite(self):
+        assert rewrite_links(HTML, lambda t: None) == HTML
+
+    def test_rewrite_all(self):
+        out = rewrite_links("<a href='a'></a><a href='b'></a>", lambda t: t.upper())
+        assert "href='A'" in out and "href='B'" in out
+
+    def test_rewrite_preserves_surrounding_html(self):
+        html = "<p>before</p><a href='x'>l</a><p>after</p>"
+        out = rewrite_links(html, lambda t: "y")
+        assert out == "<p>before</p><a href='y'>l</a><p>after</p>"

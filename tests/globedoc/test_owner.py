@@ -1,0 +1,102 @@
+"""Owner tooling: publishing lifecycle, versioning, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.identity import CertificateAuthority
+from repro.errors import ReproError
+from repro.globedoc.element import PageElement
+from repro.globedoc.owner import DocumentOwner, SignedDocument
+from tests.conftest import EPOCH, fast_keys
+
+
+class TestLifecycle:
+    def test_oid_is_self_certifying(self, make_owner):
+        owner = make_owner()
+        assert owner.oid.matches_key(owner.public_key)
+
+    def test_publish_increments_version(self, make_owner):
+        owner = make_owner()
+        assert owner.version == 0
+        assert owner.publish(validity=60).version == 1
+        assert owner.publish(validity=60).version == 2
+        assert owner.version == 2
+
+    def test_publish_empty_rejected(self, clock):
+        owner = DocumentOwner("vu.nl/empty", keys=fast_keys(), clock=clock)
+        with pytest.raises(ReproError):
+            owner.publish()
+
+    def test_nonpositive_validity_rejected(self, make_owner):
+        with pytest.raises(ReproError):
+            make_owner().publish(validity=0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ReproError):
+            DocumentOwner("", keys=fast_keys())
+
+    def test_element_editing(self, make_owner):
+        owner = make_owner(elements={"a.html": b"1"})
+        owner.put_element(PageElement("b.html", b"2"))
+        assert owner.element_names() == ["a.html", "b.html"]
+        owner.remove_element("a.html")
+        assert owner.element_names() == ["b.html"]
+        with pytest.raises(ReproError):
+            owner.remove_element("ghost")
+
+    def test_expiry_from_clock(self, make_owner, clock):
+        signed = make_owner().publish(validity=120)
+        entry = signed.integrity.entry_for("index.html")
+        assert entry.expires_at == EPOCH + 120
+
+    def test_update_changes_hash_not_oid(self, make_owner):
+        owner = make_owner(elements={"index.html": b"v1"})
+        first = owner.publish(validity=60)
+        owner.put_element(PageElement("index.html", b"v2"))
+        second = owner.publish(validity=60)
+        assert first.oid == second.oid
+        assert (
+            first.integrity.entry_for("index.html").content_hash
+            != second.integrity.entry_for("index.html").content_hash
+        )
+
+
+class TestSignedDocument:
+    def test_state_validates(self, make_owner):
+        state = make_owner().publish(validity=60).state()
+        state.validate()
+
+    def test_contains_no_private_key(self, make_owner):
+        """What ships to untrusted servers must hold no secrets."""
+        signed = make_owner().publish(validity=60)
+        wire = signed.to_dict()
+        assert "private" not in str(sorted(wire.keys())).lower()
+        restored = SignedDocument.from_dict(wire)
+        assert not hasattr(restored, "keys")
+
+    def test_dict_roundtrip(self, make_owner):
+        owner = make_owner(elements={"a.html": b"x", "img/b.png": b"y"})
+        signed = owner.publish(validity=60)
+        restored = SignedDocument.from_dict(signed.to_dict())
+        assert restored.oid == signed.oid
+        assert restored.public_key == signed.public_key
+        assert set(restored.elements) == {"a.html", "img/b.png"}
+        restored.state().validate()
+
+    def test_total_size(self, make_owner):
+        signed = make_owner(elements={"a": b"1234", "b": b"56"}).publish(validity=60)
+        assert signed.total_size == 6
+
+
+class TestIdentity:
+    def test_request_identity_certificate(self, make_owner, session_ca):
+        owner = make_owner("vu.nl/shop")
+        cert = owner.request_identity_certificate(session_ca)
+        assert cert.subject_name == "vu.nl/shop"
+        assert cert.subject_key == owner.public_key
+        signed = owner.publish(validity=60)
+        assert len(signed.identity_certs) == 1
+        # Identity proofs travel with the signed document.
+        restored_state = signed.state()
+        assert restored_state.identity_certs[0].subject_name == "vu.nl/shop"

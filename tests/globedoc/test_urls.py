@@ -1,0 +1,123 @@
+"""Hybrid URLs: both forms, passthrough, roundtrips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import UrlError
+from repro.globedoc.oid import ObjectId
+from repro.globedoc.urls import GLOBE_PREFIX, HybridUrl
+
+
+class TestNameForm:
+    def test_simple_host(self):
+        url = HybridUrl.parse("globe://vu.nl/index.html")
+        assert url.is_globedoc
+        assert url.object_name == "vu.nl"
+        assert url.element_name == "index.html"
+        assert url.oid is None
+
+    def test_pathful_object_name(self):
+        url = HybridUrl.parse("globe://vu.nl/research/report!/img/fig1.png")
+        assert url.object_name == "vu.nl/research/report"
+        assert url.element_name == "img/fig1.png"
+
+    def test_default_element(self):
+        assert HybridUrl.parse("globe://vu.nl").element_name == "index.html"
+        assert HybridUrl.parse("globe://vu.nl/").element_name == "index.html"
+
+    def test_constructor_roundtrip_simple(self):
+        url = HybridUrl.for_name("vu.nl", "a.html")
+        parsed = HybridUrl.parse(url.raw)
+        assert parsed.object_name == "vu.nl"
+        assert parsed.element_name == "a.html"
+
+    def test_constructor_roundtrip_pathful(self):
+        url = HybridUrl.for_name("vu.nl/research/report", "img/x.png")
+        parsed = HybridUrl.parse(url.raw)
+        assert parsed.object_name == "vu.nl/research/report"
+        assert parsed.element_name == "img/x.png"
+
+    def test_empty_object_name_rejected(self):
+        with pytest.raises(UrlError):
+            HybridUrl.for_name("", "a.html")
+
+
+class TestOidForm:
+    def test_roundtrip(self, shared_keys):
+        oid = ObjectId.from_public_key(shared_keys.public)
+        url = HybridUrl.for_oid(oid, "img/logo.png")
+        parsed = HybridUrl.parse(url.raw)
+        assert parsed.oid == oid
+        assert parsed.element_name == "img/logo.png"
+        assert parsed.object_name is None
+
+    def test_malformed_oid_form_rejected(self):
+        with pytest.raises(UrlError):
+            HybridUrl.parse("globe://oid/deadbeef")  # missing element
+
+    def test_bad_hex_rejected(self):
+        with pytest.raises(UrlError):
+            HybridUrl.parse("globe://oid/nothex!/x.html")
+
+
+class TestPassthrough:
+    @pytest.mark.parametrize(
+        "url", ["http://example.com/a.html", "https://example.com/"]
+    )
+    def test_http_is_passthrough(self, url):
+        parsed = HybridUrl.parse(url)
+        assert not parsed.is_globedoc
+        assert parsed.raw == url
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(UrlError):
+            HybridUrl.parse("ftp://example.com/file")
+
+    def test_empty_rejected(self):
+        with pytest.raises(UrlError):
+            HybridUrl.parse("")
+
+    def test_missing_host_rejected(self):
+        with pytest.raises(UrlError):
+            HybridUrl.parse("globe:///index.html")
+
+
+class TestSibling:
+    def test_sibling_name_form(self):
+        url = HybridUrl.for_name("vu.nl/doc", "index.html")
+        sibling = url.sibling("img/x.png")
+        assert sibling.object_name == "vu.nl/doc"
+        assert sibling.element_name == "img/x.png"
+
+    def test_sibling_oid_form(self, shared_keys):
+        oid = ObjectId.from_public_key(shared_keys.public)
+        sibling = HybridUrl.for_oid(oid, "a.html").sibling("b.html")
+        assert sibling.oid == oid
+        assert sibling.element_name == "b.html"
+
+    def test_sibling_of_passthrough_rejected(self):
+        with pytest.raises(UrlError):
+            HybridUrl.parse("http://x.com/a").sibling("b")
+
+
+_names = st.from_regex(r"[a-z][a-z0-9]{0,8}(\.[a-z]{2,3})?(/[a-z0-9]{1,8}){0,2}", fullmatch=True)
+_elements = st.from_regex(r"[a-z0-9]{1,8}(/[a-z0-9]{1,8}){0,2}\.[a-z]{2,4}", fullmatch=True)
+
+
+class TestProperties:
+    @given(_names, _elements)
+    def test_name_form_roundtrip(self, object_name, element_name):
+        url = HybridUrl.for_name(object_name, element_name)
+        parsed = HybridUrl.parse(url.raw)
+        assert parsed.object_name == object_name.lower() or parsed.object_name == object_name
+        assert parsed.element_name == element_name
+
+    @given(_elements)
+    def test_oid_form_roundtrip(self, element_name):
+        oid = ObjectId(digest=bytes(range(20)))
+        parsed = HybridUrl.parse(HybridUrl.for_oid(oid, element_name).raw)
+        assert parsed.oid == oid
+        assert parsed.element_name == element_name

@@ -1,0 +1,35 @@
+"""The ``python -m repro.harness`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "ginger.cs.vu.nl" in out
+
+    def test_fig4_small(self, capsys):
+        assert main(["fig4", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "Amsterdam" in out and "Paris" in out and "Ithaca" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "globedoc" in out and "ssl" in out
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_seed_changes_nothing_structural(self, capsys):
+        assert main(["fig4", "--repeats", "1", "--seed", "7"]) == 0
+        assert "Figure 4" in capsys.readouterr().out

@@ -1,0 +1,76 @@
+"""Figure 4 regeneration: the overhead curve's qualitative shape.
+
+We do not assert the paper's absolute numbers (our substrate is a
+simulator); we assert the *shape* claims of §4:
+
+1. overhead is significant (~25 %) for small elements;
+2. overhead decreases with element size for WAN clients;
+3. at large sizes the LAN client (Amsterdam) has the *worst* overhead,
+   because hashing dominates its tiny transfer time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.fig4 import CLIENT_HOSTS, Fig4Row, rows_as_series, run_fig4
+from repro.util.sizes import KB, MB
+
+
+@pytest.fixture(scope="module")
+def rows():
+    # Small-but-representative subset for test runtime: ends of the curve.
+    return run_fig4(repeats=3, sizes=[KB, 100 * KB, MB])
+
+
+class TestShape:
+    def test_all_points_present(self, rows):
+        assert len(rows) == 3 * 3  # 3 clients x 3 sizes
+
+    def test_small_element_overhead_significant(self, rows):
+        """Paper: 'the overhead for transferring small page elements is
+        significant (around 25%)'. Accept a generous band."""
+        for row in rows:
+            if row.size_bytes == KB:
+                assert 15.0 <= row.overhead_percent <= 50.0, row
+
+    def test_overhead_decreases_with_size(self, rows):
+        series = rows_as_series(rows)
+        for client, client_rows in series.items():
+            overheads = [r.overhead_percent for r in client_rows]
+            assert overheads[0] > overheads[-1], client
+
+    def test_lan_worst_at_large_size(self, rows):
+        """Paper: 'for large data transfers, the security overhead is
+        worse when the proxy and the object replica are on the same
+        LAN'."""
+        at_1mb = {r.client: r.overhead_percent for r in rows if r.size_bytes == MB}
+        assert at_1mb["Amsterdam"] > at_1mb["Paris"]
+        assert at_1mb["Amsterdam"] > at_1mb["Ithaca"]
+
+    def test_wan_overhead_drops_fast(self, rows):
+        """Paper: in the Paris setting 'the security overhead drops quite
+        rapidly for larger data transfers'."""
+        series = rows_as_series(rows)
+        paris = series["Paris"]
+        assert paris[-1].overhead_percent < paris[0].overhead_percent / 3
+
+    def test_security_time_grows_with_size(self, rows):
+        """Hash time is proportional to data size, so absolute security
+        time must grow while its share shrinks."""
+        series = rows_as_series(rows)
+        for client_rows in series.values():
+            assert client_rows[-1].security_seconds > client_rows[0].security_seconds
+
+
+class TestMechanics:
+    def test_invalid_repeats(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            run_fig4(repeats=0)
+
+    def test_row_labels(self, rows):
+        assert {r.client for r in rows} == set(CLIENT_HOSTS)
+        labels = {r.size_label for r in rows}
+        assert "1KB" in labels and "1MB" in labels

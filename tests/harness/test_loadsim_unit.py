@@ -1,0 +1,86 @@
+"""Unit-level load-simulator behaviour (the report math and wiring)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.harness.loadsim import LoadedRequest, LoadReport, LoadSimulator
+from repro.workloads.trace import RequestEvent
+
+
+def loaded(time, site, arrival, started, completed, ok=True):
+    return LoadedRequest(
+        event=RequestEvent(time=time, document="d", site=site),
+        arrival=arrival,
+        started=started,
+        completed=completed,
+        ok=ok,
+    )
+
+
+class TestLoadedRequest:
+    def test_timing_decomposition(self):
+        request = loaded(0.0, "s", arrival=10.0, started=12.0, completed=15.0)
+        assert request.wait == pytest.approx(2.0)
+        assert request.service == pytest.approx(3.0)
+        assert request.latency == pytest.approx(5.0)
+
+    def test_no_wait(self):
+        request = loaded(0.0, "s", arrival=10.0, started=10.0, completed=11.0)
+        assert request.wait == 0.0
+        assert request.latency == request.service
+
+
+class TestLoadReport:
+    def make(self):
+        return LoadReport(
+            requests=[
+                loaded(0.0, "a", 0.0, 0.0, 1.0),
+                loaded(5.0, "a", 5.0, 6.0, 7.0),
+                loaded(10.0, "b", 10.0, 10.0, 10.5, ok=False),
+            ]
+        )
+
+    def test_counts(self):
+        report = self.make()
+        assert report.count == 3
+        assert report.failures == 1
+
+    def test_site_filter(self):
+        report = self.make()
+        assert report.latency_summary(site="a").count == 2
+        assert report.latency_summary(site="b").count == 1
+
+    def test_window_filter(self):
+        report = self.make()
+        summary = report.latency_summary(start=4.0, end=11.0)
+        assert summary.count == 2
+
+    def test_empty_filter_raises(self):
+        with pytest.raises(ReproError):
+            self.make().latency_summary(site="ghost")
+
+    def test_max_wait(self):
+        assert self.make().max_wait == pytest.approx(1.0)
+
+
+class TestSimulatorWiring:
+    def test_unknown_site_rejected(self):
+        from repro.harness.experiment import Testbed
+
+        testbed = Testbed()
+        simulator = LoadSimulator(testbed, url_of=lambda e: "globe://x/y")
+        trace = [RequestEvent(time=0.0, document="d", site="root/mars")]
+        with pytest.raises(ReproError, match="no client host"):
+            simulator.run(trace)
+
+    def test_proxies_shared_per_site(self):
+        from repro.harness.experiment import Testbed
+
+        testbed = Testbed()
+        simulator = LoadSimulator(testbed, url_of=lambda e: "http://x/y")
+        a = simulator._proxy_for("root/europe/vu")
+        b = simulator._proxy_for("root/europe/vu")
+        assert a is b
+        assert a.session_ttl == simulator.location_ttl

@@ -1,0 +1,61 @@
+"""Report rendering."""
+
+from __future__ import annotations
+
+from repro.harness.fig4 import Fig4Row
+from repro.harness.fig567 import Fig567Row
+from repro.harness.report import render_fig4, render_fig567, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["A", "Blong"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+
+def fig4_row(client, size, pct):
+    return Fig4Row(
+        client=client,
+        size_bytes=size,
+        overhead_percent=pct,
+        security_seconds=0.01,
+        total_seconds=0.05,
+        repeats=1,
+    )
+
+
+class TestRenderFig4:
+    def test_contains_series(self):
+        rows = [
+            fig4_row("Amsterdam", 1024, 25.0),
+            fig4_row("Paris", 1024, 24.0),
+            fig4_row("Amsterdam", 1024 * 1024, 10.0),
+            fig4_row("Paris", 1024 * 1024, 5.0),
+        ]
+        out = render_fig4(rows)
+        assert "Figure 4" in out
+        assert "Amsterdam" in out and "Paris" in out
+        assert "1KB" in out and "1MB" in out
+        assert "25.0%" in out
+
+
+class TestRenderFig567:
+    def test_one_client_table(self):
+        rows = [
+            Fig567Row(
+                client="Paris",
+                object_label="obj (15KB)",
+                total_bytes=15 * 1024,
+                scheme=scheme,
+                seconds=0.1,
+                repeats=1,
+            )
+            for scheme in ("globedoc", "http", "ssl")
+        ]
+        out = render_fig567(rows, "Paris")
+        assert "Figure 6" in out
+        assert "globedoc" in out and "http" in out and "ssl" in out
+        assert "100.0 ms" in out

@@ -1,0 +1,31 @@
+"""Table 1 rendering."""
+
+from __future__ import annotations
+
+from repro.harness.report import render_table
+from repro.harness.table1 import TABLE1_COLUMNS, table1_rows
+
+
+class TestTable1:
+    def test_four_rows(self):
+        assert len(table1_rows()) == 4
+
+    def test_paper_facts(self):
+        rendered = render_table(TABLE1_COLUMNS, table1_rows())
+        for fact in (
+            "ginger.cs.vu.nl",
+            "sporty.cs.vu.nl",
+            "canardo.inria.fr",
+            "ensamble02.cornell.edu",
+            "VU, Amsterdam",
+            "Inria, Paris",
+            "Cornell, Ithaca NY",
+            "2 GB",
+            "256 MB",
+            "UltraSPARC-IIi 450MHz",
+        ):
+            assert fact in rendered, fact
+
+    def test_column_count_consistent(self):
+        for row in table1_rows():
+            assert len(row) == len(TABLE1_COLUMNS)

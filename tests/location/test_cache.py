@@ -1,0 +1,81 @@
+"""The client-side address cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.location.cache import AddressCache
+from repro.net.address import ContactAddress, Endpoint
+from repro.sim.clock import SimClock
+
+
+def addr(host: str) -> ContactAddress:
+    return ContactAddress(endpoint=Endpoint(host=host, service="s"))
+
+
+class TestCache:
+    def test_put_get(self):
+        cache = AddressCache(clock=SimClock(0.0), ttl=10.0)
+        cache.put("oid1", [addr("a")])
+        assert [a.host for a in cache.get("oid1")] == ["a"]
+
+    def test_miss(self):
+        cache = AddressCache(clock=SimClock(0.0))
+        assert cache.get("ghost") is None
+
+    def test_ttl_expiry(self):
+        clock = SimClock(0.0)
+        cache = AddressCache(clock=clock, ttl=10.0)
+        cache.put("oid1", [addr("a")])
+        clock.advance(10.0)
+        assert cache.get("oid1") is None
+
+    def test_just_before_expiry(self):
+        clock = SimClock(0.0)
+        cache = AddressCache(clock=clock, ttl=10.0)
+        cache.put("oid1", [addr("a")])
+        clock.advance(9.999)
+        assert cache.get("oid1") is not None
+
+    def test_invalidate(self):
+        cache = AddressCache(clock=SimClock(0.0))
+        cache.put("oid1", [addr("a")])
+        cache.invalidate("oid1")
+        assert cache.get("oid1") is None
+        cache.invalidate("oid1")  # idempotent
+
+    def test_eviction_fifo(self):
+        cache = AddressCache(clock=SimClock(0.0), max_entries=2)
+        cache.put("a", [addr("a")])
+        cache.put("b", [addr("b")])
+        cache.put("c", [addr("c")])
+        assert cache.get("a") is None
+        assert cache.get("b") is not None
+        assert len(cache) == 2
+
+    def test_hit_rate(self):
+        cache = AddressCache(clock=SimClock(0.0))
+        cache.put("a", [addr("a")])
+        cache.get("a")
+        cache.get("miss")
+        assert cache.hit_rate == pytest.approx(0.5)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_returns_copy(self):
+        cache = AddressCache(clock=SimClock(0.0))
+        cache.put("a", [addr("a")])
+        got = cache.get("a")
+        got.append(addr("b"))
+        assert len(cache.get("a")) == 1
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            AddressCache(ttl=0)
+        with pytest.raises(ValueError):
+            AddressCache(max_entries=0)
+
+    def test_clear(self):
+        cache = AddressCache(clock=SimClock(0.0))
+        cache.put("a", [addr("a")])
+        cache.clear()
+        assert len(cache) == 0

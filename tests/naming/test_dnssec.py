@@ -1,0 +1,132 @@
+"""DNSsec-style signing: delegation records, chain validation, attacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NameNotFound, ZoneValidationError
+from repro.globedoc.oid import ObjectId
+from repro.naming.dnssec import ChainValidator, DelegationRecord, SignedZone
+from repro.naming.records import OidRecord
+from repro.naming.zone import Zone, ZoneKeys
+from tests.conftest import fast_keys
+
+
+@pytest.fixture
+def oid(shared_keys):
+    return ObjectId.from_public_key(shared_keys.public)
+
+
+@pytest.fixture
+def chain_setup(oid):
+    """root -> nl -> nl/vu with a record in nl/vu."""
+    root = SignedZone(Zone(""), keys=ZoneKeys(zone="", keys=fast_keys()))
+    nl = SignedZone(Zone("nl"), keys=ZoneKeys(zone="nl", keys=fast_keys()))
+    vu = SignedZone(Zone("nl/vu"), keys=ZoneKeys(zone="nl/vu", keys=fast_keys()))
+    d1 = root.delegate(nl)
+    d2 = nl.delegate(vu)
+    signed = vu.add_record(OidRecord(name="vu.nl/doc", oid=oid))
+    return root, nl, vu, [d1, d2], signed
+
+
+class TestSignedZone:
+    def test_signed_lookup(self, chain_setup, oid):
+        _, _, vu, _, _ = chain_setup
+        signed = vu.signed_lookup("vu.nl/doc")
+        assert signed.verify(vu.public_key).oid == oid
+
+    def test_lookup_missing(self, chain_setup):
+        _, _, vu, _, _ = chain_setup
+        with pytest.raises(NameNotFound):
+            vu.signed_lookup("vu.nl/ghost")
+
+    def test_delegation_requires_immediate_child(self):
+        root = SignedZone(Zone(""), keys=ZoneKeys(zone="", keys=fast_keys()))
+        grandchild = SignedZone(
+            Zone("nl/vu"), keys=ZoneKeys(zone="nl/vu", keys=fast_keys())
+        )
+        with pytest.raises(ZoneValidationError):
+            root.delegate(grandchild)
+
+    def test_delegation_record_lookup(self, chain_setup):
+        root, _, _, _, _ = chain_setup
+        assert root.delegation_record("nl").child_zone == "nl"
+        with pytest.raises(NameNotFound):
+            root.delegation_record("com")
+
+
+class TestChainValidation:
+    def test_valid_chain(self, chain_setup, oid):
+        root, _, _, chain, signed = chain_setup
+        validator = ChainValidator(root.public_key)
+        record = validator.validate(chain, signed)
+        assert record.oid == oid
+        assert record.name == "vu.nl/doc"
+
+    def test_wrong_trust_anchor_rejected(self, chain_setup, other_keys):
+        _, _, _, chain, signed = chain_setup
+        validator = ChainValidator(other_keys.public)
+        with pytest.raises(ZoneValidationError):
+            validator.validate(chain, signed)
+
+    def test_truncated_chain_rejected(self, chain_setup):
+        root, _, _, chain, signed = chain_setup
+        validator = ChainValidator(root.public_key)
+        with pytest.raises(ZoneValidationError):
+            validator.validate(chain[:1], signed)  # record key won't verify
+
+    def test_record_signed_by_impostor_zone_rejected(self, chain_setup, oid):
+        """An attacker with their own 'nl/vu' key cannot forge records:
+        the delegation chain pins the real child key."""
+        root, _, _, chain, _ = chain_setup
+        impostor = SignedZone(
+            Zone("nl/vu"), keys=ZoneKeys(zone="nl/vu", keys=fast_keys())
+        )
+        forged = impostor.add_record(
+            OidRecord(name="vu.nl/doc", oid=ObjectId(digest=b"\x66" * 20))
+        )
+        validator = ChainValidator(root.public_key)
+        with pytest.raises(ZoneValidationError):
+            validator.validate(chain, forged)
+
+    def test_forged_delegation_rejected(self, chain_setup, oid):
+        """An attacker cannot splice their own delegation into the chain."""
+        root, nl, vu, chain, signed = chain_setup
+        attacker = fast_keys()
+        fake_delegation = DelegationRecord.issue(attacker, "nl/vu", attacker.public)
+        validator = ChainValidator(root.public_key)
+        with pytest.raises(ZoneValidationError):
+            validator.validate([chain[0], fake_delegation], signed)
+
+    def test_level_skipping_rejected(self, oid):
+        """A delegation jumping levels ('' -> 'nl/vu') must not validate:
+        every zone boundary must be vouched for."""
+        root = SignedZone(Zone(""), keys=ZoneKeys(zone="", keys=fast_keys()))
+        vu_keys = fast_keys()
+        vu = SignedZone(Zone("nl/vu"), keys=ZoneKeys(zone="nl/vu", keys=vu_keys))
+        skip = DelegationRecord.issue(root.keys.keys, "nl/vu", vu.public_key)
+        signed = vu.add_record(OidRecord(name="vu.nl/doc", oid=oid))
+        validator = ChainValidator(root.public_key)
+        with pytest.raises(ZoneValidationError, match="skips"):
+            validator.validate([skip], signed)
+
+    def test_sibling_zone_chain_rejected(self, chain_setup, oid):
+        """A chain for one zone cannot authenticate a record from a
+        sibling (zone-path nesting check)."""
+        root, nl, _, chain, _ = chain_setup
+        uva = SignedZone(Zone("nl/uva"), keys=ZoneKeys(zone="nl/uva", keys=fast_keys()))
+        nl.delegate(uva)
+        record = uva.add_record(OidRecord(name="uva.nl/doc", oid=oid))
+        # Chain leads to nl/vu but record is signed by nl/uva.
+        validator = ChainValidator(root.public_key)
+        with pytest.raises(ZoneValidationError):
+            validator.validate(chain, record)
+
+    def test_dict_roundtrip(self, chain_setup, oid):
+        root, _, _, chain, signed = chain_setup
+        rebuilt_chain = [DelegationRecord.from_dict(d.to_dict()) for d in chain]
+        from repro.naming.dnssec import SignedOidRecord
+
+        rebuilt_record = SignedOidRecord.from_dict(signed.to_dict())
+        record = ChainValidator(root.public_key).validate(rebuilt_chain, rebuilt_record)
+        assert record.oid == oid

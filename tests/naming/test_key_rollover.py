@@ -1,0 +1,92 @@
+"""Zone key rollover: rotation, re-delegation, fail-closed windows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ZoneValidationError
+from repro.globedoc.oid import ObjectId
+from repro.naming.dnssec import ChainValidator, SignedZone
+from repro.naming.records import OidRecord
+from repro.naming.zone import Zone, ZoneKeys
+from tests.conftest import fast_keys
+
+
+@pytest.fixture
+def chain(shared_keys):
+    oid = ObjectId.from_public_key(shared_keys.public)
+    root = SignedZone(Zone(""), keys=ZoneKeys(zone="", keys=fast_keys()))
+    nl = SignedZone(Zone("nl"), keys=ZoneKeys(zone="nl", keys=fast_keys()))
+    d1 = root.delegate(nl)
+    signed = nl.add_record(OidRecord(name="vu.nl", oid=oid))
+    return oid, root, nl, d1, signed
+
+
+class TestRollover:
+    def test_rotation_invalidates_until_redelegated(self, chain):
+        """Between child rotation and parent re-delegation, validation
+        fails closed — stale keys never validate silently."""
+        oid, root, nl, d1, _ = chain
+        nl.rotate_keys(ZoneKeys(zone="nl", keys=fast_keys()))
+        fresh_record = nl.signed_lookup("vu.nl")
+        validator = ChainValidator(root.public_key)
+        with pytest.raises(ZoneValidationError):
+            validator.validate([d1], fresh_record)  # old DS, new signer
+
+    def test_redelegation_restores_validation(self, chain):
+        oid, root, nl, _, _ = chain
+        nl.rotate_keys(ZoneKeys(zone="nl", keys=fast_keys()))
+        new_delegation = root.redelegate(nl)
+        record = ChainValidator(root.public_key).validate(
+            [new_delegation], nl.signed_lookup("vu.nl")
+        )
+        assert record.oid == oid
+
+    def test_rotation_resigns_existing_records(self, chain):
+        oid, root, nl, _, old_signed = chain
+        old_key = nl.public_key
+        nl.rotate_keys()
+        new_signed = nl.signed_lookup("vu.nl")
+        # Same binding, new signature under the new key.
+        assert new_signed.record.oid == oid
+        new_signed.verify(nl.public_key)
+        with pytest.raises(ZoneValidationError):
+            new_signed.verify(old_key)
+
+    def test_rotation_resigns_child_delegations(self, chain):
+        """A zone with children re-signs its DS-style records too."""
+        oid, root, nl, _, _ = chain
+        vu = SignedZone(Zone("nl/vu"), keys=ZoneKeys(zone="nl/vu", keys=fast_keys()))
+        nl.delegate(vu)
+        vu_record = vu.add_record(OidRecord(name="vu.nl/deep", oid=oid))
+
+        nl.rotate_keys()
+        root_to_nl = root.redelegate(nl)
+        nl_to_vu = nl.delegation_record("nl/vu")
+        record = ChainValidator(root.public_key).validate(
+            [root_to_nl, nl_to_vu], vu_record
+        )
+        assert record.name == "vu.nl/deep"
+
+    def test_redelegate_unknown_child_rejected(self, chain):
+        _, root, nl, _, _ = chain
+        stranger = SignedZone(Zone("com"), keys=ZoneKeys(zone="com", keys=fast_keys()))
+        with pytest.raises(ZoneValidationError):
+            root.redelegate(stranger)
+
+    def test_root_rotation_requires_new_trust_anchor(self, chain):
+        """Rotating the root is a trust-anchor change: clients pinning
+        the old anchor reject everything (the DNSsec root-KSK story)."""
+        oid, root, nl, _, _ = chain
+        old_anchor = root.public_key
+        root.rotate_keys()
+        new_delegation = root.delegation_record("nl")
+        record = nl.signed_lookup("vu.nl")
+        with pytest.raises(ZoneValidationError):
+            ChainValidator(old_anchor).validate([new_delegation], record)
+        assert (
+            ChainValidator(root.public_key)
+            .validate([new_delegation], record)
+            .oid
+            == oid
+        )

@@ -1,0 +1,74 @@
+"""Resource records and name normalisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NamingError
+from repro.globedoc.oid import ObjectId
+from repro.naming.records import (
+    OidRecord,
+    normalize_name,
+    parent_zone,
+    split_name,
+)
+
+
+class TestNormalize:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("vu.nl", "vu.nl"),
+            ("VU.NL", "vu.nl"),
+            (" vu.nl/Research ", "vu.nl/Research"),
+            ("/vu.nl/a/", "vu.nl/a"),
+        ],
+    )
+    def test_normalization(self, raw, expected):
+        assert normalize_name(raw) == expected
+
+    @pytest.mark.parametrize("raw", ["", "   ", "///", None, 42])
+    def test_invalid(self, raw):
+        with pytest.raises(NamingError):
+            normalize_name(raw)  # type: ignore[arg-type]
+
+    def test_too_long(self):
+        with pytest.raises(NamingError):
+            normalize_name("a" * 300)
+
+
+class TestSplit:
+    def test_dns_part_reverses(self):
+        assert split_name("vu.nl") == ["nl", "vu"]
+
+    def test_path_appends(self):
+        assert split_name("vu.nl/research/report") == ["nl", "vu", "research", "report"]
+
+    def test_single_label(self):
+        assert split_name("localhost") == ["localhost"]
+
+
+class TestParentZone:
+    def test_chain(self):
+        assert parent_zone("nl/vu/research") == "nl/vu"
+        assert parent_zone("nl/vu") == "nl"
+        assert parent_zone("nl") == ""
+        assert parent_zone("") is None
+
+
+class TestOidRecord:
+    def test_roundtrip(self, shared_keys):
+        oid = ObjectId.from_public_key(shared_keys.public)
+        record = OidRecord(name="VU.nl/doc", oid=oid, ttl=120.0)
+        assert record.name == "vu.nl/doc"  # normalised at construction
+        restored = OidRecord.from_dict(record.to_dict())
+        assert restored == record
+
+    def test_bad_ttl(self, shared_keys):
+        oid = ObjectId.from_public_key(shared_keys.public)
+        with pytest.raises(NamingError):
+            OidRecord(name="vu.nl", oid=oid, ttl=0)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(NamingError):
+            OidRecord.from_dict({"type": "A", "name": "vu.nl"})

@@ -1,0 +1,127 @@
+"""The naming service + secure resolver over RPC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NameNotFound, NamingError, RpcError, ZoneValidationError
+from repro.globedoc.oid import ObjectId
+from repro.naming.dnssec import SignedZone
+from repro.naming.records import OidRecord
+from repro.naming.service import NameService, SecureResolver
+from repro.naming.zone import Zone, ZoneKeys
+from repro.net.address import Endpoint
+from repro.net.rpc import RpcClient
+from repro.net.transport import LoopbackTransport
+from repro.sim.clock import SimClock
+from tests.conftest import EPOCH, fast_keys
+
+
+@pytest.fixture
+def oid(shared_keys):
+    return ObjectId.from_public_key(shared_keys.public)
+
+
+@pytest.fixture
+def service(oid):
+    root = SignedZone(Zone(""), keys=ZoneKeys(zone="", keys=fast_keys()))
+    service = NameService(root)
+    nl = SignedZone(Zone("nl"), keys=ZoneKeys(zone="nl", keys=fast_keys()))
+    vu = SignedZone(Zone("nl/vu"), keys=ZoneKeys(zone="nl/vu", keys=fast_keys()))
+    service.add_zone(nl)
+    service.add_zone(vu)
+    service.register(OidRecord(name="vu.nl/doc", oid=oid, ttl=300.0))
+    service.register(OidRecord(name="toplevel.example", oid=oid, ttl=300.0))
+    return service
+
+
+def wire_resolver(service, clock, iterative=True, anchor=None):
+    transport = LoopbackTransport()
+    endpoint = Endpoint(host="ns", service="naming")
+    transport.register(endpoint, service.rpc_server().handle_frame)
+    return SecureResolver(
+        RpcClient(transport),
+        endpoint,
+        anchor if anchor is not None else service.root_key,
+        clock=clock,
+        iterative=iterative,
+    ), transport
+
+
+class TestService:
+    def test_register_routes_to_deepest_zone(self, service):
+        assert service.zone("nl/vu").zone.lookup("vu.nl/doc") is not None
+        with pytest.raises(NameNotFound):
+            service.zone("nl").zone.lookup("vu.nl/doc")
+
+    def test_root_zone_must_be_root(self):
+        nonroot = SignedZone(Zone("nl"), keys=ZoneKeys(zone="nl", keys=fast_keys()))
+        with pytest.raises(NamingError):
+            NameService(nonroot)
+
+    def test_orphan_zone_rejected(self, service):
+        orphan = SignedZone(
+            Zone("com/example"), keys=ZoneKeys(zone="com/example", keys=fast_keys())
+        )
+        with pytest.raises(NamingError, match="parent"):
+            service.add_zone(orphan)
+
+
+@pytest.mark.parametrize("iterative", [True, False], ids=["iterative", "one-shot"])
+class TestResolution:
+    def test_resolve_delegated(self, service, clock, oid, iterative):
+        resolver, _ = wire_resolver(service, clock, iterative)
+        result = resolver.resolve("vu.nl/doc")
+        assert result.oid == oid
+        assert result.chain_length == 2
+
+    def test_resolve_root_level(self, service, clock, oid, iterative):
+        resolver, _ = wire_resolver(service, clock, iterative)
+        result = resolver.resolve("toplevel.example")
+        assert result.oid == oid
+        assert result.chain_length == 0
+
+    def test_missing_name(self, service, clock, iterative):
+        resolver, _ = wire_resolver(service, clock, iterative)
+        with pytest.raises((NameNotFound, RpcError)):
+            resolver.resolve("ghost.example")
+
+    def test_wrong_anchor_rejected(self, service, clock, other_keys, iterative):
+        resolver, _ = wire_resolver(service, clock, iterative, anchor=other_keys.public)
+        with pytest.raises(ZoneValidationError):
+            resolver.resolve("vu.nl/doc")
+
+
+class TestCaching:
+    def test_cache_hit_within_ttl(self, service, clock, oid):
+        resolver, transport = wire_resolver(service, clock)
+        first = resolver.resolve("vu.nl/doc")
+        requests_after_first = transport.stats.requests
+        second = resolver.resolve("vu.nl/doc")
+        assert second.from_cache
+        assert not first.from_cache
+        assert transport.stats.requests == requests_after_first
+
+    def test_cache_expires_with_ttl(self, service, clock):
+        resolver, transport = wire_resolver(service, clock)
+        resolver.resolve("vu.nl/doc")
+        count = transport.stats.requests
+        clock.advance(301.0)  # past the 300 s TTL
+        result = resolver.resolve("vu.nl/doc")
+        assert not result.from_cache
+        assert transport.stats.requests > count
+
+    def test_flush(self, service, clock):
+        resolver, _ = wire_resolver(service, clock)
+        resolver.resolve("vu.nl/doc")
+        assert resolver.cache_size == 1
+        resolver.flush_cache()
+        assert resolver.cache_size == 0
+
+    def test_iterative_costs_more_requests(self, service, clock):
+        it, t_it = wire_resolver(service, clock, iterative=True)
+        one, t_one = wire_resolver(service, clock, iterative=False)
+        it.resolve("vu.nl/doc")
+        one.resolve("vu.nl/doc")
+        assert t_it.stats.requests == 3  # root, nl, nl/vu
+        assert t_one.stats.requests == 1

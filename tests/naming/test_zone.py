@@ -1,0 +1,87 @@
+"""Zones: authority, records, delegation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NameNotFound, NamingError
+from repro.globedoc.oid import ObjectId
+from repro.naming.records import OidRecord
+from repro.naming.zone import Zone
+
+
+@pytest.fixture
+def oid(shared_keys):
+    return ObjectId.from_public_key(shared_keys.public)
+
+
+class TestAuthority:
+    def test_root_covers_everything(self, oid):
+        zone = Zone("")
+        zone.add_record(OidRecord(name="anything.example/x", oid=oid))
+
+    def test_zone_covers_own_subtree(self, oid):
+        zone = Zone("nl/vu")
+        zone.add_record(OidRecord(name="vu.nl/doc", oid=oid))
+
+    def test_zone_rejects_foreign_name(self, oid):
+        zone = Zone("nl/vu")
+        with pytest.raises(NamingError, match="not authoritative"):
+            zone.add_record(OidRecord(name="example.com/doc", oid=oid))
+
+
+class TestRecords:
+    def test_lookup(self, oid):
+        zone = Zone("")
+        zone.add_record(OidRecord(name="vu.nl", oid=oid))
+        assert zone.lookup("VU.NL").oid == oid
+
+    def test_missing(self):
+        with pytest.raises(NameNotFound):
+            Zone("").lookup("ghost.example")
+
+    def test_remove(self, oid):
+        zone = Zone("")
+        zone.add_record(OidRecord(name="vu.nl", oid=oid))
+        zone.remove_record("vu.nl")
+        with pytest.raises(NameNotFound):
+            zone.lookup("vu.nl")
+        with pytest.raises(NameNotFound):
+            zone.remove_record("vu.nl")
+
+    def test_records_sorted(self, oid):
+        zone = Zone("")
+        zone.add_record(OidRecord(name="z.example", oid=oid))
+        zone.add_record(OidRecord(name="a.example", oid=oid))
+        assert [r.name for r in zone.records] == ["a.example", "z.example"]
+
+    def test_multiple_names_same_oid(self, oid):
+        """An object may have several names resolving to one OID (§2.1.1)."""
+        zone = Zone("")
+        zone.add_record(OidRecord(name="alias1.example", oid=oid))
+        zone.add_record(OidRecord(name="alias2.example", oid=oid))
+        assert zone.lookup("alias1.example").oid == zone.lookup("alias2.example").oid
+
+
+class TestDelegation:
+    def test_delegate_and_route(self, oid):
+        root = Zone("")
+        child_path = root.delegate("nl")
+        assert child_path == "nl"
+        assert root.delegation_for("vu.nl/doc") == "nl"
+
+    def test_no_delegation_for_unrelated(self):
+        root = Zone("")
+        root.delegate("nl")
+        assert root.delegation_for("example.com") is None
+
+    def test_nested_delegation_path(self):
+        nl = Zone("nl")
+        assert nl.delegate("vu") == "nl/vu"
+        assert nl.delegation_for("vu.nl/doc") == "nl/vu"
+
+    def test_invalid_label(self):
+        with pytest.raises(NamingError):
+            Zone("").delegate("a/b")
+        with pytest.raises(NamingError):
+            Zone("").delegate("")

@@ -1,0 +1,51 @@
+"""Contact addresses and endpoints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.net.address import ContactAddress, Endpoint
+
+
+class TestEndpoint:
+    def test_fields(self):
+        ep = Endpoint(host="ginger", service="objectserver")
+        assert str(ep) == "ginger/objectserver"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            Endpoint(host="", service="x")
+        with pytest.raises(ReproError):
+            Endpoint(host="x", service="")
+
+    def test_hashable(self):
+        a = Endpoint(host="h", service="s")
+        b = Endpoint(host="h", service="s")
+        assert a == b and len({a, b}) == 1
+
+
+class TestContactAddress:
+    def test_dict_roundtrip(self):
+        addr = ContactAddress(
+            endpoint=Endpoint(host="h", service="s"),
+            protocol="globedoc/replica",
+            replica_id="r-42",
+        )
+        restored = ContactAddress.from_dict(addr.to_dict())
+        assert restored == addr
+        assert restored.host == "h"
+
+    def test_default_protocol(self):
+        addr = ContactAddress.from_dict({"host": "h", "service": "s"})
+        assert addr.protocol == "globedoc/replica"
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ReproError):
+            ContactAddress.from_dict({"host": "h"})
+
+    def test_str(self):
+        addr = ContactAddress(
+            endpoint=Endpoint(host="h", service="s"), replica_id="r"
+        )
+        assert str(addr) == "globedoc/replica://h/s#r"

@@ -1,0 +1,55 @@
+"""Wire messages: framing, error transport, size accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AuthenticityError, RpcError, TransportError
+from repro.net.message import Request, Response
+
+
+class TestRequest:
+    def test_roundtrip(self):
+        req = Request(op="globedoc.get_element", args={"name": "a.html", "n": 3})
+        restored = Request.from_bytes(req.to_bytes())
+        assert restored.op == req.op
+        assert dict(restored.args) == dict(req.args)
+
+    def test_bytes_args(self):
+        req = Request(op="x", args={"blob": b"\x00\x01"})
+        assert Request.from_bytes(req.to_bytes()).args["blob"] == b"\x00\x01"
+
+    def test_malformed_rejected(self):
+        with pytest.raises(TransportError):
+            Request.from_bytes(b"garbage")
+
+    def test_response_frame_rejected_as_request(self):
+        frame = Response.success(1).to_bytes()
+        with pytest.raises(TransportError):
+            Request.from_bytes(frame)
+
+    def test_wire_size(self):
+        assert Request(op="x").wire_size == len(Request(op="x").to_bytes())
+
+
+class TestResponse:
+    def test_success_roundtrip(self):
+        resp = Response.success({"value": [1, 2, 3]})
+        restored = Response.from_bytes(resp.to_bytes())
+        assert restored.ok
+        assert restored.unwrap() == {"value": [1, 2, 3]}
+
+    def test_failure_roundtrip(self):
+        resp = Response.failure(AuthenticityError("hash mismatch"))
+        restored = Response.from_bytes(resp.to_bytes())
+        assert not restored.ok
+        assert restored.error_type == "AuthenticityError"
+        with pytest.raises(RpcError, match="hash mismatch"):
+            restored.unwrap()
+
+    def test_none_value(self):
+        assert Response.from_bytes(Response.success(None).to_bytes()).unwrap() is None
+
+    def test_malformed_rejected(self):
+        with pytest.raises(TransportError):
+            Response.from_bytes(b"\x00\x01")

@@ -1,0 +1,102 @@
+"""Protocol robustness: fuzzing the wire codecs and URL parser.
+
+A hostile network can hand the stack arbitrary bytes; nothing may
+crash with anything other than the library's typed errors.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError, TransportError, UrlError
+from repro.globedoc.urls import HybridUrl
+from repro.net.message import Request, Response
+from repro.util.encoding import from_canonical_bytes
+
+# Arguments that survive the canonical codec.
+_args = st.dictionaries(
+    st.text(max_size=12).filter(lambda k: k != "__b64__"),
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.text(max_size=32),
+        st.binary(max_size=32),
+        st.lists(st.integers(min_value=0, max_value=9), max_size=4),
+    ),
+    max_size=5,
+)
+
+
+class TestRequestFuzz:
+    @given(st.text(min_size=1, max_size=40), _args)
+    @settings(max_examples=100)
+    def test_request_roundtrip(self, op, args):
+        restored = Request.from_bytes(Request(op=op, args=args).to_bytes())
+        assert restored.op == op
+        assert dict(restored.args) == args
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=150)
+    def test_arbitrary_bytes_never_crash(self, junk):
+        try:
+            Request.from_bytes(junk)
+        except TransportError:
+            pass  # the only acceptable failure mode
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=150)
+    def test_response_arbitrary_bytes(self, junk):
+        try:
+            Response.from_bytes(junk)
+        except TransportError:
+            pass
+
+
+class TestResponseFuzz:
+    @given(
+        st.one_of(
+            st.none(),
+            st.integers(min_value=-(2**40), max_value=2**40),
+            st.binary(max_size=64),
+            _args,
+        )
+    )
+    @settings(max_examples=100)
+    def test_success_roundtrip(self, value):
+        restored = Response.from_bytes(Response.success(value).to_bytes())
+        assert restored.unwrap() == value
+
+    @given(st.text(max_size=64))
+    def test_error_roundtrip(self, message):
+        resp = Response.failure(ValueError(message))
+        restored = Response.from_bytes(resp.to_bytes())
+        assert not restored.ok
+        assert restored.error == str(ValueError(message))
+
+
+class TestUrlFuzz:
+    @given(st.text(max_size=80))
+    @settings(max_examples=300)
+    def test_parse_never_crashes_unexpectedly(self, junk):
+        """Arbitrary text: parse or a typed UrlError, never anything
+        else. (Malformed URLs from hostile HTML must not kill the
+        proxy.)"""
+        try:
+            parsed = HybridUrl.parse(junk)
+        except UrlError:
+            return
+        except ReproError:
+            pytest.fail(f"non-UrlError ReproError for {junk!r}")
+        assert parsed.raw == junk
+
+    @given(st.binary(max_size=60))
+    def test_frame_decode_garbage(self, junk):
+        from repro.errors import EncodingError
+
+        try:
+            from_canonical_bytes(junk)
+        except EncodingError:
+            pass

@@ -1,0 +1,111 @@
+"""RPC layer: dispatch, decorated objects, error rehydration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AccessDenied,
+    AuthenticityError,
+    FreshnessError,
+    RpcError,
+    TransportError,
+)
+from repro.net.address import ContactAddress, Endpoint
+from repro.net.message import Request, Response
+from repro.net.rpc import RpcClient, RpcServer, rpc_method
+from repro.net.transport import LoopbackTransport
+
+
+class Calculator:
+    @rpc_method("calc.add")
+    def add(self, a: int, b: int) -> int:
+        return a + b
+
+    @rpc_method("calc.fail")
+    def fail(self) -> None:
+        raise AuthenticityError("bad content")
+
+    def not_exposed(self) -> str:  # no decorator
+        return "hidden"
+
+
+@pytest.fixture
+def wired():
+    transport = LoopbackTransport()
+    server = RpcServer(name="calc")
+    server.register_object(Calculator())
+    endpoint = Endpoint(host="h1", service="calc")
+    transport.register(endpoint, server.handle_frame)
+    return RpcClient(transport), endpoint, server
+
+
+class TestDispatch:
+    def test_call(self, wired):
+        client, endpoint, _ = wired
+        assert client.call(endpoint, "calc.add", a=2, b=3) == 5
+
+    def test_contact_address_target(self, wired):
+        client, endpoint, _ = wired
+        address = ContactAddress(endpoint=endpoint, replica_id="r1")
+        assert client.call(address, "calc.add", a=1, b=1) == 2
+
+    def test_unknown_op(self, wired):
+        client, endpoint, _ = wired
+        with pytest.raises(RpcError, match="unknown operation"):
+            client.call(endpoint, "calc.missing")
+
+    def test_undecorated_not_registered(self, wired):
+        _, _, server = wired
+        assert server.operations == ["calc.add", "calc.fail"]
+
+    def test_duplicate_registration_rejected(self, wired):
+        _, _, server = wired
+        with pytest.raises(RpcError):
+            server.register("calc.add", lambda: None)
+
+    def test_invalid_target_rejected(self, wired):
+        client, _, _ = wired
+        with pytest.raises(RpcError):
+            client.call("not-an-endpoint", "calc.add")
+
+
+class TestErrorTransport:
+    def test_security_error_rehydrated(self, wired):
+        """Security failures must arrive as security errors, not RpcError."""
+        client, endpoint, _ = wired
+        with pytest.raises(AuthenticityError, match="bad content"):
+            client.call(endpoint, "calc.fail")
+
+    def test_handler_exception_does_not_kill_server(self, wired):
+        client, endpoint, _ = wired
+        with pytest.raises(AuthenticityError):
+            client.call(endpoint, "calc.fail")
+        assert client.call(endpoint, "calc.add", a=1, b=2) == 3
+
+    def test_bad_frame_returns_error_response(self, wired):
+        _, _, server = wired
+        frame = server.handle_frame(b"not a frame")
+        response = Response.from_bytes(frame)
+        assert not response.ok
+        assert response.error_type == "TransportError"
+
+    def test_wrong_args_becomes_error(self, wired):
+        client, endpoint, _ = wired
+        with pytest.raises(RpcError):
+            client.call(endpoint, "calc.add", wrong_arg=1)
+
+
+class TestTransportErrors:
+    def test_unregistered_endpoint(self):
+        client = RpcClient(LoopbackTransport())
+        with pytest.raises(TransportError):
+            client.call(Endpoint(host="nowhere", service="x"), "op")
+
+    def test_stats_accounting(self, wired):
+        client, endpoint, _ = wired
+        client.call(endpoint, "calc.add", a=1, b=2)
+        stats = client.transport.stats
+        assert stats.requests == 1
+        assert stats.bytes_sent > 0
+        assert stats.bytes_received > 0

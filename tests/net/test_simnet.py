@@ -1,0 +1,136 @@
+"""The simulated WAN: transfer timing, compute charging, link resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net.address import Endpoint
+from repro.net.simnet import HostProfile, LinkSpec, SimNetwork
+from repro.sim.clock import SimClock
+
+
+def make_net():
+    net = SimNetwork(SimClock(0.0))
+    net.add_host(HostProfile(name="a", site="s1", service_time=0.001))
+    net.add_host(HostProfile(name="b", site="s2", service_time=0.002))
+    net.add_host(
+        HostProfile(name="c", site="s2", cpu_factor=10.0, memory_pressure=2.0)
+    )
+    net.add_link("s1", "s2", LinkSpec(latency=0.010, bandwidth=1_000_000))
+    return net
+
+
+class TestLinkSpec:
+    def test_transfer_time(self):
+        link = LinkSpec(latency=0.01, bandwidth=1_000_000)
+        assert link.transfer_time(0) == pytest.approx(0.01)
+        assert link.transfer_time(1_000_000) == pytest.approx(1.01)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec(latency=0, bandwidth=1).transfer_time(-1)
+
+
+class TestTopology:
+    def test_duplicate_host_rejected(self):
+        net = make_net()
+        with pytest.raises(TransportError):
+            net.add_host(HostProfile(name="a", site="s1"))
+
+    def test_unknown_host_rejected(self):
+        with pytest.raises(TransportError):
+            make_net().host("ghost")
+
+    def test_same_host_link_is_free(self):
+        link = make_net().link_between("a", "a")
+        assert link.latency == 0.0
+        assert link.transfer_time(10**9) == 0.0
+
+    def test_site_level_link_resolution(self):
+        net = make_net()
+        assert net.link_between("a", "b").latency == pytest.approx(0.010)
+
+    def test_same_site_default_lan(self):
+        net = make_net()
+        # b and c are both in s2 with no explicit LAN entry.
+        assert net.link_between("b", "c").latency == pytest.approx(0.0002)
+
+    def test_missing_link_rejected(self):
+        net = SimNetwork()
+        net.add_host(HostProfile(name="x", site="sx"))
+        net.add_host(HostProfile(name="y", site="sy"))
+        with pytest.raises(TransportError):
+            net.link_between("x", "y")
+
+    def test_default_link_fallback(self):
+        net = SimNetwork()
+        net.add_host(HostProfile(name="x", site="sx"))
+        net.add_host(HostProfile(name="y", site="sy"))
+        net.set_default_link(LinkSpec(latency=0.5, bandwidth=1000))
+        assert net.link_between("x", "y").latency == 0.5
+
+
+class TestRequestTiming:
+    def test_request_charges_latency_bandwidth_service(self):
+        net = make_net()
+        net.register(Endpoint("b", "echo"), lambda f: f)
+        transport = net.transport_for("a")
+        frame = b"x" * 1000
+        transport.request(Endpoint("b", "echo"), frame)
+        # up: 0.010 + 1000/1e6; service: 0.002; down: same as up.
+        expected = 2 * (0.010 + 0.001) + 0.002
+        assert net.clock.now() == pytest.approx(expected)
+
+    def test_response_size_charged(self):
+        net = make_net()
+        net.register(Endpoint("b", "big"), lambda f: b"y" * 1_000_000)
+        transport = net.transport_for("a")
+        transport.request(Endpoint("b", "big"), b"tiny")
+        assert net.clock.now() > 1.0  # 1 MB at 1 MB/s dominates
+
+    def test_stats(self):
+        net = make_net()
+        net.register(Endpoint("b", "echo"), lambda f: f)
+        transport = net.transport_for("a")
+        transport.request(Endpoint("b", "echo"), b"12345")
+        assert transport.stats.requests == 1
+        assert transport.stats.bytes_sent == 5
+        assert transport.stats.bytes_received == 5
+
+    def test_unregistered_endpoint_rejected(self):
+        net = make_net()
+        with pytest.raises(TransportError):
+            net.transport_for("a").request(Endpoint("b", "ghost"), b"")
+
+
+class TestCompute:
+    def test_charge_scales_with_profile(self):
+        net = make_net()
+        net.host("c").charge(0.001)
+        # cpu_factor 10 x pressure 2 = 20x.
+        assert net.clock.now() == pytest.approx(0.020)
+
+    def test_compute_context_advances_clock(self):
+        net = make_net()
+        before = net.clock.now()
+        with net.host("c").compute():
+            sum(range(10000))
+        assert net.clock.now() > before
+
+    def test_native_compute_skips_pressure(self):
+        net = make_net()
+        host = net.host("c")
+        with host.compute_native():
+            pass
+        native_cost = net.clock.now()
+        with host.compute():
+            pass
+        full_cost = net.clock.now() - native_cost
+        # Both are tiny, but the scales differ 2x; just check both advanced.
+        assert native_cost >= 0.0
+        assert full_cost >= 0.0
+
+    def test_profile_compute_scale(self):
+        profile = HostProfile(name="x", site="s", cpu_factor=3.0, memory_pressure=2.0)
+        assert profile.compute_scale == 6.0

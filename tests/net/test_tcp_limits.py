@@ -1,0 +1,84 @@
+"""TCP transport resource limits: oversized-frame defence."""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+import pytest
+
+import repro.net.tcpnet as tcpnet
+from repro.errors import TransportError
+from repro.net.address import Endpoint
+from repro.net.tcpnet import TcpEndpointServer, TcpTransport
+
+
+class TestFrameLimits:
+    def test_client_refuses_to_send_oversized(self, monkeypatch):
+        monkeypatch.setattr(tcpnet, "_MAX_FRAME", 1024)
+        server = TcpEndpointServer()
+        server.register("echo", lambda frame: frame)
+        with server:
+            ip, port = server.address
+            transport = TcpTransport(directory={"h": (ip, port)})
+            with pytest.raises(TransportError, match="too large"):
+                transport.request(Endpoint("h", "echo"), b"x" * 2048)
+
+    def test_client_refuses_oversized_announcement(self, monkeypatch):
+        """A malicious server announcing a multi-GB frame must be cut
+        off before any allocation."""
+        monkeypatch.setattr(tcpnet, "_MAX_FRAME", 1024)
+
+        # A raw socket server that answers any frame with a huge length
+        # prefix and garbage.
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        ip, port = listener.getsockname()
+
+        import threading
+
+        def serve_once():
+            conn, _ = listener.accept()
+            try:
+                conn.recv(65536)
+                conn.sendall(struct.pack(">I", 2**30) + b"junk")
+            finally:
+                conn.close()
+
+        thread = threading.Thread(target=serve_once, daemon=True)
+        thread.start()
+        try:
+            transport = TcpTransport(directory={"evil": (ip, port)}, timeout=2.0)
+            with pytest.raises(TransportError, match="oversized"):
+                transport.request(Endpoint("evil", "svc"), b"hello")
+        finally:
+            listener.close()
+            thread.join(timeout=2)
+
+    def test_truncated_stream_detected(self):
+        """A server that closes mid-frame yields a clean TransportError."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        ip, port = listener.getsockname()
+
+        import threading
+
+        def serve_once():
+            conn, _ = listener.accept()
+            try:
+                conn.recv(65536)
+                conn.sendall(struct.pack(">I", 100) + b"only-ten!")  # then close
+            finally:
+                conn.close()
+
+        thread = threading.Thread(target=serve_once, daemon=True)
+        thread.start()
+        try:
+            transport = TcpTransport(directory={"flaky": (ip, port)}, timeout=2.0)
+            with pytest.raises(TransportError):
+                transport.request(Endpoint("flaky", "svc"), b"hello")
+        finally:
+            listener.close()
+            thread.join(timeout=2)

@@ -1,0 +1,97 @@
+"""Real TCP transport: the same frames over actual sockets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net.address import Endpoint
+from repro.net.rpc import RpcClient, RpcServer, rpc_method
+from repro.net.tcpnet import TcpEndpointServer, TcpTransport
+
+
+class Echo:
+    @rpc_method("echo.say")
+    def say(self, text: str) -> str:
+        return f"echo: {text}"
+
+    @rpc_method("echo.blob")
+    def blob(self, data: bytes) -> bytes:
+        return bytes(data) * 2
+
+
+@pytest.fixture
+def tcp_server():
+    server = TcpEndpointServer()
+    rpc = RpcServer("echo")
+    rpc.register_object(Echo())
+    server.register("echo", rpc.handle_frame)
+    with server:
+        yield server
+
+
+class TestTcpTransport:
+    def test_rpc_over_real_sockets(self, tcp_server):
+        ip, port = tcp_server.address
+        transport = TcpTransport()
+        transport.add_host("remote", ip, port)
+        client = RpcClient(transport)
+        assert client.call(Endpoint("remote", "echo"), "echo.say", text="hi") == "echo: hi"
+
+    def test_binary_payload(self, tcp_server):
+        ip, port = tcp_server.address
+        transport = TcpTransport(directory={"remote": (ip, port)})
+        client = RpcClient(transport)
+        out = client.call(Endpoint("remote", "echo"), "echo.blob", data=b"\x00\xff")
+        assert out == b"\x00\xff\x00\xff"
+
+    def test_large_frame(self, tcp_server):
+        ip, port = tcp_server.address
+        transport = TcpTransport(directory={"remote": (ip, port)})
+        client = RpcClient(transport)
+        big = b"x" * 300_000
+        assert client.call(Endpoint("remote", "echo"), "echo.blob", data=big) == big * 2
+
+    def test_unknown_service(self, tcp_server):
+        ip, port = tcp_server.address
+        transport = TcpTransport(directory={"remote": (ip, port)})
+        with pytest.raises(TransportError, match="no service"):
+            transport.request(Endpoint("remote", "ghost"), b"frame")
+
+    def test_unknown_host(self):
+        transport = TcpTransport()
+        with pytest.raises(TransportError, match="no TCP address"):
+            transport.request(Endpoint("nowhere", "echo"), b"")
+
+    def test_connection_refused(self):
+        transport = TcpTransport(directory={"dead": ("127.0.0.1", 1)}, timeout=0.5)
+        with pytest.raises(TransportError):
+            transport.request(Endpoint("dead", "echo"), b"")
+
+    def test_stats(self, tcp_server):
+        ip, port = tcp_server.address
+        transport = TcpTransport(directory={"remote": (ip, port)})
+        RpcClient(transport).call(Endpoint("remote", "echo"), "echo.say", text="x")
+        assert transport.stats.requests == 1
+
+    def test_double_start_rejected(self):
+        server = TcpEndpointServer()
+        with server:
+            with pytest.raises(TransportError):
+                server.start()
+
+    def test_multiple_services_one_port(self, tcp_server):
+        other = RpcServer("extra")
+
+        class Extra:
+            @rpc_method("extra.ping")
+            def ping(self) -> str:
+                return "pong"
+
+        other.register_object(Extra())
+        tcp_server.register("extra", other.handle_frame)
+        ip, port = tcp_server.address
+        transport = TcpTransport(directory={"remote": (ip, port)})
+        client = RpcClient(transport)
+        assert client.call(Endpoint("remote", "extra"), "extra.ping") == "pong"
+        assert client.call(Endpoint("remote", "echo"), "echo.say", text="y") == "echo: y"

@@ -1,0 +1,69 @@
+"""The Table-1 testbed topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.topology import (
+    AMSTERDAM_PRIMARY,
+    AMSTERDAM_SECONDARY,
+    ITHACA,
+    PARIS,
+    TABLE1_HOSTS,
+    paper_testbed,
+)
+
+
+class TestProfiles:
+    def test_four_hosts(self):
+        assert len(TABLE1_HOSTS) == 4
+        names = {p.name for p in TABLE1_HOSTS}
+        assert names == {
+            "ginger.cs.vu.nl",
+            "sporty.cs.vu.nl",
+            "canardo.inria.fr",
+            "ensamble02.cornell.edu",
+        }
+
+    def test_table1_ram(self):
+        assert AMSTERDAM_PRIMARY.ram_mb == 2048
+        assert AMSTERDAM_SECONDARY.ram_mb == 2048
+        assert PARIS.ram_mb == 256
+        assert ITHACA.ram_mb == 256
+
+    def test_memory_pressure_on_small_hosts(self):
+        assert AMSTERDAM_PRIMARY.memory_pressure == 1.0
+        assert PARIS.memory_pressure > 1.0
+        assert ITHACA.memory_pressure > 1.0
+
+    def test_sparc_slower_than_p3(self):
+        assert ITHACA.cpu_factor > PARIS.cpu_factor
+
+
+class TestTestbed:
+    def test_all_hosts_attached(self):
+        top = paper_testbed()
+        assert len(top.network.host_names) == 4
+
+    def test_clients_mapping(self):
+        top = paper_testbed()
+        assert set(top.clients) == {"Amsterdam", "Paris", "Ithaca"}
+
+    def test_lan_faster_than_wan(self):
+        top = paper_testbed()
+        lan = top.network.link_between("ginger.cs.vu.nl", "sporty.cs.vu.nl")
+        paris = top.network.link_between("ginger.cs.vu.nl", "canardo.inria.fr")
+        ithaca = top.network.link_between("ginger.cs.vu.nl", "ensamble02.cornell.edu")
+        assert lan.latency < paris.latency < ithaca.latency
+        assert lan.bandwidth > paris.bandwidth >= ithaca.bandwidth
+
+    def test_links_symmetric(self):
+        top = paper_testbed()
+        ab = top.network.link_between("ginger.cs.vu.nl", "canardo.inria.fr")
+        ba = top.network.link_between("canardo.inria.fr", "ginger.cs.vu.nl")
+        assert ab == ba
+
+    def test_inter_client_link_exists(self):
+        top = paper_testbed()
+        link = top.network.link_between("canardo.inria.fr", "ensamble02.cornell.edu")
+        assert link.latency > 0

@@ -1,0 +1,70 @@
+"""Binding: name → OID → contact address → LR installation (Fig. 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BindingError, NameNotFound, ObjectNotFound
+from repro.globedoc.urls import HybridUrl
+from repro.proxy.metrics import AccessTimer
+from tests.proxy.conftest import ELEMENTS
+
+
+class TestResolveOid:
+    def test_name_form_resolves(self, stack, published, testbed):
+        timer = AccessTimer(testbed.clock)
+        url = HybridUrl.parse(published.url("index.html"))
+        oid = stack.binder.resolve_oid(url, timer)
+        assert oid == published.owner.oid
+        assert timer.finish().phase_time("resolve_name") > 0
+
+    def test_oid_form_skips_naming(self, stack, published, testbed):
+        timer = AccessTimer(testbed.clock)
+        url = HybridUrl.for_oid(published.owner.oid, "index.html")
+        oid = stack.binder.resolve_oid(url, timer)
+        assert oid == published.owner.oid
+        assert timer.finish().phase_time("resolve_name") == 0
+
+    def test_passthrough_url_rejected(self, stack, testbed):
+        timer = AccessTimer(testbed.clock)
+        with pytest.raises(BindingError):
+            stack.binder.resolve_oid(HybridUrl.parse("http://x.com/a"), timer)
+
+    def test_unknown_name(self, stack, testbed):
+        timer = AccessTimer(testbed.clock)
+        with pytest.raises(NameNotFound):
+            stack.binder.resolve_oid(HybridUrl.for_name("ghost.example"), timer)
+
+
+class TestBind:
+    def test_bind_installs_lr(self, stack, published, testbed):
+        timer = AccessTimer(testbed.clock)
+        bound = stack.binder.bind(HybridUrl.parse(published.url("index.html")), timer)
+        assert bound.oid == published.owner.oid
+        assert bound.lr.get_element("index.html").content == ELEMENTS["index.html"]
+        metrics = timer.finish()
+        assert metrics.phase_time("find_replica") > 0
+
+    def test_bind_unknown_oid(self, stack, testbed, shared_keys):
+        from repro.globedoc.oid import ObjectId
+
+        timer = AccessTimer(testbed.clock)
+        phantom = ObjectId.from_public_key(shared_keys.public)
+        with pytest.raises(ObjectNotFound):
+            stack.binder.bind(HybridUrl.for_oid(phantom, "x.html"), timer)
+
+    def test_rebind_without_alternative(self, stack, published, testbed):
+        timer = AccessTimer(testbed.clock)
+        bound = stack.binder.bind(HybridUrl.parse(published.url("index.html")), timer)
+        assert not bound.has_alternative
+        with pytest.raises(BindingError, match="exhausted"):
+            stack.binder.rebind(bound)
+
+    def test_rebind_moves_to_next_address(self, stack, published, testbed):
+        timer = AccessTimer(testbed.clock)
+        bound = stack.binder.bind(HybridUrl.parse(published.url("index.html")), timer)
+        # Fabricate a second address as the location service would return.
+        bound.addresses.append(bound.addresses[0])
+        rebound = stack.binder.rebind(bound)
+        assert rebound.address_index == 1
+        assert rebound.oid == bound.oid

@@ -1,0 +1,138 @@
+"""The security checker primitives in isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.identity import TrustStore
+from repro.errors import (
+    AuthenticityError,
+    ConsistencyError,
+    FreshnessError,
+)
+from repro.globedoc.element import PageElement
+from repro.globedoc.integrity import IntegrityCertificate
+from repro.globedoc.oid import ObjectId
+from repro.proxy.checks import SecurityChecker
+from repro.proxy.metrics import AccessTimer
+from repro.sim.clock import SimClock
+from tests.conftest import EPOCH, fast_keys
+
+
+@pytest.fixture
+def object_keys():
+    return fast_keys()
+
+
+@pytest.fixture
+def oid(object_keys):
+    return ObjectId.from_public_key(object_keys.public)
+
+
+@pytest.fixture
+def elements():
+    return [PageElement("index.html", b"main"), PageElement("pic.png", b"img")]
+
+
+@pytest.fixture
+def integrity(object_keys, oid, elements):
+    return IntegrityCertificate.for_elements(
+        object_keys, oid.hex, elements, expires_at=EPOCH + 600
+    )
+
+
+@pytest.fixture
+def checker(clock):
+    return SecurityChecker(clock)
+
+
+def timer(clock) -> AccessTimer:
+    return AccessTimer(clock)
+
+
+class TestPublicKeyCheck:
+    def test_matching_key(self, checker, oid, object_keys, clock):
+        t = timer(clock)
+        assert checker.check_public_key(oid, object_keys.public, t) == object_keys.public
+        assert t.finish().phase_time("verify_public_key") >= 0
+
+    def test_wrong_key(self, checker, oid, other_keys, clock):
+        with pytest.raises(AuthenticityError):
+            checker.check_public_key(oid, other_keys.public, timer(clock))
+
+
+class TestCertificateCheck:
+    def test_valid(self, checker, oid, object_keys, integrity, clock):
+        checker.check_certificate(object_keys.public, integrity, oid, timer(clock))
+
+    def test_wrong_signer(self, checker, oid, other_keys, integrity, clock):
+        with pytest.raises(AuthenticityError):
+            checker.check_certificate(other_keys.public, integrity, oid, timer(clock))
+
+    def test_cross_object_replay_rejected(self, checker, object_keys, elements, clock):
+        """A certificate signed by the right key but issued for another
+        OID must not be accepted (cross-object replay)."""
+        oid = ObjectId.from_public_key(object_keys.public)
+        foreign = IntegrityCertificate.for_elements(
+            object_keys, "ff" * 20, elements, expires_at=EPOCH + 600
+        )
+        with pytest.raises(AuthenticityError, match="different object"):
+            checker.check_certificate(object_keys.public, foreign, oid, timer(clock))
+
+
+class TestElementCheck:
+    def test_valid(self, checker, integrity, elements, clock):
+        entry = checker.check_element(integrity, "index.html", elements[0], timer(clock))
+        assert entry.name == "index.html"
+
+    def test_tamper(self, checker, integrity, elements, clock):
+        with pytest.raises(AuthenticityError):
+            checker.check_element(
+                integrity, "index.html", elements[0].with_content(b"evil"), timer(clock)
+            )
+
+    def test_stale(self, checker, integrity, elements, clock):
+        clock.advance(601)
+        with pytest.raises(FreshnessError):
+            checker.check_element(integrity, "index.html", elements[0], timer(clock))
+
+    def test_swap(self, checker, integrity, elements, clock):
+        with pytest.raises(ConsistencyError):
+            checker.check_element(integrity, "index.html", elements[1], timer(clock))
+
+    def test_phases_recorded(self, checker, integrity, elements, clock):
+        t = timer(clock)
+        checker.check_element(integrity, "index.html", elements[0], t)
+        phases = dict(t.finish().by_phase())
+        assert "check_consistency" in phases
+        assert "verify_element_hash" in phases
+        assert "check_freshness" in phases
+
+
+class TestIdentityCheck:
+    def test_advisory_none_on_no_match(self, clock, object_keys):
+        checker = SecurityChecker(clock, trust_store=TrustStore())
+        assert (
+            checker.check_identity(object_keys.public, [], timer(clock), require=False)
+            is None
+        )
+
+    def test_required_raises(self, clock, object_keys):
+        checker = SecurityChecker(clock, trust_store=TrustStore())
+        with pytest.raises(AuthenticityError):
+            checker.check_identity(object_keys.public, [], timer(clock), require=True)
+
+    def test_match_returns_name(self, clock, object_keys, session_ca):
+        store = TrustStore()
+        store.add_ca(session_ca)
+        checker = SecurityChecker(clock, trust_store=store)
+        cert = session_ca.certify("VU Research Group", object_keys.public)
+        name = checker.check_identity(object_keys.public, [cert], timer(clock))
+        assert name == "VU Research Group"
+
+    def test_cert_for_other_key_ignored(self, clock, object_keys, other_keys, session_ca):
+        store = TrustStore()
+        store.add_ca(session_ca)
+        checker = SecurityChecker(clock, trust_store=store)
+        cert = session_ca.certify("Someone Else", other_keys.public)
+        assert checker.check_identity(object_keys.public, [cert], timer(clock)) is None

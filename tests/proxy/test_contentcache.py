@@ -1,0 +1,141 @@
+"""The verified-content cache and its session/proxy integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.globedoc.element import PageElement
+from repro.proxy.contentcache import ContentCache
+from repro.sim.clock import SimClock
+
+OID = "aa" * 20
+
+
+class TestContentCache:
+    def test_put_get(self):
+        cache = ContentCache(clock=SimClock(0.0), ttl=60.0)
+        cache.put(OID, PageElement("a.html", b"data"), expires_at=100.0)
+        hit = cache.get(OID, "a.html")
+        assert hit is not None and hit.content == b"data"
+
+    def test_miss(self):
+        cache = ContentCache(clock=SimClock(0.0))
+        assert cache.get(OID, "ghost") is None
+
+    def test_certificate_expiry_wins_over_ttl(self):
+        clock = SimClock(0.0)
+        cache = ContentCache(clock=clock, ttl=1000.0)
+        cache.put(OID, PageElement("a.html", b"x"), expires_at=10.0)
+        clock.advance(11.0)
+        assert cache.get(OID, "a.html") is None  # cert expired, TTL not
+
+    def test_ttl_wins_over_certificate(self):
+        clock = SimClock(0.0)
+        cache = ContentCache(clock=clock, ttl=10.0)
+        cache.put(OID, PageElement("a.html", b"x"), expires_at=1e12)
+        clock.advance(11.0)
+        assert cache.get(OID, "a.html") is None
+
+    def test_byte_bound_lru_eviction(self):
+        cache = ContentCache(clock=SimClock(0.0), max_bytes=100)
+        cache.put(OID, PageElement("a", b"x" * 60), expires_at=1e12)
+        cache.put(OID, PageElement("b", b"y" * 30), expires_at=1e12)
+        cache.get(OID, "a")  # touch a -> b is LRU
+        cache.put(OID, PageElement("c", b"z" * 40), expires_at=1e12)
+        assert cache.get(OID, "b") is None
+        assert cache.get(OID, "a") is not None
+        assert cache.bytes_used <= 100
+
+    def test_oversized_element_skipped(self):
+        cache = ContentCache(clock=SimClock(0.0), max_bytes=10)
+        cache.put(OID, PageElement("big", b"x" * 100), expires_at=1e12)
+        assert len(cache) == 0
+
+    def test_invalidate_object(self):
+        cache = ContentCache(clock=SimClock(0.0))
+        other = "bb" * 20
+        cache.put(OID, PageElement("a", b"1"), expires_at=1e12)
+        cache.put(OID, PageElement("b", b"2"), expires_at=1e12)
+        cache.put(other, PageElement("a", b"3"), expires_at=1e12)
+        assert cache.invalidate_object(OID) == 2
+        assert cache.get(other, "a") is not None
+
+    def test_hit_rate(self):
+        cache = ContentCache(clock=SimClock(0.0))
+        cache.put(OID, PageElement("a", b"1"), expires_at=1e12)
+        cache.get(OID, "a")
+        cache.get(OID, "nope")
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            ContentCache(ttl=0)
+        with pytest.raises(ValueError):
+            ContentCache(max_bytes=0)
+
+
+class TestProxyIntegration:
+    def test_cached_fetch_skips_network(self, testbed, published):
+        from repro.proxy.clientproxy import GlobeDocProxy
+
+        stack = testbed.client_stack("canardo.inria.fr")
+        cache = ContentCache(clock=testbed.clock, ttl=600.0)
+        proxy = GlobeDocProxy(
+            stack.binder, stack.checker, stack.rpc, content_cache=cache
+        )
+        url = published.url("index.html")
+
+        first = proxy.handle(url)
+        assert first.ok
+        requests_after_first = stack.transport.stats.requests
+
+        second = proxy.handle(url)
+        assert second.ok
+        assert second.content == first.content
+        # No network traffic for the cached hit.
+        assert stack.transport.stats.requests == requests_after_first
+        assert cache.hits == 1
+
+    def test_cache_respects_element_expiry(self):
+        # A private testbed: this test advances the clock past expiry,
+        # which must not leak into the module-scoped fixtures.
+        from repro.globedoc.owner import DocumentOwner
+        from repro.harness.experiment import Testbed
+        from repro.proxy.clientproxy import GlobeDocProxy
+        from tests.conftest import fast_keys
+
+        testbed = Testbed()
+        owner = DocumentOwner("vu.nl/short", keys=fast_keys(), clock=testbed.clock)
+        owner.put_element(PageElement("index.html", b"<html>short-lived</html>"))
+        published = testbed.publish(owner, validity=60.0)
+
+        stack = testbed.client_stack("canardo.inria.fr")
+        cache = ContentCache(clock=testbed.clock, ttl=1e6)
+        proxy = GlobeDocProxy(
+            stack.binder, stack.checker, stack.rpc, content_cache=cache
+        )
+        url = published.url("index.html")
+        assert proxy.handle(url).ok
+        testbed.clock.advance(61.0)
+        stale = proxy.handle(url)
+        # The cache refuses the expired entry; the refetch then fails the
+        # freshness check against the (equally expired) certificate.
+        assert stale.status == 403
+        assert stale.security_failure == "FreshnessError"
+
+    def test_cache_hit_is_faster(self, testbed, published):
+        from repro.proxy.clientproxy import GlobeDocProxy
+
+        stack = testbed.client_stack("ensamble02.cornell.edu")
+        cache = ContentCache(clock=testbed.clock, ttl=600.0)
+        proxy = GlobeDocProxy(
+            stack.binder, stack.checker, stack.rpc, content_cache=cache
+        )
+        url = published.url("img/logo.png")
+        start = testbed.clock.now()
+        proxy.handle(url)
+        cold = testbed.clock.now() - start
+        start = testbed.clock.now()
+        proxy.handle(url)
+        warm = testbed.clock.now() - start
+        assert warm < cold / 10

@@ -1,0 +1,88 @@
+"""Access timers and the security/base decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.proxy.metrics import SECURITY_PHASES, AccessMetrics, AccessTimer
+from repro.sim.clock import SimClock
+
+
+class TestAccessTimer:
+    def test_phase_measures_clock_delta(self):
+        clock = SimClock(0.0)
+        timer = AccessTimer(clock)
+        with timer.phase("get_page_element"):
+            clock.advance(2.0)
+        metrics = timer.finish()
+        assert metrics.phase_time("get_page_element") == pytest.approx(2.0)
+
+    def test_charge_direct(self):
+        timer = AccessTimer(SimClock(0.0))
+        timer.charge("client_processing", 0.5)
+        assert timer.finish().total == pytest.approx(0.5)
+
+    def test_negative_charge_rejected(self):
+        timer = AccessTimer(SimClock(0.0))
+        with pytest.raises(ValueError):
+            timer.charge("x", -1.0)
+
+    def test_phase_records_on_exception(self):
+        clock = SimClock(0.0)
+        timer = AccessTimer(clock)
+        with pytest.raises(RuntimeError):
+            with timer.phase("verify_certificate"):
+                clock.advance(1.0)
+                raise RuntimeError("boom")
+        assert timer.finish().phase_time("verify_certificate") == pytest.approx(1.0)
+
+
+class TestAccessMetrics:
+    def make(self):
+        return AccessMetrics(
+            phases=(
+                ("resolve_name", 1.0),
+                ("get_page_element", 3.0),
+                ("get_public_key", 0.5),
+                ("verify_element_hash", 0.5),
+            )
+        )
+
+    def test_total(self):
+        assert self.make().total == pytest.approx(5.0)
+
+    def test_security_split(self):
+        metrics = self.make()
+        assert metrics.security_time == pytest.approx(1.0)
+        assert metrics.base_time == pytest.approx(4.0)
+        assert metrics.overhead_percent == pytest.approx(20.0)
+
+    def test_empty_metrics(self):
+        empty = AccessMetrics(phases=())
+        assert empty.total == 0.0
+        assert empty.overhead_fraction == 0.0
+
+    def test_by_phase_aggregates_repeats(self):
+        metrics = AccessMetrics(phases=(("a", 1.0), ("a", 2.0)))
+        assert metrics.by_phase() == {"a": 3.0}
+
+    def test_merged(self):
+        merged = self.make().merged_with(AccessMetrics(phases=(("extra", 1.0),)))
+        assert merged.total == pytest.approx(6.0)
+
+    def test_security_phase_list_matches_paper(self):
+        """§4 enumerates the security-specific operations; our phase set
+        must cover them: key retrieval, OID hash check, certificate
+        retrieval + verification, element hash computation."""
+        for phase in (
+            "get_public_key",
+            "verify_public_key",
+            "get_integrity_certificate",
+            "verify_certificate",
+            "verify_element_hash",
+        ):
+            assert phase in SECURITY_PHASES
+        # Transfer of the element itself is NOT security overhead.
+        assert "get_page_element" not in SECURITY_PHASES
+        assert "resolve_name" not in SECURITY_PHASES
+        assert "find_replica" not in SECURITY_PHASES

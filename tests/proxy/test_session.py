@@ -1,0 +1,76 @@
+"""Secure sessions: binding establishment, caching, fetch verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.globedoc.urls import HybridUrl
+from repro.proxy.metrics import AccessTimer
+from repro.proxy.session import SecureSession
+from tests.proxy.conftest import ELEMENTS
+
+
+def make_session(stack, published, testbed, **kwargs) -> SecureSession:
+    timer = AccessTimer(testbed.clock)
+    bound = stack.binder.bind(HybridUrl.parse(published.url("index.html")), timer)
+    return SecureSession(binder=stack.binder, checker=stack.checker, bound=bound, **kwargs)
+
+
+class TestEstablish:
+    def test_establish_verifies_binding(self, stack, published, testbed):
+        session = make_session(stack, published, testbed)
+        verified = session.establish(AccessTimer(testbed.clock))
+        assert verified.oid == published.owner.oid
+        assert verified.public_key == published.owner.public_key
+        verified.integrity.verify_signature(published.owner.public_key)
+
+    def test_cached_binding_reused(self, stack, published, testbed):
+        session = make_session(stack, published, testbed)
+        t1 = AccessTimer(testbed.clock)
+        first = session.establish(t1)
+        t2 = AccessTimer(testbed.clock)
+        second = session.establish(t2)
+        assert first is second
+        assert t2.finish().total == 0.0  # no network activity on reuse
+
+    def test_uncached_repeats_exchange(self, stack, published, testbed):
+        session = make_session(stack, published, testbed, cache_binding=False)
+        session.fetch("index.html")
+        assert session.verified is None  # dropped after each fetch
+
+
+class TestFetch:
+    def test_fetch_verified_content(self, stack, published, testbed):
+        session = make_session(stack, published, testbed)
+        result = session.fetch("index.html")
+        assert result.content == ELEMENTS["index.html"]
+        assert result.metrics.total > 0
+        assert result.metrics.security_time > 0
+
+    def test_fetch_both_elements(self, stack, published, testbed):
+        session = make_session(stack, published, testbed)
+        assert session.fetch("img/logo.png").content == ELEMENTS["img/logo.png"]
+        assert session.fetch("index.html").content == ELEMENTS["index.html"]
+
+    def test_second_fetch_cheaper_with_cache(self, stack, published, testbed):
+        """The ~2 KB key+certificate exchange happens once per binding."""
+        session = make_session(stack, published, testbed)
+        first = session.fetch("index.html").metrics
+        second = session.fetch("index.html").metrics
+        assert second.total < first.total
+        assert second.phase_time("get_public_key") == 0.0
+        assert second.phase_time("get_integrity_certificate") == 0.0
+
+    def test_unknown_element_fails_consistency(self, stack, published, testbed):
+        from repro.errors import ConsistencyError, RpcError
+
+        session = make_session(stack, published, testbed)
+        with pytest.raises((ConsistencyError, RpcError)):
+            session.fetch("ghost.html")
+
+    def test_invalidate_forces_reestablish(self, stack, published, testbed):
+        session = make_session(stack, published, testbed)
+        session.fetch("index.html")
+        session.invalidate()
+        result = session.fetch("index.html")
+        assert result.metrics.phase_time("get_public_key") > 0

@@ -1,0 +1,82 @@
+"""Consistency models and staleness accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.replication.consistency import (
+    PushInvalidation,
+    StalenessTracker,
+    TtlConsistency,
+)
+from repro.sim.clock import SimClock
+
+
+class FakePush:
+    def __init__(self):
+        self.pushed = []
+
+    def __call__(self, site, document):
+        self.pushed.append((site, document))
+
+
+class TestPushInvalidation:
+    def test_pushes_everywhere(self, make_owner):
+        doc = make_owner().publish(validity=60)
+        push = FakePush()
+        updated = PushInvalidation().on_publish(doc, ["root/a", "root/b"], push)
+        assert updated == ["root/a", "root/b"]
+        assert [site for site, _ in push.pushed] == ["root/a", "root/b"]
+
+
+class TestTtlConsistency:
+    def test_pushes_nothing_by_default(self, make_owner):
+        doc = make_owner().publish(validity=60)
+        push = FakePush()
+        updated = TtlConsistency().on_publish(doc, ["root/a", "root/b"], push)
+        assert updated == []
+        assert push.pushed == []
+
+    def test_refresh_sites_pushed(self, make_owner):
+        doc = make_owner().publish(validity=60)
+        push = FakePush()
+        model = TtlConsistency(refresh_sites=("root/a",))
+        updated = model.on_publish(doc, ["root/a", "root/b"], push)
+        assert updated == ["root/a"]
+
+
+class TestStalenessTracker:
+    def test_fresh_serves(self):
+        clock = SimClock(0.0)
+        tracker = StalenessTracker(clock=clock)
+        tracker.on_publish(1)
+        tracker.on_serve(1)
+        assert tracker.fresh_serves == 1
+        assert tracker.stale_fraction == 0.0
+
+    def test_stale_serves_accumulate(self):
+        clock = SimClock(0.0)
+        tracker = StalenessTracker(clock=clock)
+        tracker.on_publish(1)
+        clock.advance(10.0)
+        tracker.on_publish(2)
+        clock.advance(5.0)
+        tracker.on_serve(1)  # v2 published 5 s ago → 5 s stale
+        assert tracker.stale_serves == 1
+        assert tracker.mean_staleness == pytest.approx(5.0)
+        assert tracker.stale_fraction == 1.0
+
+    def test_mixed(self):
+        clock = SimClock(0.0)
+        tracker = StalenessTracker(clock=clock)
+        tracker.on_publish(1)
+        tracker.on_publish(2)
+        tracker.on_serve(2)
+        tracker.on_serve(1)
+        assert tracker.serves == 2
+        assert tracker.stale_fraction == pytest.approx(0.5)
+
+    def test_no_serves(self):
+        tracker = StalenessTracker(clock=SimClock(0.0))
+        assert tracker.stale_fraction == 0.0
+        assert tracker.mean_staleness == 0.0

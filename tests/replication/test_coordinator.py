@@ -1,0 +1,182 @@
+"""The replication coordinator: placements driven by policies, end to
+end against real object servers, location service, and admin auth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.globedoc.element import PageElement
+from repro.globedoc.owner import DocumentOwner
+from repro.harness.experiment import HOST_SITE, Testbed
+from repro.net.address import Endpoint
+from repro.net.rpc import RpcClient
+from repro.location.service import LocationClient
+from repro.replication.coordinator import ReplicationCoordinator, SitePort
+from repro.replication.policy import PlacementAction, RequestObservation
+from repro.replication.strategies import HotspotReplication, NoReplication, StaticReplication
+from repro.server.admin import AdminClient
+from repro.server.objectserver import ObjectServer
+from tests.conftest import fast_keys
+
+SITES = {
+    "root/europe/vu": "ginger.cs.vu.nl",
+    "root/europe/inria": "canardo.inria.fr",
+    "root/us/cornell": "ensamble02.cornell.edu",
+}
+
+
+@pytest.fixture
+def world():
+    """A testbed with an object server at every site and a coordinator
+    authorised (via each keystore) to manage placements."""
+    testbed = Testbed()
+    owner = DocumentOwner("vu.nl/doc", keys=fast_keys(), clock=testbed.clock)
+    owner.put_element(PageElement("index.html", b"content"))
+    document = owner.publish(validity=3600)
+
+    servers = {}
+    rpc = RpcClient(testbed.network.transport_for("sporty.cs.vu.nl"))
+    location = LocationClient(
+        rpc, testbed.location_endpoint, origin_site="root/europe/vu", clock=testbed.clock
+    )
+    coordinator = ReplicationCoordinator(location)
+
+    for site, host in SITES.items():
+        if host == "ginger.cs.vu.nl":
+            server = testbed.object_server  # reuse the testbed's server
+        else:
+            server = ObjectServer(host=host, site=site, clock=testbed.clock)
+            testbed.network.register(
+                Endpoint(host, "objectserver"), server.rpc_server().handle_frame
+            )
+        server.keystore.authorize("owner", owner.public_key)
+        servers[site] = server
+        admin = AdminClient(
+            rpc, Endpoint(host, "objectserver"), owner.keys, testbed.clock
+        )
+        coordinator.add_site(SitePort(site=site, admin=admin))
+
+    return testbed, owner, document, servers, coordinator
+
+
+class TestManage:
+    def test_home_placement(self, world):
+        testbed, owner, document, servers, coordinator = world
+        managed = coordinator.manage(
+            owner, document, NoReplication(), home_site="root/europe/vu"
+        )
+        assert managed.sites == ["root/europe/vu"]
+        assert servers["root/europe/vu"].hosts_oid(owner.oid.hex)
+        # Location service knows the replica.
+        addresses, _ = testbed.location_service.tree.lookup(
+            owner.oid.hex, "root/europe/vu"
+        )
+        assert len(addresses) == 1
+
+    def test_static_initial_placement(self, world):
+        _, owner, document, servers, coordinator = world
+        policy = StaticReplication(sites=["root/us/cornell"])
+        managed = coordinator.manage(
+            owner, document, policy, home_site="root/europe/vu"
+        )
+        assert "root/us/cornell" in managed.sites
+        assert servers["root/us/cornell"].hosts_oid(owner.oid.hex)
+        assert managed.placements == 2
+
+    def test_unknown_home_site_rejected(self, world):
+        _, owner, document, _, coordinator = world
+        with pytest.raises(ReplicationError):
+            coordinator.manage(owner, document, NoReplication(), home_site="root/mars")
+
+
+class TestDynamicPlacement:
+    def test_hotspot_creates_and_destroys(self, world):
+        testbed, owner, document, servers, coordinator = world
+        policy = HotspotReplication(
+            create_rate=1.0, destroy_rate=0.1, window=10.0, max_replicas=3
+        )
+        coordinator.manage(owner, document, policy, home_site="root/europe/vu")
+
+        # Heat up Cornell: 15 requests over 5 simulated seconds.
+        for i in range(15):
+            coordinator.observe_request(
+                owner.oid,
+                RequestObservation(site="root/us/cornell", time=testbed.clock.now()),
+            )
+            testbed.clock.advance(0.33)
+        assert servers["root/us/cornell"].hosts_oid(owner.oid.hex)
+        managed = coordinator.document(owner.oid)
+        assert "root/us/cornell" in managed.sites
+
+        # Cool down: a lone request elsewhere much later.
+        testbed.clock.advance(100.0)
+        coordinator.observe_request(
+            owner.oid,
+            RequestObservation(site="root/europe/inria", time=testbed.clock.now()),
+        )
+        assert not servers["root/us/cornell"].hosts_oid(owner.oid.hex)
+        assert managed.removals == 1
+        # Location record pruned as well.
+        assert (
+            testbed.location_service.tree.addresses_at(
+                owner.oid.hex, "root/us/cornell"
+            )
+            == []
+        )
+
+    def test_clients_find_new_replica(self, world):
+        """After dynamic placement, a Cornell client binds locally."""
+        testbed, owner, document, servers, coordinator = world
+        policy = HotspotReplication(create_rate=1.0, destroy_rate=0.1, window=10.0)
+        coordinator.manage(owner, document, policy, home_site="root/europe/vu")
+        for i in range(15):
+            coordinator.observe_request(
+                owner.oid,
+                RequestObservation(site="root/us/cornell", time=testbed.clock.now()),
+            )
+            testbed.clock.advance(0.33)
+
+        testbed.naming.register(
+            __import__("repro.naming.records", fromlist=["OidRecord"]).OidRecord(
+                name=owner.name, oid=owner.oid
+            )
+        )
+        stack = testbed.client_stack("ensamble02.cornell.edu")
+        response = stack.proxy.handle(f"globe://vu.nl/doc!/index.html")
+        assert response.ok
+        assert response.content == b"content"
+
+    def test_destroy_home_rejected(self, world):
+        _, owner, document, _, coordinator = world
+        managed = coordinator.manage(
+            owner, document, NoReplication(), home_site="root/europe/vu"
+        )
+        with pytest.raises(ReplicationError):
+            coordinator._execute(managed, PlacementAction.destroy("root/europe/vu"))
+
+
+class TestUpdates:
+    def test_push_invalidation_updates_all_replicas(self, world):
+        testbed, owner, document, servers, coordinator = world
+        policy = StaticReplication(sites=["root/us/cornell", "root/europe/inria"])
+        coordinator.manage(owner, document, policy, home_site="root/europe/vu")
+
+        owner.put_element(PageElement("index.html", b"v2"))
+        new_doc = owner.publish(validity=3600)
+        updated = coordinator.publish_update(owner.oid, new_doc)
+        assert set(updated) == set(SITES)
+        for site, server in servers.items():
+            replica = server.replica_for_oid(owner.oid.hex)
+            assert replica.lr.get_element("index.html").content == b"v2"
+
+    def test_stale_update_rejected(self, world):
+        _, owner, document, _, coordinator = world
+        coordinator.manage(owner, document, NoReplication(), home_site="root/europe/vu")
+        with pytest.raises(ReplicationError):
+            coordinator.publish_update(owner.oid, document)  # same version
+
+    def test_unmanaged_document_rejected(self, world):
+        _, owner, document, _, coordinator = world
+        with pytest.raises(ReplicationError):
+            coordinator.publish_update(owner.oid, document)

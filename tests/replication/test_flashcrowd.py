@@ -1,0 +1,72 @@
+"""Flash-crowd detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.replication.flashcrowd import FlashCrowdDetector
+
+
+class TestValidation:
+    def test_windows(self):
+        with pytest.raises(ReplicationError):
+            FlashCrowdDetector(short_window=10.0, long_window=10.0)
+
+    def test_surge_factor(self):
+        with pytest.raises(ReplicationError):
+            FlashCrowdDetector(surge_factor=1.0)
+
+
+class TestDetection:
+    def make(self) -> FlashCrowdDetector:
+        return FlashCrowdDetector(
+            short_window=10.0, long_window=300.0, surge_factor=5.0, min_baseline=0.2
+        )
+
+    def test_quiet_traffic_no_event(self):
+        detector = self.make()
+        for i in range(10):
+            assert detector.observe(float(i * 30)) is None
+        assert not detector.active
+
+    def test_surge_fires_onset(self):
+        detector = self.make()
+        # Background: a request every 30 s.
+        t = 0.0
+        for i in range(10):
+            detector.observe(t)
+            t += 30.0
+        # Surge: 30 requests in 3 s (10 req/s >> 5 * baseline).
+        events = []
+        for i in range(30):
+            event = detector.observe(t + i * 0.1)
+            if event:
+                events.append(event)
+        assert any(e.kind == "onset" for e in events)
+        assert detector.active
+
+    def test_subsidence(self):
+        detector = self.make()
+        t = 0.0
+        for i in range(50):
+            detector.observe(t + i * 0.1)  # burst from time zero
+        assert detector.active
+        # Long quiet period, then one request → rate collapsed.
+        event = detector.observe(t + 200.0)
+        assert event is not None and event.kind == "subsided"
+        assert not detector.active
+
+    def test_hysteresis_no_flapping(self):
+        detector = self.make()
+        # A single spike at threshold boundary should not toggle twice.
+        events = [e for e in (detector.observe(i * 0.1) for i in range(100)) if e]
+        kinds = [e.kind for e in events]
+        assert kinds.count("onset") <= 1
+
+    def test_rates_passive(self):
+        detector = self.make()
+        detector.observe(0.0)
+        short, baseline = detector.rates(1.0)
+        assert short > 0
+        assert baseline >= 0.2

@@ -1,0 +1,50 @@
+"""Policy substrate: actions, sliding-window stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.replication.policy import (
+    ActionKind,
+    PlacementAction,
+    RequestObservation,
+    SiteStats,
+)
+
+
+class TestPlacementAction:
+    def test_constructors(self):
+        create = PlacementAction.create("root/x")
+        destroy = PlacementAction.destroy("root/y")
+        assert create.kind is ActionKind.CREATE and create.site == "root/x"
+        assert destroy.kind is ActionKind.DESTROY and destroy.site == "root/y"
+
+
+class TestSiteStats:
+    def test_rate_over_window(self):
+        stats = SiteStats(window=10.0)
+        for t in (0.0, 1.0, 2.0, 3.0):
+            stats.observe(t)
+        assert stats.count(3.0) == 4
+        assert stats.rate(3.0) == pytest.approx(0.4)
+
+    def test_old_requests_expire(self):
+        stats = SiteStats(window=10.0)
+        stats.observe(0.0)
+        stats.observe(20.0)
+        assert stats.count(20.0) == 1
+
+    def test_boundary_exactly_window_old(self):
+        stats = SiteStats(window=10.0)
+        stats.observe(0.0)
+        assert stats.count(10.0) == 1  # still inside [now-window, now]
+        assert stats.count(10.5) == 0
+
+    def test_empty(self):
+        assert SiteStats(window=5.0).rate(100.0) == 0.0
+
+
+class TestRequestObservation:
+    def test_fields(self):
+        obs = RequestObservation(site="root/x", time=1.5, bytes_served=100)
+        assert obs.site == "root/x" and obs.time == 1.5 and obs.bytes_served == 100

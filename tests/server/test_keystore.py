@@ -1,0 +1,41 @@
+"""The object-server keystore ACL."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AccessDenied
+from repro.server.keystore import Keystore
+
+
+class TestKeystore:
+    def test_authorize_and_check(self, shared_keys):
+        ks = Keystore()
+        assert not ks.is_authorized(shared_keys.public)
+        ks.authorize("owner-a", shared_keys.public)
+        assert ks.is_authorized(shared_keys.public)
+        assert ks.label_of(shared_keys.public) == "owner-a"
+
+    def test_unknown_key_denied(self, shared_keys):
+        with pytest.raises(AccessDenied):
+            Keystore().label_of(shared_keys.public)
+
+    def test_revoke(self, shared_keys):
+        ks = Keystore()
+        ks.authorize("owner-a", shared_keys.public)
+        ks.revoke(shared_keys.public)
+        assert not ks.is_authorized(shared_keys.public)
+        ks.revoke(shared_keys.public)  # idempotent
+
+    def test_relabel(self, shared_keys):
+        ks = Keystore()
+        ks.authorize("old", shared_keys.public)
+        ks.authorize("new", shared_keys.public)
+        assert ks.label_of(shared_keys.public) == "new"
+        assert len(ks) == 1
+
+    def test_labels_sorted(self, shared_keys, other_keys):
+        ks = Keystore()
+        ks.authorize("zeta", shared_keys.public)
+        ks.authorize("alpha", other_keys.public)
+        assert ks.labels == ["alpha", "zeta"]

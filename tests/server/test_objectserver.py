@@ -1,0 +1,107 @@
+"""Object server: replica lifecycle, ownership, data surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AccessDenied, ReplicaError
+from repro.globedoc.element import PageElement
+from repro.server.objectserver import ObjectServer
+from tests.conftest import fast_keys
+
+
+@pytest.fixture
+def server(clock):
+    return ObjectServer(host="ginger", site="root/europe/vu", clock=clock)
+
+
+@pytest.fixture
+def signed_doc(make_owner):
+    owner = make_owner("vu.nl/doc", {"index.html": b"content", "a.png": b"img"})
+    return owner, owner.publish(validity=3600)
+
+
+class TestLifecycle:
+    def test_create_replica(self, server, signed_doc):
+        owner, doc = signed_doc
+        hosted = server.create_replica(doc, owner.public_key, "owner")
+        assert server.replica_count == 1
+        assert server.hosts_oid(doc.oid.hex)
+        assert hosted.lr.get_element("index.html").content == b"content"
+
+    def test_duplicate_rejected(self, server, signed_doc):
+        owner, doc = signed_doc
+        server.create_replica(doc, owner.public_key, "owner")
+        with pytest.raises(ReplicaError):
+            server.create_replica(doc, owner.public_key, "owner")
+
+    def test_contact_address(self, server, signed_doc):
+        owner, doc = signed_doc
+        hosted = server.create_replica(doc, owner.public_key, "owner")
+        address = server.contact_address(doc.oid.hex)
+        assert address.replica_id == hosted.replica_id
+        assert address.endpoint == server.endpoint
+
+    def test_contact_address_missing(self, server):
+        with pytest.raises(ReplicaError):
+            server.contact_address("00" * 20)
+
+    def test_destroy_by_creator(self, server, signed_doc):
+        owner, doc = signed_doc
+        hosted = server.create_replica(doc, owner.public_key, "owner")
+        server.destroy_replica(hosted.replica_id, owner.public_key)
+        assert server.replica_count == 0
+        assert not server.hosts_oid(doc.oid.hex)
+
+    def test_destroy_by_other_denied(self, server, signed_doc):
+        """§4: each entity is allowed to manage only the replicas it
+        creates — including destruction."""
+        owner, doc = signed_doc
+        hosted = server.create_replica(doc, owner.public_key, "owner")
+        stranger = fast_keys()
+        with pytest.raises(AccessDenied):
+            server.destroy_replica(hosted.replica_id, stranger.public)
+        assert server.replica_count == 1
+
+    def test_destroy_missing(self, server, shared_keys):
+        with pytest.raises(ReplicaError):
+            server.destroy_replica("ghost", shared_keys.public)
+
+    def test_update_replica(self, server, signed_doc, make_owner):
+        owner, doc = signed_doc
+        server.create_replica(doc, owner.public_key, "owner")
+        owner.put_element(PageElement("index.html", b"v2"))
+        doc2 = owner.publish(validity=3600)
+        hosted = server.update_replica(doc2, owner.public_key)
+        assert hosted.lr.get_element("index.html").content == b"v2"
+        assert hosted.lr.version == 2
+
+    def test_update_by_other_denied(self, server, signed_doc):
+        owner, doc = signed_doc
+        server.create_replica(doc, owner.public_key, "owner")
+        with pytest.raises(AccessDenied):
+            server.update_replica(doc, fast_keys().public)
+
+
+class TestDataSurface:
+    def test_rpc_surface(self, server, signed_doc):
+        owner, doc = signed_doc
+        hosted = server.create_replica(doc, owner.public_key, "owner")
+        rid = hosted.replica_id
+        assert bytes(server.rpc_get_public_key(rid)) == owner.public_key.der
+        assert server.rpc_list_elements(rid) == ["a.png", "index.html"]
+        element = server.rpc_get_element(rid, "a.png")
+        assert bytes(element["content"]) == b"img"
+        cert = server.rpc_get_integrity_certificate(rid)
+        assert cert["cert_type"] == "globedoc/integrity"
+
+    def test_serve_counters(self, server, signed_doc):
+        owner, doc = signed_doc
+        hosted = server.create_replica(doc, owner.public_key, "owner")
+        server.rpc_get_element(hosted.replica_id, "index.html")
+        assert hosted.lr.serve_count == 1
+        assert hosted.lr.bytes_served == len(b"content")
+
+    def test_unknown_replica(self, server):
+        with pytest.raises(ReplicaError):
+            server.rpc_get_element("ghost", "x")

@@ -1,0 +1,56 @@
+"""Clock semantics: monotonic simulated time, protocol conformance."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.sim.clock import Clock, RealClock, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_given_time(self):
+        assert SimClock(42.0).now() == 42.0
+
+    def test_advance(self):
+        clock = SimClock(10.0)
+        assert clock.advance(5.0) == 15.0
+        assert clock.now() == 15.0
+
+    def test_advance_zero_allowed(self):
+        clock = SimClock(1.0)
+        clock.advance(0.0)
+        assert clock.now() == 1.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to(self):
+        clock = SimClock(5.0)
+        clock.advance_to(9.0)
+        assert clock.now() == 9.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+
+    def test_advance_to_same_time_allowed(self):
+        clock = SimClock(5.0)
+        clock.advance_to(5.0)
+        assert clock.now() == 5.0
+
+    def test_protocol_conformance(self):
+        assert isinstance(SimClock(), Clock)
+        assert isinstance(RealClock(), Clock)
+
+
+class TestRealClock:
+    def test_tracks_wall_time(self):
+        clock = RealClock()
+        before = time.time()
+        observed = clock.now()
+        after = time.time()
+        assert before <= observed <= after

@@ -1,0 +1,115 @@
+"""Discrete-event scheduler: ordering, cancellation, reentrancy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventScheduler
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sched = EventScheduler()
+        log = []
+        sched.at(3.0, lambda: log.append("c"))
+        sched.at(1.0, lambda: log.append("a"))
+        sched.at(2.0, lambda: log.append("b"))
+        sched.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_in_submission_order(self):
+        sched = EventScheduler()
+        log = []
+        for tag in ("first", "second", "third"):
+            sched.at(1.0, lambda t=tag: log.append(t))
+        sched.run()
+        assert log == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        sched = EventScheduler(SimClock(0.0))
+        seen = []
+        sched.at(5.0, lambda: seen.append(sched.clock.now()))
+        sched.run()
+        assert seen == [5.0]
+
+    def test_after_is_relative(self):
+        sched = EventScheduler(SimClock(100.0))
+        seen = []
+        sched.after(2.5, lambda: seen.append(sched.clock.now()))
+        sched.run()
+        assert seen == [102.5]
+
+    def test_scheduling_in_past_rejected(self):
+        sched = EventScheduler(SimClock(10.0))
+        with pytest.raises(ValueError):
+            sched.at(9.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(ValueError):
+            sched.after(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sched = EventScheduler()
+        log = []
+        event = sched.at(1.0, lambda: log.append("x"))
+        event.cancel()
+        sched.run()
+        assert log == []
+        assert sched.processed == 0
+
+
+class TestReentrancy:
+    def test_events_can_schedule_events(self):
+        sched = EventScheduler()
+        log = []
+
+        def first():
+            log.append("first")
+            sched.after(1.0, lambda: log.append("second"))
+
+        sched.at(1.0, first)
+        sched.run()
+        assert log == ["first", "second"]
+        assert sched.clock.now() == 2.0
+
+    def test_chain_of_events(self):
+        sched = EventScheduler()
+        counter = {"n": 0}
+
+        def tick():
+            counter["n"] += 1
+            if counter["n"] < 5:
+                sched.after(1.0, tick)
+
+        sched.after(1.0, tick)
+        sched.run()
+        assert counter["n"] == 5
+        assert sched.clock.now() == 5.0
+
+
+class TestRunBounds:
+    def test_run_until(self):
+        sched = EventScheduler()
+        log = []
+        sched.at(1.0, lambda: log.append(1))
+        sched.at(5.0, lambda: log.append(5))
+        executed = sched.run(until=3.0)
+        assert executed == 1
+        assert log == [1]
+        # Clock parked exactly at the horizon.
+        assert sched.clock.now() == 3.0
+        assert sched.pending == 1
+
+    def test_run_max_events(self):
+        sched = EventScheduler()
+        for i in range(10):
+            sched.at(float(i + 1), lambda: None)
+        assert sched.run(max_events=4) == 4
+        assert sched.pending == 6
+
+    def test_step_on_empty_queue(self):
+        assert EventScheduler().step() is False

@@ -1,0 +1,57 @@
+"""Size constants and formatting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.sizes import KB, MB, format_size, parse_size
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, "0B"),
+            (512, "512B"),
+            (KB, "1KB"),
+            (10 * KB, "10KB"),
+            (300 * KB, "300KB"),
+            (MB, "1MB"),
+            (5 * MB, "5MB"),
+        ],
+    )
+    def test_exact_multiples(self, value, expected):
+        assert format_size(value) == expected
+
+    def test_fractional_kb(self):
+        assert format_size(1536) == "1.5KB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_size(-1)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1KB", KB),
+            ("1 kb", KB),
+            ("1MB", MB),
+            ("512", 512),
+            ("512B", 512),
+            ("1.5KB", 1536),
+        ],
+    )
+    def test_values(self, text, expected):
+        assert parse_size(text) == expected
+
+    @given(st.integers(min_value=0, max_value=10 * MB))
+    def test_roundtrip_through_format(self, n):
+        # format_size is lossy for fractional displays, but exact
+        # multiples and raw bytes must round-trip.
+        formatted = format_size(n)
+        if formatted.endswith(("KB", "MB", "B")) and "." not in formatted:
+            assert parse_size(formatted) == n

@@ -1,0 +1,63 @@
+"""Statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import geometric_mean, percentile, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+
+    def test_single_sample(self):
+        s = summarize([7.0])
+        assert s.mean == s.median == s.minimum == s.maximum == 7.0
+        assert s.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_bounds_invariant(self, samples):
+        s = summarize(samples)
+        eps = 1e-6  # float accumulation slack in the mean
+        assert s.minimum <= s.median <= s.maximum
+        assert s.minimum - eps <= s.mean <= s.maximum + eps
+        assert s.minimum <= s.p95 <= s.maximum
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, samples):
+        g = geometric_mean(samples)
+        assert min(samples) - 1e-9 <= g <= max(samples) + 1e-9

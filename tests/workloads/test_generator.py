@@ -1,0 +1,82 @@
+"""Content generation: determinism, sizes, website structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.globedoc.links import extract_links, intra_object_links
+from repro.workloads.generator import (
+    WebsiteSpec,
+    make_content,
+    make_document_owner,
+    make_element,
+    make_website,
+)
+from repro.workloads.sizes import ObjectSpec, fig567_objects
+from repro.sim.random import make_rng
+
+
+class TestContent:
+    def test_size_exact(self):
+        assert len(make_content(12345, make_rng(0))) == 12345
+
+    def test_deterministic(self):
+        assert make_content(100, make_rng(7)) == make_content(100, make_rng(7))
+
+    def test_seed_sensitivity(self):
+        assert make_content(100, make_rng(1)) != make_content(100, make_rng(2))
+
+    def test_empty(self):
+        assert make_content(0) == b""
+
+    def test_not_trivially_compressible(self):
+        import zlib
+
+        data = make_content(10000, make_rng(0))
+        assert len(zlib.compress(data)) > 9000  # near-incompressible
+
+
+class TestDocumentFromSpec:
+    def test_builds_all_elements(self, clock):
+        spec = fig567_objects()[0]
+        owner = make_document_owner(spec, seed=3, clock=clock)
+        assert sorted(owner.element_names()) == sorted(spec.element_names)
+
+    def test_reproducible_across_builds(self, clock):
+        spec = ObjectSpec(name="vu.nl/x", elements=(("a.bin", 512), ("b.bin", 256)))
+        owner1 = make_document_owner(spec, seed=9, clock=clock)
+        owner2 = make_document_owner(spec, seed=9, clock=clock)
+        doc1, doc2 = owner1.publish(validity=10), owner2.publish(validity=10)
+        # Different keys (unique OIDs) but identical content bytes.
+        assert doc1.oid != doc2.oid
+        assert doc1.elements["a.bin"].content == doc2.elements["a.bin"].content
+
+    def test_per_element_decorrelated(self, clock):
+        spec = ObjectSpec(name="vu.nl/x", elements=(("a.bin", 512), ("b.bin", 512)))
+        owner = make_document_owner(spec, seed=9, clock=clock)
+        doc = owner.publish(validity=10)
+        assert doc.elements["a.bin"].content != doc.elements["b.bin"].content
+
+
+class TestWebsite:
+    def test_structure(self, clock):
+        spec = WebsiteSpec(site_name="vu.nl", pages=4, links_per_page=2, images_per_page=3)
+        owners = make_website(spec, seed=1, clock=clock)
+        assert len(owners) == 4
+        for owner in owners:
+            names = owner.element_names()
+            assert "index.html" in names
+            assert len([n for n in names if n.startswith("img/")]) == 3
+
+    def test_links_present(self, clock):
+        owners = make_website(WebsiteSpec(site_name="vu.nl", pages=3), seed=1, clock=clock)
+        html = owners[0]._elements["index.html"].content.decode()
+        links = extract_links(html)
+        # 2 page links + 2 images by default.
+        assert len(links) == 4
+        assert len(intra_object_links(html)) == 2  # the images are relative
+
+    def test_publishable(self, clock):
+        owners = make_website(WebsiteSpec(site_name="vu.nl", pages=2), seed=1, clock=clock)
+        for owner in owners:
+            owner.publish(validity=60).state().validate()

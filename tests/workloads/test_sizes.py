@@ -1,0 +1,72 @@
+"""The paper's workload specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.util.sizes import KB, MB
+from repro.workloads.sizes import (
+    FIG4_ELEMENT_SIZES,
+    ObjectSpec,
+    fig4_objects,
+    fig567_objects,
+    validate_spec,
+)
+
+
+class TestFig4Objects:
+    def test_paper_sizes(self):
+        assert FIG4_ELEMENT_SIZES == (KB, 10 * KB, 100 * KB, 300 * KB, 600 * KB, MB)
+
+    def test_single_element_each(self):
+        for spec in fig4_objects():
+            assert len(spec.elements) == 1
+            assert spec.elements[0][0] == "image.png"
+
+
+class TestFig567Objects:
+    def test_three_objects(self):
+        specs = fig567_objects()
+        assert len(specs) == 3
+
+    def test_paper_totals(self):
+        """§4: totals of 15 KB, 105 KB and 1005 KB."""
+        totals = [spec.total_size for spec in fig567_objects()]
+        assert totals == [15 * KB, 105 * KB, 1005 * KB]
+
+    def test_eleven_elements_each(self):
+        for spec in fig567_objects():
+            assert len(spec.elements) == 11
+
+    def test_text_file_is_5kb(self):
+        for spec in fig567_objects():
+            text = dict(spec.elements)["story.txt"]
+            assert text == 5 * KB
+
+    def test_ten_equal_images(self):
+        for spec, img_size in zip(fig567_objects(), (KB, 10 * KB, 100 * KB)):
+            images = [s for n, s in spec.elements if n != "story.txt"]
+            assert len(images) == 10
+            assert all(s == img_size for s in images)
+
+
+class TestValidation:
+    def test_valid(self):
+        validate_spec(ObjectSpec(name="x", elements=(("a", 1),)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            validate_spec(ObjectSpec(name="x", elements=()))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(WorkloadError):
+            validate_spec(ObjectSpec(name="x", elements=(("a", 1), ("a", 2))))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            validate_spec(ObjectSpec(name="x", elements=(("a", -1),)))
+
+    def test_label(self):
+        spec = ObjectSpec(name="vu.nl/x", elements=(("a", KB),))
+        assert "1KB" in spec.label

@@ -1,0 +1,87 @@
+"""Request traces: distributions, determinism, flash-crowd injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.trace import (
+    TraceConfig,
+    generate_trace,
+    inject_flash_crowd,
+)
+
+DOCS = ("doc-a", "doc-b", "doc-c", "doc-d")
+SITES = ("root/x", "root/y")
+
+
+def make_config(**kwargs) -> TraceConfig:
+    defaults = dict(documents=DOCS, sites=SITES, duration=600.0, rate=5.0, seed=11)
+    defaults.update(kwargs)
+    return TraceConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_requires_documents(self):
+        with pytest.raises(WorkloadError):
+            TraceConfig(documents=(), sites=SITES)
+
+    def test_requires_sites(self):
+        with pytest.raises(WorkloadError):
+            TraceConfig(documents=DOCS, sites=())
+
+    def test_positive_rate(self):
+        with pytest.raises(WorkloadError):
+            make_config(rate=0)
+
+    def test_zipf_bound(self):
+        with pytest.raises(WorkloadError):
+            make_config(zipf_s=1.0)
+
+    def test_weights_length(self):
+        with pytest.raises(WorkloadError):
+            make_config(site_weights=(1.0,))
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        assert generate_trace(make_config()) == generate_trace(make_config())
+
+    def test_time_ordered_and_bounded(self):
+        trace = generate_trace(make_config())
+        times = [e.time for e in trace]
+        assert times == sorted(times)
+        assert all(0 <= t <= 600.0 for t in times)
+
+    def test_expected_volume(self):
+        trace = generate_trace(make_config())
+        # Poisson(3000): within 5 sigma.
+        assert abs(len(trace) - 3000) < 5 * np.sqrt(3000)
+
+    def test_zipf_skew(self):
+        trace = generate_trace(make_config(zipf_s=1.5))
+        counts = {d: 0 for d in DOCS}
+        for event in trace:
+            counts[event.document] += 1
+        assert counts["doc-a"] > counts["doc-d"]
+
+    def test_site_weights(self):
+        trace = generate_trace(make_config(site_weights=(0.9, 0.1)))
+        x = sum(1 for e in trace if e.site == "root/x")
+        assert x > len(trace) * 0.8
+
+
+class TestFlashCrowd:
+    def test_injection_adds_burst(self):
+        base = generate_trace(make_config(rate=1.0))
+        merged = inject_flash_crowd(
+            base, document="doc-a", site="root/x", start=100.0, duration=20.0, rate=50.0
+        )
+        burst = [e for e in merged if 100.0 <= e.time < 120.0 and e.document == "doc-a"]
+        assert len(burst) > 800  # ~1000 expected
+        assert [e.time for e in merged] == sorted(e.time for e in merged)
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            inject_flash_crowd([], "d", "s", start=0, duration=0, rate=1)
