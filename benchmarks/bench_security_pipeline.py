@@ -56,6 +56,67 @@ def test_certificate_signature_check(benchmark, object_keys, oid):
     benchmark(lambda: cert.verify_signature(object_keys.public))
 
 
+def test_certificate_signature_check_cached(benchmark, object_keys, oid):
+    """The same check through a warm VerificationCache — the fast path
+    that amortizes RSA across repeated accesses (§4)."""
+    from repro.crypto.verifycache import VerificationCache
+
+    elements = [PageElement(f"e{i}.png", bytes([i]) * 64) for i in range(11)]
+    cert = IntegrityCertificate.for_elements(
+        object_keys, oid.hex, elements, expires_at=1e12
+    )
+    cache = VerificationCache()
+    cert.verify_signature(object_keys.public, cache=cache)
+    benchmark(lambda: cert.verify_signature(object_keys.public, cache=cache))
+    assert cache.stats.hits > 0
+
+
+def test_envelope_reparse_cold(benchmark, object_keys, oid):
+    """Parsing a certificate off the wire with the intern pool defeated:
+    every round trip re-validates and re-builds the envelope."""
+    from repro.crypto.signing import SignedEnvelope
+
+    elements = [PageElement(f"e{i}.png", bytes([i]) * 64) for i in range(11)]
+    cert = IntegrityCertificate.for_elements(
+        object_keys, oid.hex, elements, expires_at=1e12
+    )
+    wire = cert.to_dict()
+
+    def cold():
+        SignedEnvelope.clear_intern_pool()
+        return IntegrityCertificate.from_dict(wire)
+
+    benchmark(cold)
+    SignedEnvelope.clear_intern_pool()
+
+
+def test_envelope_reparse_interned(benchmark, object_keys, oid):
+    """The same parse when the intern pool is warm: the prior instance
+    (with its memoized encoding and digests) is returned."""
+    from repro.crypto.signing import SignedEnvelope
+
+    elements = [PageElement(f"e{i}.png", bytes([i]) * 64) for i in range(11)]
+    cert = IntegrityCertificate.for_elements(
+        object_keys, oid.hex, elements, expires_at=1e12
+    )
+    wire = cert.to_dict()
+    SignedEnvelope.clear_intern_pool()
+    IntegrityCertificate.from_dict(wire)
+    benchmark(lambda: IntegrityCertificate.from_dict(wire))
+    SignedEnvelope.clear_intern_pool()
+
+
+def test_wire_size_memoized(benchmark, object_keys, oid):
+    """Transfer-accounting loops read wire_size repeatedly; it now costs
+    one dict lookup after the first serialization."""
+    elements = [PageElement(f"e{i}.png", bytes([i]) * 64) for i in range(11)]
+    cert = IntegrityCertificate.for_elements(
+        object_keys, oid.hex, elements, expires_at=1e12
+    )
+    _ = cert.wire_size
+    benchmark(lambda: cert.wire_size)
+
+
 def test_owner_publish_11_elements(benchmark, object_keys):
     """Owner-side cost of signing the paper's 11-element object."""
     from repro.globedoc.owner import DocumentOwner

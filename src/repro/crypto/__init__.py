@@ -17,6 +17,7 @@ from repro.crypto.identity import (
     TrustStore,
 )
 from repro.crypto.merkle import MerkleTree, MerkleProof
+from repro.crypto.verifycache import VerificationCache, VerifyCacheStats
 
 __all__ = [
     "KeyPair",
@@ -35,4 +36,6 @@ __all__ = [
     "TrustStore",
     "MerkleTree",
     "MerkleProof",
+    "VerificationCache",
+    "VerifyCacheStats",
 ]

@@ -10,13 +10,16 @@ signature handling, expiry checks, and wire encoding in one place.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Mapping, Optional
 
 from repro.crypto.hashes import HashSuite, SHA1
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.crypto.signing import SignedEnvelope
 from repro.errors import CertificateError
 from repro.sim.clock import Clock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.crypto.verifycache import VerificationCache
 
 __all__ = ["Certificate"]
 
@@ -80,9 +83,13 @@ class Certificate:
         key: PublicKey,
         clock: Optional[Clock] = None,
         expected_type: Optional[str] = None,
+        cache: Optional["VerificationCache"] = None,
     ) -> Mapping[str, Any]:
         """Check signature, type, and validity window; return the body.
 
+        With a *cache*, the RSA verification is memoized (cache entries
+        expire with the certificate's ``not_after``); every other check
+        — type, field/envelope match, validity window — always runs.
         Raises :class:`~repro.errors.CertificateError` on any failure.
         """
         if expected_type is not None and self.cert_type != expected_type:
@@ -90,7 +97,12 @@ class Certificate:
                 f"certificate type {self.cert_type!r} != expected {expected_type!r}"
             )
         try:
-            payload = self.envelope.verify(key)
+            payload = self.envelope.verify(
+                key,
+                cache=cache,
+                now=clock.now() if clock is not None else None,
+                expires_at=self.not_after,
+            )
         except Exception as exc:
             raise CertificateError(f"certificate signature invalid: {exc}") from exc
         # Defend against field/envelope mismatch: the authoritative values
@@ -140,7 +152,18 @@ class Certificate:
 
     @property
     def wire_size(self) -> int:
-        """Approximate serialized size (bytes), for transfer accounting."""
-        from repro.util.encoding import canonical_bytes
+        """Approximate serialized size (bytes), for transfer accounting.
 
-        return len(canonical_bytes(self.to_dict()))
+        Memoized: the certificate is frozen, so the encoding cannot
+        change after construction.
+        """
+        from repro.util.encoding import ENCODE_COUNTERS, canonical_bytes
+
+        cached = self.__dict__.get("_wire_size")
+        if cached is not None:
+            ENCODE_COUNTERS.hit()
+            return cached
+        ENCODE_COUNTERS.miss()
+        size = len(canonical_bytes(self.to_dict()))
+        self.__dict__["_wire_size"] = size
+        return size

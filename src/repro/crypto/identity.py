@@ -12,13 +12,16 @@ that list and displays the certified name ("Certified as:" window).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Mapping, Optional
 
 from repro.crypto.certificates import Certificate
 from repro.crypto.hashes import HashSuite, SHA1
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.errors import CertificateError
 from repro.sim.clock import Clock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.crypto.verifycache import VerificationCache
 
 __all__ = ["CertificateAuthority", "IdentityCertificate", "TrustStore"]
 
@@ -82,13 +85,16 @@ class IdentityCertificate:
         issuer_key: PublicKey,
         clock: Optional[Clock] = None,
         expected_subject_key: Optional[PublicKey] = None,
+        cache: Optional["VerificationCache"] = None,
     ) -> str:
         """Validate against the *trusted* issuer key; return the subject name.
 
         ``issuer_key`` must come from the user's trust store, never from
         the certificate itself (the embedded issuer key is informational).
         """
-        self.certificate.verify(issuer_key, clock=clock, expected_type=IDENTITY_CERT_TYPE)
+        self.certificate.verify(
+            issuer_key, clock=clock, expected_type=IDENTITY_CERT_TYPE, cache=cache
+        )
         if expected_subject_key is not None and self.subject_key != expected_subject_key:
             raise CertificateError(
                 "identity certificate subject key does not match the object key"
@@ -181,19 +187,27 @@ class TrustStore:
         certificates: Iterable[IdentityCertificate],
         clock: Optional[Clock] = None,
         expected_subject_key: Optional[PublicKey] = None,
+        cache: Optional["VerificationCache"] = None,
     ) -> Optional[IdentityCertificate]:
         """Return the first certificate issued by a trusted CA that verifies.
 
         Mirrors §3.1.2: "For the first match found, the proxy displays
         the naming information in the certificate." Certificates from
-        unknown CAs or failing verification are skipped, not fatal.
+        unknown CAs or failing verification are skipped, not fatal. With
+        a *cache*, repeated matching of the same certificate skips the
+        RSA operation (the validity window is still checked each time).
         """
         for cert in certificates:
             key = self._cas.get(cert.issuer_name)
             if key is None:
                 continue
             try:
-                cert.verify(key, clock=clock, expected_subject_key=expected_subject_key)
+                cert.verify(
+                    key,
+                    clock=clock,
+                    expected_subject_key=expected_subject_key,
+                    cache=cache,
+                )
             except CertificateError:
                 continue
             return cert

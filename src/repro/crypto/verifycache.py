@@ -1,0 +1,275 @@
+"""Memoization of successful RSA signature verifications.
+
+The paper's evaluation (§4, Figs. 5–7) shows that client-side security
+checks — above all the RSA verification of the integrity certificate —
+dominate GlobeDoc access latency, and argues the cost must be
+*amortized* across requests for the model to be practical. This module
+is that amortization, made explicit and bounded.
+
+Safety argument
+---------------
+A signature is a pure function of ``(public key, hash suite, payload
+bytes, signature bytes)``: for a fixed tuple the verdict can never
+change. The cache therefore keys entries on exactly that tuple —
+``(key fingerprint, suite name, payload digest, signature)`` — and
+stores **only successful** verifications. Any change to the payload
+changes its digest, any change to the signature or key changes the key
+tuple, so a tampered input can never produce a hit; it falls through to
+the real RSA operation, which fails closed. Failed verifications are
+never cached (a retry must re-pay the RSA cost), and the cache skips
+*only* the RSA operation — certificate validity windows, type checks,
+OID matches, element hashes and freshness checks always run.
+
+Entries carry an optional expiry (the certificate's ``not_after``):
+a hit past expiry is refused and the entry evicted, so a long-lived
+proxy does not replay verdicts for certificates it should re-examine.
+Both an entry count and a byte budget bound the cache (LRU eviction).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.crypto.hashes import HashSuite, SHA256
+from repro.crypto.keys import PublicKey
+
+__all__ = ["VerificationCache", "VerifyCacheStats"]
+
+#: Rough per-entry bookkeeping overhead (key tuple, OrderedDict node).
+_ENTRY_OVERHEAD = 96
+
+
+@dataclass
+class VerifyCacheStats:
+    """Running counters of one :class:`VerificationCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    #: Real seconds of RSA work skipped by hits (each entry remembers
+    #: what its original miss cost; a hit re-credits that amount).
+    saved_seconds: float = 0.0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    @property
+    def saved_us(self) -> float:
+        """Microseconds of RSA compute avoided (for metrics surfaces)."""
+        return self.saved_seconds * 1e6
+
+    def snapshot(self) -> Tuple[int, int, float]:
+        return (self.hits, self.misses, self.saved_seconds)
+
+
+@dataclass(frozen=True)
+class _Entry:
+    nbytes: int
+    cost_seconds: float
+    expires_at: Optional[float]
+
+
+class VerificationCache:
+    """LRU memo of successful signature verifications.
+
+    ``max_entries`` and ``max_bytes`` both bound the cache; whichever is
+    hit first triggers LRU eviction. ``digest_suite`` is the hash used
+    to key payloads and key fingerprints *inside the cache* — it is
+    independent of the signature's own suite (which is part of the key
+    tuple, so the same payload under SHA-1 and SHA-256 signatures
+    occupies two distinct entries).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        max_bytes: int = 4 * 1024 * 1024,
+        digest_suite: HashSuite = SHA256,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.digest_suite = digest_suite
+        self.stats = VerifyCacheStats()
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        self._bytes = 0
+
+    # ------------------------------------------------------------------
+    # Key construction
+    # ------------------------------------------------------------------
+
+    def _key(
+        self,
+        key: PublicKey,
+        signature: bytes,
+        payload: bytes,
+        suite: HashSuite,
+        payload_digest: Optional[bytes] = None,
+    ) -> tuple:
+        if payload_digest is None:
+            payload_digest = self.digest_suite.digest(payload)
+        return (
+            key.fingerprint(self.digest_suite),
+            suite.name,
+            payload_digest,
+            bytes(signature),
+        )
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def lookup(
+        self,
+        key: PublicKey,
+        signature: bytes,
+        payload: bytes,
+        suite: HashSuite,
+        now: Optional[float] = None,
+        payload_digest: Optional[bytes] = None,
+    ) -> bool:
+        """True iff this exact verification already succeeded (and the
+        entry has not passed its certificate expiry).
+
+        ``payload_digest`` lets callers that already hold the payload's
+        ``digest_suite`` digest (e.g. a memoizing envelope) skip the
+        re-hash; it MUST be the digest of *payload* under
+        :attr:`digest_suite` or tamper evidence is lost.
+        """
+        cache_key = self._key(key, signature, payload, suite, payload_digest)
+        entry = self._entries.get(cache_key)
+        if entry is None:
+            self.stats.misses += 1
+            return False
+        if (
+            entry.expires_at is not None
+            and now is not None
+            and now > entry.expires_at
+        ):
+            self._evict(cache_key)
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return False
+        self._entries.move_to_end(cache_key)
+        self.stats.hits += 1
+        self.stats.saved_seconds += entry.cost_seconds
+        return True
+
+    def record(
+        self,
+        key: PublicKey,
+        signature: bytes,
+        payload: bytes,
+        suite: HashSuite,
+        cost_seconds: float = 0.0,
+        expires_at: Optional[float] = None,
+        payload_digest: Optional[bytes] = None,
+    ) -> None:
+        """Remember a verification that just *succeeded*.
+
+        Callers must only invoke this after the real RSA operation
+        passed — the cache itself never verifies anything on record.
+        """
+        cache_key = self._key(key, signature, payload, suite, payload_digest)
+        self._evict(cache_key)
+        nbytes = (
+            sum(len(part) for part in cache_key[:1] + cache_key[2:])
+            + len(suite.name)
+            + _ENTRY_OVERHEAD
+        )
+        if nbytes > self.max_bytes:
+            return
+        while self._entries and (
+            len(self._entries) >= self.max_entries
+            or self._bytes + nbytes > self.max_bytes
+        ):
+            self._evict(next(iter(self._entries)))
+            self.stats.evictions += 1
+        self._entries[cache_key] = _Entry(
+            nbytes=nbytes, cost_seconds=max(cost_seconds, 0.0), expires_at=expires_at
+        )
+        self._bytes += nbytes
+
+    def verify(
+        self,
+        key: PublicKey,
+        signature: bytes,
+        payload: bytes,
+        suite: HashSuite,
+        now: Optional[float] = None,
+        expires_at: Optional[float] = None,
+        payload_digest: Optional[bytes] = None,
+    ) -> bool:
+        """The fast path: replay a memoized verdict or run the real RSA.
+
+        Returns True on a cache hit, False when the real operation ran
+        (and succeeded). Raises :class:`~repro.errors.SignatureError`
+        exactly as :meth:`PublicKey.verify` would on a bad signature —
+        in which case nothing is recorded.
+        """
+        if self.lookup(key, signature, payload, suite, now=now, payload_digest=payload_digest):
+            return True
+        start = time.perf_counter()
+        key.verify(signature, payload, suite=suite)
+        cost = time.perf_counter() - start
+        self.record(
+            key,
+            signature,
+            payload,
+            suite,
+            cost_seconds=cost,
+            expires_at=expires_at,
+            payload_digest=payload_digest,
+        )
+        return False
+
+    # ------------------------------------------------------------------
+    # Invalidation and bookkeeping
+    # ------------------------------------------------------------------
+
+    def invalidate_expired(self, now: float) -> int:
+        """Drop every entry whose certificate expiry has passed."""
+        doomed = [
+            cache_key
+            for cache_key, entry in self._entries.items()
+            if entry.expires_at is not None and now > entry.expires_at
+        ]
+        for cache_key in doomed:
+            self._evict(cache_key)
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def _evict(self, cache_key: tuple) -> None:
+        entry = self._entries.pop(cache_key, None)
+        if entry is not None:
+            self._bytes -= entry.nbytes
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VerificationCache({len(self._entries)} entries, "
+            f"{self._bytes}B, hit_rate={self.stats.hit_rate:.2f})"
+        )

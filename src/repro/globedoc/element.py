@@ -85,6 +85,7 @@ class PageElement:
         object.__setattr__(self, "content", bytes(self.content))
         if not self.content_type:
             object.__setattr__(self, "content_type", guess_content_type(self.name))
+        object.__setattr__(self, "_hashes", {})
 
     @property
     def size(self) -> int:
@@ -92,8 +93,17 @@ class PageElement:
         return len(self.content)
 
     def content_hash(self, suite: HashSuite = SHA1) -> bytes:
-        """Digest of the element content (the integrity-certificate hash)."""
-        return suite.digest(self.content)
+        """Digest of the element content (the integrity-certificate hash).
+
+        Computed once per suite per instance: the content is frozen, so
+        owner signing and repeated client checks of the same element
+        instance share one digest pass.
+        """
+        digest = self._hashes.get(suite.name)
+        if digest is None:
+            digest = suite.digest(self.content)
+            self._hashes[suite.name] = digest
+        return digest
 
     def with_content(self, content: bytes, content_type: Optional[str] = None) -> "PageElement":
         """A new element with the same name and different content."""

@@ -10,7 +10,7 @@ the paper contrasts with r-OSFS's single per-filesystem interval.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Mapping, Optional, Sequence
 
 from repro.crypto.certificates import Certificate
 from repro.crypto.hashes import HashSuite, SHA1, suite_by_name
@@ -23,6 +23,9 @@ from repro.errors import (
 )
 from repro.globedoc.element import PageElement
 from repro.sim.clock import Clock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.crypto.verifycache import VerificationCache
 
 __all__ = ["ElementEntry", "IntegrityCertificate", "INTEGRITY_CERT_TYPE"]
 
@@ -148,11 +151,19 @@ class IntegrityCertificate:
 
     @property
     def entries(self) -> Dict[str, ElementEntry]:
-        """Name → entry map (parsed lazily from the signed body)."""
-        return {
-            str(raw["name"]): ElementEntry.from_dict(raw)
-            for raw in self.certificate.body["entries"]
-        }
+        """Name → entry map (parsed once from the signed, frozen body).
+
+        Memoized: ``entry_for`` runs on every element check, and the
+        signed body cannot change after construction.
+        """
+        cached = self.__dict__.get("_entries")
+        if cached is None:
+            cached = {
+                str(raw["name"]): ElementEntry.from_dict(raw)
+                for raw in self.certificate.body["entries"]
+            }
+            self.__dict__["_entries"] = cached
+        return dict(cached)
 
     @property
     def element_names(self) -> list:
@@ -160,7 +171,8 @@ class IntegrityCertificate:
 
     def entry_for(self, name: str) -> ElementEntry:
         """The entry for *name*; ConsistencyError if the certificate has none."""
-        entry = self.entries.get(name)
+        self.entries  # populate the memo
+        entry = self.__dict__["_entries"].get(name)
         if entry is None:
             raise ConsistencyError(
                 f"element {name!r} is not part of object {self.oid_hex[:16]}…"
@@ -171,10 +183,23 @@ class IntegrityCertificate:
     # Verification (the client-side checks of §3.2.2)
     # ------------------------------------------------------------------
 
-    def verify_signature(self, object_key: PublicKey) -> None:
-        """Authenticity of the certificate itself: signed by the object key."""
+    def verify_signature(
+        self,
+        object_key: PublicKey,
+        cache: Optional["VerificationCache"] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        """Authenticity of the certificate itself: signed by the object key.
+
+        With a *cache*, a repeated verification of the same certificate
+        under the same key replays the memoized RSA verdict (safe: the
+        signed bytes are immutable); *clock* lets the cache honour
+        certificate-level expiry.
+        """
         try:
-            self.certificate.verify(object_key, expected_type=INTEGRITY_CERT_TYPE)
+            self.certificate.verify(
+                object_key, clock=clock, expected_type=INTEGRITY_CERT_TYPE, cache=cache
+            )
         except CertificateError as exc:
             raise AuthenticityError(
                 f"integrity certificate signature invalid: {exc}"

@@ -5,12 +5,14 @@ Usage::
     python -m repro.harness table1
     python -m repro.harness fig4 [--repeats N]
     python -m repro.harness fig5|fig6|fig7 [--repeats N]
+    python -m repro.harness bench-security [--quick] [--out PATH]
     python -m repro.harness all
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
 from repro.harness.fig4 import run_fig4
@@ -28,11 +30,23 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=["table1", "fig4", "fig5", "fig6", "fig7", "loadtest", "all"],
+        choices=[
+            "table1", "fig4", "fig5", "fig6", "fig7", "loadtest",
+            "bench-security", "all",
+        ],
         help="which artifact to regenerate",
     )
     parser.add_argument("--repeats", type=int, default=3, help="samples per point")
     parser.add_argument("--seed", type=int, default=0, help="content seed")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="bench-security: fewer iterations (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="bench-security: where to write the JSON report "
+        "(default: BENCH_security_pipeline.json in the repo root)",
+    )
     args = parser.parse_args(argv)
 
     targets = (
@@ -47,12 +61,31 @@ def main(argv=None) -> int:
             print(render_fig4(rows))
         elif target == "loadtest":
             _run_loadtest(seed=args.seed)
+        elif target == "bench-security":
+            _run_bench_security(quick=args.quick, seed=args.seed, out=args.out)
         else:
             client = _CLIENT_OF_FIGURE[target]
             rows = run_fig567_for_client(client, repeats=args.repeats, seed=args.seed)
             print(render_fig567(rows, client))
         print()
     return 0
+
+
+def _run_bench_security(quick: bool, seed: int, out=None) -> None:
+    """Baseline-vs-fastpath security pipeline benchmark + JSON report."""
+    from repro.harness.security_bench import (
+        REPORT_NAME,
+        render_security_bench,
+        run_security_bench,
+        write_report,
+    )
+
+    report = run_security_bench(quick=quick, seed=seed)
+    if out is None:
+        out = pathlib.Path(__file__).resolve().parents[3] / REPORT_NAME
+    write_report(report, out)
+    print(render_security_bench(report))
+    print(f"\nreport written to {out}")
 
 
 def _run_loadtest(seed: int = 0) -> None:

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 from repro.baselines.plainhttp import StaticHttpServer
 from repro.baselines.ssl_channel import SslClient, SslServer
 from repro.crypto.identity import CertificateAuthority, TrustStore
+from repro.crypto.verifycache import VerificationCache
 from repro.globedoc.owner import DocumentOwner, SignedDocument
 from repro.globedoc.urls import HybridUrl
 from repro.location.service import LocationClient, LocationService
@@ -234,8 +235,16 @@ class Testbed:
         trust_store: Optional[TrustStore] = None,
         cache_binding: bool = True,
         location_ttl: float = 60.0,
+        verification_cache: Optional["VerificationCache"] = None,
+        content_cache=None,
     ) -> ClientStack:
-        """Wire a full proxy stack on *host_name*."""
+        """Wire a full proxy stack on *host_name*.
+
+        ``verification_cache`` (off by default, keeping the paper's
+        every-access-pays-in-full methodology for Fig. 4) enables the
+        signature-verification fast path; ``content_cache`` attaches a
+        verified-element cache to the proxy.
+        """
         host = self.network.host(host_name)
         transport = self.network.transport_for(host_name)
         rpc = RpcClient(transport)
@@ -251,9 +260,16 @@ class Testbed:
         )
         binder = Binder(resolver, location, rpc)
         checker = SecurityChecker(
-            self.clock, trust_store=trust_store, compute_context=host.compute
+            self.clock,
+            trust_store=trust_store,
+            compute_context=host.compute,
+            verification_cache=verification_cache,
         )
-        proxy = GlobeDocProxy(binder, checker, rpc, cache_binding=cache_binding)
+        proxy = GlobeDocProxy(
+            binder, checker, rpc,
+            cache_binding=cache_binding,
+            content_cache=content_cache,
+        )
         return ClientStack(
             host=host,
             transport=transport,

@@ -13,6 +13,16 @@ Four client-side checks make data from untrusted replicas trustworthy:
 ``SecurityChecker`` is transport-agnostic and side-effect free; all
 verification CPU is charged through an optional *compute context* so
 the simulated host pays for it (see :meth:`SimHost.compute`).
+
+Verification fast path: an optional
+:class:`~repro.crypto.verifycache.VerificationCache` memoizes successful
+RSA verifications (certificate and identity-proof signatures). Because
+the cache replays verdicts instead of re-running RSA, and the compute
+context charges *measured* CPU time, a warm verification charges
+(near-)zero simulated CPU — the amortization the paper argues for in
+§4. Every check still fails closed: the cache keys on the exact payload
+bytes, key, suite, and signature, so tampered input always falls through
+to the real RSA operation.
 """
 
 from __future__ import annotations
@@ -23,12 +33,14 @@ from typing import Callable, ContextManager, List, Optional
 
 from repro.crypto.identity import IdentityCertificate, TrustStore
 from repro.crypto.keys import PublicKey
-from repro.errors import AuthenticityError
+from repro.crypto.verifycache import VerificationCache
+from repro.errors import AuthenticityError, ConsistencyError, FreshnessError
 from repro.globedoc.element import PageElement
 from repro.globedoc.integrity import ElementEntry, IntegrityCertificate
 from repro.globedoc.oid import ObjectId
-from repro.proxy.metrics import AccessTimer
+from repro.proxy.metrics import AccessTimer, FastPathStats
 from repro.sim.clock import Clock
+from repro.util.encoding import ENCODE_COUNTERS
 
 __all__ = ["SecurityChecker", "VerifiedBinding"]
 
@@ -46,17 +58,46 @@ class VerifiedBinding:
 
 
 class SecurityChecker:
-    """Stateless verification primitives used by the secure session."""
+    """Stateless verification primitives used by the secure session.
+
+    ``verification_cache`` (optional, off by default) enables the
+    signature-verification fast path for the certificate and identity
+    checks; pass one shared instance per proxy/user to amortize RSA
+    costs across repeated accesses.
+    """
 
     def __init__(
         self,
         clock: Clock,
         trust_store: Optional[TrustStore] = None,
         compute_context: Optional[ComputeContext] = None,
+        verification_cache: Optional[VerificationCache] = None,
     ) -> None:
         self.clock = clock
         self.trust_store = trust_store if trust_store is not None else TrustStore()
         self._compute = compute_context if compute_context is not None else nullcontext
+        self.verification_cache = verification_cache
+
+    # ------------------------------------------------------------------
+    # Fast-path accounting
+    # ------------------------------------------------------------------
+
+    def _fastpath_snapshot(self) -> tuple:
+        cache = self.verification_cache
+        verify = cache.stats.snapshot() if cache is not None else (0, 0, 0.0)
+        return verify + ENCODE_COUNTERS.snapshot()
+
+    def _record_fastpath(self, timer: AccessTimer, before: tuple) -> None:
+        after = self._fastpath_snapshot()
+        timer.record_fastpath(
+            FastPathStats(
+                verify_hits=after[0] - before[0],
+                verify_misses=after[1] - before[1],
+                saved_us=(after[2] - before[2]) * 1e6,
+                encode_hits=after[3] - before[3],
+                encode_misses=after[4] - before[4],
+            )
+        )
 
     # ------------------------------------------------------------------
     # Individual checks (each charges its own timer phase)
@@ -82,10 +123,15 @@ class SecurityChecker:
         missing proof raises (strict mode for e-commerce-grade use,
         §3.1.2); default is advisory, matching the paper's UI flow.
         """
+        before = self._fastpath_snapshot()
         with timer.phase("verify_identity_proofs"), self._compute():
             match = self.trust_store.first_match(
-                certificates, clock=self.clock, expected_subject_key=key
+                certificates,
+                clock=self.clock,
+                expected_subject_key=key,
+                cache=self.verification_cache,
             )
+        self._record_fastpath(timer, before)
         if match is not None:
             return match.subject_name
         if require:
@@ -103,12 +149,16 @@ class SecurityChecker:
     ) -> IntegrityCertificate:
         """Step 9 of Fig. 3: certificate signed by the object key, and
         issued for this OID (prevents cross-object certificate replay)."""
+        before = self._fastpath_snapshot()
         with timer.phase("verify_certificate"), self._compute():
-            integrity.verify_signature(key)
+            integrity.verify_signature(
+                key, cache=self.verification_cache, clock=self.clock
+            )
             if integrity.oid_hex != oid.hex:
                 raise AuthenticityError(
                     "integrity certificate was issued for a different object"
                 )
+        self._record_fastpath(timer, before)
         return integrity
 
     def check_element(
@@ -127,8 +177,6 @@ class SecurityChecker:
         # Consistency: the right name, and part of the object.
         with timer.phase("check_consistency"):
             if element.name != requested_name:
-                from repro.errors import ConsistencyError
-
                 raise ConsistencyError(
                     f"server returned {element.name!r} for request {requested_name!r}"
                 )
@@ -143,8 +191,6 @@ class SecurityChecker:
         with timer.phase("check_freshness"):
             now = self.clock.now()
             if now > entry.expires_at:
-                from repro.errors import FreshnessError
-
                 raise FreshnessError(
                     f"element {requested_name!r} expired at {entry.expires_at} "
                     f"(retrieved at {now})"

@@ -48,6 +48,10 @@ NOT_FOUND_HTML = (
     b"<body><h1>Document Not Found</h1><p>%s</p></body></html>"
 )
 
+#: Sweep expired content-cache entries every this many requests, so dead
+#: entries stop holding cache bytes even when no ``get`` touches them.
+CACHE_SWEEP_INTERVAL = 64
+
 
 @dataclass(frozen=True)
 class ProxyResponse:
@@ -101,6 +105,11 @@ class GlobeDocProxy:
     def handle(self, url: str, timer: Optional[AccessTimer] = None) -> ProxyResponse:
         """Serve one browser request (hybrid URL or plain HTTP)."""
         self.request_count += 1
+        if (
+            self.content_cache is not None
+            and self.request_count % CACHE_SWEEP_INTERVAL == 0
+        ):
+            self.content_cache.evict_expired()
         try:
             parsed = HybridUrl.parse(url)
         except UrlError as exc:

@@ -83,9 +83,14 @@ class ContentCache:
     def put(self, oid_hex: str, element: PageElement, expires_at: float) -> None:
         """Insert a *verified* element with its certificate expiry.
 
-        Oversized elements (bigger than the whole cache) are skipped.
+        Oversized elements (bigger than the whole cache) are skipped, as
+        are already-expired entries — they could never be served, and
+        would occupy bytes (evicting live entries) until a ``get``
+        happened to touch them.
         """
         if element.size > self.max_bytes:
+            return
+        if expires_at <= self.clock.now():
             return
         key = (oid_hex, element.name)
         self._evict(key)
@@ -95,6 +100,22 @@ class ContentCache:
             element=element, expires_at=expires_at, cached_at=self.clock.now()
         )
         self._bytes += element.size
+
+    def evict_expired(self) -> int:
+        """Sweep out every entry past its certificate expiry or TTL.
+
+        The proxy runs this periodically so dead entries stop holding
+        cache bytes between accesses; returns entries removed.
+        """
+        now = self.clock.now()
+        doomed = [
+            key
+            for key, entry in self._entries.items()
+            if now > entry.expires_at or now > entry.cached_at + self.ttl
+        ]
+        for key in doomed:
+            self._evict(key)
+        return len(doomed)
 
     def invalidate_object(self, oid_hex: str) -> int:
         """Drop every cached element of one object (e.g. on a version

@@ -12,11 +12,11 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.sim.clock import Clock
 
-__all__ = ["AccessTimer", "AccessMetrics", "SECURITY_PHASES"]
+__all__ = ["AccessTimer", "AccessMetrics", "FastPathStats", "SECURITY_PHASES"]
 
 #: The security-specific operations enumerated in §4's methodology.
 SECURITY_PHASES = frozenset(
@@ -35,10 +35,42 @@ SECURITY_PHASES = frozenset(
 
 
 @dataclass(frozen=True)
+class FastPathStats:
+    """Verification fast-path counters attributed to one access.
+
+    ``verify_hits``/``verify_misses`` count signature-verification cache
+    lookups, ``encode_hits``/``encode_misses`` count canonical-encoding
+    memo lookups, and ``saved_us`` is the real RSA compute (in
+    microseconds) that cache hits avoided.
+    """
+
+    verify_hits: int = 0
+    verify_misses: int = 0
+    encode_hits: int = 0
+    encode_misses: int = 0
+    saved_us: float = 0.0
+
+    def __add__(self, other: "FastPathStats") -> "FastPathStats":
+        return FastPathStats(
+            verify_hits=self.verify_hits + other.verify_hits,
+            verify_misses=self.verify_misses + other.verify_misses,
+            encode_hits=self.encode_hits + other.encode_hits,
+            encode_misses=self.encode_misses + other.encode_misses,
+            saved_us=self.saved_us + other.saved_us,
+        )
+
+    @property
+    def verify_hit_rate(self) -> float:
+        total = self.verify_hits + self.verify_misses
+        return self.verify_hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
 class AccessMetrics:
     """The measured decomposition of one object access."""
 
     phases: Tuple[Tuple[str, float], ...]
+    fastpath: Optional[FastPathStats] = None
 
     @property
     def total(self) -> float:
@@ -74,7 +106,13 @@ class AccessMetrics:
 
     def merged_with(self, other: "AccessMetrics") -> "AccessMetrics":
         """Concatenate two measurements (multi-element accesses)."""
-        return AccessMetrics(phases=self.phases + other.phases)
+        if self.fastpath is None:
+            fastpath = other.fastpath
+        elif other.fastpath is None:
+            fastpath = self.fastpath
+        else:
+            fastpath = self.fastpath + other.fastpath
+        return AccessMetrics(phases=self.phases + other.phases, fastpath=fastpath)
 
 
 class AccessTimer:
@@ -91,6 +129,7 @@ class AccessTimer:
     def __init__(self, clock: Clock) -> None:
         self.clock = clock
         self._phases: List[Tuple[str, float]] = []
+        self._fastpath: Optional[FastPathStats] = None
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -106,5 +145,9 @@ class AccessTimer:
             raise ValueError(f"phase duration must be non-negative: {seconds}")
         self._phases.append((name, seconds))
 
+    def record_fastpath(self, stats: FastPathStats) -> None:
+        """Accumulate verification fast-path counters for this access."""
+        self._fastpath = stats if self._fastpath is None else self._fastpath + stats
+
     def finish(self) -> AccessMetrics:
-        return AccessMetrics(phases=tuple(self._phases))
+        return AccessMetrics(phases=tuple(self._phases), fastpath=self._fastpath)

@@ -12,15 +12,27 @@ import pytest
 
 from repro.crypto.identity import CertificateAuthority
 from repro.crypto.keys import KeyPair
+from repro.crypto.signing import SignedEnvelope
 from repro.globedoc.element import PageElement
 from repro.globedoc.owner import DocumentOwner
 from repro.sim.clock import SimClock
+from repro.util.encoding import ENCODE_COUNTERS
 
 #: Readable test epoch: 2005-01-01-ish.
 EPOCH = 1_100_000_000.0
 
 #: Era-faithful and fast to generate; used for throwaway identities.
 FAST_BITS = 1024
+
+
+@pytest.fixture(autouse=True)
+def _isolate_fastpath_state():
+    """Keep the envelope intern pool and encode counters test-local."""
+    SignedEnvelope.clear_intern_pool()
+    ENCODE_COUNTERS.reset()
+    yield
+    SignedEnvelope.clear_intern_pool()
+    ENCODE_COUNTERS.reset()
 
 
 def fast_keys() -> KeyPair:

@@ -1,0 +1,219 @@
+"""The verification fast path: memoized RSA checks must never weaken
+tamper evidence, and the cache must respect its bounds and expiries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.hashes import SHA1, SHA256
+from repro.crypto.signing import SignedEnvelope
+from repro.crypto.verifycache import VerificationCache
+from repro.errors import SignatureError
+from repro.util.encoding import canonical_bytes
+
+
+@pytest.fixture
+def cache():
+    return VerificationCache()
+
+
+def _sign(keys, payload):
+    data = canonical_bytes(payload)
+    return data, keys.sign(data, suite=SHA1)
+
+
+class TestTamperEvidence:
+    """A hit requires the *exact* (key, suite, payload, signature) tuple."""
+
+    def test_hit_only_after_success(self, cache, shared_keys):
+        data, sig = _sign(shared_keys, {"a": 1})
+        assert not cache.lookup(shared_keys.public, sig, data, SHA1)
+        assert not cache.verify(shared_keys.public, sig, data, SHA1)  # real RSA ran
+        assert cache.verify(shared_keys.public, sig, data, SHA1)  # now a hit
+
+    def test_modified_payload_never_hits(self, cache, shared_keys):
+        data, sig = _sign(shared_keys, {"a": 1})
+        cache.verify(shared_keys.public, sig, data, SHA1)
+        tampered = canonical_bytes({"a": 2})
+        assert not cache.lookup(shared_keys.public, sig, tampered, SHA1)
+        with pytest.raises(SignatureError):
+            cache.verify(shared_keys.public, sig, tampered, SHA1)
+
+    def test_different_key_never_hits(self, cache, shared_keys, other_keys):
+        data, sig = _sign(shared_keys, {"a": 1})
+        cache.verify(shared_keys.public, sig, data, SHA1)
+        assert not cache.lookup(other_keys.public, sig, data, SHA1)
+        with pytest.raises(SignatureError):
+            cache.verify(other_keys.public, sig, data, SHA1)
+
+    def test_different_suite_never_hits(self, cache, shared_keys):
+        data, sig = _sign(shared_keys, {"a": 1})
+        cache.verify(shared_keys.public, sig, data, SHA1)
+        assert not cache.lookup(shared_keys.public, sig, data, SHA256)
+
+    def test_different_signature_never_hits(self, cache, shared_keys):
+        data, sig = _sign(shared_keys, {"a": 1})
+        cache.verify(shared_keys.public, sig, data, SHA1)
+        forged = bytes(len(sig))
+        assert not cache.lookup(shared_keys.public, forged, data, SHA1)
+
+    def test_failed_verification_not_recorded(self, cache, shared_keys, other_keys):
+        data, sig = _sign(shared_keys, {"a": 1})
+        with pytest.raises(SignatureError):
+            cache.verify(other_keys.public, sig, data, SHA1)
+        assert len(cache) == 0
+        # Retrying the same bad input re-pays (and re-fails) the RSA.
+        with pytest.raises(SignatureError):
+            cache.verify(other_keys.public, sig, data, SHA1)
+
+    def test_wrong_payload_digest_cannot_poison(self, cache, shared_keys):
+        # A caller passing the digest of payload A while recording
+        # payload B would key the entry under A's digest — but lookups
+        # for A still carry A's signature, which differs, so no alias.
+        data_a, sig_a = _sign(shared_keys, {"a": 1})
+        data_b, sig_b = _sign(shared_keys, {"b": 2})
+        digest_a = cache.digest_suite.digest(data_a)
+        cache.verify(shared_keys.public, sig_b, data_b, SHA1, payload_digest=digest_a)
+        assert not cache.lookup(shared_keys.public, sig_a, data_a, SHA1)
+
+
+class TestExpiry:
+    def test_hit_refused_past_certificate_expiry(self, cache, shared_keys):
+        data, sig = _sign(shared_keys, {"a": 1})
+        cache.verify(shared_keys.public, sig, data, SHA1, expires_at=100.0)
+        assert cache.lookup(shared_keys.public, sig, data, SHA1, now=99.0)
+        assert not cache.lookup(shared_keys.public, sig, data, SHA1, now=101.0)
+        assert cache.stats.invalidations == 1
+        assert len(cache) == 0
+
+    def test_invalidate_expired_sweep(self, cache, shared_keys):
+        for i, expiry in enumerate((50.0, 150.0, None)):
+            data, sig = _sign(shared_keys, {"i": i})
+            cache.verify(shared_keys.public, sig, data, SHA1, expires_at=expiry)
+        assert cache.invalidate_expired(now=100.0) == 1
+        assert len(cache) == 2
+        # Entries without expiry never age out via the sweep.
+        assert cache.invalidate_expired(now=1e18) == 1
+        assert len(cache) == 1
+
+
+class TestBounds:
+    def test_entry_bound_evicts_lru(self, shared_keys):
+        cache = VerificationCache(max_entries=2)
+        signed = [_sign(shared_keys, {"i": i}) for i in range(3)]
+        for data, sig in signed:
+            cache.verify(shared_keys.public, sig, data, SHA1)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        data0, sig0 = signed[0]
+        assert not cache.lookup(shared_keys.public, sig0, data0, SHA1)
+        data2, sig2 = signed[2]
+        assert cache.lookup(shared_keys.public, sig2, data2, SHA1)
+
+    def test_byte_bound_evicts(self, shared_keys):
+        data, sig = _sign(shared_keys, {"a": 1})
+        probe = VerificationCache()
+        probe.verify(shared_keys.public, sig, data, SHA1)
+        entry_bytes = probe.bytes_used
+        cache = VerificationCache(max_bytes=entry_bytes + entry_bytes // 2)
+        for i in range(3):
+            d, s = _sign(shared_keys, {"i": i})
+            cache.verify(shared_keys.public, s, d, SHA1)
+        assert len(cache) == 1
+        assert cache.bytes_used <= cache.max_bytes
+        assert cache.stats.evictions == 2
+
+    def test_lookup_refreshes_lru_position(self, shared_keys):
+        cache = VerificationCache(max_entries=2)
+        signed = [_sign(shared_keys, {"i": i}) for i in range(3)]
+        for data, sig in signed[:2]:
+            cache.verify(shared_keys.public, sig, data, SHA1)
+        data0, sig0 = signed[0]
+        assert cache.lookup(shared_keys.public, sig0, data0, SHA1)  # 0 now MRU
+        data2, sig2 = signed[2]
+        cache.verify(shared_keys.public, sig2, data2, SHA1)  # evicts 1, not 0
+        assert cache.lookup(shared_keys.public, sig0, data0, SHA1)
+
+    def test_bounds_must_be_positive(self):
+        with pytest.raises(ValueError):
+            VerificationCache(max_entries=0)
+        with pytest.raises(ValueError):
+            VerificationCache(max_bytes=0)
+
+
+class TestStats:
+    def test_counters_and_saved_time(self, cache, shared_keys):
+        data, sig = _sign(shared_keys, {"a": 1})
+        cache.verify(shared_keys.public, sig, data, SHA1)
+        cache.verify(shared_keys.public, sig, data, SHA1)
+        cache.verify(shared_keys.public, sig, data, SHA1)
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+        # Each hit re-credits the measured cost of the original miss.
+        assert cache.stats.saved_seconds > 0.0
+        assert cache.stats.saved_us == pytest.approx(cache.stats.saved_seconds * 1e6)
+
+    def test_clear_empties_but_keeps_stats(self, cache, shared_keys):
+        data, sig = _sign(shared_keys, {"a": 1})
+        cache.verify(shared_keys.public, sig, data, SHA1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.bytes_used == 0
+        assert cache.stats.misses == 1
+
+
+class TestEnvelopeFastPath:
+    """The cache as envelopes use it, including the intern pool."""
+
+    def test_envelope_verify_with_cache(self, shared_keys):
+        cache = VerificationCache()
+        env = SignedEnvelope.create(shared_keys, {"msg": "hello"})
+        assert env.verify(shared_keys.public, cache=cache) == {"msg": "hello"}
+        assert env.verify(shared_keys.public, cache=cache) == {"msg": "hello"}
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_reparsed_envelope_is_interned(self, shared_keys):
+        env = SignedEnvelope.create(shared_keys, {"msg": "hello"})
+        wire = env.to_dict()
+        first = SignedEnvelope.from_dict(wire)
+        second = SignedEnvelope.from_dict(wire)
+        assert second is first
+
+    def test_tampered_wire_never_aliases_interned_instance(self, shared_keys):
+        env = SignedEnvelope.create(shared_keys, {"msg": "hello"})
+        wire = env.to_dict()
+        good = SignedEnvelope.from_dict(wire)
+        evil_wire = dict(wire, payload={"msg": "evil"})
+        evil = SignedEnvelope.from_dict(evil_wire)
+        assert evil is not good
+        with pytest.raises(SignatureError):
+            evil.verify(shared_keys.public, cache=VerificationCache())
+
+    def test_interned_warm_verify_hits_across_reparses(self, shared_keys):
+        cache = VerificationCache()
+        env = SignedEnvelope.create(shared_keys, {"msg": "hello"})
+        wire = env.to_dict()
+        for _ in range(3):
+            SignedEnvelope.from_dict(wire).verify(shared_keys.public, cache=cache)
+        assert cache.stats.hits == 2 and cache.stats.misses == 1
+
+    def test_intern_pool_is_bounded(self, shared_keys):
+        from repro.crypto import signing
+
+        wires = []
+        for i in range(5):
+            env = SignedEnvelope.create(shared_keys, {"i": i})
+            wires.append(env.to_dict())
+        old_max = signing._INTERN_MAX
+        signing._INTERN_MAX = 2
+        try:
+            SignedEnvelope.clear_intern_pool()
+            parsed = [SignedEnvelope.from_dict(w) for w in wires]
+            assert len(signing._intern_pool) == 2
+            # The two most recent survive; older ones re-parse fresh.
+            assert SignedEnvelope.from_dict(wires[-1]) is parsed[-1]
+            assert SignedEnvelope.from_dict(wires[0]) is not parsed[0]
+        finally:
+            signing._INTERN_MAX = old_max
+            SignedEnvelope.clear_intern_pool()

@@ -1,0 +1,96 @@
+"""CI smoke test for the security-pipeline benchmark.
+
+Runs the benchmark in ``--quick`` mode and enforces the fast path's two
+contracts: a warm certificate verification is at least
+``WARM_SPEEDUP_TARGET`` times faster than a cold one, and enabling the
+fast path never makes the pipeline slower than the uncached baseline.
+Real timing is involved, so the warm estimator is the min over warm
+accesses (see security_bench) and a genuine regression — not jitter —
+is what it takes to trip the assertions.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.security_bench import (
+    WARM_SPEEDUP_TARGET,
+    run_security_bench,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = run_security_bench(quick=True)
+    # One retry guards against a pathologically loaded CI machine; a
+    # real fast-path regression fails both runs.
+    criteria = result["criteria"]
+    if not (criteria["warm_speedup_ok"] and criteria["fastpath_not_slower"]):
+        result = run_security_bench(quick=True)
+    return result
+
+
+def test_report_structure(report):
+    assert report["name"] == "security_pipeline"
+    assert set(report) >= {"micro", "pipeline", "criteria"}
+    micro = report["micro"]
+    for key in (
+        "rsa_verify_cold_us",
+        "rsa_verify_cached_us",
+        "canonical_encode_us",
+        "wire_size_memo_us",
+        "cert_roundtrip_cold_us",
+        "cert_roundtrip_warm_us",
+    ):
+        assert micro[key] > 0.0
+
+
+def test_micro_memos_actually_faster(report):
+    micro = report["micro"]
+    assert micro["rsa_cached_speedup"] > 1.0
+    assert micro["encode_memo_speedup"] > 1.0
+    assert micro["cert_warm_speedup"] > 1.0
+
+
+def test_warm_verification_meets_speedup_target(report):
+    criteria = report["criteria"]
+    assert criteria["warm_speedup_target"] == WARM_SPEEDUP_TARGET
+    assert criteria["warm_speedup"] >= WARM_SPEEDUP_TARGET, (
+        f"warm certificate verification only "
+        f"{criteria['warm_speedup']:.1f}x faster than cold "
+        f"(target {WARM_SPEEDUP_TARGET}x)"
+    )
+
+
+def test_fastpath_never_slower_than_baseline(report):
+    criteria = report["criteria"]
+    assert criteria["fastpath_not_slower"], (
+        f"fast-path run slower than uncached baseline: "
+        f"{criteria['fastpath_total_ms']:.2f} ms vs "
+        f"{criteria['baseline_total_ms']:.2f} ms per access"
+    )
+
+
+def test_fastpath_counters_flow_into_report(report):
+    pipeline = report["pipeline"]
+    # Baseline has no verification cache: no hits, nothing saved.
+    assert pipeline["baseline"]["verify_hits"] == 0
+    assert pipeline["baseline"]["saved_us"] == 0.0
+    # Fast path: the first access misses, the rest hit.
+    fast = pipeline["fastpath"]
+    assert fast["verify_misses"] >= 1
+    assert fast["verify_hits"] >= pipeline["accesses"] - 1
+    assert fast["saved_us"] > 0.0
+    assert fast["encode_hits"] > 0
+
+
+def test_report_round_trips_as_json(report, tmp_path):
+    out = tmp_path / "bench.json"
+    write_report(report, out)
+    loaded = json.loads(out.read_text())
+    assert loaded["criteria"]["warm_speedup"] == pytest.approx(
+        report["criteria"]["warm_speedup"]
+    )

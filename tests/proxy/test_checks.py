@@ -136,3 +136,75 @@ class TestIdentityCheck:
         checker = SecurityChecker(clock, trust_store=store)
         cert = session_ca.certify("Someone Else", other_keys.public)
         assert checker.check_identity(object_keys.public, [cert], timer(clock)) is None
+
+
+class TestVerificationFastPath:
+    """The checker with a VerificationCache: hits are counted, expiry is
+    honored, and every failure still fails closed on warm caches."""
+
+    def make_checker(self, clock):
+        from repro.crypto.verifycache import VerificationCache
+
+        return SecurityChecker(clock, verification_cache=VerificationCache())
+
+    def test_repeat_check_hits_and_records_metrics(
+        self, oid, object_keys, integrity, clock
+    ):
+        checker = self.make_checker(clock)
+        t1 = timer(clock)
+        checker.check_certificate(object_keys.public, integrity, oid, t1)
+        first = t1.finish().fastpath
+        assert first is not None
+        assert first.verify_misses == 1 and first.verify_hits == 0
+
+        t2 = timer(clock)
+        checker.check_certificate(object_keys.public, integrity, oid, t2)
+        second = t2.finish().fastpath
+        assert second is not None
+        assert second.verify_hits == 1 and second.verify_misses == 0
+        assert second.saved_us > 0.0
+
+    def test_warm_cache_still_rejects_wrong_signer(
+        self, oid, object_keys, other_keys, integrity, clock
+    ):
+        checker = self.make_checker(clock)
+        checker.check_certificate(object_keys.public, integrity, oid, timer(clock))
+        with pytest.raises(AuthenticityError):
+            checker.check_certificate(other_keys.public, integrity, oid, timer(clock))
+
+    def test_warm_cache_still_rejects_tampered_reparse(
+        self, oid, object_keys, integrity, clock
+    ):
+        """A re-parsed certificate with one flipped entry must not ride
+        the warm cache of the genuine one."""
+        checker = self.make_checker(clock)
+        checker.check_certificate(object_keys.public, integrity, oid, timer(clock))
+        wire = integrity.to_dict()
+        # Tamper consistently (outer fields and signed payload alike), as
+        # a capable adversary would — only the signature can catch it.
+        wire["body"]["entries"][0]["content_hash"] = b"\x00" * 20
+        wire["envelope"]["payload"]["body"]["entries"][0]["content_hash"] = b"\x00" * 20
+        forged = IntegrityCertificate.from_dict(wire)
+        with pytest.raises(AuthenticityError):
+            checker.check_certificate(object_keys.public, forged, oid, timer(clock))
+
+    def test_cached_verdict_expires_with_certificate(self, object_keys, clock):
+        """Integrity certificates bound freshness per entry, but windowed
+        certificates (e.g. identity proofs) must drop their cached
+        verdicts once ``not_after`` passes."""
+        from repro.crypto.certificates import Certificate
+        from repro.crypto.verifycache import VerificationCache
+        from repro.errors import CertificateError
+
+        cache = VerificationCache()
+        cert = Certificate.issue(
+            object_keys, "test/windowed", {"x": 1}, not_after=clock.now() + 600
+        )
+        cert.verify(object_keys.public, clock=clock, cache=cache)
+        cert.verify(object_keys.public, clock=clock, cache=cache)
+        assert cache.stats.hits == 1 and len(cache) == 1
+        clock.advance(601)
+        with pytest.raises(CertificateError, match="expired"):
+            cert.verify(object_keys.public, clock=clock, cache=cache)
+        # The stale verdict was invalidated, not replayed.
+        assert cache.stats.invalidations == 1

@@ -73,6 +73,39 @@ class TestContentCache:
         with pytest.raises(ValueError):
             ContentCache(max_bytes=0)
 
+    def test_already_expired_put_rejected(self):
+        clock = SimClock(100.0)
+        cache = ContentCache(clock=clock, ttl=60.0)
+        cache.put(OID, PageElement("dead", b"x" * 10), expires_at=100.0)
+        cache.put(OID, PageElement("older", b"y" * 10), expires_at=50.0)
+        assert len(cache) == 0
+        assert cache.bytes_used == 0
+
+    def test_evict_expired_sweep(self):
+        clock = SimClock(0.0)
+        cache = ContentCache(clock=clock, ttl=1000.0)
+        cache.put(OID, PageElement("soon", b"1"), expires_at=10.0)
+        cache.put(OID, PageElement("later", b"2"), expires_at=500.0)
+        cache.put(OID, PageElement("long", b"3"), expires_at=1e12)
+        clock.advance(11.0)
+        assert cache.evict_expired() == 1
+        assert len(cache) == 2
+        assert cache.get(OID, "later") is not None
+        # TTL-based death is swept too, not only certificate expiry.
+        clock.advance(1000.0)
+        assert cache.evict_expired() == 2
+        assert cache.bytes_used == 0
+
+    def test_sweep_frees_bytes_without_gets(self):
+        clock = SimClock(0.0)
+        cache = ContentCache(clock=clock, ttl=1e6, max_bytes=100)
+        cache.put(OID, PageElement("dying", b"x" * 90), expires_at=10.0)
+        clock.advance(11.0)
+        cache.evict_expired()
+        # The freed bytes are usable again without any eviction pressure.
+        cache.put(OID, PageElement("fresh", b"y" * 90), expires_at=1e12)
+        assert cache.get(OID, "fresh") is not None
+
 
 class TestProxyIntegration:
     def test_cached_fetch_skips_network(self, testbed, published):
@@ -139,3 +172,28 @@ class TestProxyIntegration:
         proxy.handle(url)
         warm = testbed.clock.now() - start
         assert warm < cold / 10
+
+    def test_proxy_sweeps_expired_entries_periodically(self):
+        from repro.proxy.clientproxy import CACHE_SWEEP_INTERVAL, GlobeDocProxy
+        from repro.globedoc.owner import DocumentOwner
+        from repro.harness.experiment import Testbed
+        from tests.conftest import fast_keys
+
+        testbed = Testbed()
+        owner = DocumentOwner("vu.nl/sweep", keys=fast_keys(), clock=testbed.clock)
+        owner.put_element(PageElement("index.html", b"<html>x</html>"))
+        published = testbed.publish(owner, validity=30.0)
+
+        stack = testbed.client_stack("sporty.cs.vu.nl")
+        cache = ContentCache(clock=testbed.clock, ttl=1e6)
+        proxy = GlobeDocProxy(
+            stack.binder, stack.checker, stack.rpc, content_cache=cache
+        )
+        assert proxy.handle(published.url("index.html")).ok
+        assert len(cache) == 1
+        testbed.clock.advance(31.0)  # certificate now expired
+        # Plain-HTTP requests tick the same request counter, so dead
+        # GlobeDoc entries get swept even with no GlobeDoc traffic.
+        for _ in range(CACHE_SWEEP_INTERVAL):
+            proxy.handle("http://ginger.cs.vu.nl/nothing.html")
+        assert len(cache) == 0

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.proxy.metrics import SECURITY_PHASES, AccessMetrics, AccessTimer
+from repro.proxy.metrics import (
+    SECURITY_PHASES,
+    AccessMetrics,
+    AccessTimer,
+    FastPathStats,
+)
 from repro.sim.clock import SimClock
 
 
@@ -35,6 +40,19 @@ class TestAccessTimer:
                 clock.advance(1.0)
                 raise RuntimeError("boom")
         assert timer.finish().phase_time("verify_certificate") == pytest.approx(1.0)
+
+    def test_record_fastpath_accumulates(self):
+        timer = AccessTimer(SimClock(0.0))
+        assert timer.finish().fastpath is None
+        timer.record_fastpath(FastPathStats(verify_hits=1, saved_us=10.0))
+        timer.record_fastpath(
+            FastPathStats(verify_misses=2, encode_misses=3, saved_us=5.0)
+        )
+        stats = timer.finish().fastpath
+        assert stats == FastPathStats(
+            verify_hits=1, verify_misses=2, encode_misses=3, saved_us=15.0
+        )
+        assert stats.verify_hit_rate == pytest.approx(1 / 3)
 
 
 class TestAccessMetrics:
@@ -69,6 +87,25 @@ class TestAccessMetrics:
     def test_merged(self):
         merged = self.make().merged_with(AccessMetrics(phases=(("extra", 1.0),)))
         assert merged.total == pytest.approx(6.0)
+
+    def test_merged_combines_fastpath(self):
+        left = AccessMetrics(
+            phases=(("a", 1.0),),
+            fastpath=FastPathStats(verify_hits=2, verify_misses=1, saved_us=50.0),
+        )
+        right = AccessMetrics(
+            phases=(("b", 1.0),),
+            fastpath=FastPathStats(verify_hits=3, encode_hits=4, saved_us=25.0),
+        )
+        merged = left.merged_with(right)
+        assert merged.fastpath == FastPathStats(
+            verify_hits=5, verify_misses=1, encode_hits=4, saved_us=75.0
+        )
+        # One side without counters: the other side's survive unchanged.
+        bare = AccessMetrics(phases=(("c", 1.0),))
+        assert left.merged_with(bare).fastpath == left.fastpath
+        assert bare.merged_with(left).fastpath == left.fastpath
+        assert bare.merged_with(bare).fastpath is None
 
     def test_security_phase_list_matches_paper(self):
         """§4 enumerates the security-specific operations; our phase set
