@@ -6,6 +6,7 @@ Usage::
     python -m repro.harness fig4 [--repeats N]
     python -m repro.harness fig5|fig6|fig7 [--repeats N]
     python -m repro.harness bench-security [--quick] [--out PATH]
+    python -m repro.harness chaos [--quick] [--out PATH]
     python -m repro.harness all
 """
 
@@ -32,7 +33,7 @@ def main(argv=None) -> int:
         "target",
         choices=[
             "table1", "fig4", "fig5", "fig6", "fig7", "loadtest",
-            "bench-security", "all",
+            "bench-security", "chaos", "all",
         ],
         help="which artifact to regenerate",
     )
@@ -40,12 +41,12 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0, help="content seed")
     parser.add_argument(
         "--quick", action="store_true",
-        help="bench-security: fewer iterations (CI smoke mode)",
+        help="bench-security/chaos: fewer iterations (CI smoke mode)",
     )
     parser.add_argument(
         "--out", type=pathlib.Path, default=None,
-        help="bench-security: where to write the JSON report "
-        "(default: BENCH_security_pipeline.json in the repo root)",
+        help="bench-security/chaos: where to write the JSON report "
+        "(default: BENCH_*.json in the repo root)",
     )
     args = parser.parse_args(argv)
 
@@ -63,6 +64,10 @@ def main(argv=None) -> int:
             _run_loadtest(seed=args.seed)
         elif target == "bench-security":
             _run_bench_security(quick=args.quick, seed=args.seed, out=args.out)
+        elif target == "chaos":
+            code = _run_chaos(quick=args.quick, seed=args.seed, out=args.out)
+            if code:
+                return code
         else:
             client = _CLIENT_OF_FIGURE[target]
             rows = run_fig567_for_client(client, repeats=args.repeats, seed=args.seed)
@@ -86,6 +91,30 @@ def _run_bench_security(quick: bool, seed: int, out=None) -> None:
     write_report(report, out)
     print(render_security_bench(report))
     print(f"\nreport written to {out}")
+
+
+def _run_chaos(quick: bool, seed: int, out=None) -> int:
+    """Resilience sweep: availability under faults, genuineness always."""
+    from repro.harness.chaos import (
+        REPORT_NAME,
+        check_report,
+        render_chaos,
+        run_chaos,
+        write_report,
+    )
+
+    report = run_chaos(quick=quick, seed=seed)
+    if out is None:
+        out = pathlib.Path(__file__).resolve().parents[3] / REPORT_NAME
+    write_report(report, out)
+    print(render_chaos(report))
+    problems = check_report(report)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print(f"\nall resilience gates passed; report written to {out}")
+    return 0
 
 
 def _run_loadtest(seed: int = 0) -> None:

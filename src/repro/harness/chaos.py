@@ -1,0 +1,322 @@
+"""Chaos harness: availability under faults, genuineness always.
+
+Drives the full client stack (proxy → binder → session → RPC) through a
+:class:`~repro.net.faults.FlakyTransport` at swept drop/corrupt rates,
+against three genuine replicas — and, halfway through each run, crashes
+the primary replica outright. Two stacks run the identical request
+schedule:
+
+* **resilient** — retry/backoff RPC (:class:`RetryingRpcClient`), a
+  shared :class:`ReplicaHealthTracker`, and session failover enabled;
+* **baseline** — the pre-resilience stack: single-shot RPC, no
+  failover (``max_rebinds=0``).
+
+Two claims are checked, mirroring §3.1.2's "at most denial of service"
+bound:
+
+1. **Genuineness invariant**: every byte served OK by either stack is
+   exactly the owner-published content — faults may cost availability,
+   never integrity.
+2. **Resilience earns availability**: the resilient stack stays near
+   100 % while genuine replicas exist; the baseline measurably degrades.
+
+Run with ``python -m repro.harness chaos [--quick]``; writes
+``BENCH_chaos_resilience.json`` for the CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.keys import KeyPair
+from repro.globedoc.element import PageElement
+from repro.globedoc.owner import DocumentOwner
+from repro.harness.experiment import SERVICES_HOST, Testbed
+from repro.net.address import ContactAddress, Endpoint
+from repro.net.faults import FaultPlan, FlakyTransport
+from repro.net.health import ReplicaHealthTracker
+from repro.net.retry import RetryPolicy
+from repro.net.rpc import RpcClient
+from repro.server.admin import AdminClient
+from repro.server.objectserver import ObjectServer
+from repro.sim.random import derive_seed
+
+__all__ = ["ChaosPoint", "ChaosReport", "run_chaos", "render_chaos", "write_report", "REPORT_NAME"]
+
+REPORT_NAME = "BENCH_chaos_resilience.json"
+
+#: The three-replica deployment: primary plus two remote sites.
+REPLICA_SITES = {
+    "root/europe/vu": SERVICES_HOST,  # created by Testbed.publish
+    "root/europe/inria": "canardo.inria.fr",
+    "root/us/cornell": "ensamble02.cornell.edu",
+}
+
+CLIENT_HOST = "sporty.cs.vu.nl"
+
+DROP_RATES = (0.0, 0.1, 0.2, 0.3)
+CORRUPT_RATE = 0.02
+
+ELEMENTS = {
+    "index.html": b"<html><body>the one true chaos page</body></html>",
+    "style.css": b"body { color: #222; } /* genuine bytes */",
+}
+
+#: Cold-bind cadence: drop all proxy sessions every this many requests
+#: so the run exercises the full binding pipeline, not just warm
+#: element fetches.
+SESSION_DROP_EVERY = 8
+
+
+@dataclass
+class ChaosPoint:
+    """Outcome of one (drop rate, stack flavour) sweep point."""
+
+    drop_probability: float
+    corrupt_probability: float
+    requests: int
+    ok: int
+    failed: int
+    unverified_bytes: int
+    retries: int
+    failovers: int
+    quarantines: int
+    backoff_seconds: float
+    transport_requests: int
+    drops_injected: int
+    corruptions_injected: int
+
+    @property
+    def availability(self) -> float:
+        return self.ok / self.requests if self.requests else 0.0
+
+
+@dataclass
+class ChaosReport:
+    """The full sweep: resilient vs baseline at every rate."""
+
+    seed: int
+    replicas: int
+    resilient: List[ChaosPoint] = field(default_factory=list)
+    baseline: List[ChaosPoint] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "replicas": self.replicas,
+            "resilient": [
+                dict(asdict(p), availability=p.availability) for p in self.resilient
+            ],
+            "baseline": [
+                dict(asdict(p), availability=p.availability) for p in self.baseline
+            ],
+        }
+
+
+def _build_world(seed: int) -> Tuple[Testbed, object]:
+    """A testbed with the document replicated at all three sites."""
+    testbed = Testbed()
+    owner = DocumentOwner(
+        "vu.nl/chaos",
+        keys=KeyPair.generate(1024),
+        clock=testbed.clock,
+    )
+    for name, content in ELEMENTS.items():
+        owner.put_element(PageElement(name, content))
+    published = testbed.publish(owner, validity=7 * 24 * 3600.0)
+
+    admin_rpc = RpcClient(testbed.network.transport_for(CLIENT_HOST))
+    for site, host in REPLICA_SITES.items():
+        if host == SERVICES_HOST:
+            continue  # the primary replica already exists
+        server = ObjectServer(host=host, site=site, clock=testbed.clock)
+        server.keystore.authorize(owner.name, owner.public_key)
+        testbed.network.register(
+            Endpoint(host, "objectserver"), server.rpc_server().handle_frame
+        )
+        admin = AdminClient(
+            admin_rpc, Endpoint(host, "objectserver"), owner.keys, testbed.clock
+        )
+        result = admin.create_replica(published.document)
+        address = ContactAddress.from_dict(result["address"])
+        testbed.location_service.tree.insert(owner.oid.hex, site, address)
+    return testbed, published
+
+
+def _run_point(
+    drop: float,
+    corrupt: float,
+    requests: int,
+    seed: int,
+    resilient: bool,
+) -> ChaosPoint:
+    """One sweep point: fresh world, fresh stack, fixed request schedule.
+
+    Halfway through, the primary replica's endpoint is torn down — the
+    crash every resilient claim must survive while two genuine replicas
+    remain.
+    """
+    testbed, published = _build_world(seed)
+    plan = FaultPlan(
+        drop_probability=drop,
+        corrupt_probability=corrupt,
+        seed=derive_seed(seed, "faults", int(drop * 1000), int(resilient)),
+    )
+    flaky = FlakyTransport(testbed.network.transport_for(CLIENT_HOST), plan)
+    if resilient:
+        health = ReplicaHealthTracker(
+            clock=testbed.clock, failure_threshold=3, quarantine_seconds=600.0
+        )
+        policy = RetryPolicy(
+            max_attempts=5,
+            base_delay=0.02,
+            multiplier=2.0,
+            max_delay=0.5,
+            jitter=0.1,
+            seed=derive_seed(seed, "retry", int(drop * 1000)),
+        )
+        stack = testbed.client_stack(
+            CLIENT_HOST, transport=flaky, retry_policy=policy, health=health
+        )
+    else:
+        health = None
+        stack = testbed.client_stack(CLIENT_HOST, transport=flaky, max_rebinds=0)
+    proxy = stack.proxy
+
+    ok = failed = unverified = 0
+    retries = failovers = quarantines = 0
+    backoff = 0.0
+    names = list(ELEMENTS)
+    for i in range(requests):
+        if i == requests // 2:
+            # Crash the primary: its address stays registered (the
+            # location service is not told), so only client-side
+            # resilience can keep the document reachable.
+            testbed.network.unregister(Endpoint(SERVICES_HOST, "objectserver"))
+        if i % SESSION_DROP_EVERY == 0:
+            proxy.drop_all_sessions()
+        name = names[i % len(names)]
+        response = proxy.handle(published.url(name))
+        if response.ok:
+            if response.content == ELEMENTS[name]:
+                ok += 1
+            else:
+                unverified += len(response.content)
+        else:
+            failed += 1
+        stats = response.metrics.resilience if response.metrics else None
+        if stats is not None:
+            retries += stats.retries
+            failovers += stats.failovers
+            quarantines += stats.quarantines
+            backoff += stats.backoff_seconds
+    return ChaosPoint(
+        drop_probability=drop,
+        corrupt_probability=corrupt,
+        requests=requests,
+        ok=ok,
+        failed=failed,
+        unverified_bytes=unverified,
+        retries=retries,
+        failovers=failovers,
+        quarantines=quarantines,
+        backoff_seconds=backoff,
+        transport_requests=flaky.stats.requests,
+        drops_injected=flaky.drops,
+        corruptions_injected=flaky.corruptions,
+    )
+
+
+def run_chaos(
+    quick: bool = False,
+    seed: int = 0,
+    drop_rates: Optional[Sequence[float]] = None,
+    corrupt_rate: float = CORRUPT_RATE,
+) -> ChaosReport:
+    """The full sweep: each rate once resilient, once baseline."""
+    rates = tuple(drop_rates) if drop_rates is not None else DROP_RATES
+    requests = 40 if quick else 120
+    report = ChaosReport(seed=seed, replicas=len(REPLICA_SITES))
+    for drop in rates:
+        report.resilient.append(
+            _run_point(drop, corrupt_rate, requests, seed, resilient=True)
+        )
+        report.baseline.append(
+            _run_point(drop, corrupt_rate, requests, seed, resilient=False)
+        )
+    return report
+
+
+def render_chaos(report: ChaosReport) -> str:
+    """Human-readable sweep table."""
+    from repro.harness.report import render_table
+
+    rows = []
+    for res, base in zip(report.resilient, report.baseline):
+        rows.append(
+            [
+                f"{res.drop_probability:.2f}",
+                f"{100 * res.availability:.1f}%",
+                f"{100 * base.availability:.1f}%",
+                str(res.retries),
+                str(res.failovers),
+                str(res.quarantines),
+                f"{res.backoff_seconds:.2f} s",
+                str(res.unverified_bytes + base.unverified_bytes),
+            ]
+        )
+    table = render_table(
+        [
+            "drop rate",
+            "resilient",
+            "baseline",
+            "retries",
+            "failovers",
+            "quarantines",
+            "backoff",
+            "unverified bytes",
+        ],
+        rows,
+    )
+    header = (
+        f"Chaos sweep — {report.replicas} replicas, primary crashed mid-run, "
+        f"corrupt rate {report.resilient[0].corrupt_probability:.2f}"
+        if report.resilient
+        else "Chaos sweep"
+    )
+    return f"{header}\n{table}"
+
+
+def write_report(report: ChaosReport, path: pathlib.Path) -> None:
+    path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+
+
+def check_report(report: ChaosReport) -> List[str]:
+    """CI-gate violations (empty = pass).
+
+    * zero unverified bytes anywhere (the invariant);
+    * resilient availability ≥ 99 % at drop ≤ 0.2;
+    * resilient beats baseline in aggregate (the layer does the work).
+    """
+    problems: List[str] = []
+    for point in report.resilient + report.baseline:
+        if point.unverified_bytes:
+            problems.append(
+                f"unverified bytes served at drop={point.drop_probability}"
+            )
+    for point in report.resilient:
+        if point.drop_probability <= 0.2 and point.availability < 0.99:
+            problems.append(
+                f"resilient availability {point.availability:.3f} < 0.99 "
+                f"at drop={point.drop_probability}"
+            )
+    total_res = sum(p.ok for p in report.resilient)
+    total_base = sum(p.ok for p in report.baseline)
+    if total_res <= total_base:
+        problems.append(
+            f"resilience layer earned nothing: {total_res} ok vs baseline {total_base}"
+        )
+    return problems

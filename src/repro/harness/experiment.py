@@ -33,6 +33,8 @@ from repro.naming.service import NameService, SecureResolver
 from repro.naming.zone import Zone
 from repro.naming.dnssec import SignedZone
 from repro.net.address import ContactAddress, Endpoint
+from repro.net.health import ReplicaHealthTracker
+from repro.net.retry import RetryingRpcClient, RetryPolicy
 from repro.net.rpc import RpcClient
 from repro.net.simnet import SimHost, SimNetwork
 from repro.net.topology import WanTopology, paper_testbed
@@ -237,17 +239,31 @@ class Testbed:
         location_ttl: float = 60.0,
         verification_cache: Optional["VerificationCache"] = None,
         content_cache=None,
+        retry_policy: Optional[RetryPolicy] = None,
+        health: Optional[ReplicaHealthTracker] = None,
+        transport=None,
+        max_rebinds: int = 3,
     ) -> ClientStack:
         """Wire a full proxy stack on *host_name*.
 
         ``verification_cache`` (off by default, keeping the paper's
         every-access-pays-in-full methodology for Fig. 4) enables the
         signature-verification fast path; ``content_cache`` attaches a
-        verified-element cache to the proxy.
+        verified-element cache to the proxy. ``retry_policy`` (off by
+        default, keeping single-shot RPC semantics for the figures)
+        wraps the stack's RPC client in backoff retries; ``health``
+        attaches a shared replica-health tracker to the retry layer and
+        the binder. ``transport`` overrides the host transport (chaos
+        runs interpose a :class:`~repro.net.faults.FlakyTransport`).
         """
         host = self.network.host(host_name)
-        transport = self.network.transport_for(host_name)
+        if transport is None:
+            transport = self.network.transport_for(host_name)
         rpc = RpcClient(transport)
+        if retry_policy is not None:
+            rpc = RetryingRpcClient(
+                rpc, retry_policy, clock=self.clock, health=health
+            )
         resolver = SecureResolver(
             rpc, self.naming_endpoint, self.naming.root_key, clock=self.clock
         )
@@ -258,7 +274,7 @@ class Testbed:
             clock=self.clock,
             cache_ttl=location_ttl,
         )
-        binder = Binder(resolver, location, rpc)
+        binder = Binder(resolver, location, rpc, health=health)
         checker = SecurityChecker(
             self.clock,
             trust_store=trust_store,
@@ -269,6 +285,7 @@ class Testbed:
             binder, checker, rpc,
             cache_binding=cache_binding,
             content_cache=content_cache,
+            max_rebinds=max_rebinds,
         )
         return ClientStack(
             host=host,

@@ -1,6 +1,7 @@
 """TTL cache for OID → contact-address mappings (client side).
 
-Deliberately small and explicit: bounded size with FIFO eviction, TTL
+Deliberately small and explicit: bounded size with oldest-put-first
+eviction (refreshing an entry moves it to the back of the queue), TTL
 expiry against the injected clock, and explicit invalidation for failed
 binds. The location ablation bench uses hit-rate accounting to show the
 cache/TTL trade-off under replica churn.
@@ -51,9 +52,17 @@ class AddressCache:
         return list(addresses)
 
     def put(self, oid_hex: str, addresses: List[ContactAddress]) -> None:
+        entry = (self.clock.now() + self.ttl, list(addresses))
+        if oid_hex in self._entries:
+            # Refresh: overwrite in place and move to the back of the
+            # eviction order — re-put entries are the freshest, and an
+            # update must never evict an unrelated key.
+            self._entries[oid_hex] = entry
+            self._entries.move_to_end(oid_hex)
+            return
         while len(self._entries) >= self.max_entries:
             self._entries.popitem(last=False)
-        self._entries[oid_hex] = (self.clock.now() + self.ttl, list(addresses))
+        self._entries[oid_hex] = entry
 
     def invalidate(self, oid_hex: str) -> None:
         self._entries.pop(oid_hex, None)

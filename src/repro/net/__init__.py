@@ -12,7 +12,9 @@ One RPC layer rides on three interchangeable transports:
 """
 
 from repro.net.address import ContactAddress, Endpoint
+from repro.net.health import CircuitState, HealthRecord, ReplicaHealthTracker
 from repro.net.message import Request, Response
+from repro.net.retry import RetryCounters, RetryingRpcClient, RetryPolicy
 from repro.net.rpc import RpcClient, RpcServer, rpc_method
 from repro.net.transport import LoopbackTransport, Transport
 from repro.net.simnet import HostProfile, LinkSpec, SimHost, SimNetwork, SimTransport
@@ -21,8 +23,14 @@ from repro.net.topology import TABLE1_HOSTS, WanTopology, paper_testbed
 __all__ = [
     "ContactAddress",
     "Endpoint",
+    "CircuitState",
+    "HealthRecord",
+    "ReplicaHealthTracker",
     "Request",
     "Response",
+    "RetryCounters",
+    "RetryingRpcClient",
+    "RetryPolicy",
     "RpcClient",
     "RpcServer",
     "rpc_method",

@@ -51,6 +51,9 @@ class FlakyTransport:
     def request(self, endpoint: Endpoint, frame: bytes) -> bytes:
         if self.plan.drop_probability and self._rng.random() < self.plan.drop_probability:
             self.drops += 1
+            # The attempt still went on the wire: account for it before
+            # raising, or chaos runs undercount exactly when it matters.
+            self.stats.record(sent=len(frame), received=0)
             raise TransportError(f"injected drop of request to {endpoint}")
         response = self.inner.request(endpoint, frame)
         if (

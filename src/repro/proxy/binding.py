@@ -19,6 +19,7 @@ from repro.globedoc.urls import HybridUrl
 from repro.location.service import LocationClient
 from repro.naming.service import SecureResolver
 from repro.net.address import ContactAddress
+from repro.net.health import ReplicaHealthTracker
 from repro.net.rpc import RpcClient
 from repro.proxy.metrics import AccessTimer
 from repro.server.localrep import ProxyLR
@@ -52,10 +53,20 @@ class Binder:
         resolver: SecureResolver,
         location: LocationClient,
         rpc: RpcClient,
+        health: Optional[ReplicaHealthTracker] = None,
     ) -> None:
         self.resolver = resolver
         self.location = location
         self.rpc = rpc
+        #: Optional shared replica-health tracker: quarantined addresses
+        #: are ordered after every healthy alternative at bind time.
+        self.health = health
+
+    def note_replica_failure(self, bound: BoundObject) -> None:
+        """Charge a session-observed failure (security violation or
+        transport fault past the retry budget) to the current address."""
+        if self.health is not None:
+            self.health.record_failure(str(bound.address))
 
     def resolve_oid(self, url: HybridUrl, timer: AccessTimer) -> ObjectId:
         """Phase 1a: the object's OID, from the URL or the naming service."""
@@ -74,7 +85,7 @@ class Binder:
             lookup = self.location.lookup(oid)
         if not lookup.addresses:
             raise ObjectNotFound(f"no replicas registered for OID {oid.hex[:12]}…")
-        return self._install(oid, lookup.addresses, 0)
+        return self._install(oid, self._order(lookup.addresses), 0)
 
     def rebind(self, bound: BoundObject) -> BoundObject:
         """Failover to the next contact address after a bad replica.
@@ -94,7 +105,7 @@ class Binder:
             widened = self.location.lookup(bound.oid, widen=True)
         except ObjectNotFound:
             widened = None
-        fresh = (
+        fresh = self._order(
             [a for a in widened.addresses if str(a) not in tried] if widened else []
         )
         if not fresh:
@@ -103,6 +114,13 @@ class Binder:
                 "(all known contact addresses exhausted)"
             )
         return self._install(bound.oid, list(bound.addresses) + fresh, len(bound.addresses))
+
+    def _order(self, addresses: List[ContactAddress]) -> List[ContactAddress]:
+        """Health-aware ordering: keep proximity order, sink quarantined
+        addresses to the back (without the tracker, a no-op)."""
+        if self.health is None or not addresses:
+            return list(addresses)
+        return self.health.order(addresses)
 
     def _install(
         self, oid: ObjectId, addresses: List[ContactAddress], index: int

@@ -81,6 +81,7 @@ class GlobeDocProxy:
         require_identity: bool = False,
         content_cache=None,
         session_ttl: Optional[float] = None,
+        max_rebinds: int = 3,
     ) -> None:
         self.binder = binder
         self.checker = checker
@@ -88,6 +89,9 @@ class GlobeDocProxy:
         self.cache_binding = cache_binding
         self.require_identity = require_identity
         self.content_cache = content_cache
+        #: Per-session replica failover budget (0 disables failover —
+        #: the pre-resilience behaviour, kept for ablations).
+        self.max_rebinds = max_rebinds
         #: Re-bind sessions older than this (seconds). Without it a
         #: long-lived proxy would never notice replicas placed closer by
         #: dynamic replication; with it, bindings follow the replica set
@@ -172,6 +176,7 @@ class GlobeDocProxy:
                 bound=bound,
                 cache_binding=self.cache_binding,
                 require_identity=self.require_identity,
+                max_rebinds=self.max_rebinds,
                 content_cache=self.content_cache,
             )
             self._sessions[key] = session

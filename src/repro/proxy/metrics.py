@@ -16,7 +16,13 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.sim.clock import Clock
 
-__all__ = ["AccessTimer", "AccessMetrics", "FastPathStats", "SECURITY_PHASES"]
+__all__ = [
+    "AccessTimer",
+    "AccessMetrics",
+    "FastPathStats",
+    "ResilienceStats",
+    "SECURITY_PHASES",
+]
 
 #: The security-specific operations enumerated in §4's methodology.
 SECURITY_PHASES = frozenset(
@@ -66,11 +72,41 @@ class FastPathStats:
 
 
 @dataclass(frozen=True)
+class ResilienceStats:
+    """Resilience-layer work attributed to one access.
+
+    ``retries`` counts re-issued RPC attempts, ``failovers`` counts
+    rebinds to a different replica, ``quarantines`` counts circuit
+    breakers opened, and ``backoff_seconds`` is clock time spent waiting
+    between attempts (charged to the simulation under a SimClock).
+    """
+
+    retries: int = 0
+    failovers: int = 0
+    quarantines: int = 0
+    backoff_seconds: float = 0.0
+
+    def __add__(self, other: "ResilienceStats") -> "ResilienceStats":
+        return ResilienceStats(
+            retries=self.retries + other.retries,
+            failovers=self.failovers + other.failovers,
+            quarantines=self.quarantines + other.quarantines,
+            backoff_seconds=self.backoff_seconds + other.backoff_seconds,
+        )
+
+    @property
+    def any_degradation(self) -> bool:
+        """Whether this access needed the resilience layer at all."""
+        return bool(self.retries or self.failovers or self.quarantines)
+
+
+@dataclass(frozen=True)
 class AccessMetrics:
     """The measured decomposition of one object access."""
 
     phases: Tuple[Tuple[str, float], ...]
     fastpath: Optional[FastPathStats] = None
+    resilience: Optional[ResilienceStats] = None
 
     @property
     def total(self) -> float:
@@ -112,7 +148,17 @@ class AccessMetrics:
             fastpath = self.fastpath
         else:
             fastpath = self.fastpath + other.fastpath
-        return AccessMetrics(phases=self.phases + other.phases, fastpath=fastpath)
+        if self.resilience is None:
+            resilience = other.resilience
+        elif other.resilience is None:
+            resilience = self.resilience
+        else:
+            resilience = self.resilience + other.resilience
+        return AccessMetrics(
+            phases=self.phases + other.phases,
+            fastpath=fastpath,
+            resilience=resilience,
+        )
 
 
 class AccessTimer:
@@ -130,6 +176,7 @@ class AccessTimer:
         self.clock = clock
         self._phases: List[Tuple[str, float]] = []
         self._fastpath: Optional[FastPathStats] = None
+        self._resilience: Optional[ResilienceStats] = None
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -149,5 +196,15 @@ class AccessTimer:
         """Accumulate verification fast-path counters for this access."""
         self._fastpath = stats if self._fastpath is None else self._fastpath + stats
 
+    def record_resilience(self, stats: ResilienceStats) -> None:
+        """Accumulate retry/failover/quarantine counters for this access."""
+        self._resilience = (
+            stats if self._resilience is None else self._resilience + stats
+        )
+
     def finish(self) -> AccessMetrics:
-        return AccessMetrics(phases=tuple(self._phases), fastpath=self._fastpath)
+        return AccessMetrics(
+            phases=tuple(self._phases),
+            fastpath=self._fastpath,
+            resilience=self._resilience,
+        )

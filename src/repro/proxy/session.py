@@ -13,11 +13,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import SecurityError
+from repro.errors import (
+    BindingError,
+    ObjectNotFound,
+    RpcError,
+    SecurityError,
+    TransportError,
+)
 from repro.globedoc.element import PageElement
 from repro.proxy.binding import Binder, BoundObject
 from repro.proxy.checks import SecurityChecker, VerifiedBinding
-from repro.proxy.metrics import AccessMetrics, AccessTimer
+from repro.proxy.metrics import AccessMetrics, AccessTimer, ResilienceStats
 
 __all__ = ["SecureSession", "FetchResult"]
 
@@ -64,6 +70,7 @@ class SecureSession:
         self.content_cache = content_cache
         self._verified: Optional[VerifiedBinding] = None
         self.rebind_count = 0
+        self.failovers = 0
 
     # ------------------------------------------------------------------
     # Secure binding (steps 4–9 of Fig. 3)
@@ -73,9 +80,12 @@ class SecureSession:
         """Fetch + verify key, identity proofs, and integrity certificate.
 
         On a key/OID mismatch (malicious or wrong replica, possibly via
-        a lying location service) the session fails over to the next
-        contact address — the paper's "at most denial of service"
-        argument made concrete.
+        a lying location service) *and* on an operational failure past
+        the transport's retry budget (dead replica, dropped frames) the
+        session fails over to the next contact address — the paper's
+        "at most denial of service" argument made concrete. Security
+        violations fail closed: they are never retried against the same
+        replica, only escaped via a *different* one.
         """
         if self._verified is not None and self.cache_binding:
             return self._verified
@@ -83,19 +93,31 @@ class SecureSession:
             try:
                 verified = self._establish_once(timer)
                 break
-            except SecurityError as security_exc:
-                if self.rebind_count >= self.max_rebinds:
-                    raise
-                self.rebind_count += 1
-                try:
-                    self.bound = self.binder.rebind(self.bound)
-                except Exception:
-                    # No alternative replica: the security violation is
-                    # the root cause the user must see, not the binding
-                    # exhaustion it led to.
-                    raise security_exc
+            except (SecurityError, TransportError, RpcError) as exc:
+                self._failover(exc)
         self._verified = verified
         return verified
+
+    def _failover(self, exc: Exception) -> None:
+        """Rebind to the next replica, or re-raise *exc* when exhausted.
+
+        The rebind failure is chained as ``__cause__`` so a transport
+        fault is never misreported as (or hidden behind) a security
+        violation — *exc* stays the root cause the user sees, with the
+        binding exhaustion attached for diagnosis.
+        """
+        if self.rebind_count >= self.max_rebinds:
+            raise exc
+        self.rebind_count += 1
+        self.binder.note_replica_failure(self.bound)
+        try:
+            self.bound = self.binder.rebind(self.bound)
+        except (BindingError, ObjectNotFound) as rebind_exc:
+            raise exc from rebind_exc
+        # Mandatory re-verification: nothing learned from the failed
+        # replica may be trusted for the new one.
+        self._verified = None
+        self.failovers += 1
 
     def _establish_once(self, timer: AccessTimer) -> VerifiedBinding:
         lr = self.bound.lr
@@ -132,17 +154,33 @@ class SecureSession:
 
         Raises :class:`~repro.errors.SecurityError` subclasses on any
         violation — the caller renders the "Security Check Failed" page.
+        A transport failure mid-fetch triggers the same failover path as
+        a bad binding: rebind, *re-verify the full binding* against the
+        new replica, and re-fetch the element there.
         """
         own_timer = timer is None
         if own_timer:
             timer = AccessTimer(self.checker.clock)
         assert timer is not None
+        snapshot = self._resilience_snapshot()
+        try:
+            return self._fetch_once(element_name, timer, snapshot)
+        except BaseException:
+            # Even on a failing access the retry/failover work done on
+            # its behalf lands in the metrics the caller finishes.
+            self._record_resilience(timer, snapshot)
+            raise
+
+    def _fetch_once(
+        self, element_name: str, timer: AccessTimer, snapshot
+    ) -> FetchResult:
         # Verified-content cache: a hit is servable with no network at
         # all — the owner's signed validity interval makes this safe.
         if self.content_cache is not None:
             with timer.phase("content_cache_lookup"):
                 cached = self.content_cache.get(self.bound.oid.hex, element_name)
             if cached is not None:
+                self._record_resilience(timer, snapshot)
                 return FetchResult(
                     element=cached,
                     metrics=timer.finish(),
@@ -150,21 +188,62 @@ class SecureSession:
                         self._verified.certified_as if self._verified else None
                     ),
                 )
-        verified = self.establish(timer)
+        while True:
+            verified = self.establish(timer)
+            try:
+                with timer.phase("get_page_element"):
+                    element = self.bound.lr.get_element(element_name)
+                break
+            except (TransportError, RpcError) as exc:
+                # The replica died between binding and element fetch:
+                # fail over and re-run the whole verification pipeline
+                # against the replacement.
+                self._failover(exc)
         if not self.cache_binding:
             self._verified = None
-        with timer.phase("get_page_element"):
-            element = self.bound.lr.get_element(element_name)
         entry = self.checker.check_element(
             verified.integrity, element_name, element, timer
         )
         if self.content_cache is not None:
             self.content_cache.put(self.bound.oid.hex, element, entry.expires_at)
+        self._record_resilience(timer, snapshot)
         return FetchResult(
             element=element,
             metrics=timer.finish(),
             certified_as=verified.certified_as,
         )
+
+    # ------------------------------------------------------------------
+    # Resilience accounting
+    # ------------------------------------------------------------------
+
+    def _resilience_snapshot(self):
+        counters = getattr(self.binder.rpc, "counters", None)
+        health = self.binder.health
+        return (
+            counters.retries if counters is not None else 0,
+            counters.backoff_seconds if counters is not None else 0.0,
+            self.failovers,
+            health.quarantines if health is not None else 0,
+            counters is not None or health is not None,
+        )
+
+    def _record_resilience(self, timer: AccessTimer, snapshot) -> None:
+        retries0, backoff0, failovers0, quarantines0, tracked = snapshot
+        counters = getattr(self.binder.rpc, "counters", None)
+        health = self.binder.health
+        stats = ResilienceStats(
+            retries=(counters.retries - retries0) if counters is not None else 0,
+            backoff_seconds=(
+                (counters.backoff_seconds - backoff0) if counters is not None else 0.0
+            ),
+            failovers=self.failovers - failovers0,
+            quarantines=(
+                (health.quarantines - quarantines0) if health is not None else 0
+            ),
+        )
+        if tracked or stats.any_degradation:
+            timer.record_resilience(stats)
 
     @property
     def verified(self) -> Optional[VerifiedBinding]:

@@ -32,6 +32,7 @@ from repro.errors import (
 from repro.globedoc.oid import ObjectId
 from repro.location.service import LocationClient
 from repro.net.address import ContactAddress
+from repro.net.health import ReplicaHealthTracker
 from repro.net.rpc import RpcClient
 from repro.server.localrep import ProxyLR
 from repro.sim.clock import Clock
@@ -90,10 +91,16 @@ class ReplicaAuditor:
         rpc: RpcClient,
         location: LocationClient,
         clock: Clock,
+        health: Optional[ReplicaHealthTracker] = None,
     ) -> None:
         self.rpc = rpc
         self.location = location
         self.clock = clock
+        #: Optional tracker shared with the client-side binder: audit
+        #: verdicts feed it, and the eviction sweep may act on addresses
+        #: the *clients* quarantined even if this audit caught them on a
+        #: good round trip.
+        self.health = health
 
     # ------------------------------------------------------------------
 
@@ -143,6 +150,7 @@ class ReplicaAuditor:
                     "outside its certificate"
                 )
         except SecurityError as exc:
+            self._note(address, healthy=False)
             return ReplicaVerdict(
                 address=address,
                 health=ReplicaHealth.CORRUPT,
@@ -150,18 +158,33 @@ class ReplicaAuditor:
                 elements_checked=checked,
             )
         except ReproError as exc:
+            self._note(address, healthy=False)
             return ReplicaVerdict(
                 address=address,
                 health=ReplicaHealth.UNREACHABLE,
                 violation=f"{type(exc).__name__}: {exc}",
                 elements_checked=checked,
             )
+        self._note(address, healthy=True)
         return ReplicaVerdict(
             address=address,
             health=ReplicaHealth.HEALTHY,
             elements_checked=checked,
             version=integrity.version,
         )
+
+    def _note(self, address: ContactAddress, healthy: bool) -> None:
+        if self.health is None:
+            return
+        if healthy:
+            # One good audit round trip must not clear a quarantine the
+            # clients earned with many failures — a flapping replica
+            # often answers the auditor between outages. Only client
+            # (half-open probe) successes close the breaker.
+            if not self.health.is_quarantined(str(address)):
+                self.health.record_success(str(address))
+        else:
+            self.health.record_failure(str(address))
 
     # ------------------------------------------------------------------
 
@@ -173,16 +196,34 @@ class ReplicaAuditor:
         self.location.unregister_replica(oid, site, verdict.address)
 
     def audit_and_evict(
-        self, oid: ObjectId, site_of: Dict[str, str], sample_elements: Optional[int] = None
+        self,
+        oid: ObjectId,
+        site_of: Dict[str, str],
+        sample_elements: Optional[int] = None,
+        evict_quarantined: bool = False,
     ) -> AuditSummary:
         """Full cycle: audit, then evict everything unhealthy.
 
         *site_of* maps address host → location-tree site (the operator
-        knows where each server is registered).
+        knows where each server is registered). With
+        ``evict_quarantined`` and a shared health tracker, the sweep
+        also evicts replicas whose circuit the *clients* opened
+        (flapping servers can pass a single audit round trip while still
+        dropping most production traffic).
         """
         summary = self.audit(oid, sample_elements=sample_elements)
         for verdict in summary.corrupt + summary.unreachable:
             site = site_of.get(verdict.address.host)
             if site is not None:
                 self.evict(oid, verdict, site)
+        if evict_quarantined and self.health is not None:
+            for verdict in summary.healthy:
+                site = site_of.get(verdict.address.host)
+                if site is not None and self.health.is_quarantined(
+                    str(verdict.address)
+                ):
+                    # Deliberately bypasses evict()'s healthy-verdict
+                    # guard: the audit saw one good round trip, but the
+                    # client-side breaker says the replica is flapping.
+                    self.location.unregister_replica(oid, site, verdict.address)
         return summary

@@ -33,3 +33,11 @@ class TestCli:
     def test_seed_changes_nothing_structural(self, capsys):
         assert main(["fig4", "--repeats", "1", "--seed", "7"]) == 0
         assert "Figure 4" in capsys.readouterr().out
+
+    def test_chaos_quick_passes_gates(self, capsys, tmp_path):
+        out_path = tmp_path / "chaos.json"
+        assert main(["chaos", "--quick", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos sweep" in out
+        assert "all resilience gates passed" in out
+        assert out_path.exists()

@@ -55,6 +55,22 @@ class TestFaultPlan:
             FaultPlan(corrupt_probability=-0.1)
 
 
+class TestStats:
+    def test_dropped_requests_are_counted(self, world):
+        """Regression: a dropped request still went on the wire, so it
+        must appear in the transfer stats before the error is raised."""
+        testbed, _ = world
+        inner = testbed.network.transport_for("canardo.inria.fr")
+        flaky = FlakyTransport(inner, FaultPlan(drop_probability=1.0, seed=5))
+        frame = b"never delivered"
+        with pytest.raises(TransportError):
+            flaky.request(testbed.naming_endpoint, frame)
+        assert flaky.drops == 1
+        assert flaky.stats.requests == 1
+        assert flaky.stats.bytes_sent == len(frame)
+        assert flaky.stats.bytes_received == 0
+
+
 class TestDrops:
     def test_drops_yield_clean_errors(self, world):
         """Heavy request dropping: some accesses fail (404-class), the

@@ -79,3 +79,36 @@ class TestCache:
         cache.put("a", [addr("a")])
         cache.clear()
         assert len(cache) == 0
+
+
+class TestRefreshEviction:
+    """Regressions for the re-put FIFO bug: a refreshed entry must be
+    the freshest, and an in-place update must never evict anything."""
+
+    def test_refresh_moves_entry_to_back_of_queue(self):
+        cache = AddressCache(clock=SimClock(0.0), max_entries=2)
+        cache.put("a", [addr("a")])
+        cache.put("b", [addr("b")])
+        cache.put("a", [addr("a2")])  # refresh: now fresher than b
+        cache.put("c", [addr("c")])  # evicts the stalest — b, not a
+        assert cache.get("b") is None
+        assert [x.host for x in cache.get("a")] == ["a2"]
+        assert cache.get("c") is not None
+
+    def test_update_at_capacity_evicts_nothing(self):
+        cache = AddressCache(clock=SimClock(0.0), max_entries=2)
+        cache.put("a", [addr("a")])
+        cache.put("b", [addr("b")])
+        cache.put("b", [addr("b2")])  # update of an existing key
+        assert len(cache) == 2
+        assert cache.get("a") is not None  # unrelated entry survives
+        assert [x.host for x in cache.get("b")] == ["b2"]
+
+    def test_refresh_renews_ttl(self):
+        clock = SimClock(0.0)
+        cache = AddressCache(clock=clock, ttl=10.0)
+        cache.put("a", [addr("a")])
+        clock.advance(8.0)
+        cache.put("a", [addr("a")])
+        clock.advance(8.0)  # 16 s after first put, 8 s after refresh
+        assert cache.get("a") is not None

@@ -1,0 +1,115 @@
+"""Replica health tracking: failure counting and circuit breaking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.health import CircuitState, ReplicaHealthTracker
+from repro.sim.clock import SimClock
+
+ADDR = "globedoc/replica://replica.example/objectserver#r1"
+OTHER = "globedoc/replica://other.example/objectserver#r2"
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def tracker(clock):
+    return ReplicaHealthTracker(clock=clock, failure_threshold=3, quarantine_seconds=30.0)
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self, clock):
+        with pytest.raises(ValueError):
+            ReplicaHealthTracker(clock=clock, failure_threshold=0)
+        with pytest.raises(ValueError):
+            ReplicaHealthTracker(clock=clock, quarantine_seconds=0.0)
+
+
+class TestCircuit:
+    def test_unknown_address_is_closed(self, tracker):
+        assert tracker.state_of(ADDR) is CircuitState.CLOSED
+        assert not tracker.is_quarantined(ADDR)
+
+    def test_threshold_opens_circuit(self, tracker):
+        for _ in range(2):
+            tracker.record_failure(ADDR)
+        assert not tracker.is_quarantined(ADDR)
+        tracker.record_failure(ADDR)
+        assert tracker.is_quarantined(ADDR)
+        assert tracker.quarantines == 1
+
+    def test_success_resets_consecutive_count(self, tracker):
+        tracker.record_failure(ADDR)
+        tracker.record_failure(ADDR)
+        tracker.record_success(ADDR)
+        tracker.record_failure(ADDR)
+        assert not tracker.is_quarantined(ADDR)
+        assert tracker.record(ADDR).consecutive_failures == 1
+
+    def test_quarantine_expires_to_half_open(self, tracker, clock):
+        for _ in range(3):
+            tracker.record_failure(ADDR)
+        clock.advance(31.0)
+        assert not tracker.is_quarantined(ADDR)  # probe allowed
+        assert tracker.state_of(ADDR) is CircuitState.HALF_OPEN
+
+    def test_half_open_success_closes(self, tracker, clock):
+        for _ in range(3):
+            tracker.record_failure(ADDR)
+        clock.advance(31.0)
+        tracker.state_of(ADDR)  # observe the expiry
+        tracker.record_success(ADDR)
+        assert tracker.state_of(ADDR) is CircuitState.CLOSED
+
+    def test_half_open_failure_reopens_full_window(self, tracker, clock):
+        for _ in range(3):
+            tracker.record_failure(ADDR)
+        clock.advance(31.0)
+        tracker.state_of(ADDR)
+        tracker.record_failure(ADDR)  # the probe failed
+        assert tracker.is_quarantined(ADDR)
+        assert tracker.quarantines == 2
+        clock.advance(29.0)
+        assert tracker.is_quarantined(ADDR)  # full fresh window
+
+    def test_failure_while_open_slides_window_without_recount(self, tracker, clock):
+        for _ in range(3):
+            tracker.record_failure(ADDR)
+        clock.advance(20.0)
+        tracker.record_failure(ADDR)  # still failing inside quarantine
+        assert tracker.quarantines == 1  # not double-counted
+        clock.advance(20.0)  # 40 s after opening, 20 s after the slide
+        assert tracker.is_quarantined(ADDR)
+
+
+class TestOrdering:
+    def test_quarantined_addresses_sink(self, tracker):
+        for _ in range(3):
+            tracker.record_failure(ADDR)
+        assert tracker.order([ADDR, OTHER]) == [OTHER, ADDR]
+
+    def test_ordering_is_stable_for_healthy(self, tracker):
+        assert tracker.order([ADDR, OTHER]) == [ADDR, OTHER]
+        assert tracker.order([OTHER, ADDR]) == [OTHER, ADDR]
+
+    def test_fewer_consecutive_failures_first(self, tracker):
+        tracker.record_failure(ADDR)  # 1 failure, below threshold
+        assert tracker.order([ADDR, OTHER]) == [OTHER, ADDR]
+
+    def test_quarantined_addresses_listing(self, tracker):
+        for _ in range(3):
+            tracker.record_failure(ADDR)
+        tracker.record_failure(OTHER)
+        assert tracker.quarantined_addresses() == [ADDR]
+
+    def test_reset(self, tracker):
+        for _ in range(3):
+            tracker.record_failure(ADDR)
+        tracker.reset()
+        assert len(tracker) == 0
+        assert tracker.quarantines == 0
+        assert not tracker.is_quarantined(ADDR)

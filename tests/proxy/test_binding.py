@@ -6,6 +6,9 @@ import pytest
 
 from repro.errors import BindingError, NameNotFound, ObjectNotFound
 from repro.globedoc.urls import HybridUrl
+from repro.net.address import ContactAddress, Endpoint
+from repro.net.health import ReplicaHealthTracker
+from repro.proxy.binding import Binder
 from repro.proxy.metrics import AccessTimer
 from tests.proxy.conftest import ELEMENTS
 
@@ -68,3 +71,71 @@ class TestBind:
         rebound = stack.binder.rebind(bound)
         assert rebound.address_index == 1
         assert rebound.oid == bound.oid
+
+
+class TestHealthAwareBinding:
+    def health_binder(self, stack, testbed):
+        health = ReplicaHealthTracker(clock=testbed.clock, failure_threshold=3)
+        inner = stack.binder
+        return Binder(inner.resolver, inner.location, inner.rpc, health=health), health
+
+    def test_note_replica_failure_without_tracker_is_noop(
+        self, stack, published, testbed
+    ):
+        bound = stack.binder.bind(
+            HybridUrl.parse(published.url("index.html")), AccessTimer(testbed.clock)
+        )
+        stack.binder.note_replica_failure(bound)  # must not raise
+
+    def test_note_replica_failure_charges_current_address(
+        self, stack, published, testbed
+    ):
+        binder, health = self.health_binder(stack, testbed)
+        bound = binder.bind(
+            HybridUrl.parse(published.url("index.html")), AccessTimer(testbed.clock)
+        )
+        binder.note_replica_failure(bound)
+        assert health.record(str(bound.address)).consecutive_failures == 1
+
+    def test_quarantine_never_blocks_the_only_replica(
+        self, stack, published, testbed
+    ):
+        """The tracker demotes ordering, it never refuses addresses —
+        with a single replica the document must stay reachable."""
+        binder, health = self.health_binder(stack, testbed)
+        url = HybridUrl.parse(published.url("index.html"))
+        bound = binder.bind(url, AccessTimer(testbed.clock))
+        for _ in range(3):
+            binder.note_replica_failure(bound)
+        assert health.is_quarantined(str(bound.address))
+        again = binder.bind(url, AccessTimer(testbed.clock))
+        assert str(again.address) == str(bound.address)
+
+    def test_bind_sinks_quarantined_address(self, stack, published, testbed):
+        """With two registered replicas, whichever one is quarantined is
+        ordered behind the healthy one at bind time."""
+        binder, health = self.health_binder(stack, testbed)
+        url = HybridUrl.parse(published.url("index.html"))
+        oid = published.owner.oid
+        real = binder.bind(url, AccessTimer(testbed.clock)).address
+        phantom = ContactAddress(
+            endpoint=Endpoint("sporty.cs.vu.nl", "phantom-objectserver"),
+            replica_id="phantom",
+        )
+        site = "root/europe/vu"  # same site as the primary replica
+        testbed.location_service.tree.insert(oid.hex, site, phantom)
+        binder.location.cache.invalidate(oid.hex)
+        try:
+            for _ in range(3):
+                health.record_failure(str(real))
+            bound = binder.bind(url, AccessTimer(testbed.clock))
+            assert str(bound.address) == str(phantom)
+            assert len(bound.addresses) == 2  # the quarantined one stays listed
+
+            health.reset()
+            for _ in range(3):
+                health.record_failure(str(phantom))
+            bound = binder.bind(url, AccessTimer(testbed.clock))
+            assert str(bound.address) == str(real)
+        finally:
+            binder.location.unregister_replica(oid, site, phantom)

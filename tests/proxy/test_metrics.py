@@ -9,6 +9,7 @@ from repro.proxy.metrics import (
     AccessMetrics,
     AccessTimer,
     FastPathStats,
+    ResilienceStats,
 )
 from repro.sim.clock import SimClock
 
@@ -40,6 +41,18 @@ class TestAccessTimer:
                 clock.advance(1.0)
                 raise RuntimeError("boom")
         assert timer.finish().phase_time("verify_certificate") == pytest.approx(1.0)
+
+    def test_record_resilience_accumulates(self):
+        timer = AccessTimer(SimClock(0.0))
+        assert timer.finish().resilience is None
+        timer.record_resilience(ResilienceStats(retries=1, backoff_seconds=0.1))
+        timer.record_resilience(ResilienceStats(failovers=1, quarantines=1))
+        stats = timer.finish().resilience
+        assert stats == ResilienceStats(
+            retries=1, failovers=1, quarantines=1, backoff_seconds=0.1
+        )
+        assert stats.any_degradation
+        assert not ResilienceStats(backoff_seconds=1.0).any_degradation
 
     def test_record_fastpath_accumulates(self):
         timer = AccessTimer(SimClock(0.0))
@@ -106,6 +119,24 @@ class TestAccessMetrics:
         assert left.merged_with(bare).fastpath == left.fastpath
         assert bare.merged_with(left).fastpath == left.fastpath
         assert bare.merged_with(bare).fastpath is None
+
+    def test_merged_combines_resilience(self):
+        left = AccessMetrics(
+            phases=(("a", 1.0),),
+            resilience=ResilienceStats(retries=2, backoff_seconds=0.3),
+        )
+        right = AccessMetrics(
+            phases=(("b", 1.0),),
+            resilience=ResilienceStats(retries=1, failovers=1, quarantines=1),
+        )
+        merged = left.merged_with(right)
+        assert merged.resilience == ResilienceStats(
+            retries=3, failovers=1, quarantines=1, backoff_seconds=0.3
+        )
+        bare = AccessMetrics(phases=(("c", 1.0),))
+        assert left.merged_with(bare).resilience == left.resilience
+        assert bare.merged_with(left).resilience == left.resilience
+        assert bare.merged_with(bare).resilience is None
 
     def test_security_phase_list_matches_paper(self):
         """§4 enumerates the security-specific operations; our phase set

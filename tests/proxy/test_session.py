@@ -4,16 +4,37 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import BindingError, TransportError
 from repro.globedoc.urls import HybridUrl
+from repro.net.address import ContactAddress, Endpoint
+from repro.proxy.binding import BoundObject
 from repro.proxy.metrics import AccessTimer
 from repro.proxy.session import SecureSession
+from repro.server.localrep import ProxyLR
 from tests.proxy.conftest import ELEMENTS
+
+#: A host that exists in the testbed but runs no object server there —
+#: every RPC to it dies with a clean TransportError.
+DEAD = ContactAddress(
+    endpoint=Endpoint(host="ginger.cs.vu.nl", service="crashed-objectserver"),
+    replica_id="dead",
+)
 
 
 def make_session(stack, published, testbed, **kwargs) -> SecureSession:
     timer = AccessTimer(testbed.clock)
     bound = stack.binder.bind(HybridUrl.parse(published.url("index.html")), timer)
     return SecureSession(binder=stack.binder, checker=stack.checker, bound=bound, **kwargs)
+
+
+def rebound(stack, bound: BoundObject, addresses, index: int) -> BoundObject:
+    """The same object, bound to an explicit address list."""
+    return BoundObject(
+        oid=bound.oid,
+        addresses=list(addresses),
+        address_index=index,
+        lr=ProxyLR(stack.binder.rpc, addresses[index]),
+    )
 
 
 class TestEstablish:
@@ -74,3 +95,68 @@ class TestFetch:
         session.invalidate()
         result = session.fetch("index.html")
         assert result.metrics.phase_time("get_public_key") > 0
+
+
+class TestFailover:
+    """Transport faults trigger the same rebind path as security
+    violations — and a new replica is always re-verified from scratch."""
+
+    def test_establish_fails_over_on_transport_error(self, stack, published, testbed):
+        session = make_session(stack, published, testbed)
+        good = session.bound.addresses
+        session.bound = rebound(stack, session.bound, [DEAD] + good, 0)
+        verified = session.establish(AccessTimer(testbed.clock))
+        assert verified.oid == published.owner.oid
+        assert session.failovers == 1
+        assert str(session.bound.address) == str(good[0])
+
+    def test_midfetch_failover_reverifies_binding(self, stack, published, testbed):
+        session = make_session(stack, published, testbed)
+        session.fetch("index.html")  # warm: binding verified and cached
+        good = session.bound.addresses
+        session.bound = rebound(stack, session.bound, [DEAD] + good, 0)
+        result = session.fetch("index.html")
+        assert result.content == ELEMENTS["index.html"]
+        assert session.failovers == 1
+        # The cached binding was NOT reused: the replacement replica's
+        # key and certificate were fetched and verified afresh.
+        assert result.metrics.phase_time("get_public_key") > 0
+        assert result.metrics.phase_time("get_integrity_certificate") > 0
+        assert result.metrics.resilience is not None
+        assert result.metrics.resilience.failovers == 1
+
+    def test_exhaustion_chains_binding_failure(self, stack, published, testbed):
+        """Regression: when rebinding has nowhere left to go, the caller
+        sees the operational root cause with the binding exhaustion
+        attached as ``__cause__`` — not a bare swallowed error."""
+        session = make_session(stack, published, testbed)
+        # Every genuine address is already in the tried list, so the
+        # widened lookup yields nothing fresh.
+        all_tried = list(session.bound.addresses) + [DEAD]
+        session.bound = rebound(stack, session.bound, all_tried, len(all_tried) - 1)
+        with pytest.raises(TransportError) as excinfo:
+            session.establish(AccessTimer(testbed.clock))
+        assert isinstance(excinfo.value.__cause__, BindingError)
+
+    def test_unexpected_rebind_error_propagates(
+        self, stack, published, testbed, monkeypatch
+    ):
+        """Regression: only binding-layer failures are folded into the
+        original error; a genuine bug in rebinding must surface as-is."""
+        session = make_session(stack, published, testbed)
+        session.bound = rebound(stack, session.bound, [DEAD], 0)
+
+        def broken_rebind(bound):
+            raise RuntimeError("rebind bug")
+
+        monkeypatch.setattr(stack.binder, "rebind", broken_rebind)
+        with pytest.raises(RuntimeError, match="rebind bug"):
+            session.establish(AccessTimer(testbed.clock))
+
+    def test_max_rebinds_zero_disables_failover(self, stack, published, testbed):
+        session = make_session(stack, published, testbed, max_rebinds=0)
+        good = session.bound.addresses
+        session.bound = rebound(stack, session.bound, [DEAD] + good, 0)
+        with pytest.raises(TransportError):
+            session.establish(AccessTimer(testbed.clock))
+        assert session.failovers == 0

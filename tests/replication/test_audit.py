@@ -140,3 +140,70 @@ class TestEviction:
         summary = auditor.audit(owner.oid)
         with pytest.raises(ReproError, match="healthy"):
             auditor.evict(owner.oid, summary.healthy[0], "root/europe/vu")
+
+
+class TestHealthIntegration:
+    """The auditor and the client stack share one replica-health view."""
+
+    def tracked_auditor(self, testbed, health):
+        rpc = RpcClient(testbed.network.transport_for("sporty.cs.vu.nl"))
+        location = LocationClient(
+            rpc, testbed.location_endpoint, "root/europe/vu", clock=testbed.clock
+        )
+        return ReplicaAuditor(rpc, location, testbed.clock, health=health)
+
+    def test_audit_verdicts_feed_tracker(self, world):
+        from repro.net.health import ReplicaHealthTracker
+
+        testbed, owner, v1, published = world
+        health = ReplicaHealthTracker(clock=testbed.clock, failure_threshold=2)
+        auditor = self.tracked_auditor(testbed, health)
+        evil = deploy_evil(testbed, published, TamperBehavior("index.html"))
+        for _ in range(2):
+            summary = auditor.audit(owner.oid)
+        assert len(summary.corrupt) == 1
+        assert health.is_quarantined(str(evil.contact_address()))
+        # The genuine replica's successes were recorded too.
+        genuine = summary.healthy[0].address
+        assert health.record(str(genuine)).total_successes == 2
+
+    def test_audit_success_does_not_clear_client_quarantine(self, world):
+        from repro.net.health import ReplicaHealthTracker
+
+        testbed, owner, v1, published = world
+        health = ReplicaHealthTracker(clock=testbed.clock, failure_threshold=3)
+        auditor = self.tracked_auditor(testbed, health)
+        summary = auditor.audit(owner.oid)
+        genuine = str(summary.healthy[0].address)
+        # Clients hammered this replica into quarantine…
+        for _ in range(3):
+            health.record_failure(genuine)
+        assert health.is_quarantined(genuine)
+        # …and one good audit round trip must not un-quarantine it.
+        auditor.audit(owner.oid)
+        assert health.is_quarantined(genuine)
+
+    def test_evict_quarantined_removes_flapping_replica(self, world):
+        from repro.net.health import ReplicaHealthTracker
+
+        testbed, owner, v1, published = world
+        health = ReplicaHealthTracker(clock=testbed.clock, failure_threshold=3)
+        auditor = self.tracked_auditor(testbed, health)
+        summary = auditor.audit(owner.oid)
+        genuine = summary.healthy[0].address
+        for _ in range(3):
+            health.record_failure(str(genuine))
+        site_of = {genuine.host: "root/europe/vu"}
+        # Without the flag the audit-healthy replica survives.
+        auditor.audit_and_evict(owner.oid, site_of)
+        assert (
+            testbed.location_service.tree.addresses_at(owner.oid.hex, "root/europe/vu")
+            != []
+        )
+        # With it, the client-earned quarantine wins over the one good
+        # audit round trip.
+        auditor.audit_and_evict(owner.oid, site_of, evict_quarantined=True)
+        assert (
+            testbed.location_service.tree.addresses_at(owner.oid.hex, "root/europe/vu")
+            == []
+        )
