@@ -7,6 +7,7 @@ Usage::
     python -m repro.harness fig5|fig6|fig7 [--repeats N]
     python -m repro.harness bench-security [--quick] [--out PATH]
     python -m repro.harness chaos [--quick] [--out PATH]
+    python -m repro.harness trace [--quick] [--out PATH]
     python -m repro.harness all
 """
 
@@ -33,7 +34,7 @@ def main(argv=None) -> int:
         "target",
         choices=[
             "table1", "fig4", "fig5", "fig6", "fig7", "loadtest",
-            "bench-security", "chaos", "all",
+            "bench-security", "chaos", "trace", "all",
         ],
         help="which artifact to regenerate",
     )
@@ -41,11 +42,11 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0, help="content seed")
     parser.add_argument(
         "--quick", action="store_true",
-        help="bench-security/chaos: fewer iterations (CI smoke mode)",
+        help="bench-security/chaos/trace: fewer iterations (CI smoke mode)",
     )
     parser.add_argument(
         "--out", type=pathlib.Path, default=None,
-        help="bench-security/chaos: where to write the JSON report "
+        help="bench-security/chaos/trace: where to write the JSON report "
         "(default: BENCH_*.json in the repo root)",
     )
     args = parser.parse_args(argv)
@@ -66,6 +67,10 @@ def main(argv=None) -> int:
             _run_bench_security(quick=args.quick, seed=args.seed, out=args.out)
         elif target == "chaos":
             code = _run_chaos(quick=args.quick, seed=args.seed, out=args.out)
+            if code:
+                return code
+        elif target == "trace":
+            code = _run_trace(quick=args.quick, seed=args.seed, out=args.out)
             if code:
                 return code
         else:
@@ -114,6 +119,30 @@ def _run_chaos(quick: bool, seed: int, out=None) -> int:
             print(f"FAIL: {problem}")
         return 1
     print(f"\nall resilience gates passed; report written to {out}")
+    return 0
+
+
+def _run_trace(quick: bool, seed: int, out=None) -> int:
+    """Access-pipeline trace profile: span breakdown + rejection census."""
+    from repro.harness.trace_profile import (
+        REPORT_NAME,
+        check_report,
+        render_trace,
+        run_trace,
+        write_report,
+    )
+
+    report = run_trace(quick=quick, seed=seed)
+    if out is None:
+        out = pathlib.Path(__file__).resolve().parents[3] / REPORT_NAME
+    write_report(report, out)
+    print(render_trace(report))
+    problems = check_report(report)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print(f"\nall trace gates passed; report written to {out}")
     return 0
 
 

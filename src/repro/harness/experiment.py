@@ -106,12 +106,20 @@ class Testbed:
 
     __test__ = False  # not a pytest test class, despite the name
 
-    def __init__(self, clock: Optional[SimClock] = None, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        start_time: float = 0.0,
+        tracer=None,
+    ) -> None:
         self.topology: WanTopology = paper_testbed(
             clock if clock is not None else SimClock(start_time)
         )
         self.network: SimNetwork = self.topology.network
         self.clock: SimClock = self.topology.clock
+        #: Optional service-side tracer: the object server's RPC surface
+        #: records ``server.handle`` spans into it.
+        self.tracer = tracer
         self._build_services()
         self._published: Dict[str, PublishedObject] = {}
 
@@ -137,7 +145,10 @@ class Testbed:
         # GlobeDoc object server + baselines, all on ginger.
         services_host = self.network.host(SERVICES_HOST)
         self.object_server = ObjectServer(
-            host=SERVICES_HOST, site=HOST_SITE[SERVICES_HOST], clock=self.clock
+            host=SERVICES_HOST,
+            site=HOST_SITE[SERVICES_HOST],
+            clock=self.clock,
+            tracer=self.tracer,
         )
         self.http_server = StaticHttpServer(host=SERVICES_HOST)
         self.ssl_server = SslServer(
@@ -187,12 +198,17 @@ class Testbed:
         owner: DocumentOwner,
         validity: float = 24 * 3600.0,
         ttl: float = 3600.0,
+        per_element_expiry=None,
     ) -> PublishedObject:
         """Publish *owner*'s document: replica on ginger, naming +
         location records registered. Also mirrors the elements onto the
         HTTP and SSL baseline servers (same bytes, same host) so the
-        Fig. 5–7 comparison is apples-to-apples."""
-        document = owner.publish(validity=validity)
+        Fig. 5–7 comparison is apples-to-apples. ``per_element_expiry``
+        passes absolute per-element expiry overrides to the owner's
+        certificate (name → timestamp)."""
+        document = owner.publish(
+            validity=validity, per_element_expiry=per_element_expiry
+        )
         self.object_server.keystore.authorize(owner.name, owner.public_key)
 
         # Owner pushes from the secondary VU host (as in the paper: the
@@ -243,6 +259,7 @@ class Testbed:
         health: Optional[ReplicaHealthTracker] = None,
         transport=None,
         max_rebinds: int = 3,
+        tracer=None,
     ) -> ClientStack:
         """Wire a full proxy stack on *host_name*.
 
@@ -255,14 +272,16 @@ class Testbed:
         attaches a shared replica-health tracker to the retry layer and
         the binder. ``transport`` overrides the host transport (chaos
         runs interpose a :class:`~repro.net.faults.FlakyTransport`).
+        ``tracer`` threads one access-pipeline tracer through every
+        layer of the stack (proxy, session, binder, checks, RPC).
         """
         host = self.network.host(host_name)
         if transport is None:
             transport = self.network.transport_for(host_name)
-        rpc = RpcClient(transport)
+        rpc = RpcClient(transport, tracer=tracer)
         if retry_policy is not None:
             rpc = RetryingRpcClient(
-                rpc, retry_policy, clock=self.clock, health=health
+                rpc, retry_policy, clock=self.clock, health=health, tracer=tracer
             )
         resolver = SecureResolver(
             rpc, self.naming_endpoint, self.naming.root_key, clock=self.clock
@@ -274,18 +293,20 @@ class Testbed:
             clock=self.clock,
             cache_ttl=location_ttl,
         )
-        binder = Binder(resolver, location, rpc, health=health)
+        binder = Binder(resolver, location, rpc, health=health, tracer=tracer)
         checker = SecurityChecker(
             self.clock,
             trust_store=trust_store,
             compute_context=host.compute,
             verification_cache=verification_cache,
+            tracer=tracer,
         )
         proxy = GlobeDocProxy(
             binder, checker, rpc,
             cache_binding=cache_binding,
             content_cache=content_cache,
             max_rebinds=max_rebinds,
+            tracer=tracer,
         )
         return ClientStack(
             host=host,

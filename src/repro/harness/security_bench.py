@@ -55,6 +55,7 @@ from repro.workloads.generator import make_content
 
 __all__ = [
     "run_security_bench",
+    "evaluate_criteria",
     "write_report",
     "WARM_SPEEDUP_TARGET",
     "REPORT_NAME",
@@ -300,27 +301,38 @@ def run_pipeline_bench(quick: bool = False, seed: int = 0) -> Dict[str, object]:
 # ----------------------------------------------------------------------
 
 
+def evaluate_criteria(pipeline: Dict[str, object]) -> Dict[str, object]:
+    """The pass/fail gate over one pipeline-bench result.
+
+    Pure so the gate logic is unit-testable without running the bench:
+    warm certificate verification must beat cold by
+    :data:`WARM_SPEEDUP_TARGET`, and the fast-path run must not be
+    slower than the baseline overall.
+    """
+    warm_speedup = pipeline["warm"]["speedup"]  # type: ignore[index]
+    fastpath_total = pipeline["fastpath"]["total_ms_mean"]  # type: ignore[index]
+    baseline_total = pipeline["baseline"]["total_ms_mean"]  # type: ignore[index]
+    return {
+        "warm_speedup": warm_speedup,
+        "warm_speedup_target": WARM_SPEEDUP_TARGET,
+        "warm_speedup_ok": warm_speedup >= WARM_SPEEDUP_TARGET,
+        "fastpath_total_ms": fastpath_total,
+        "baseline_total_ms": baseline_total,
+        "fastpath_not_slower": fastpath_total <= baseline_total,
+    }
+
+
 def run_security_bench(quick: bool = False, seed: int = 0) -> Dict[str, object]:
     """The full report: micro + pipeline + pass/fail criteria."""
     micro = run_micro_benches(quick=quick)
     pipeline = run_pipeline_bench(quick=quick, seed=seed)
-    warm_speedup = pipeline["warm"]["speedup"]  # type: ignore[index]
-    fastpath_total = pipeline["fastpath"]["total_ms_mean"]  # type: ignore[index]
-    baseline_total = pipeline["baseline"]["total_ms_mean"]  # type: ignore[index]
     return {
         "name": "security_pipeline",
         "generated_by": "python -m repro.harness bench-security",
         "quick": quick,
         "micro": micro,
         "pipeline": pipeline,
-        "criteria": {
-            "warm_speedup": warm_speedup,
-            "warm_speedup_target": WARM_SPEEDUP_TARGET,
-            "warm_speedup_ok": warm_speedup >= WARM_SPEEDUP_TARGET,
-            "fastpath_total_ms": fastpath_total,
-            "baseline_total_ms": baseline_total,
-            "fastpath_not_slower": fastpath_total <= baseline_total,
-        },
+        "criteria": evaluate_criteria(pipeline),
     }
 
 

@@ -1,0 +1,363 @@
+"""Trace profile: replay a workload, decompose every access into spans.
+
+The paper's Fig. 4 methodology — "placing timers in various parts of
+the proxy and server code" — aggregated per-phase stopwatches. This
+harness goes one level deeper with the :mod:`repro.obs` tracing layer:
+one tracer, clocked by the testbed's :class:`~repro.sim.clock.SimClock`,
+is threaded through every layer of the client stack (proxy → session →
+binder → checks → retry → RPC) *and* the object server, then a
+three-part workload is replayed through it:
+
+* **honest** — repeated accesses to a multi-element document with the
+  verification fast path and the verified-content cache enabled, with
+  periodic session drops so cold binds keep appearing;
+* **flaky** — the same document through a lossy transport with
+  retry/backoff enabled, so ``rpc.attempt`` spans show where a flaky
+  access's time goes;
+* **adversarial** — one probe per violated security property
+  (authenticity, consistency, freshness), each expected to close the
+  responsible ``check.*`` span with error status.
+
+The output, ``BENCH_trace_profile.json``, carries the per-span-name
+latency breakdown (count / errors / total / p50 / p95), the slowest
+retained spans, a census of which check rejected what, and a
+consistency cross-check: because the sim clock only advances inside
+timer phases, the summed ``proxy.handle`` span time must equal the
+summed end-to-end :class:`~repro.proxy.metrics.AccessMetrics` totals.
+
+Run with ``python -m repro.harness trace [--quick]``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List
+
+from repro.attacks.adversary import AttackOutcome, run_attack_probe
+from repro.attacks.malicious_server import (
+    ElementSwapBehavior,
+    MaliciousReplica,
+    TamperBehavior,
+)
+from repro.crypto.keys import KeyPair
+from repro.crypto.verifycache import VerificationCache
+from repro.globedoc.element import PageElement
+from repro.globedoc.owner import DocumentOwner
+from repro.harness.experiment import Testbed
+from repro.net.address import Endpoint
+from repro.net.faults import FaultPlan, FlakyTransport
+from repro.net.retry import RetryPolicy
+from repro.obs import RingBufferSink, SpanStats, Tracer
+from repro.proxy.contentcache import ContentCache
+from repro.sim.clock import SimClock
+from repro.sim.random import derive_seed
+
+__all__ = [
+    "REPORT_NAME",
+    "run_trace",
+    "check_report",
+    "render_trace",
+    "write_report",
+]
+
+REPORT_NAME = "BENCH_trace_profile.json"
+
+CLIENT_HOST = "sporty.cs.vu.nl"
+FLAKY_HOST = "ensamble02.cornell.edu"
+
+#: The traced document: a small page plus a large asset, so the
+#: size-proportional ``check.element_hash`` span is visible next to the
+#: constant-cost checks.
+ELEMENTS = {
+    "index.html": b"<html><body>" + b"trace me " * 128 + b"</body></html>",
+    "style.css": b"body { margin: 0; } /* traced */",
+    "banner.png": bytes(range(256)) * 64,
+}
+
+SESSION_DROP_EVERY = 6
+
+#: Span names the honest workload must produce — one per instrumented
+#: pipeline layer. A missing name means an instrumentation point was
+#: unplugged.
+EXPECTED_SPANS = (
+    "proxy.handle",
+    "session.establish",
+    "session.fetch",
+    "bind.resolve",
+    "bind.locate",
+    "check.public_key",
+    "check.certificate",
+    "check.consistency",
+    "check.element_hash",
+    "check.freshness",
+    "cache.get",
+    "cache.put",
+    "rpc.call",
+    "server.handle",
+)
+
+#: Adversarial probes: every violated property must be rejected by its
+#: own check's span (name → expected error type).
+EXPECTED_REJECTIONS = {
+    "check.element_hash": "AuthenticityError",
+    "check.consistency": "ConsistencyError",
+    "check.freshness": "FreshnessError",
+}
+
+#: Consistency gate: summed root-span time vs summed access metrics.
+CONSISTENCY_TOLERANCE = 0.05
+
+
+def _make_document(testbed: Testbed, name: str, **publish_kwargs):
+    owner = DocumentOwner(name, keys=KeyPair.generate(1024), clock=testbed.clock)
+    for element_name, content in ELEMENTS.items():
+        owner.put_element(PageElement(element_name, content))
+    return testbed.publish(owner, **publish_kwargs)
+
+
+def run_trace(quick: bool = False, seed: int = 0) -> dict:
+    """Replay the three-part workload, return the JSON-ready report."""
+    honest_requests = 24 if quick else 96
+    flaky_requests = 12 if quick else 48
+
+    ring = RingBufferSink(capacity=8192)
+    stats = SpanStats()
+    # The tracer and the testbed must share one clock: spans measure
+    # simulated time, and the consistency gate below depends on it.
+    clock = SimClock()
+    tracer = Tracer(clock=clock, sinks=(ring, stats))
+    testbed = Testbed(clock=clock, tracer=tracer)
+
+    published = _make_document(testbed, "vu.nl/trace", validity=7 * 24 * 3600.0)
+    names = list(ELEMENTS)
+    metrics_total = 0.0
+
+    # ------------------------------------------------------------ honest
+    stack = testbed.client_stack(
+        CLIENT_HOST,
+        verification_cache=VerificationCache(),
+        content_cache=ContentCache(clock=clock, ttl=30.0, tracer=tracer),
+        tracer=tracer,
+    )
+    honest_ok = 0
+    for i in range(honest_requests):
+        if i % SESSION_DROP_EVERY == 0:
+            stack.proxy.drop_all_sessions()
+        response = stack.proxy.handle(published.url(names[i % len(names)]))
+        if response.ok:
+            honest_ok += 1
+        if response.metrics is not None:
+            metrics_total += response.metrics.total
+
+    # ------------------------------------------------------------- flaky
+    plan = FaultPlan(
+        drop_probability=0.15, seed=derive_seed(seed, "trace-faults")
+    )
+    flaky = FlakyTransport(testbed.network.transport_for(FLAKY_HOST), plan)
+    policy = RetryPolicy(
+        max_attempts=4,
+        base_delay=0.02,
+        max_delay=0.5,
+        seed=derive_seed(seed, "trace-retry"),
+    )
+    flaky_stack = testbed.client_stack(
+        FLAKY_HOST, transport=flaky, retry_policy=policy, tracer=tracer
+    )
+    flaky_ok = 0
+    for i in range(flaky_requests):
+        if i % SESSION_DROP_EVERY == 0:
+            flaky_stack.proxy.drop_all_sessions()
+        response = flaky_stack.proxy.handle(published.url(names[i % len(names)]))
+        if response.ok:
+            flaky_ok += 1
+        if response.metrics is not None:
+            metrics_total += response.metrics.total
+
+    # ------------------------------------------------------- adversarial
+    probes: Dict[str, str] = {}
+
+    def probe(label: str, proxy, url: str, genuine: bytes) -> None:
+        result = run_attack_probe(proxy, url, genuine)
+        probes[label] = (
+            result.failure_type
+            if result.outcome is AttackOutcome.DETECTED
+            else str(result.outcome)
+        )
+        if result.response.metrics is not None:
+            nonlocal metrics_total
+            metrics_total += result.response.metrics.total
+
+    # Authenticity: a tampering replica at the Paris client's own site.
+    tamper = MaliciousReplica(
+        host="canardo.inria.fr",
+        document=published.document,
+        behavior=TamperBehavior(target="index.html"),
+    )
+    testbed.network.register(
+        Endpoint("canardo.inria.fr", "objectserver"),
+        tamper.rpc_server().handle_frame,
+    )
+    testbed.location_service.tree.insert(
+        published.owner.oid.hex, "root/europe/inria", tamper.contact_address()
+    )
+    paris = testbed.client_stack(
+        "canardo.inria.fr", max_rebinds=0, tracer=tracer
+    )
+    probe(
+        "tamper",
+        paris.proxy,
+        published.url("index.html"),
+        ELEMENTS["index.html"],
+    )
+
+    # Consistency: an element-swapping replica at the Cornell site.
+    swap = MaliciousReplica(
+        host=FLAKY_HOST,
+        document=published.document,
+        behavior=ElementSwapBehavior(
+            when_asked_for="index.html", serve_instead="style.css"
+        ),
+    )
+    # The honest Cornell-side stack used the real object server on
+    # ginger; the swap replica hijacks the local site's lookup ring.
+    testbed.network.register(
+        Endpoint(FLAKY_HOST, "objectserver"), swap.rpc_server().handle_frame
+    )
+    testbed.location_service.tree.insert(
+        published.owner.oid.hex, "root/us/cornell", swap.contact_address()
+    )
+    cornell = testbed.client_stack(FLAKY_HOST, max_rebinds=0, tracer=tracer)
+    probe(
+        "element_swap",
+        cornell.proxy,
+        published.url("index.html"),
+        ELEMENTS["index.html"],
+    )
+
+    # Freshness: a second document whose element entry expires shortly,
+    # accessed after the deadline (the certificate itself stays valid).
+    fresh = _make_document(
+        testbed,
+        "vu.nl/trace-fresh",
+        validity=3600.0,
+        per_element_expiry={"index.html": testbed.clock.now() + 60.0},
+    )
+    testbed.clock.advance(61.0)
+    amsterdam = testbed.client_stack(CLIENT_HOST, max_rebinds=0, tracer=tracer)
+    probe(
+        "stale_element",
+        amsterdam.proxy,
+        fresh.url("index.html"),
+        ELEMENTS["index.html"],
+    )
+
+    # ------------------------------------------------------------ report
+    phases = stats.stats()
+    span_total = phases.get("proxy.handle", {}).get("total_s", 0.0)
+    ratio = span_total / metrics_total if metrics_total else 0.0
+    report = {
+        "name": "trace_profile",
+        "quick": quick,
+        "seed": seed,
+        "workload": {
+            "honest_requests": honest_requests,
+            "honest_ok": honest_ok,
+            "flaky_requests": flaky_requests,
+            "flaky_ok": flaky_ok,
+            "probes": probes,
+            "elements": len(ELEMENTS),
+        },
+        "phases": phases,
+        "slowest_spans": [span.to_dict() for span in ring.slowest(15)],
+        "spans_seen": ring.seen,
+        "spans_dropped": ring.dropped,
+        "security_rejections": stats.error_census("check."),
+        "consistency": {
+            "span_total_s": span_total,
+            "metrics_total_s": metrics_total,
+            "ratio": ratio,
+        },
+    }
+    report["criteria"] = {"problems": check_report(report)}
+    return report
+
+
+def check_report(report: dict) -> List[str]:
+    """CI-gate violations (empty = pass).
+
+    * every instrumented layer produced spans;
+    * the honest workload fully succeeded;
+    * each adversarial probe was rejected by the expected check's span
+      with the expected error type;
+    * the summed root-span time matches the summed end-to-end access
+      metrics within :data:`CONSISTENCY_TOLERANCE`.
+    """
+    problems: List[str] = []
+    phases = report.get("phases", {})
+    for name in EXPECTED_SPANS:
+        if name not in phases:
+            problems.append(f"no {name!r} spans recorded")
+    workload = report.get("workload", {})
+    if workload.get("honest_ok") != workload.get("honest_requests"):
+        problems.append(
+            f"honest workload degraded: {workload.get('honest_ok')}/"
+            f"{workload.get('honest_requests')} ok"
+        )
+    rejections = report.get("security_rejections", {})
+    for span_name, error_type in EXPECTED_REJECTIONS.items():
+        if error_type not in rejections.get(span_name, {}):
+            problems.append(
+                f"expected {span_name!r} to reject with {error_type}, "
+                f"got {rejections.get(span_name)}"
+            )
+    ratio = report.get("consistency", {}).get("ratio", 0.0)
+    if abs(ratio - 1.0) > CONSISTENCY_TOLERANCE:
+        problems.append(
+            f"span/metrics consistency ratio {ratio:.4f} outside "
+            f"1 ± {CONSISTENCY_TOLERANCE}"
+        )
+    return problems
+
+
+def render_trace(report: dict) -> str:
+    """Human-readable per-phase table plus the rejection census."""
+    from repro.harness.report import render_table
+
+    rows = []
+    phases = report["phases"]
+    for name in sorted(phases, key=lambda n: -phases[n]["total_s"]):
+        s = phases[name]
+        rows.append(
+            [
+                name,
+                str(s["count"]),
+                str(s["errors"]),
+                f"{s['total_s'] * 1e3:.1f} ms",
+                f"{s['p50_s'] * 1e3:.2f} ms",
+                f"{s['p95_s'] * 1e3:.2f} ms",
+            ]
+        )
+    table = render_table(
+        ["span", "count", "errors", "total", "p50", "p95"], rows
+    )
+    lines = [
+        "Trace profile — access pipeline span breakdown",
+        table,
+        "",
+        "security rejections:",
+    ]
+    for span_name, census in sorted(report["security_rejections"].items()):
+        for error_type, count in sorted(census.items()):
+            lines.append(f"  {span_name}: {error_type} x{count}")
+    consistency = report["consistency"]
+    lines.append(
+        f"consistency: span {consistency['span_total_s']:.3f} s vs "
+        f"metrics {consistency['metrics_total_s']:.3f} s "
+        f"(ratio {consistency['ratio']:.4f})"
+    )
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: pathlib.Path) -> None:
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.errors import RpcError, SecurityError, TransportError
+from repro.obs import NOOP_TRACER
 from repro.sim.clock import Clock, RealClock
 from repro.sim.random import make_rng
 
@@ -142,6 +143,7 @@ class RetryingRpcClient:
         clock: Optional[Clock] = None,
         health=None,
         idempotent: Optional[Callable[[str], bool]] = None,
+        tracer=None,
     ) -> None:
         self.inner = inner
         self.policy = policy if policy is not None else RetryPolicy()
@@ -150,6 +152,10 @@ class RetryingRpcClient:
         self._idempotent = idempotent if idempotent is not None else is_idempotent
         self._rng = make_rng(self.policy.seed)
         self.counters = RetryCounters()
+        #: Records one ``rpc.attempt`` span per try; a failed-but-retried
+        #: attempt carries the chosen ``backoff_s`` as an attribute, so a
+        #: trace shows exactly where a flaky access's time went.
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
 
     @property
     def transport(self):
@@ -162,32 +168,41 @@ class RetryingRpcClient:
         attempt = 0
         while True:
             attempt += 1
-            try:
-                value = self.inner.call(target, op, **args)
-            except SecurityError:
-                # Fail closed: a security violation is a property of the
-                # replica, not of the network — the session-level
-                # failover (different replica) is the only sound retry.
-                self._note_failure(target)
-                raise
-            except (TransportError, RpcError):
-                self._note_failure(target)
-                if not retryable or attempt >= policy.max_attempts:
-                    self.counters.giveups += 1
+            delay = 0.0
+            with self.tracer.span(
+                "rpc.attempt", op=op, target=str(target), attempt=attempt
+            ) as span:
+                try:
+                    value = self.inner.call(target, op, **args)
+                except SecurityError:
+                    # Fail closed: a security violation is a property of
+                    # the replica, not of the network — the session-level
+                    # failover (different replica) is the only sound
+                    # retry. (The span records the error on re-raise.)
+                    self._note_failure(target)
                     raise
-                delay = policy.delay_for(attempt, self._rng)
-                if (
-                    policy.deadline is not None
-                    and (self.clock.now() - start) + delay > policy.deadline
-                ):
-                    self.counters.giveups += 1
-                    raise
-                self._wait(delay)
-                self.counters.retries += 1
-                self.counters.backoff_seconds += delay
-            else:
-                self._note_success(target)
-                return value
+                except (TransportError, RpcError) as exc:
+                    span.mark_error(exc)
+                    self._note_failure(target)
+                    if not retryable or attempt >= policy.max_attempts:
+                        self.counters.giveups += 1
+                        raise
+                    delay = policy.delay_for(attempt, self._rng)
+                    if (
+                        policy.deadline is not None
+                        and (self.clock.now() - start) + delay > policy.deadline
+                    ):
+                        self.counters.giveups += 1
+                        raise
+                    span.set_attribute("backoff_s", delay)
+                else:
+                    self._note_success(target)
+                    return value
+            # The backoff wait happens outside the failed attempt's span
+            # (attempt spans measure the try, not the patience).
+            self._wait(delay)
+            self.counters.retries += 1
+            self.counters.backoff_seconds += delay
 
     # ------------------------------------------------------------------
 

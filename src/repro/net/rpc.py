@@ -17,6 +17,7 @@ from repro.errors import RpcError, TransportError
 from repro.net.address import ContactAddress, Endpoint
 from repro.net.message import Request, Response
 from repro.net.transport import Transport
+from repro.obs import NOOP_TRACER
 
 __all__ = ["RpcServer", "RpcClient", "rpc_method"]
 
@@ -42,10 +43,15 @@ def rpc_method(op: str) -> Callable[[Handler], Handler]:
 
 
 class RpcServer:
-    """Dispatches decoded requests to registered operation handlers."""
+    """Dispatches decoded requests to registered operation handlers.
 
-    def __init__(self, name: str = "rpc") -> None:
+    ``tracer`` (optional) records one ``server.handle`` span per
+    incoming frame — the server half of the access-pipeline trace.
+    """
+
+    def __init__(self, name: str = "rpc", tracer=None) -> None:
         self.name = name
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         self._ops: Dict[str, Handler] = {}
 
     def register(self, op: str, handler: Handler) -> None:
@@ -69,21 +75,32 @@ class RpcServer:
         """The transport-facing entry point: bytes in, bytes out.
 
         Handler exceptions become error responses; nothing escapes to
-        the transport (a malformed request must not kill a server).
+        the transport (a malformed request must not kill a server). The
+        ``server.handle`` span is still marked with the error, so traces
+        show server-side failures that the wire reports as mere failure
+        responses.
         """
-        try:
-            request = Request.from_bytes(frame)
-        except Exception as exc:
-            return Response.failure(TransportError(f"bad request frame: {exc}")).to_bytes()
-        handler = self._ops.get(request.op)
-        if handler is None:
-            return Response.failure(RpcError(f"unknown operation {request.op!r}")).to_bytes()
-        try:
-            value = handler(**dict(request.args))
-        except Exception as exc:
-            logger.debug("handler %s failed: %s", request.op, exc)
-            return Response.failure(exc).to_bytes()
-        return Response.success(value).to_bytes()
+        with self.tracer.span("server.handle", server=self.name) as span:
+            try:
+                request = Request.from_bytes(frame)
+            except Exception as exc:
+                span.mark_error(exc)
+                return Response.failure(
+                    TransportError(f"bad request frame: {exc}")
+                ).to_bytes()
+            span.set_attribute("op", request.op)
+            handler = self._ops.get(request.op)
+            if handler is None:
+                unknown = RpcError(f"unknown operation {request.op!r}")
+                span.mark_error(unknown)
+                return Response.failure(unknown).to_bytes()
+            try:
+                value = handler(**dict(request.args))
+            except Exception as exc:
+                logger.debug("handler %s failed: %s", request.op, exc)
+                span.mark_error(exc)
+                return Response.failure(exc).to_bytes()
+            return Response.success(value).to_bytes()
 
 
 # Error classes that are re-raised with their original type client-side.
@@ -95,10 +112,17 @@ _REHYDRATABLE = {
 
 
 class RpcClient:
-    """Client-side call helper over any :class:`Transport`."""
+    """Client-side call helper over any :class:`Transport`.
 
-    def __init__(self, transport: Transport) -> None:
+    ``tracer`` (optional) records one ``rpc.call`` span per invocation
+    with the operation, target, and transferred byte counts; a failed
+    call (transport fault or re-raised remote error) closes the span
+    with error status and the exception's class name.
+    """
+
+    def __init__(self, transport: Transport, tracer=None) -> None:
         self.transport = transport
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
 
     def call(self, target, op: str, **args: Any) -> Any:
         """Invoke *op* at *target* (an Endpoint or ContactAddress)."""
@@ -106,11 +130,15 @@ class RpcClient:
         if not isinstance(endpoint, Endpoint):
             raise RpcError(f"invalid RPC target: {target!r}")
         request = Request(op=op, args=args)
-        frame = self.transport.request(endpoint, request.to_bytes())
-        response = Response.from_bytes(frame)
-        if response.ok:
-            return response.value
-        exc_cls = _REHYDRATABLE.get(response.error_type)
-        if exc_cls is not None:
-            raise exc_cls(response.error)
-        raise RpcError(f"{response.error_type or 'RemoteError'}: {response.error}")
+        with self.tracer.span("rpc.call", op=op, target=str(endpoint)) as span:
+            wire = request.to_bytes()
+            span.set_attribute("sent_bytes", len(wire))
+            frame = self.transport.request(endpoint, wire)
+            span.set_attribute("received_bytes", len(frame))
+            response = Response.from_bytes(frame)
+            if response.ok:
+                return response.value
+            exc_cls = _REHYDRATABLE.get(response.error_type)
+            if exc_cls is not None:
+                raise exc_cls(response.error)
+            raise RpcError(f"{response.error_type or 'RemoteError'}: {response.error}")

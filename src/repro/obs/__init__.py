@@ -1,0 +1,31 @@
+"""Observability: tracing + instrumentation for the access pipeline.
+
+``repro.obs`` gives every layer of the client/server stack a shared,
+near-zero-cost way to report *where an access spends its time* and
+*which security check rejected a response*:
+
+* :class:`~repro.obs.span.Tracer` / :class:`~repro.obs.span.Span` —
+  nested, attributed, clock-charged timing records;
+* :data:`~repro.obs.span.NOOP_TRACER` — the disabled default every
+  instrumented component falls back to;
+* sinks (:mod:`repro.obs.sinks`) — ring buffer, JSONL export, and the
+  aggregating :class:`~repro.obs.sinks.SpanStats`.
+
+See ``python -m repro.harness trace`` for the end-to-end profile built
+on top of this package, and DESIGN.md §4d for the span taxonomy.
+"""
+
+from repro.obs.span import NOOP_TRACER, NoopSpan, NoopTracer, Span, Tracer
+from repro.obs.sinks import JsonlSink, RingBufferSink, SpanSink, SpanStats
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "NoopSpan",
+    "NOOP_TRACER",
+    "SpanSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "SpanStats",
+]

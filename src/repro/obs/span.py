@@ -1,0 +1,224 @@
+"""Spans and tracers: per-operation timing for the access pipeline.
+
+The paper measured its Fig. 4 numbers by "placing timers in various
+parts of the proxy and server code"; :class:`~repro.proxy.metrics.AccessTimer`
+reproduces those aggregate phase timers. A :class:`Tracer` goes one
+level deeper: it produces *nested* :class:`Span` records — one per
+operation, with attributes, an ok/error status, and start/end times
+charged to the injected :class:`~repro.sim.clock.Clock` — so a single
+access can be decomposed into the exact tree of RPCs, security checks,
+cache probes, retries, and failovers it executed. Under a ``SimClock``
+span durations are exact simulated time; under a ``RealClock`` they are
+wall time.
+
+Spans are delivered to pluggable sinks (:mod:`repro.obs.sinks`) as they
+close. Instrumented components default to the module-level
+:data:`NOOP_TRACER`, whose ``span()`` returns a shared, allocation-free
+context manager — tracing costs near zero unless a real tracer is
+injected.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.sim.clock import Clock, RealClock
+
+__all__ = ["Span", "Tracer", "NoopTracer", "NoopSpan", "NOOP_TRACER"]
+
+#: Span statuses. Errors carry the raising exception's class name.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+@dataclass
+class Span:
+    """One timed operation: name, attributes, status, and its parent."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    end: Optional[float] = None
+    status: str = STATUS_OK
+    error_type: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0.0 while the span is open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def is_error(self) -> bool:
+        return self.status == STATUS_ERROR
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def mark_error(self, exc: BaseException) -> None:
+        """Record that *exc* was raised (or handled) inside this span."""
+        self.status = STATUS_ERROR
+        self.error_type = type(exc).__name__
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable rendering (attributes coerced to str when
+        not natively representable)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration_s": self.duration,
+            "status": self.status,
+            "error_type": self.error_type,
+            "attributes": {k: _jsonable(v) for k, v in self.attributes.items()},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, {self.status}"
+            f"{', ' + self.error_type if self.error_type else ''})"
+        )
+
+
+def _jsonable(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value).hex()
+    return str(value)
+
+
+class _SpanContext:
+    """Context manager for one live span; closes and emits on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self._span.mark_error(exc)
+        self._tracer._close(self._span)
+        return False
+
+
+class Tracer:
+    """Produces nested spans over an injected clock.
+
+    Single-threaded by design (the simulation is single-threaded):
+    nesting is tracked with an explicit stack, so a span opened while
+    another is live becomes its child. Spans are pushed to every sink as
+    they close — children before parents, which lets streaming sinks see
+    leaf timings without buffering the whole tree.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None, sinks: Iterable = ()) -> None:
+        self.clock = clock if clock is not None else RealClock()
+        self._sinks: List = list(sinks)
+        self._stack: List[Span] = []
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, /, **attributes: Any) -> _SpanContext:
+        """Open a span; use as ``with tracer.span("rpc.call", op=op) as s``.
+
+        The span name is positional-only so ``name=...`` stays available
+        as an ordinary attribute. An exception escaping the ``with`` body
+        marks the span as an error (recording the exception's class
+        name) and re-raises.
+        """
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            start=self.clock.now(),
+            attributes=dict(attributes),
+        )
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost live span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def add_sink(self, sink) -> None:
+        self._sinks.append(sink)
+
+    # ------------------------------------------------------------------
+
+    def _close(self, span: Span) -> None:
+        span.end = self.clock.now()
+        # The stack discipline only breaks if a span context outlives an
+        # enclosing one (misuse); recover by popping through it.
+        while self._stack:
+            popped = self._stack.pop()
+            if popped is span:
+                break
+        for sink in self._sinks:
+            sink.on_span(span)
+
+
+class NoopSpan:
+    """The do-nothing span handed out by :class:`NoopTracer`."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def mark_error(self, exc: BaseException) -> None:
+        pass
+
+
+_NOOP_SPAN = NoopSpan()
+
+
+class _NoopSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> NoopSpan:
+        return _NOOP_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_CONTEXT = _NoopSpanContext()
+
+
+class NoopTracer:
+    """A tracer whose spans cost (almost) nothing and record nothing.
+
+    Every instrumented component defaults to :data:`NOOP_TRACER`, so the
+    instrumentation adds one shared-object context-manager entry per
+    operation when tracing is disabled — no allocation, no clock reads.
+    """
+
+    __slots__ = ()
+
+    def span(self, name: str, /, **attributes: Any) -> _NoopSpanContext:
+        return _NOOP_CONTEXT
+
+    @property
+    def current(self) -> None:
+        return None
+
+    def add_sink(self, sink) -> None:  # pragma: no cover - defensive
+        raise ValueError("NoopTracer discards spans; attach sinks to a Tracer")
+
+
+#: The shared disabled tracer; ``tracer or NOOP_TRACER`` is the idiom
+#: every instrumented constructor uses.
+NOOP_TRACER = NoopTracer()

@@ -21,6 +21,7 @@ from repro.naming.service import SecureResolver
 from repro.net.address import ContactAddress
 from repro.net.health import ReplicaHealthTracker
 from repro.net.rpc import RpcClient
+from repro.obs import NOOP_TRACER
 from repro.proxy.metrics import AccessTimer
 from repro.server.localrep import ProxyLR
 
@@ -54,6 +55,7 @@ class Binder:
         location: LocationClient,
         rpc: RpcClient,
         health: Optional[ReplicaHealthTracker] = None,
+        tracer=None,
     ) -> None:
         self.resolver = resolver
         self.location = location
@@ -61,6 +63,7 @@ class Binder:
         #: Optional shared replica-health tracker: quarantined addresses
         #: are ordered after every healthy alternative at bind time.
         self.health = health
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
 
     def note_replica_failure(self, bound: BoundObject) -> None:
         """Charge a session-observed failure (security violation or
@@ -74,17 +77,22 @@ class Binder:
             return url.oid
         if url.object_name is None:
             raise BindingError(f"not a GlobeDoc URL: {url.raw!r}")
-        with timer.phase("resolve_name"):
-            result = self.resolver.resolve(url.object_name)
+        with self.tracer.span("bind.resolve", name=url.object_name):
+            with timer.phase("resolve_name"):
+                result = self.resolver.resolve(url.object_name)
         return result.oid
 
     def bind(self, url: HybridUrl, timer: AccessTimer) -> BoundObject:
         """Full binding: find the object and install a forwarding LR."""
         oid = self.resolve_oid(url, timer)
-        with timer.phase("find_replica"):
-            lookup = self.location.lookup(oid)
-        if not lookup.addresses:
-            raise ObjectNotFound(f"no replicas registered for OID {oid.hex[:12]}…")
+        with self.tracer.span("bind.locate", oid=oid.hex[:16]) as span:
+            with timer.phase("find_replica"):
+                lookup = self.location.lookup(oid)
+            span.set_attribute("candidates", len(lookup.addresses))
+            if not lookup.addresses:
+                raise ObjectNotFound(
+                    f"no replicas registered for OID {oid.hex[:12]}…"
+                )
         return self._install(oid, self._order(lookup.addresses), 0)
 
     def rebind(self, bound: BoundObject) -> BoundObject:
@@ -99,21 +107,37 @@ class Binder:
         """
         self.location.invalidate(bound.oid)
         if bound.has_alternative:
-            return self._install(bound.oid, bound.addresses, bound.address_index + 1)
-        tried = set(map(str, bound.addresses))
-        try:
-            widened = self.location.lookup(bound.oid, widen=True)
-        except ObjectNotFound:
-            widened = None
-        fresh = self._order(
-            [a for a in widened.addresses if str(a) not in tried] if widened else []
-        )
-        if not fresh:
-            raise BindingError(
-                f"no alternative replicas for OID {bound.oid.hex[:12]}… "
-                "(all known contact addresses exhausted)"
+            with self.tracer.span(
+                "bind.rebind",
+                oid=bound.oid.hex[:16],
+                widened=False,
+                next_index=bound.address_index + 1,
+            ):
+                return self._install(
+                    bound.oid, bound.addresses, bound.address_index + 1
+                )
+        with self.tracer.span(
+            "bind.rebind", oid=bound.oid.hex[:16], widened=True
+        ) as span:
+            tried = set(map(str, bound.addresses))
+            try:
+                widened = self.location.lookup(bound.oid, widen=True)
+            except ObjectNotFound:
+                widened = None
+            fresh = self._order(
+                [a for a in widened.addresses if str(a) not in tried]
+                if widened
+                else []
             )
-        return self._install(bound.oid, list(bound.addresses) + fresh, len(bound.addresses))
+            span.set_attribute("fresh_candidates", len(fresh))
+            if not fresh:
+                raise BindingError(
+                    f"no alternative replicas for OID {bound.oid.hex[:12]}… "
+                    "(all known contact addresses exhausted)"
+                )
+            return self._install(
+                bound.oid, list(bound.addresses) + fresh, len(bound.addresses)
+            )
 
     def _order(self, addresses: List[ContactAddress]) -> List[ContactAddress]:
         """Health-aware ordering: keep proximity order, sink quarantined

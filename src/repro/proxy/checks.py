@@ -38,6 +38,7 @@ from repro.errors import AuthenticityError, ConsistencyError, FreshnessError
 from repro.globedoc.element import PageElement
 from repro.globedoc.integrity import ElementEntry, IntegrityCertificate
 from repro.globedoc.oid import ObjectId
+from repro.obs import NOOP_TRACER
 from repro.proxy.metrics import AccessTimer, FastPathStats
 from repro.sim.clock import Clock
 from repro.util.encoding import ENCODE_COUNTERS
@@ -72,11 +73,16 @@ class SecurityChecker:
         trust_store: Optional[TrustStore] = None,
         compute_context: Optional[ComputeContext] = None,
         verification_cache: Optional[VerificationCache] = None,
+        tracer=None,
     ) -> None:
         self.clock = clock
         self.trust_store = trust_store if trust_store is not None else TrustStore()
         self._compute = compute_context if compute_context is not None else nullcontext
         self.verification_cache = verification_cache
+        #: Emits one ``check.*`` span per security check; the span that
+        #: closes with error status names the check that rejected the
+        #: response — the trace profile's rejection census keys on it.
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
 
     # ------------------------------------------------------------------
     # Fast-path accounting
@@ -99,6 +105,20 @@ class SecurityChecker:
             )
         )
 
+    def _span_cache_attrs(self, span, before: tuple) -> None:
+        """Attach the VerificationCache outcome of one check to its span."""
+        if self.verification_cache is None:
+            span.set_attribute("cache", "off")
+            return
+        after = self._fastpath_snapshot()
+        hits = after[0] - before[0]
+        misses = after[1] - before[1]
+        span.set_attribute("verify_hits", hits)
+        span.set_attribute("verify_misses", misses)
+        span.set_attribute(
+            "cache", "hit" if hits and not misses else ("miss" if misses else "idle")
+        )
+
     # ------------------------------------------------------------------
     # Individual checks (each charges its own timer phase)
     # ------------------------------------------------------------------
@@ -107,8 +127,9 @@ class SecurityChecker:
         self, oid: ObjectId, key: PublicKey, timer: AccessTimer
     ) -> PublicKey:
         """Step 5 of Fig. 3: SHA-1(key) must equal the OID."""
-        with timer.phase("verify_public_key"), self._compute():
-            return oid.check_key(key)
+        with self.tracer.span("check.public_key", oid=oid.hex[:16]):
+            with timer.phase("verify_public_key"), self._compute():
+                return oid.check_key(key)
 
     def check_identity(
         self,
@@ -124,21 +145,26 @@ class SecurityChecker:
         §3.1.2); default is advisory, matching the paper's UI flow.
         """
         before = self._fastpath_snapshot()
-        with timer.phase("verify_identity_proofs"), self._compute():
-            match = self.trust_store.first_match(
-                certificates,
-                clock=self.clock,
-                expected_subject_key=key,
-                cache=self.verification_cache,
-            )
-        self._record_fastpath(timer, before)
-        if match is not None:
-            return match.subject_name
-        if require:
-            raise AuthenticityError(
-                "no identity certificate from a trusted CA was presented"
-            )
-        return None
+        with self.tracer.span(
+            "check.identity", proofs=len(certificates), require=require
+        ) as span:
+            with timer.phase("verify_identity_proofs"), self._compute():
+                match = self.trust_store.first_match(
+                    certificates,
+                    clock=self.clock,
+                    expected_subject_key=key,
+                    cache=self.verification_cache,
+                )
+            self._span_cache_attrs(span, before)
+            self._record_fastpath(timer, before)
+            if match is not None:
+                span.set_attribute("certified_as", match.subject_name)
+                return match.subject_name
+            if require:
+                raise AuthenticityError(
+                    "no identity certificate from a trusted CA was presented"
+                )
+            return None
 
     def check_certificate(
         self,
@@ -150,16 +176,18 @@ class SecurityChecker:
         """Step 9 of Fig. 3: certificate signed by the object key, and
         issued for this OID (prevents cross-object certificate replay)."""
         before = self._fastpath_snapshot()
-        with timer.phase("verify_certificate"), self._compute():
-            integrity.verify_signature(
-                key, cache=self.verification_cache, clock=self.clock
-            )
-            if integrity.oid_hex != oid.hex:
-                raise AuthenticityError(
-                    "integrity certificate was issued for a different object"
+        with self.tracer.span("check.certificate", oid=oid.hex[:16]) as span:
+            with timer.phase("verify_certificate"), self._compute():
+                integrity.verify_signature(
+                    key, cache=self.verification_cache, clock=self.clock
                 )
-        self._record_fastpath(timer, before)
-        return integrity
+                if integrity.oid_hex != oid.hex:
+                    raise AuthenticityError(
+                        "integrity certificate was issued for a different object"
+                    )
+            self._span_cache_attrs(span, before)
+            self._record_fastpath(timer, before)
+            return integrity
 
     def check_element(
         self,
@@ -175,24 +203,29 @@ class SecurityChecker:
         paper's observation that hashing dominates large transfers.
         """
         # Consistency: the right name, and part of the object.
-        with timer.phase("check_consistency"):
-            if element.name != requested_name:
-                raise ConsistencyError(
-                    f"server returned {element.name!r} for request {requested_name!r}"
-                )
-            entry = integrity.entry_for(requested_name)
+        with self.tracer.span("check.consistency", element=requested_name):
+            with timer.phase("check_consistency"):
+                if element.name != requested_name:
+                    raise ConsistencyError(
+                        f"server returned {element.name!r} for request {requested_name!r}"
+                    )
+                entry = integrity.entry_for(requested_name)
         # Authenticity: content hash (the expensive, size-proportional part).
-        with timer.phase("verify_element_hash"), self._compute():
-            if element.content_hash(integrity.suite) != entry.content_hash:
-                raise AuthenticityError(
-                    f"content hash mismatch for element {requested_name!r}"
-                )
+        with self.tracer.span(
+            "check.element_hash", element=requested_name, size=element.size
+        ):
+            with timer.phase("verify_element_hash"), self._compute():
+                if element.content_hash(integrity.suite) != entry.content_hash:
+                    raise AuthenticityError(
+                        f"content hash mismatch for element {requested_name!r}"
+                    )
         # Freshness: validity interval against retrieval time.
-        with timer.phase("check_freshness"):
-            now = self.clock.now()
-            if now > entry.expires_at:
-                raise FreshnessError(
-                    f"element {requested_name!r} expired at {entry.expires_at} "
-                    f"(retrieved at {now})"
-                )
+        with self.tracer.span("check.freshness", element=requested_name):
+            with timer.phase("check_freshness"):
+                now = self.clock.now()
+                if now > entry.expires_at:
+                    raise FreshnessError(
+                        f"element {requested_name!r} expired at {entry.expires_at} "
+                        f"(retrieved at {now})"
+                    )
         return entry

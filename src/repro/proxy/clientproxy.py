@@ -31,6 +31,7 @@ from repro.location.service import LocationClient
 from repro.naming.service import SecureResolver
 from repro.net.address import Endpoint
 from repro.net.rpc import RpcClient
+from repro.obs import NOOP_TRACER
 from repro.proxy.binding import Binder
 from repro.proxy.checks import SecurityChecker
 from repro.proxy.metrics import AccessMetrics, AccessTimer
@@ -82,6 +83,7 @@ class GlobeDocProxy:
         content_cache=None,
         session_ttl: Optional[float] = None,
         max_rebinds: int = 3,
+        tracer=None,
     ) -> None:
         self.binder = binder
         self.checker = checker
@@ -89,6 +91,9 @@ class GlobeDocProxy:
         self.cache_binding = cache_binding
         self.require_identity = require_identity
         self.content_cache = content_cache
+        #: Root of the access trace: every GlobeDoc request opens one
+        #: ``proxy.handle`` span whose children decompose the pipeline.
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         #: Per-session replica failover budget (0 disables failover —
         #: the pre-resilience behaviour, kept for ablations).
         self.max_rebinds = max_rebinds
@@ -131,32 +136,40 @@ class GlobeDocProxy:
         if own_timer:
             timer = AccessTimer(self.checker.clock)
         assert timer is not None
-        try:
-            session = self._session_for(url, timer)
-            result = session.fetch(url.element_name, timer)
-        except SecurityError as exc:
-            # §3.3: failed checks render the Security Check Failed page.
-            self.failure_count += 1
+        # The root span stays status=ok even on a rejected access: the
+        # error belongs to the check/rpc span that raised it, while the
+        # outcome is recorded here as the HTTP ``status`` attribute.
+        with self.tracer.span("proxy.handle", url=url.raw) as span:
+            try:
+                session = self._session_for(url, timer)
+                result = session.fetch(url.element_name, timer)
+            except SecurityError as exc:
+                # §3.3: failed checks render the Security Check Failed page.
+                self.failure_count += 1
+                span.set_attribute("status", 403)
+                span.set_attribute("security_failure", type(exc).__name__)
+                return ProxyResponse(
+                    status=403,
+                    content=SECURITY_FAILED_HTML % str(exc).encode(),
+                    metrics=timer.finish(),
+                    security_failure=type(exc).__name__,
+                )
+            except (NamingError, LocationError, BindingError, TransportError) as exc:
+                self.failure_count += 1
+                span.set_attribute("status", 404)
+                return ProxyResponse(
+                    status=404,
+                    content=NOT_FOUND_HTML % str(exc).encode(),
+                    metrics=timer.finish(),
+                )
+            span.set_attribute("status", 200)
             return ProxyResponse(
-                status=403,
-                content=SECURITY_FAILED_HTML % str(exc).encode(),
-                metrics=timer.finish(),
-                security_failure=type(exc).__name__,
+                status=200,
+                content=result.element.content,
+                content_type=result.element.content_type,
+                certified_as=result.certified_as,
+                metrics=result.metrics,
             )
-        except (NamingError, LocationError, BindingError, TransportError) as exc:
-            self.failure_count += 1
-            return ProxyResponse(
-                status=404,
-                content=NOT_FOUND_HTML % str(exc).encode(),
-                metrics=timer.finish(),
-            )
-        return ProxyResponse(
-            status=200,
-            content=result.element.content,
-            content_type=result.element.content_type,
-            certified_as=result.certified_as,
-            metrics=result.metrics,
-        )
 
     def _session_for(self, url: HybridUrl, timer: AccessTimer) -> SecureSession:
         key = url.oid.hex if url.oid is not None else str(url.object_name)
@@ -178,6 +191,7 @@ class GlobeDocProxy:
                 require_identity=self.require_identity,
                 max_rebinds=self.max_rebinds,
                 content_cache=self.content_cache,
+                tracer=self.tracer,
             )
             self._sessions[key] = session
             self._session_created[key] = self.checker.clock.now()

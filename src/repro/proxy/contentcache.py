@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.globedoc.element import PageElement
+from repro.obs import NOOP_TRACER
 from repro.sim.clock import Clock, RealClock
 
 __all__ = ["ContentCache", "CachedElement"]
@@ -49,6 +50,7 @@ class ContentCache:
         clock: Optional[Clock] = None,
         ttl: float = 300.0,
         max_bytes: int = 64 * 1024 * 1024,
+        tracer=None,
     ) -> None:
         if ttl <= 0:
             raise ValueError(f"TTL must be positive, got {ttl}")
@@ -57,6 +59,7 @@ class ContentCache:
         self.clock = clock if clock is not None else RealClock()
         self.ttl = ttl
         self.max_bytes = max_bytes
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         self._entries: "OrderedDict[Tuple[str, str], CachedElement]" = OrderedDict()
         self._bytes = 0
         self.hits = 0
@@ -66,6 +69,12 @@ class ContentCache:
 
     def get(self, oid_hex: str, name: str) -> Optional[PageElement]:
         """A still-valid verified element, or None."""
+        with self.tracer.span("cache.get", element=name) as span:
+            element = self._get(oid_hex, name)
+            span.set_attribute("hit", element is not None)
+            return element
+
+    def _get(self, oid_hex: str, name: str) -> Optional[PageElement]:
         key = (oid_hex, name)
         entry = self._entries.get(key)
         if entry is None:
@@ -88,18 +97,24 @@ class ContentCache:
         would occupy bytes (evicting live entries) until a ``get``
         happened to touch them.
         """
-        if element.size > self.max_bytes:
-            return
-        if expires_at <= self.clock.now():
-            return
-        key = (oid_hex, element.name)
-        self._evict(key)
-        while self._bytes + element.size > self.max_bytes and self._entries:
-            self._evict(next(iter(self._entries)))
-        self._entries[key] = CachedElement(
-            element=element, expires_at=expires_at, cached_at=self.clock.now()
-        )
-        self._bytes += element.size
+        with self.tracer.span(
+            "cache.put", element=element.name, size=element.size
+        ) as span:
+            if element.size > self.max_bytes:
+                span.set_attribute("stored", False)
+                return
+            if expires_at <= self.clock.now():
+                span.set_attribute("stored", False)
+                return
+            key = (oid_hex, element.name)
+            self._evict(key)
+            while self._bytes + element.size > self.max_bytes and self._entries:
+                self._evict(next(iter(self._entries)))
+            self._entries[key] = CachedElement(
+                element=element, expires_at=expires_at, cached_at=self.clock.now()
+            )
+            self._bytes += element.size
+            span.set_attribute("stored", True)
 
     def evict_expired(self) -> int:
         """Sweep out every entry past its certificate expiry or TTL.

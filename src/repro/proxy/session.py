@@ -21,6 +21,7 @@ from repro.errors import (
     TransportError,
 )
 from repro.globedoc.element import PageElement
+from repro.obs import NOOP_TRACER
 from repro.proxy.binding import Binder, BoundObject
 from repro.proxy.checks import SecurityChecker, VerifiedBinding
 from repro.proxy.metrics import AccessMetrics, AccessTimer, ResilienceStats
@@ -60,6 +61,7 @@ class SecureSession:
         require_identity: bool = False,
         max_rebinds: int = 3,
         content_cache=None,
+        tracer=None,
     ) -> None:
         self.binder = binder
         self.checker = checker
@@ -68,6 +70,7 @@ class SecureSession:
         self.require_identity = require_identity
         self.max_rebinds = max_rebinds
         self.content_cache = content_cache
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         self._verified: Optional[VerifiedBinding] = None
         self.rebind_count = 0
         self.failovers = 0
@@ -89,12 +92,16 @@ class SecureSession:
         """
         if self._verified is not None and self.cache_binding:
             return self._verified
-        while True:
-            try:
-                verified = self._establish_once(timer)
-                break
-            except (SecurityError, TransportError, RpcError) as exc:
-                self._failover(exc)
+        with self.tracer.span(
+            "session.establish", oid=self.bound.oid.hex[:16]
+        ) as span:
+            while True:
+                try:
+                    verified = self._establish_once(timer)
+                    break
+                except (SecurityError, TransportError, RpcError) as exc:
+                    self._failover(exc)
+            span.set_attribute("rebinds", self.rebind_count)
         self._verified = verified
         return verified
 
@@ -109,11 +116,16 @@ class SecureSession:
         if self.rebind_count >= self.max_rebinds:
             raise exc
         self.rebind_count += 1
-        self.binder.note_replica_failure(self.bound)
-        try:
-            self.bound = self.binder.rebind(self.bound)
-        except (BindingError, ObjectNotFound) as rebind_exc:
-            raise exc from rebind_exc
+        with self.tracer.span(
+            "session.failover",
+            cause=type(exc).__name__,
+            rebind=self.rebind_count,
+        ):
+            self.binder.note_replica_failure(self.bound)
+            try:
+                self.bound = self.binder.rebind(self.bound)
+            except (BindingError, ObjectNotFound) as rebind_exc:
+                raise exc from rebind_exc
         # Mandatory re-verification: nothing learned from the failed
         # replica may be trusted for the new one.
         self._verified = None
@@ -163,13 +175,14 @@ class SecureSession:
             timer = AccessTimer(self.checker.clock)
         assert timer is not None
         snapshot = self._resilience_snapshot()
-        try:
-            return self._fetch_once(element_name, timer, snapshot)
-        except BaseException:
-            # Even on a failing access the retry/failover work done on
-            # its behalf lands in the metrics the caller finishes.
-            self._record_resilience(timer, snapshot)
-            raise
+        with self.tracer.span("session.fetch", element=element_name):
+            try:
+                return self._fetch_once(element_name, timer, snapshot)
+            except BaseException:
+                # Even on a failing access the retry/failover work done
+                # on its behalf lands in the metrics the caller finishes.
+                self._record_resilience(timer, snapshot)
+                raise
 
     def _fetch_once(
         self, element_name: str, timer: AccessTimer, snapshot

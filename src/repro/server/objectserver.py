@@ -58,6 +58,7 @@ class ObjectServer:
         clock: Optional[Clock] = None,
         service: str = DEFAULT_SERVICE,
         limits: Optional["ResourceLimits"] = None,
+        tracer=None,
     ) -> None:
         from repro.server.resources import ResourceAccountant, ResourceLimits
 
@@ -66,6 +67,9 @@ class ObjectServer:
         self.keystore = keystore if keystore is not None else Keystore()
         self.clock = clock if clock is not None else RealClock()
         self.service = service
+        #: Handed to the RPC server so request handling shows up in the
+        #: access trace as ``server.handle`` spans.
+        self.tracer = tracer
         self._replicas: Dict[str, HostedReplica] = {}
         self._by_oid: Dict[str, str] = {}
         self._verifier = AdminVerifier(self.keystore, self.clock)
@@ -246,6 +250,6 @@ class ObjectServer:
         raise ServerError(f"unknown admin operation {cmd.op!r}")
 
     def rpc_server(self) -> RpcServer:
-        server = RpcServer(name=f"objectserver@{self.host}")
+        server = RpcServer(name=f"objectserver@{self.host}", tracer=self.tracer)
         server.register_object(self)
         return server

@@ -36,10 +36,13 @@ class Summary:
 
 
 def summarize(samples: Iterable[float]) -> Summary:
-    """Compute a :class:`Summary` over *samples*; raises on empty input."""
+    """Compute a :class:`Summary` over *samples*; raises on empty input
+    and on NaN samples (which would silently poison every statistic)."""
     arr = np.asarray(list(samples), dtype=float)
     if arr.size == 0:
         raise ValueError("cannot summarize an empty sample")
+    if np.isnan(arr).any():
+        raise ValueError("cannot summarize samples containing NaN")
     return Summary(
         count=int(arr.size),
         mean=float(arr.mean()),
@@ -52,10 +55,22 @@ def summarize(samples: Iterable[float]) -> Summary:
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
-    """The *q*-th percentile (0–100) of *samples*."""
+    """The *q*-th percentile (0–100) of *samples*.
+
+    Uses linear interpolation between order statistics (the NumPy
+    default), so ``percentile([1, 2], 50) == 1.5`` and a single-sample
+    input returns that sample for every *q*. Rejects what NumPy would
+    quietly mishandle: an empty sample, *q* outside [0, 100] (NumPy's
+    own error names an internal parameter), and NaN samples (which
+    propagate into a NaN percentile with only a warning).
+    """
     arr = np.asarray(samples, dtype=float)
     if arr.size == 0:
         raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    if np.isnan(arr).any():
+        raise ValueError("cannot take a percentile of samples containing NaN")
     return float(np.percentile(arr, q))
 
 

@@ -1,0 +1,166 @@
+"""Unit tests for security_bench internals — no real benchmarking.
+
+The smoke test (test_security_bench.py) runs the bench for real; these
+tests pin down the pieces that can silently rot without tripping it:
+the best-of timing estimator, the per-run summarizer, the pass/fail
+criteria gate, and the renderer's PASS/FAIL wording.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.security_bench import (
+    WARM_SPEEDUP_TARGET,
+    _best_of,
+    _summarize_run,
+    evaluate_criteria,
+    render_security_bench,
+)
+
+
+class TestBestOf:
+    def test_calls_fn_rounds_times_inner(self):
+        calls = []
+        assert _best_of(lambda: calls.append(None), inner=7, rounds=3) > 0.0
+        assert len(calls) == 21
+
+    def test_returns_microseconds_per_call(self):
+        # A no-op costs well under a millisecond per call.
+        cost_us = _best_of(lambda: None, inner=100, rounds=2)
+        assert 0.0 < cost_us < 1000.0
+
+    def test_takes_minimum_over_rounds(self):
+        # First round is made artificially slow; the estimate must come
+        # from a later (cheap) round, so it stays far below the spike.
+        state = {"round_calls": 0}
+
+        def fn():
+            state["round_calls"] += 1
+            if state["round_calls"] <= 5:  # only round 0 burns cycles
+                sum(range(200_000))
+
+        spike_us = _best_of(lambda: sum(range(200_000)), inner=1, rounds=1)
+        best_us = _best_of(fn, inner=5, rounds=4)
+        assert best_us < spike_us / 2
+
+
+def make_row(total=10.0, security=4.0, hits=0.0, misses=1.0, saved=0.0):
+    return {
+        "total_ms": total,
+        "security_ms": security,
+        "verify_certificate_ms": security / 2,
+        "verify_public_key_ms": security / 4,
+        "verify_hits": hits,
+        "verify_misses": misses,
+        "encode_hits": hits,
+        "saved_us": saved,
+    }
+
+
+class TestSummarizeRun:
+    def test_means_and_sums(self):
+        rows = [
+            make_row(total=10.0, security=4.0, hits=0.0, misses=1.0, saved=0.0),
+            make_row(total=6.0, security=2.0, hits=1.0, misses=0.0, saved=150.0),
+        ]
+        summary = _summarize_run(rows)
+        assert summary["accesses"] == 2
+        assert summary["total_ms_mean"] == pytest.approx(8.0)
+        assert summary["security_ms_mean"] == pytest.approx(3.0)
+        assert summary["verify_certificate_ms_mean"] == pytest.approx(1.5)
+        assert summary["verify_public_key_ms_mean"] == pytest.approx(0.75)
+        # Counters are totals, not means.
+        assert summary["verify_hits"] == 1.0
+        assert summary["verify_misses"] == 1.0
+        assert summary["saved_us"] == 150.0
+
+    def test_single_row(self):
+        summary = _summarize_run([make_row(total=3.0)])
+        assert summary["accesses"] == 1
+        assert summary["total_ms_mean"] == pytest.approx(3.0)
+
+
+def make_pipeline(warm_speedup=20.0, fastpath_total=5.0, baseline_total=9.0):
+    return {
+        "client": "canardo.inria.fr",
+        "accesses": 10,
+        "baseline": {"total_ms_mean": baseline_total},
+        "fastpath": {"total_ms_mean": fastpath_total},
+        "warm": {
+            "cold_verify_certificate_ms": 2.0,
+            "warm_verify_certificate_ms": 2.0 / warm_speedup,
+            "warm_verify_certificate_mean_ms": 2.0 / warm_speedup,
+            "speedup": warm_speedup,
+        },
+    }
+
+
+class TestEvaluateCriteria:
+    def test_passing_pipeline(self):
+        criteria = evaluate_criteria(make_pipeline())
+        assert criteria["warm_speedup_ok"] is True
+        assert criteria["fastpath_not_slower"] is True
+        assert criteria["warm_speedup_target"] == WARM_SPEEDUP_TARGET
+
+    def test_slow_warm_path_fails_speedup_gate(self):
+        criteria = evaluate_criteria(
+            make_pipeline(warm_speedup=WARM_SPEEDUP_TARGET - 0.1)
+        )
+        assert criteria["warm_speedup_ok"] is False
+        assert criteria["fastpath_not_slower"] is True
+
+    def test_speedup_exactly_at_target_passes(self):
+        criteria = evaluate_criteria(make_pipeline(warm_speedup=WARM_SPEEDUP_TARGET))
+        assert criteria["warm_speedup_ok"] is True
+
+    def test_fastpath_slower_than_baseline_fails(self):
+        criteria = evaluate_criteria(
+            make_pipeline(fastpath_total=9.5, baseline_total=9.0)
+        )
+        assert criteria["fastpath_not_slower"] is False
+        assert criteria["fastpath_total_ms"] == 9.5
+        assert criteria["baseline_total_ms"] == 9.0
+
+
+def make_report(**pipeline_kwargs):
+    pipeline = make_pipeline(**pipeline_kwargs)
+    micro = {
+        "rsa_verify_cold_us": 500.0,
+        "rsa_verify_cached_us": 5.0,
+        "rsa_cached_speedup": 100.0,
+        "canonical_encode_us": 40.0,
+        "wire_size_memo_us": 0.5,
+        "encode_memo_speedup": 80.0,
+        "element_hash_cold_us": 20.0,
+        "element_hash_memo_us": 0.3,
+        "cert_roundtrip_cold_us": 600.0,
+        "cert_roundtrip_warm_us": 30.0,
+        "cert_warm_speedup": 20.0,
+    }
+    return {
+        "name": "security_pipeline",
+        "quick": True,
+        "micro": micro,
+        "pipeline": pipeline,
+        "criteria": evaluate_criteria(pipeline),
+    }
+
+
+class TestRenderSecurityBench:
+    def test_passing_report_says_pass_twice(self):
+        text = render_security_bench(make_report())
+        assert text.count("PASS") == 2
+        assert "FAIL" not in text
+        assert "canardo.inria.fr" in text
+
+    def test_failing_speedup_renders_fail(self):
+        text = render_security_bench(make_report(warm_speedup=1.5))
+        assert "FAIL" in text
+        assert "1.5x" in text
+
+    def test_slower_fastpath_renders_fail(self):
+        text = render_security_bench(
+            make_report(fastpath_total=9.5, baseline_total=9.0)
+        )
+        assert "fastpath not slower -> FAIL" in text

@@ -1,0 +1,101 @@
+"""The trace-profile harness: span coverage, rejection census, gates.
+
+Runs the quick workload once (module-scoped — it replays ~40 accesses)
+and asserts the report satisfies its own CI gates, plus the structural
+claims the gates rest on: every instrumented layer produced spans, each
+adversarial probe was rejected by the right check, and the summed
+``proxy.handle`` span time reproduces the summed access metrics.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.__main__ import main
+from repro.harness.trace_profile import (
+    CONSISTENCY_TOLERANCE,
+    EXPECTED_REJECTIONS,
+    EXPECTED_SPANS,
+    check_report,
+    render_trace,
+    run_trace,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_trace(quick=True)
+
+
+def test_all_gates_pass(report):
+    assert check_report(report) == []
+    assert report["criteria"]["problems"] == []
+
+
+def test_every_instrumented_layer_produced_spans(report):
+    phases = report["phases"]
+    for name in EXPECTED_SPANS:
+        assert name in phases, f"missing span {name!r}"
+        assert phases[name]["count"] > 0
+        assert phases[name]["p50_s"] <= phases[name]["p95_s"] <= phases[name]["max_s"]
+
+
+def test_honest_workload_fully_succeeds(report):
+    workload = report["workload"]
+    assert workload["honest_ok"] == workload["honest_requests"]
+
+
+def test_rejection_census_matches_probes(report):
+    rejections = report["security_rejections"]
+    for span_name, error_type in EXPECTED_REJECTIONS.items():
+        assert error_type in rejections.get(span_name, {}), (
+            f"{span_name} did not reject with {error_type}: {rejections}"
+        )
+    assert set(report["workload"]["probes"].values()) == {
+        "AuthenticityError", "ConsistencyError", "FreshnessError"
+    }
+
+
+def test_span_time_reproduces_access_metrics(report):
+    consistency = report["consistency"]
+    assert consistency["metrics_total_s"] > 0.0
+    assert abs(consistency["ratio"] - 1.0) <= CONSISTENCY_TOLERANCE
+
+
+def test_slowest_spans_are_valid_span_dicts(report):
+    slowest = report["slowest_spans"]
+    assert slowest
+    for span in slowest:
+        assert span["end"] >= span["start"]
+    durations = [s["end"] - s["start"] for s in slowest]
+    assert durations == sorted(durations, reverse=True)
+
+
+def test_render_mentions_spans_and_rejections(report):
+    text = render_trace(report)
+    assert "proxy.handle" in text
+    assert "check.element_hash" in text
+    assert "AuthenticityError" in text
+    assert "ratio" in text
+
+
+def test_report_round_trips_as_json(report, tmp_path):
+    out = tmp_path / "trace.json"
+    write_report(report, out)
+    loaded = json.loads(out.read_text())
+    assert loaded["name"] == "trace_profile"
+    assert loaded["criteria"]["problems"] == []
+
+
+class TestCli:
+    def test_trace_quick_passes_gates(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "--quick", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace profile" in out
+        assert out_path.exists()
+        loaded = json.loads(out_path.read_text())
+        assert loaded["criteria"]["problems"] == []

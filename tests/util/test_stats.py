@@ -44,6 +44,46 @@ class TestPercentile:
         with pytest.raises(ValueError):
             percentile([], 50)
 
+    def test_linear_interpolation(self):
+        # NumPy's default: midway between the two order statistics.
+        assert percentile([1.0, 2.0], 50) == pytest.approx(1.5)
+        assert percentile([float(i) for i in range(1, 11)], 50) == pytest.approx(5.5)
+        assert percentile([float(i) for i in range(1, 11)], 95) == pytest.approx(9.55)
+
+    def test_single_sample_every_q(self):
+        for q in (0, 25, 50, 95, 100):
+            assert percentile([42.0], q) == 42.0
+
+    def test_extremes_are_min_and_max(self):
+        samples = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 9.0
+
+    def test_q_out_of_range_rejected(self):
+        for q in (-0.1, 100.1, 200):
+            with pytest.raises(ValueError, match=r"\[0, 100\]"):
+                percentile([1.0, 2.0], q)
+
+    def test_nan_samples_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            percentile([1.0, float("nan")], 50)
+
+    def test_order_invariant(self):
+        assert percentile([3.0, 1.0, 2.0], 95) == percentile([1.0, 2.0, 3.0], 95)
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_within_bounds(self, samples, q):
+        assert min(samples) <= percentile(samples, q) <= max(samples)
+
+
+class TestSummarizeNaN:
+    def test_nan_samples_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            summarize([1.0, float("nan"), 3.0])
+
 
 class TestGeometricMean:
     def test_known_value(self):
