@@ -240,6 +240,23 @@ class VerificationCache:
     # Invalidation and bookkeeping
     # ------------------------------------------------------------------
 
+    def invalidate_key(self, key: PublicKey) -> int:
+        """Drop every memoized verdict made under *key*.
+
+        The revocation path: a cached success for a now-revoked key is a
+        replayable verdict the cache must forget *before* the next
+        lookup, or a warm proxy would keep accepting signatures the
+        issuer can no longer be trusted for. Returns entries removed.
+        """
+        fingerprint = key.fingerprint(self.digest_suite)
+        doomed = [
+            cache_key for cache_key in self._entries if cache_key[0] == fingerprint
+        ]
+        for cache_key in doomed:
+            self._evict(cache_key)
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
     def invalidate_expired(self, now: float) -> int:
         """Drop every entry whose certificate expiry has passed."""
         doomed = [

@@ -19,6 +19,10 @@ __all__ = [
     "AuthenticityError",
     "FreshnessError",
     "ConsistencyError",
+    "RevocationError",
+    "RevokedKeyError",
+    "RevokedElementError",
+    "RevocationStalenessError",
     "NamingError",
     "NameNotFound",
     "ZoneValidationError",
@@ -77,6 +81,30 @@ class FreshnessError(SecurityError):
 
 class ConsistencyError(SecurityError):
     """Retrieved data is genuine and fresh but not what was requested (§3.2.1)."""
+
+
+class RevocationError(SecurityError):
+    """Base class for revocation-subsystem security violations.
+
+    Raised by the seventh security check (``check_revocation``): the
+    data may be genuine, fresh, and consistent, yet must not be served
+    because the issuing key or element certificate has been revoked —
+    or because the client cannot prove it has *not* been.
+    """
+
+
+class RevokedKeyError(RevocationError):
+    """The object's key has been revoked; nothing it signed is servable."""
+
+
+class RevokedElementError(RevocationError):
+    """The element's integrity-certificate row has been revoked."""
+
+
+class RevocationStalenessError(RevocationError):
+    """The revocation feed could not be refreshed within the configured
+    max-staleness window — the proxy fails closed for the affected OID
+    rather than serve content it cannot prove unrevoked."""
 
 
 class NamingError(ReproError):

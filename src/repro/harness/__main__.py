@@ -8,6 +8,8 @@ Usage::
     python -m repro.harness bench-security [--quick] [--out PATH]
     python -m repro.harness chaos [--quick] [--out PATH]
     python -m repro.harness trace [--quick] [--out PATH]
+    python -m repro.harness revocation [--quick] [--out PATH]
+    python -m repro.harness bench-report
     python -m repro.harness all
 """
 
@@ -34,7 +36,8 @@ def main(argv=None) -> int:
         "target",
         choices=[
             "table1", "fig4", "fig5", "fig6", "fig7", "loadtest",
-            "bench-security", "chaos", "trace", "all",
+            "bench-security", "chaos", "trace", "revocation",
+            "bench-report", "all",
         ],
         help="which artifact to regenerate",
     )
@@ -73,6 +76,12 @@ def main(argv=None) -> int:
             code = _run_trace(quick=args.quick, seed=args.seed, out=args.out)
             if code:
                 return code
+        elif target == "revocation":
+            code = _run_revocation(quick=args.quick, seed=args.seed, out=args.out)
+            if code:
+                return code
+        elif target == "bench-report":
+            _run_bench_report()
         else:
             client = _CLIENT_OF_FIGURE[target]
             rows = run_fig567_for_client(client, repeats=args.repeats, seed=args.seed)
@@ -144,6 +153,38 @@ def _run_trace(quick: bool, seed: int, out=None) -> int:
         return 1
     print(f"\nall trace gates passed; report written to {out}")
     return 0
+
+
+def _run_revocation(quick: bool, seed: int, out=None) -> int:
+    """Compromise-to-containment latency + steady-state feed overhead."""
+    from repro.harness.revocation_bench import (
+        REPORT_NAME,
+        check_report,
+        render_revocation,
+        run_revocation,
+        write_report,
+    )
+
+    report = run_revocation(quick=quick, seed=seed)
+    if out is None:
+        out = pathlib.Path(__file__).resolve().parents[3] / REPORT_NAME
+    write_report(report, out)
+    print(render_revocation(report))
+    problems = check_report(report)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print(f"\nall revocation gates passed; report written to {out}")
+    return 0
+
+
+def _run_bench_report() -> None:
+    """One summary over every BENCH_*.json present in the repo root."""
+    from repro.harness.report import aggregate_bench_reports, render_bench_summary
+
+    root = pathlib.Path(__file__).resolve().parents[3]
+    print(render_bench_summary(aggregate_bench_reports(root)))
 
 
 def _run_loadtest(seed: int = 0) -> None:

@@ -41,6 +41,7 @@ from repro.net.topology import WanTopology, paper_testbed
 from repro.proxy.binding import Binder
 from repro.proxy.checks import SecurityChecker
 from repro.proxy.clientproxy import GlobeDocProxy
+from repro.revocation.checker import RevocationChecker
 from repro.server.admin import AdminClient
 from repro.server.objectserver import ObjectServer
 from repro.sim.clock import SimClock
@@ -87,6 +88,7 @@ class ClientStack:
     binder: Binder
     checker: SecurityChecker
     proxy: GlobeDocProxy
+    revocation: Optional[RevocationChecker] = None
 
     def fresh_proxy(
         self, cache_binding: bool = True, require_identity: bool = False
@@ -260,6 +262,8 @@ class Testbed:
         transport=None,
         max_rebinds: int = 3,
         tracer=None,
+        revocation_max_staleness: Optional[float] = None,
+        revocation_poll_interval: Optional[float] = None,
     ) -> ClientStack:
         """Wire a full proxy stack on *host_name*.
 
@@ -274,6 +278,11 @@ class Testbed:
         runs interpose a :class:`~repro.net.faults.FlakyTransport`).
         ``tracer`` threads one access-pipeline tracer through every
         layer of the stack (proxy, session, binder, checks, RPC).
+        ``revocation_max_staleness`` (off by default, keeping the
+        paper's six-check pipeline for the figures) attaches a
+        :class:`~repro.revocation.checker.RevocationChecker` pulling
+        the ginger object server's feed, enabling the seventh check;
+        ``revocation_poll_interval`` overrides its refresh cadence.
         """
         host = self.network.host(host_name)
         if transport is None:
@@ -294,11 +303,23 @@ class Testbed:
             cache_ttl=location_ttl,
         )
         binder = Binder(resolver, location, rpc, health=health, tracer=tracer)
+        revocation = None
+        if revocation_max_staleness is not None:
+            revocation = RevocationChecker(
+                rpc,
+                self.objectserver_endpoint,
+                self.clock,
+                max_staleness=revocation_max_staleness,
+                poll_interval=revocation_poll_interval,
+                verification_cache=verification_cache,
+                content_cache=content_cache,
+            )
         checker = SecurityChecker(
             self.clock,
             trust_store=trust_store,
             compute_context=host.compute,
             verification_cache=verification_cache,
+            revocation_checker=revocation,
             tracer=tracer,
         )
         proxy = GlobeDocProxy(
@@ -317,6 +338,7 @@ class Testbed:
             binder=binder,
             checker=checker,
             proxy=proxy,
+            revocation=revocation,
         )
 
     def ssl_client(self, host_name: str) -> SslClient:

@@ -2,13 +2,21 @@
 
 from __future__ import annotations
 
+import json
+import pathlib
 from typing import Dict, List, Sequence
 
 from repro.harness.fig4 import Fig4Row, rows_as_series
 from repro.harness.fig567 import Fig567Row
 from repro.util.sizes import format_size
 
-__all__ = ["render_table", "render_fig4", "render_fig567"]
+__all__ = [
+    "render_table",
+    "render_fig4",
+    "render_fig567",
+    "aggregate_bench_reports",
+    "render_bench_summary",
+]
 
 
 def render_table(columns: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
@@ -61,3 +69,40 @@ def render_fig567(rows: List[Fig567Row], client: str) -> str:
     figure = mine[0].figure if mine else 0
     title = f"Figure {figure} — Performance comparison, {client} client"
     return title + "\n" + render_table(["Object"] + schemes, table_rows)
+
+
+def aggregate_bench_reports(root: pathlib.Path) -> Dict[str, dict]:
+    """Every ``BENCH_*.json`` under *root*, parsed, keyed by bench name.
+
+    Discovery is by glob, not by a hard-coded list, so a new bench target
+    that writes its ``BENCH_<name>.json`` shows up here (and in the
+    ``bench-report`` CLI target) with no further wiring. Unparseable
+    files surface as an ``{"error": ...}`` entry rather than vanishing —
+    a corrupt report should fail loudly at aggregation time.
+    """
+    reports: Dict[str, dict] = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        try:
+            reports[name] = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            reports[name] = {"error": f"{type(exc).__name__}: {exc}"}
+    return reports
+
+
+def render_bench_summary(reports: Dict[str, dict]) -> str:
+    """One table over every collected bench report."""
+    if not reports:
+        return "no BENCH_*.json reports found (run the bench targets first)"
+    rows = []
+    for name, report in sorted(reports.items()):
+        if "error" in report:
+            rows.append([name, "unreadable", report["error"]])
+            continue
+        top_level = ", ".join(
+            k for k, v in report.items() if isinstance(v, (list, dict))
+        )
+        rows.append([name, "ok", top_level or "-"])
+    return "Collected bench reports\n" + render_table(
+        ["bench", "status", "sections"], rows
+    )

@@ -1,0 +1,455 @@
+"""Revocation bench: compromise-to-containment latency, feed overhead.
+
+Measures the two numbers that price the revocation subsystem:
+
+* **Containment latency** — a key-compromise revocation is published to
+  the feed at *t0*; how long until every proxy rejects the compromised
+  object? Each proxy polls the feed at half its configured max-staleness
+  window, so the latency distribution is bounded by the poll interval —
+  the knob the percentiles here make concrete.
+* **Steady-state feed overhead** — what the seventh check costs when
+  nothing is revoked: mean access time with the checker polling versus
+  the plain six-check baseline on the identical request schedule.
+
+The containment world is deliberately adversarial: the replicas live on
+servers that never receive the revocation (a compromised or lagging
+server keeps serving — exactly the case client-side checking exists
+for), while the proxies pull the feed from the ginger object server,
+which hosts no replica. Distribution to the feed goes through
+:meth:`~repro.replication.coordinator.ReplicationCoordinator.publish_revocation`,
+the owner-side path.
+
+Run with ``python -m repro.harness revocation [--quick]``; writes
+``BENCH_revocation.json`` for the CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.crypto.keys import KeyPair
+from repro.globedoc.element import PageElement
+from repro.globedoc.owner import DocumentOwner
+from repro.globedoc.urls import HybridUrl
+from repro.harness.experiment import ClientStack, Testbed
+from repro.location.service import LocationClient
+from repro.naming.records import OidRecord
+from repro.net.address import ContactAddress, Endpoint
+from repro.net.rpc import RpcClient
+from repro.replication.coordinator import ReplicationCoordinator, SitePort
+from repro.revocation.statement import RevocationStatement
+from repro.server.admin import AdminClient
+from repro.server.objectserver import ObjectServer
+from repro.util.stats import percentile, summarize
+
+__all__ = [
+    "ProxyContainment",
+    "OverheadPoint",
+    "RevocationReport",
+    "run_revocation",
+    "render_revocation",
+    "write_report",
+    "check_report",
+    "REPORT_NAME",
+]
+
+REPORT_NAME = "BENCH_revocation.json"
+
+#: Replica servers that keep serving after the compromise (they never
+#: see the revocation) — the case the client-side check exists for.
+REPLICA_SITES = {
+    "root/europe/inria": "canardo.inria.fr",
+    "root/us/cornell": "ensamble02.cornell.edu",
+}
+
+CLIENT_HOSTS = ("sporty.cs.vu.nl", "canardo.inria.fr", "ensamble02.cornell.edu")
+
+OWNER_HOST = "sporty.cs.vu.nl"
+
+ELEMENTS = {
+    "index.html": b"<html><body>soon to be revoked, genuine until then</body></html>",
+    "logo.gif": b"GIF89a-revocation-bench-bytes",
+}
+
+#: Smallest max-staleness window in the sweep; proxy *i* gets
+#: ``BASE_STALENESS + i * STALENESS_STEP`` (all poll at half their window).
+BASE_STALENESS = 20.0
+STALENESS_STEP = 10.0
+
+#: Simulated think time between steady-state accesses, and between
+#: containment probes — the browsing cadence the poll interval amortises
+#: over.
+THINK_TIME = 1.0
+
+#: Grace on the containment gate: probe quantisation plus access costs.
+CONTAINMENT_SLACK = 5.0
+
+
+@dataclass
+class ProxyContainment:
+    """One proxy's journey from compromise to containment."""
+
+    host: str
+    max_staleness: float
+    poll_interval: float
+    stale_serves: int = 0
+    stale_bytes: int = 0
+    other_failures: int = 0
+    contained: bool = False
+    containment_seconds: float = -1.0
+    rejection_error: str = ""
+    post_containment_ok: int = 0
+    feed_refreshes: int = 0
+
+
+@dataclass
+class OverheadPoint:
+    """Steady-state access cost of one stack flavour (nothing revoked)."""
+
+    enabled: bool
+    accesses: int
+    ok: int
+    mean_access_seconds: float
+    p95_access_seconds: float
+    feed_refreshes: int
+
+
+@dataclass
+class RevocationReport:
+    """Containment sweep + overhead comparison, as written to JSON."""
+
+    seed: int
+    proxies: int
+    feed_sites_reached: List[str]
+    containment: List[ProxyContainment] = field(default_factory=list)
+    baseline: Optional[OverheadPoint] = None
+    enabled: Optional[OverheadPoint] = None
+
+    @property
+    def containment_latencies(self) -> List[float]:
+        return [
+            p.containment_seconds for p in self.containment if p.contained
+        ]
+
+    @property
+    def overhead_ratio(self) -> float:
+        if self.baseline is None or self.enabled is None:
+            return 0.0
+        if self.baseline.mean_access_seconds <= 0:
+            return 0.0
+        return self.enabled.mean_access_seconds / self.baseline.mean_access_seconds
+
+    def to_dict(self) -> dict:
+        latencies = self.containment_latencies
+        summary = (
+            {
+                "p50_seconds": percentile(latencies, 50),
+                "p90_seconds": percentile(latencies, 90),
+                "max_seconds": max(latencies),
+                "contained": len(latencies),
+                "proxies": self.proxies,
+            }
+            if latencies
+            else {"contained": 0, "proxies": self.proxies}
+        )
+        return {
+            "seed": self.seed,
+            "proxies": self.proxies,
+            "feed_sites_reached": self.feed_sites_reached,
+            "containment": [asdict(p) for p in self.containment],
+            "containment_summary": summary,
+            "baseline": asdict(self.baseline) if self.baseline else None,
+            "enabled": asdict(self.enabled) if self.enabled else None,
+            "overhead_ratio": self.overhead_ratio,
+        }
+
+
+# ----------------------------------------------------------------------
+# World construction
+# ----------------------------------------------------------------------
+
+
+def _build_world(seed: int) -> Tuple[Testbed, DocumentOwner]:
+    """A testbed whose replicas live *off* the feed server: documents at
+    inria and cornell, the revocation feed (and nothing else) on ginger."""
+    testbed = Testbed()
+    owner = DocumentOwner(
+        "vu.nl/revocation",
+        keys=KeyPair.generate(1024),
+        clock=testbed.clock,
+    )
+    for name, content in ELEMENTS.items():
+        owner.put_element(PageElement(name, content))
+    document = owner.publish(validity=7 * 24 * 3600.0)
+
+    admin_rpc = RpcClient(testbed.network.transport_for(OWNER_HOST))
+    for site, host in REPLICA_SITES.items():
+        server = ObjectServer(host=host, site=site, clock=testbed.clock)
+        server.keystore.authorize(owner.name, owner.public_key)
+        testbed.network.register(
+            Endpoint(host, "objectserver"), server.rpc_server().handle_frame
+        )
+        admin = AdminClient(
+            admin_rpc, Endpoint(host, "objectserver"), owner.keys, testbed.clock
+        )
+        result = admin.create_replica(document)
+        address = ContactAddress.from_dict(result["address"])
+        testbed.location_service.tree.insert(owner.oid.hex, site, address)
+    testbed.naming.register(OidRecord(name=owner.name, oid=owner.oid, ttl=3600.0))
+    return testbed, owner
+
+
+def _feed_coordinator(
+    testbed: Testbed, owner: DocumentOwner
+) -> ReplicationCoordinator:
+    """The owner-side coordinator, pointed at the feed server's site."""
+    rpc = RpcClient(testbed.network.transport_for(OWNER_HOST))
+    location = LocationClient(
+        rpc,
+        testbed.location_endpoint,
+        origin_site="root/europe/vu",
+        clock=testbed.clock,
+    )
+    coordinator = ReplicationCoordinator(location)
+    admin = AdminClient(
+        rpc, testbed.objectserver_endpoint, owner.keys, testbed.clock
+    )
+    coordinator.add_site(SitePort(site="root/europe/vu", admin=admin))
+    return coordinator
+
+
+# ----------------------------------------------------------------------
+# Phase 1: steady-state feed overhead
+# ----------------------------------------------------------------------
+
+
+def _run_overhead(quick: bool, seed: int, enabled: bool) -> OverheadPoint:
+    """One stack flavour through the fixed schedule; nothing revoked."""
+    testbed, owner = _build_world(seed)
+    kwargs = {"revocation_max_staleness": BASE_STALENESS} if enabled else {}
+    stack = testbed.client_stack("canardo.inria.fr", **kwargs)
+    accesses = 30 if quick else 120
+    names = list(ELEMENTS)
+    totals: List[float] = []
+    ok = 0
+    for i in range(accesses):
+        testbed.clock.advance(THINK_TIME)
+        url = HybridUrl.for_name(owner.name, names[i % len(names)]).raw
+        response = stack.proxy.handle(url)
+        if response.ok:
+            ok += 1
+        if response.metrics is not None:
+            totals.append(response.metrics.total)
+    stats = summarize(totals)
+    return OverheadPoint(
+        enabled=enabled,
+        accesses=accesses,
+        ok=ok,
+        mean_access_seconds=stats.mean,
+        p95_access_seconds=stats.p95,
+        feed_refreshes=(
+            stack.revocation.stats.refreshes if stack.revocation is not None else 0
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Phase 2: compromise-to-containment latency
+# ----------------------------------------------------------------------
+
+
+def _run_containment(
+    quick: bool, seed: int
+) -> Tuple[List[ProxyContainment], List[str]]:
+    testbed, owner = _build_world(seed)
+    count = 3 if quick else 8
+    fleet: List[Tuple[ProxyContainment, ClientStack]] = []
+    for i in range(count):
+        host = CLIENT_HOSTS[i % len(CLIENT_HOSTS)]
+        staleness = BASE_STALENESS + STALENESS_STEP * i
+        stack = testbed.client_stack(host, revocation_max_staleness=staleness)
+        record = ProxyContainment(
+            host=host,
+            max_staleness=staleness,
+            poll_interval=stack.revocation.poll_interval,
+        )
+        fleet.append((record, stack))
+
+    url = HybridUrl.for_name(owner.name, "index.html").raw
+    # Warm every proxy: session bound, feed synced, caches hot.
+    for record, stack in fleet:
+        response = stack.proxy.handle(url)
+        if not response.ok:
+            record.other_failures += 1
+
+    # The compromise: the owner revokes the object key; the coordinator
+    # pushes the statement to the feed. The serving replicas never hear
+    # of it — only the proxies' polling can contain them.
+    statement = RevocationStatement.revoke_key(
+        owner.keys,
+        owner.oid,
+        serial=1,
+        issued_at=testbed.clock.now(),
+        reason="bench: key compromise",
+    )
+    t0 = testbed.clock.now()
+    reached = _feed_coordinator(testbed, owner).publish_revocation(statement)
+
+    deadline = t0 + max(r.max_staleness for r, _ in fleet) + 3 * CONTAINMENT_SLACK
+    while any(not r.contained for r, _ in fleet) and testbed.clock.now() < deadline:
+        testbed.clock.advance(THINK_TIME)
+        for record, stack in fleet:
+            if record.contained:
+                continue
+            response = stack.proxy.handle(url)
+            if response.ok:
+                record.stale_serves += 1
+                record.stale_bytes += len(response.content)
+            elif response.status == 403:
+                record.contained = True
+                record.containment_seconds = testbed.clock.now() - t0
+                record.rejection_error = response.security_failure
+            else:
+                record.other_failures += 1
+
+    # Containment must hold: one more access each, no recovery allowed.
+    for record, stack in fleet:
+        if record.contained:
+            response = stack.proxy.handle(url)
+            if response.ok:
+                record.post_containment_ok += 1
+        record.feed_refreshes = (
+            stack.revocation.stats.refreshes if stack.revocation is not None else 0
+        )
+    return [record for record, _ in fleet], reached
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
+def run_revocation(quick: bool = False, seed: int = 0) -> RevocationReport:
+    """The full bench: containment sweep, then the overhead comparison."""
+    containment, reached = _run_containment(quick, seed)
+    report = RevocationReport(
+        seed=seed,
+        proxies=len(containment),
+        feed_sites_reached=reached,
+        containment=containment,
+    )
+    report.baseline = _run_overhead(quick, seed, enabled=False)
+    report.enabled = _run_overhead(quick, seed, enabled=True)
+    return report
+
+
+def render_revocation(report: RevocationReport) -> str:
+    """Human-readable containment table + overhead summary."""
+    from repro.harness.report import render_table
+
+    rows = []
+    for p in report.containment:
+        rows.append(
+            [
+                p.host,
+                f"{p.max_staleness:.0f} s",
+                f"{p.poll_interval:.0f} s",
+                f"{p.containment_seconds:.1f} s" if p.contained else "NOT CONTAINED",
+                p.rejection_error or "-",
+                str(p.stale_serves),
+                str(p.post_containment_ok),
+                str(p.feed_refreshes),
+            ]
+        )
+    table = render_table(
+        [
+            "proxy host",
+            "max staleness",
+            "poll",
+            "containment",
+            "rejected as",
+            "stale serves",
+            "post-ok",
+            "refreshes",
+        ],
+        rows,
+    )
+    lines = [
+        f"Revocation sweep — {report.proxies} proxies, feed at "
+        f"{', '.join(report.feed_sites_reached) or 'nowhere'}",
+        table,
+    ]
+    latencies = report.containment_latencies
+    if latencies:
+        lines.append(
+            "containment latency: "
+            f"p50 {percentile(latencies, 50):.1f} s, "
+            f"p90 {percentile(latencies, 90):.1f} s, "
+            f"max {max(latencies):.1f} s"
+        )
+    if report.baseline and report.enabled:
+        lines.append(
+            "steady-state overhead: "
+            f"baseline {report.baseline.mean_access_seconds * 1e3:.2f} ms/access, "
+            f"with feed {report.enabled.mean_access_seconds * 1e3:.2f} ms/access "
+            f"(ratio {report.overhead_ratio:.3f}, "
+            f"{report.enabled.feed_refreshes} refreshes)"
+        )
+    return "\n".join(lines)
+
+
+def write_report(report: RevocationReport, path: pathlib.Path) -> None:
+    path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+
+
+def check_report(report: RevocationReport) -> List[str]:
+    """CI-gate violations (empty = pass).
+
+    * every proxy contained, each within its staleness window (+ slack),
+      rejecting with the dedicated :class:`RevokedKeyError`;
+    * containment is permanent — no access succeeds afterwards;
+    * no spurious non-security failures during the sweep;
+    * the feed's steady-state cost stays below 2.5× the baseline while
+      actually polling (≥ 2 refreshes) — the poll must not dominate the
+      access pipeline it protects. (The refresh is one extra RPC per
+      poll interval against ~3 ms cached accesses, so the measured
+      ratio sits near 1.5–1.9; the gate leaves headroom for the host
+      noise in clock-charged crypto times, not for regressions.)
+    """
+    problems: List[str] = []
+    for p in report.containment:
+        if not p.contained:
+            problems.append(f"proxy on {p.host} (staleness {p.max_staleness}) never contained")
+            continue
+        if p.containment_seconds > p.max_staleness + CONTAINMENT_SLACK:
+            problems.append(
+                f"containment took {p.containment_seconds:.1f}s on {p.host}, "
+                f"past its {p.max_staleness:.0f}s staleness window"
+            )
+        if p.rejection_error != "RevokedKeyError":
+            problems.append(
+                f"rejection on {p.host} attributed to {p.rejection_error!r}, "
+                "not RevokedKeyError"
+            )
+        if p.post_containment_ok:
+            problems.append(f"revoked content served after containment on {p.host}")
+        if p.other_failures:
+            problems.append(
+                f"{p.other_failures} non-security failures on {p.host}"
+            )
+    if report.baseline is not None and report.baseline.ok < report.baseline.accesses:
+        problems.append("baseline schedule had failing accesses")
+    if report.enabled is not None and report.enabled.ok < report.enabled.accesses:
+        problems.append("feed-enabled schedule had failing accesses")
+    if report.enabled is not None and report.enabled.feed_refreshes < 2:
+        problems.append(
+            f"feed polled only {report.enabled.feed_refreshes} times — "
+            "overhead number is not steady-state"
+        )
+    ratio = report.overhead_ratio
+    if ratio > 2.5:
+        problems.append(f"steady-state feed overhead ratio {ratio:.3f} > 2.5")
+    return problems

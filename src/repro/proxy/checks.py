@@ -10,6 +10,12 @@ Four client-side checks make data from untrusted replicas trustworthy:
 4. each retrieved element passes consistency (name match), authenticity
    (hash match) and freshness (validity interval) against the cert.
 
+A seventh, reproduction-added check — ``check_revocation`` — consults
+the revocation feed (see :mod:`repro.revocation`): a genuine, fresh,
+consistent response is still rejected when the issuing key or element
+certificate has been revoked, or when the client's feed view is too
+stale to prove it has not been (fail closed).
+
 ``SecurityChecker`` is transport-agnostic and side-effect free; all
 verification CPU is charged through an optional *compute context* so
 the simulated host pays for it (see :meth:`SimHost.compute`).
@@ -73,12 +79,17 @@ class SecurityChecker:
         trust_store: Optional[TrustStore] = None,
         compute_context: Optional[ComputeContext] = None,
         verification_cache: Optional[VerificationCache] = None,
+        revocation_checker=None,
         tracer=None,
     ) -> None:
         self.clock = clock
         self.trust_store = trust_store if trust_store is not None else TrustStore()
         self._compute = compute_context if compute_context is not None else nullcontext
         self.verification_cache = verification_cache
+        #: Optional :class:`~repro.revocation.checker.RevocationChecker`;
+        #: without one, ``check_revocation`` is a no-op (the paper's
+        #: original six-check pipeline).
+        self.revocation_checker = revocation_checker
         #: Emits one ``check.*`` span per security check; the span that
         #: closes with error status names the check that rejected the
         #: response — the trace profile's rejection census keys on it.
@@ -130,6 +141,35 @@ class SecurityChecker:
         with self.tracer.span("check.public_key", oid=oid.hex[:16]):
             with timer.phase("verify_public_key"), self._compute():
                 return oid.check_key(key)
+
+    def check_revocation(
+        self,
+        oid: ObjectId,
+        timer: AccessTimer,
+        element_name: Optional[str] = None,
+        cert_version: Optional[int] = None,
+    ) -> None:
+        """The seventh check: nothing about the OID may be revoked.
+
+        Raises :class:`~repro.errors.RevocationError` subclasses — a
+        revoked key/element, or a feed view staler than the configured
+        window (fail closed). Runs at establish time (key scope, before
+        paying for certificate verification), before serving any
+        content-cache hit, and after each element fetch with the
+        certificate version in hand.
+        """
+        if self.revocation_checker is None:
+            return
+        with self.tracer.span(
+            "check.revocation", oid=oid.hex[:16], element=element_name or ""
+        ) as span:
+            with timer.phase("check_revocation"), self._compute():
+                self.revocation_checker.check(
+                    oid, element_name=element_name, cert_version=cert_version
+                )
+            staleness = self.revocation_checker.staleness
+            if staleness is not None:
+                span.set_attribute("feed_staleness", round(staleness, 3))
 
     def check_identity(
         self,

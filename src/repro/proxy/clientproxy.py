@@ -21,7 +21,10 @@ from repro.errors import (
     BindingError,
     NamingError,
     LocationError,
+    ObjectNotFound,
+    ReplicaError,
     ReproError,
+    RevokedKeyError,
     SecurityError,
     TransportError,
     UrlError,
@@ -52,6 +55,10 @@ NOT_FOUND_HTML = (
 #: Sweep expired content-cache entries every this many requests, so dead
 #: entries stop holding cache bytes even when no ``get`` touches them.
 CACHE_SWEEP_INTERVAL = 64
+
+#: How many signed OID→OID forwarding records one request may follow
+#: (bounds redirect loops from a compromised-then-rekeyed-again chain).
+MAX_FORWARD_HOPS = 3
 
 
 @dataclass(frozen=True)
@@ -140,36 +147,92 @@ class GlobeDocProxy:
         # error belongs to the check/rpc span that raised it, while the
         # outcome is recorded here as the HTTP ``status`` attribute.
         with self.tracer.span("proxy.handle", url=url.raw) as span:
-            try:
-                session = self._session_for(url, timer)
-                result = session.fetch(url.element_name, timer)
-            except SecurityError as exc:
-                # §3.3: failed checks render the Security Check Failed page.
-                self.failure_count += 1
-                span.set_attribute("status", 403)
-                span.set_attribute("security_failure", type(exc).__name__)
+            hops = 0
+            while True:
+                try:
+                    session = self._session_for(url, timer)
+                    result = session.fetch(url.element_name, timer)
+                except (
+                    RevokedKeyError, ObjectNotFound, BindingError, ReplicaError
+                ) as exc:
+                    # A revoked or vanished object may have a re-keyed
+                    # successor: follow its signed forwarding record.
+                    # ReplicaError lands here when every server already
+                    # tore the revoked object down (failover exhausted).
+                    successor = (
+                        self._follow_forwarding(url, timer)
+                        if hops < MAX_FORWARD_HOPS
+                        else None
+                    )
+                    if successor is not None:
+                        hops += 1
+                        span.set_attribute("forward_hops", hops)
+                        url = successor
+                        continue
+                    return self._failure_response(span, exc, timer)
+                except (
+                    SecurityError, NamingError, LocationError, TransportError
+                ) as exc:
+                    return self._failure_response(span, exc, timer)
+                span.set_attribute("status", 200)
                 return ProxyResponse(
-                    status=403,
-                    content=SECURITY_FAILED_HTML % str(exc).encode(),
-                    metrics=timer.finish(),
-                    security_failure=type(exc).__name__,
+                    status=200,
+                    content=result.element.content,
+                    content_type=result.element.content_type,
+                    certified_as=result.certified_as,
+                    metrics=result.metrics,
                 )
-            except (NamingError, LocationError, BindingError, TransportError) as exc:
-                self.failure_count += 1
-                span.set_attribute("status", 404)
-                return ProxyResponse(
-                    status=404,
-                    content=NOT_FOUND_HTML % str(exc).encode(),
-                    metrics=timer.finish(),
-                )
-            span.set_attribute("status", 200)
+
+    def _failure_response(
+        self, span, exc: Exception, timer: AccessTimer
+    ) -> ProxyResponse:
+        self.failure_count += 1
+        if isinstance(exc, SecurityError):
+            # §3.3: failed checks render the Security Check Failed page.
+            span.set_attribute("status", 403)
+            span.set_attribute("security_failure", type(exc).__name__)
             return ProxyResponse(
-                status=200,
-                content=result.element.content,
-                content_type=result.element.content_type,
-                certified_as=result.certified_as,
-                metrics=result.metrics,
+                status=403,
+                content=SECURITY_FAILED_HTML % str(exc).encode(),
+                metrics=timer.finish(),
+                security_failure=type(exc).__name__,
             )
+        span.set_attribute("status", 404)
+        return ProxyResponse(
+            status=404,
+            content=NOT_FOUND_HTML % str(exc).encode(),
+            metrics=timer.finish(),
+        )
+
+    def _follow_forwarding(
+        self, url: HybridUrl, timer: AccessTimer
+    ) -> Optional[HybridUrl]:
+        """The OID-form URL of the re-keyed successor, or None.
+
+        Never raises: forwarding is best-effort recovery on a path that
+        already failed — any problem here just surfaces the original
+        failure. The record itself is validated by the resolver (signed
+        by the key the old OID self-certifies).
+        """
+        resolver = getattr(self.binder, "resolver", None)
+        if resolver is None or not hasattr(resolver, "resolve_forward"):
+            return None
+        try:
+            oid = self.binder.resolve_oid(url, timer)
+        except ReproError:
+            return None
+        with self.tracer.span("proxy.forward", oid=oid.hex[:16]) as span:
+            try:
+                record = resolver.resolve_forward(oid)
+            except ReproError:
+                span.set_attribute("found", False)
+                return None
+            if record is None:
+                span.set_attribute("found", False)
+                return None
+            span.set_attribute("found", True)
+            span.set_attribute("to_oid", record.to_oid.hex[:16])
+        return HybridUrl.for_oid(record.to_oid, url.element_name)
 
     def _session_for(self, url: HybridUrl, timer: AccessTimer) -> SecureSession:
         key = url.oid.hex if url.oid is not None else str(url.object_name)

@@ -140,6 +140,14 @@ class ContentCache:
             self._evict(key)
         return len(doomed)
 
+    def invalidate_element(self, oid_hex: str, name: str) -> int:
+        """Drop one (OID, element) entry — an element-scoped revocation
+        purge; returns entries removed (0 or 1)."""
+        if (oid_hex, name) in self._entries:
+            self._evict((oid_hex, name))
+            return 1
+        return 0
+
     def _evict(self, key: Tuple[str, str]) -> None:
         entry = self._entries.pop(key, None)
         if entry is not None:

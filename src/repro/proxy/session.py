@@ -16,6 +16,8 @@ from typing import Optional
 from repro.errors import (
     BindingError,
     ObjectNotFound,
+    ReplicaError,
+    RevocationError,
     RpcError,
     SecurityError,
     TransportError,
@@ -99,7 +101,15 @@ class SecureSession:
                 try:
                     verified = self._establish_once(timer)
                     break
-                except (SecurityError, TransportError, RpcError) as exc:
+                except RevocationError:
+                    # Revocation condemns the *object*, not the replica:
+                    # every replica serves the same revoked key, so
+                    # failover would only burn containment latency.
+                    raise
+                except (SecurityError, TransportError, RpcError, ReplicaError) as exc:
+                    # ReplicaError: the server no longer hosts the
+                    # replica (torn down, e.g. after its creator's key
+                    # was revoked) — operationally a dead replica.
                     self._failover(exc)
             span.set_attribute("rebinds", self.rebind_count)
         self._verified = verified
@@ -136,6 +146,9 @@ class SecureSession:
         with timer.phase("get_public_key"):
             key = lr.get_public_key()
         key = self.checker.check_public_key(self.bound.oid, key, timer)
+        # Seventh check, key scope — before paying for certificate
+        # verification: a revoked key makes the rest of the pipeline moot.
+        self.checker.check_revocation(self.bound.oid, timer)
 
         certified_as = None
         if len(self.checker.trust_store) > 0 or self.require_identity:
@@ -193,6 +206,13 @@ class SecureSession:
             with timer.phase("content_cache_lookup"):
                 cached = self.content_cache.get(self.bound.oid.hex, element_name)
             if cached is not None:
+                # A cache hit skips the network, never the revocation
+                # check: the hit predates any revocation the feed may
+                # have published since (and the check's refresh purges
+                # this very cache on first sight of one).
+                self.checker.check_revocation(
+                    self.bound.oid, timer, element_name=element_name
+                )
                 self._record_resilience(timer, snapshot)
                 return FetchResult(
                     element=cached,
@@ -207,15 +227,24 @@ class SecureSession:
                 with timer.phase("get_page_element"):
                     element = self.bound.lr.get_element(element_name)
                 break
-            except (TransportError, RpcError) as exc:
-                # The replica died between binding and element fetch:
-                # fail over and re-run the whole verification pipeline
-                # against the replacement.
+            except (TransportError, RpcError, ReplicaError) as exc:
+                # The replica died (or was torn down) between binding
+                # and element fetch: fail over and re-run the whole
+                # verification pipeline against the replacement.
                 self._failover(exc)
         if not self.cache_binding:
             self._verified = None
         entry = self.checker.check_element(
             verified.integrity, element_name, element, timer
+        )
+        # Element-scope revocation: now the certificate version is known,
+        # so a statement condemning an older row lets a re-issued
+        # (version-bumped) certificate through.
+        self.checker.check_revocation(
+            self.bound.oid,
+            timer,
+            element_name=element_name,
+            cert_version=verified.integrity.version,
         )
         if self.content_cache is not None:
             self.content_cache.put(self.bound.oid.hex, element, entry.expires_at)

@@ -234,6 +234,31 @@ class ReplicationCoordinator:
     # Updates
     # ------------------------------------------------------------------
 
+    def publish_revocation(self, statement) -> List[str]:
+        """Push a signed revocation statement to every registered site's
+        feed; returns the sites reached.
+
+        Distribution uses the same admin ports as placement, but the
+        target RPC is the *unauthenticated* feed surface — the statement
+        authenticates itself. Sites that cannot be reached are skipped
+        (their clients hit the staleness window and fail closed, so an
+        unreachable site degrades to denial of service only).
+        """
+        from repro.errors import NetworkError
+
+        wire = statement.to_dict()
+        reached: List[str] = []
+        for site in sorted(self._ports):
+            port = self._ports[site]
+            try:
+                port.admin.rpc.call(
+                    port.admin.target, "revocation.publish", statement=wire
+                )
+            except NetworkError:
+                continue
+            reached.append(site)
+        return reached
+
     def publish_update(self, oid: ObjectId, document: SignedDocument) -> List[str]:
         """A new version from the owner: propagate per consistency model."""
         managed = self.document(oid)

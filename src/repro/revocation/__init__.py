@@ -1,0 +1,42 @@
+"""Revocation & key lifecycle: the compromise-to-containment loop.
+
+The paper bounds key-compromise damage by certificate expiry (§3.2);
+this subsystem closes the loop actively:
+
+* :mod:`repro.revocation.statement` — signed, self-certifying
+  :class:`RevocationStatement`s (whole-key or per-element scope);
+* :mod:`repro.revocation.feed` — the replicated, serial-monotone
+  :class:`RevocationFeed` object servers host and the replication
+  coordinator distributes;
+* :mod:`repro.revocation.checker` — the proxy-side
+  :class:`RevocationChecker` behind the seventh security check
+  (``check.revocation``), with a fail-closed max-staleness window and
+  first-sight cache purges;
+* :mod:`repro.revocation.rekey` — owner tooling for emergency
+  re-keying (successor object + revocation + naming forwarding record).
+
+See DESIGN.md §4e and ``python -m repro.harness revocation`` for the
+containment-latency / feed-overhead measurements.
+"""
+
+from repro.revocation.checker import RevocationChecker, RevocationCheckerStats
+from repro.revocation.feed import RevocationFeed
+from repro.revocation.rekey import RekeyResult, emergency_rekey
+from repro.revocation.statement import (
+    REVOCATION_CERT_TYPE,
+    SCOPE_ELEMENT,
+    SCOPE_KEY,
+    RevocationStatement,
+)
+
+__all__ = [
+    "RevocationStatement",
+    "REVOCATION_CERT_TYPE",
+    "SCOPE_KEY",
+    "SCOPE_ELEMENT",
+    "RevocationFeed",
+    "RevocationChecker",
+    "RevocationCheckerStats",
+    "RekeyResult",
+    "emergency_rekey",
+]

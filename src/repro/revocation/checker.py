@@ -1,0 +1,208 @@
+"""Client-side revocation checking.
+
+The :class:`RevocationChecker` is the proxy's view of the revocation
+feed: it pulls deltas from an object server's ``revocation.fetch`` RPC,
+verifies every statement itself (the feed is untrusted), and answers the
+seventh security check — *is anything about this OID revoked?*
+
+Staleness policy (fail closed)
+------------------------------
+The checker keeps the time of its last successful sync. A check first
+ensures the local view is no older than ``poll_interval`` (refreshing
+over RPC when it is); if the refresh fails **and** the view is older
+than ``max_staleness`` — or the checker has never synced at all — the
+check raises :class:`~repro.errors.RevocationStalenessError` for the
+affected OID instead of serving content it cannot prove unrevoked. A
+feed that merely *withholds* statements is thus bounded to a
+``max_staleness``-sized containment delay; a feed that is unreachable
+degrades to denial of service, never to serving revoked content.
+
+Cache purges
+------------
+On first sight of a revocation the checker purges the matching
+:class:`~repro.crypto.verifycache.VerificationCache` verdicts (every
+memoized success under the revoked issuer key) and
+:class:`~repro.proxy.contentcache.ContentCache` entries (the whole
+object for key scope, the named element for element scope) — a warm
+cache must forget a compromised key at the same instant the check
+starts rejecting it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import (
+    NetworkError,
+    RevocationStalenessError,
+    RevokedElementError,
+    RevokedKeyError,
+)
+from repro.globedoc.oid import ObjectId
+from repro.revocation.feed import RevocationFeed
+from repro.revocation.statement import SCOPE_KEY, RevocationStatement
+
+__all__ = ["RevocationChecker", "RevocationCheckerStats"]
+
+
+@dataclass
+class RevocationCheckerStats:
+    """Running counters of one checker (feed-overhead accounting)."""
+
+    refreshes: int = 0
+    refresh_failures: int = 0
+    statements_ingested: int = 0
+    invalid_dropped: int = 0
+    verify_purged: int = 0
+    content_purged: int = 0
+    rejections: int = 0
+
+
+class RevocationChecker:
+    """Pulls, verifies, and indexes revocation statements for a client.
+
+    ``poll_interval`` (default: half the staleness window) sets how long
+    a synced view is reused before the next refresh RPC — the knob that
+    trades containment latency against steady-state feed overhead.
+    """
+
+    def __init__(
+        self,
+        rpc,
+        feed_target,
+        clock,
+        max_staleness: float = 60.0,
+        poll_interval: Optional[float] = None,
+        verification_cache=None,
+        content_cache=None,
+    ) -> None:
+        if max_staleness <= 0:
+            raise ValueError(f"max_staleness must be positive, got {max_staleness}")
+        self.rpc = rpc
+        self.feed_target = feed_target
+        self.clock = clock
+        self.max_staleness = max_staleness
+        self.poll_interval = (
+            poll_interval if poll_interval is not None else max_staleness / 2.0
+        )
+        self.verification_cache = verification_cache
+        self.content_cache = content_cache
+        self.stats = RevocationCheckerStats()
+        self._head = 0
+        self._synced_at: Optional[float] = None
+        self._by_oid: Dict[str, List[RevocationStatement]] = {}
+
+    # ------------------------------------------------------------------
+    # Feed synchronisation
+    # ------------------------------------------------------------------
+
+    @property
+    def staleness(self) -> Optional[float]:
+        """Seconds since the last successful sync (None: never synced)."""
+        if self._synced_at is None:
+            return None
+        return max(0.0, self.clock.now() - self._synced_at)
+
+    def refresh(self) -> int:
+        """Pull the delta since our head; returns statements ingested.
+
+        Propagates :class:`~repro.errors.NetworkError` — callers decide
+        whether the stale view is still within the staleness window.
+        """
+        answer = self.rpc.call(self.feed_target, "revocation.fetch", since=self._head)
+        head, statements = RevocationFeed.decode_delta(answer)
+        self.stats.refreshes += 1
+        ingested = 0
+        for statement in statements:
+            if self._ingest(statement):
+                ingested += 1
+        # Advance past invalid entries too: they are the feed's garbage,
+        # not ours, and re-fetching them forever helps nobody.
+        self._head = max(self._head, head)
+        self._synced_at = self.clock.now()
+        return ingested
+
+    def _ingest(self, statement: RevocationStatement) -> bool:
+        try:
+            statement.verify(clock=self.clock)
+        except Exception:
+            # A forged or corrupted statement must not revoke anything —
+            # and must not crash the sync that carries genuine ones.
+            self.stats.invalid_dropped += 1
+            return False
+        known = self._by_oid.setdefault(statement.oid_hex, [])
+        if any(s.serial == statement.serial for s in known):
+            return False
+        known.append(statement)
+        self.stats.statements_ingested += 1
+        self._purge_caches(statement)
+        return True
+
+    def _purge_caches(self, statement: RevocationStatement) -> None:
+        """First-sight purge: forget every cached artifact the statement
+        condemns before the next lookup can replay it."""
+        if self.verification_cache is not None:
+            self.stats.verify_purged += self.verification_cache.invalidate_key(
+                statement.issuer_key
+            )
+        if self.content_cache is not None:
+            if statement.scope == SCOPE_KEY:
+                self.stats.content_purged += self.content_cache.invalidate_object(
+                    statement.oid_hex
+                )
+            elif statement.element is not None:
+                self.stats.content_purged += self.content_cache.invalidate_element(
+                    statement.oid_hex, statement.element
+                )
+
+    def _ensure_fresh(self, oid: ObjectId) -> None:
+        staleness = self.staleness
+        if staleness is not None and staleness <= self.poll_interval:
+            return
+        try:
+            self.refresh()
+        except NetworkError as exc:
+            self.stats.refresh_failures += 1
+            staleness = self.staleness
+            if staleness is None or staleness > self.max_staleness:
+                raise RevocationStalenessError(
+                    f"cannot prove OID {oid.hex[:12]}… unrevoked: revocation "
+                    f"feed unreachable and local view is "
+                    f"{'absent' if staleness is None else f'{staleness:.1f}s stale'} "
+                    f"(max staleness {self.max_staleness:.1f}s)"
+                ) from exc
+            # Stale but within the window: serve on the last good view.
+
+    # ------------------------------------------------------------------
+    # The check itself
+    # ------------------------------------------------------------------
+
+    def check(
+        self,
+        oid: ObjectId,
+        element_name: Optional[str] = None,
+        cert_version: Optional[int] = None,
+    ) -> None:
+        """Raise iff the OID (or the named element) is revoked — or the
+        feed view is too stale to say otherwise."""
+        self._ensure_fresh(oid)
+        for statement in self._by_oid.get(oid.hex, ()):  # newest need not win: any hit rejects
+            if statement.scope == SCOPE_KEY:
+                self.stats.rejections += 1
+                raise RevokedKeyError(
+                    f"object key for OID {oid.hex[:12]}… was revoked at "
+                    f"{statement.issued_at} (serial {statement.serial}: "
+                    f"{statement.reason})"
+                )
+            if element_name is not None and statement.covers(element_name, cert_version):
+                self.stats.rejections += 1
+                raise RevokedElementError(
+                    f"element {element_name!r} of OID {oid.hex[:12]}… was "
+                    f"revoked at {statement.issued_at} through certificate "
+                    f"version {statement.cert_version} (serial "
+                    f"{statement.serial}: {statement.reason})"
+                )
+
+    def known_statements(self, oid: ObjectId) -> List[RevocationStatement]:
+        return list(self._by_oid.get(oid.hex, ()))

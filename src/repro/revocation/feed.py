@@ -1,0 +1,102 @@
+"""The replicated revocation feed.
+
+A feed is an append-only, per-OID-serial-monotone log of verified
+revocation statements. Object servers each host one (exposed over the
+``revocation.fetch`` / ``revocation.publish`` RPCs); the replication
+coordinator pushes new statements to every site it manages, and client
+proxies pull deltas on their staleness schedule.
+
+The feed is *untrusted infrastructure*, like every other GlobeDoc
+service: it verifies statements on publish only to keep garbage out of
+its own log, but consumers re-verify every statement themselves — a
+malicious feed can suppress revocations (a staleness/denial attack the
+client's max-staleness window bounds) but can never forge one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import ReproError
+from repro.revocation.statement import RevocationStatement
+
+__all__ = ["RevocationFeed"]
+
+
+class RevocationFeed:
+    """An ordered log of revocation statements with delta fetch.
+
+    ``head`` is the log length; ``fetch(since=head)`` returns only
+    statements appended after a consumer's last sync. Publishing is
+    idempotent on (OID, serial) and rejects non-monotone serials per
+    OID, so replayed or reordered pushes cannot corrupt the log.
+    """
+
+    def __init__(self, clock=None) -> None:
+        self.clock = clock
+        self._log: List[RevocationStatement] = []
+        self._seen: Set[Tuple[str, int]] = set()
+        self._max_serial: Dict[str, int] = {}
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+
+    def publish(self, statement: RevocationStatement) -> bool:
+        """Append a verified statement; False if already present.
+
+        Raises on an invalid statement (bad signature, key/OID mismatch)
+        or a serial at or below an already-published serial for the same
+        OID — both are feed-poisoning attempts, not revocations.
+        """
+        statement.verify(clock=self.clock)
+        key = (statement.oid_hex, statement.serial)
+        if key in self._seen:
+            return False
+        last = self._max_serial.get(statement.oid_hex, 0)
+        if statement.serial <= last:
+            self.rejected += 1
+            raise ReproError(
+                f"revocation serial {statement.serial} is not monotone for "
+                f"{statement.oid_hex[:12]}… (last published: {last})"
+            )
+        self._log.append(statement)
+        self._seen.add(key)
+        self._max_serial[statement.oid_hex] = statement.serial
+        return True
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+
+    @property
+    def head(self) -> int:
+        return len(self._log)
+
+    def fetch(self, since: int = 0) -> dict:
+        """Wire-format delta: statements appended after position *since*."""
+        since = max(0, int(since))
+        return {
+            "head": self.head,
+            "statements": [s.to_dict() for s in self._log[since:]],
+        }
+
+    def statements(self) -> List[RevocationStatement]:
+        return list(self._log)
+
+    def statements_for(self, oid_hex: str) -> List[RevocationStatement]:
+        return [s for s in self._log if s.oid_hex == oid_hex]
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+    @staticmethod
+    def decode_delta(answer: Mapping) -> Tuple[int, List[RevocationStatement]]:
+        """Parse a ``revocation.fetch`` response (no verification —
+        callers must verify each statement before acting on it)."""
+        head = int(answer["head"])
+        statements = [
+            RevocationStatement.from_dict(d) for d in answer.get("statements", [])
+        ]
+        return head, statements

@@ -8,16 +8,25 @@ algorithms)."
 
 Entities are identified by their public key; names are administrative
 labels only.
+
+Revocation hooks: removing a key is not just forgetting it — whatever
+the entity placed on the server must stop serving too. ``subscribe``
+lets the hosting server (and the admin interface) react to every
+*effective* revocation; callbacks fire only when a key was actually
+removed, keeping :meth:`revoke` idempotent.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.crypto.keys import PublicKey
 from repro.errors import AccessDenied
 
 __all__ = ["Keystore"]
+
+#: A revocation observer: ``(label, key)`` of the entity just removed.
+RevokeCallback = Callable[[str, PublicKey], None]
 
 
 class Keystore:
@@ -25,14 +34,25 @@ class Keystore:
 
     def __init__(self) -> None:
         self._by_key: Dict[bytes, str] = {}
+        self._revoke_callbacks: List[RevokeCallback] = []
 
     def authorize(self, label: str, key: PublicKey) -> None:
         """Authorise *key* under administrative *label*."""
         self._by_key[key.der] = label
 
-    def revoke(self, key: PublicKey) -> None:
-        """Remove *key*; silently ignores unknown keys (idempotent)."""
-        self._by_key.pop(key.der, None)
+    def subscribe(self, callback: RevokeCallback) -> None:
+        """Register an observer fired on every effective revocation."""
+        self._revoke_callbacks.append(callback)
+
+    def revoke(self, key: PublicKey) -> bool:
+        """Remove *key*; True if it was present (idempotent: a second
+        revoke is a no-op and fires no callbacks)."""
+        label = self._by_key.pop(key.der, None)
+        if label is None:
+            return False
+        for callback in self._revoke_callbacks:
+            callback(label, key)
+        return True
 
     def is_authorized(self, key: PublicKey) -> bool:
         return key.der in self._by_key

@@ -26,6 +26,8 @@ from repro.errors import AccessDenied, ReplicaError, ServerError
 from repro.globedoc.owner import SignedDocument
 from repro.net.address import ContactAddress, Endpoint
 from repro.net.rpc import RpcServer, rpc_method
+from repro.revocation.feed import RevocationFeed
+from repro.revocation.statement import SCOPE_KEY, RevocationStatement
 from repro.server.admin import AdminCommand, AdminVerifier
 from repro.server.keystore import Keystore
 from repro.server.localrep import ReplicaLR
@@ -76,6 +78,14 @@ class ObjectServer:
         self.resources = ResourceAccountant(
             limits if limits is not None else ResourceLimits(), self.clock
         )
+        #: This server's copy of the replicated revocation feed.
+        self.revocation_feed = RevocationFeed(clock=self.clock)
+        #: Operational events for the admin interface (entity
+        #: revocations with the replicas they tore down).
+        self.notices: List[Dict[str, Any]] = []
+        # A revoked keystore entity must stop serving, not just stop
+        # creating: drop its hosted replicas the moment it is removed.
+        self.keystore.subscribe(self._on_entity_revoked)
 
     # ------------------------------------------------------------------
     # Addressing
@@ -151,6 +161,35 @@ class ObjectServer:
         return hosted
 
     # ------------------------------------------------------------------
+    # Revocation
+    # ------------------------------------------------------------------
+
+    def revoke_entity(self, key: PublicKey) -> bool:
+        """Revoke a keystore entity: key out, its replicas down, admin
+        notified. True if the key was present (idempotent)."""
+        return self.keystore.revoke(key)
+
+    def _on_entity_revoked(self, label: str, key: PublicKey) -> None:
+        """Keystore callback: tear down everything the entity placed
+        here (server-administrator authority — the creator-only rule
+        guards *peers*, not the host's own housekeeping)."""
+        dropped: List[str] = []
+        for replica_id, hosted in list(self._replicas.items()):
+            if hosted.creator_key_der == key.der:
+                del self._replicas[replica_id]
+                self._by_oid.pop(hosted.oid_hex, None)
+                self.resources.release_replica(replica_id)
+                dropped.append(replica_id)
+        self.notices.append(
+            {
+                "event": "entity_revoked",
+                "label": label,
+                "at": self.clock.now(),
+                "replicas_dropped": sorted(dropped),
+            }
+        )
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
@@ -218,6 +257,30 @@ class ObjectServer:
         return self._lr(replica_id).list_elements()
 
     # ------------------------------------------------------------------
+    # RPC revocation feed (self-authenticating surface)
+    # ------------------------------------------------------------------
+    #
+    # Neither operation needs the admin channel: statements carry their
+    # own proof (signed by the key their OID self-certifies), so the
+    # server verifies each one on publish and clients re-verify on
+    # fetch. Wider distribution of a genuine revocation only helps.
+
+    @rpc_method("revocation.fetch")
+    def rpc_revocation_fetch(self, since: int = 0) -> dict:
+        return self.revocation_feed.fetch(since=since)
+
+    @rpc_method("revocation.publish")
+    def rpc_revocation_publish(self, statement: Mapping[str, Any]) -> dict:
+        stmt = RevocationStatement.from_dict(statement)
+        added = self.revocation_feed.publish(stmt)  # verifies; raises on garbage
+        if added and stmt.scope == SCOPE_KEY:
+            # A revoked object key is also a revoked hosting entity:
+            # its locally hosted replicas must stop serving now, not at
+            # the clients' next revocation check.
+            self.revoke_entity(stmt.issuer_key)
+        return {"added": added, "head": self.revocation_feed.head}
+
+    # ------------------------------------------------------------------
     # RPC admin interface (authenticated surface)
     # ------------------------------------------------------------------
 
@@ -247,6 +310,8 @@ class ObjectServer:
                     for r in self.replica_ids
                 ]
             }
+        if cmd.op == "list_notices":
+            return {"notices": list(self.notices)}
         raise ServerError(f"unknown admin operation {cmd.op!r}")
 
     def rpc_server(self) -> RpcServer:

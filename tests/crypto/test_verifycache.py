@@ -217,3 +217,34 @@ class TestEnvelopeFastPath:
         finally:
             signing._INTERN_MAX = old_max
             SignedEnvelope.clear_intern_pool()
+
+
+class TestRevocationInvalidation:
+    """invalidate_key: the revocation checker's first-sight purge. Every
+    verdict under the revoked key must vanish; other keys keep theirs."""
+
+    def test_purges_all_entries_under_key(self, cache, shared_keys):
+        for i in range(3):
+            data, sig = _sign(shared_keys, {"doc": i})
+            cache.verify(shared_keys.public, sig, data, SHA1)
+        assert cache.invalidate_key(shared_keys.public) == 3
+        data, sig = _sign(shared_keys, {"doc": 0})
+        assert not cache.lookup(shared_keys.public, sig, data, SHA1)
+
+    def test_other_keys_survive(self, cache, shared_keys, other_keys):
+        revoked_data, revoked_sig = _sign(shared_keys, {"a": 1})
+        cache.verify(shared_keys.public, revoked_sig, revoked_data, SHA1)
+        other_data, other_sig = _sign(other_keys, {"a": 1})
+        cache.verify(other_keys.public, other_sig, other_data, SHA1)
+        assert cache.invalidate_key(shared_keys.public) == 1
+        assert cache.lookup(other_keys.public, other_sig, other_data, SHA1)
+
+    def test_counts_in_stats(self, cache, shared_keys):
+        data, sig = _sign(shared_keys, {"a": 1})
+        cache.verify(shared_keys.public, sig, data, SHA1)
+        cache.invalidate_key(shared_keys.public)
+        assert cache.stats.invalidations == 1
+
+    def test_empty_cache_is_noop(self, cache, shared_keys):
+        assert cache.invalidate_key(shared_keys.public) == 0
+        assert cache.stats.invalidations == 0

@@ -59,3 +59,50 @@ class TestRenderFig567:
         assert "Figure 6" in out
         assert "globedoc" in out and "http" in out and "ssl" in out
         assert "100.0 ms" in out
+
+
+class TestBenchAggregation:
+    """Report discovery is by glob: any BENCH_*.json shows up, corrupt
+    ones loudly."""
+
+    def test_discovers_and_keys_by_name(self, tmp_path):
+        from repro.harness.report import aggregate_bench_reports
+
+        (tmp_path / "BENCH_revocation.json").write_text('{"proxies": 3}')
+        (tmp_path / "BENCH_chaos.json").write_text('{"points": []}')
+        (tmp_path / "unrelated.json").write_text("{}")
+        reports = aggregate_bench_reports(tmp_path)
+        assert sorted(reports) == ["chaos", "revocation"]
+        assert reports["revocation"] == {"proxies": 3}
+
+    def test_corrupt_report_surfaces_as_error(self, tmp_path):
+        from repro.harness.report import aggregate_bench_reports
+
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        reports = aggregate_bench_reports(tmp_path)
+        assert "JSONDecodeError" in reports["broken"]["error"]
+
+    def test_empty_directory(self, tmp_path):
+        from repro.harness.report import (
+            aggregate_bench_reports,
+            render_bench_summary,
+        )
+
+        reports = aggregate_bench_reports(tmp_path)
+        assert reports == {}
+        assert "no BENCH_" in render_bench_summary(reports)
+
+    def test_summary_renders_status_per_bench(self, tmp_path):
+        from repro.harness.report import (
+            aggregate_bench_reports,
+            render_bench_summary,
+        )
+
+        (tmp_path / "BENCH_revocation.json").write_text(
+            '{"containment": [], "overhead_ratio": 1.4}'
+        )
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        out = render_bench_summary(aggregate_bench_reports(tmp_path))
+        assert "revocation" in out and "ok" in out
+        assert "broken" in out and "unreadable" in out
+        assert "containment" in out  # section listing

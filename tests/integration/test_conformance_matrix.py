@@ -39,6 +39,7 @@ from repro.globedoc.owner import DocumentOwner
 from repro.harness.experiment import Testbed
 from repro.net.address import Endpoint
 from repro.obs import RingBufferSink, Tracer
+from repro.revocation.statement import RevocationStatement
 from tests.conftest import fast_keys
 
 ELEMENTS = {
@@ -51,6 +52,9 @@ EVIL_MARKER = b"EVIL-PAYLOAD"
 
 CLIENT_HOST = "canardo.inria.fr"
 ATTACK_SITE = "root/europe/inria"
+
+#: Staleness window for the revocation scenario's stack (poll at half).
+REVOCATION_STALENESS = 30.0
 
 
 class FlippedBytesBehavior(HonestBehavior):
@@ -93,6 +97,9 @@ class Scenario:
     expected_error: str
     expected_span: str
     deploy: Callable[[World], None]
+    #: Scenarios that need the seventh check build their stack with a
+    #: revocation checker attached (the rest keep the six-check pipeline).
+    revocation: bool = False
 
 
 def deploy_mitm(world: World) -> None:
@@ -167,6 +174,26 @@ def deploy_lying_location(world: World) -> None:
     )
 
 
+def deploy_compromised_key(world: World) -> None:
+    # The ultimate replay: an attacker who stole the object key serves
+    # the *genuine* document, bit-perfect, from a replica the six checks
+    # fully trust — only the revocation check can reject it. The owner
+    # publishes a key-scope statement to the feed; the serving replica
+    # never hears of it.
+    world.deploy_replica(HonestBehavior())
+    owner = world.published.owner
+    statement = RevocationStatement.revoke_key(
+        owner.keys,
+        owner.oid,
+        serial=1,
+        issued_at=world.testbed.clock.now(),
+        reason="object key compromised",
+    )
+    world.testbed.object_server.revocation_feed.publish(statement)
+    # Past the poll interval: the next check must refresh and see it.
+    world.testbed.clock.advance(REVOCATION_STALENESS / 2.0 + 1.0)
+
+
 SCENARIOS = [
     Scenario("mitm_inject", "AuthenticityError", "check.element_hash", deploy_mitm),
     Scenario("tamper", "AuthenticityError", "check.element_hash", deploy_tamper),
@@ -192,10 +219,14 @@ SCENARIOS = [
         "lying_location", "AuthenticityError", "check.public_key",
         deploy_lying_location,
     ),
+    Scenario(
+        "compromised_key_replay", "RevokedKeyError", "check.revocation",
+        deploy_compromised_key, revocation=True,
+    ),
 ]
 
 
-def build_world() -> World:
+def build_world(revocation: bool = False) -> World:
     testbed = Testbed()
     owner = DocumentOwner("vu.nl/matrix", keys=fast_keys(), clock=testbed.clock)
     for name, content in ELEMENTS.items():
@@ -213,6 +244,7 @@ def build_world() -> World:
         verification_cache=VerificationCache(),
         max_rebinds=0,  # fail closed: no silent failover to ginger
         tracer=tracer,
+        revocation_max_staleness=REVOCATION_STALENESS if revocation else None,
     )
     return World(testbed=testbed, published=published, stack=stack, ring=ring)
 
@@ -221,7 +253,7 @@ def build_world() -> World:
 @pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.id)
 class TestConformanceMatrix:
     def test_rejected_by_expected_check(self, scenario: Scenario, warm: bool):
-        world = build_world()
+        world = build_world(revocation=scenario.revocation)
         url = world.published.url("index.html")
         if warm:
             # One honest access first: the VerificationCache now holds

@@ -1,0 +1,147 @@
+"""Emergency re-keying, end to end: revoke, forward, recover.
+
+The lifecycle under test: an owner's key is compromised, the owner runs
+:func:`~repro.revocation.rekey.emergency_rekey`, and the three artifacts
+are deployed — the successor object published, the forwarding record
+registered with the naming service, the revocation pushed to the feed.
+Clients holding **old** hybrid URLs must then reach the successor, by
+whichever path the failure takes:
+
+* the **revocation-check path** — the compromised replica keeps serving
+  (an attacker's would), the seventh check rejects it, and the proxy
+  follows the signed forwarding record;
+* the **teardown path** — an honest server received the key-scope
+  publish and dropped the replica, so the client sees
+  :class:`~repro.errors.ReplicaError` instead and recovers the same way.
+
+Without a forwarding record, both paths must fail closed.
+"""
+
+from __future__ import annotations
+
+from repro.globedoc.element import PageElement
+from repro.globedoc.owner import DocumentOwner
+from repro.globedoc.urls import HybridUrl
+from repro.harness.experiment import Testbed
+from repro.revocation.rekey import emergency_rekey
+from tests.conftest import fast_keys
+
+ELEMENTS = {"index.html": b"<html>the genuine page</html>"}
+CLIENT_HOST = "canardo.inria.fr"
+MAX_STALENESS = 30.0  # polls at 15 s
+
+
+def build_world():
+    testbed = Testbed()
+    owner = DocumentOwner("vu.nl/rekey", keys=fast_keys(), clock=testbed.clock)
+    for name, content in ELEMENTS.items():
+        owner.put_element(PageElement(name, content))
+    testbed.publish(owner, validity=7 * 24 * 3600.0)
+    return testbed, owner
+
+
+def deploy_successor(testbed, result) -> None:
+    """What the owner's tooling does with a RekeyResult: successor
+    replica + records through the ordinary publish path, forwarding
+    through the naming service."""
+    testbed.publish(result.successor, validity=7 * 24 * 3600.0)
+    testbed.naming.register_forwarding(result.forwarding)
+
+
+class TestRekeyForwarding:
+    def test_revocation_check_redirects_to_successor(self):
+        """Compromised replica still serving: the seventh check rejects
+        the old OID mid-session, the forwarding record recovers."""
+        testbed, owner = build_world()
+        stack = testbed.client_stack(
+            CLIENT_HOST, revocation_max_staleness=MAX_STALENESS
+        )
+        old_url = HybridUrl.for_oid(owner.oid, "index.html").raw
+        warmup = stack.proxy.handle(old_url)
+        assert warmup.ok and warmup.content == ELEMENTS["index.html"]
+
+        result = emergency_rekey(owner, serial=1, new_keys=fast_keys())
+        # Straight into the feed: the replica hosting the old OID never
+        # hears of the revocation and keeps serving (as an attacker's
+        # server would) — only the client-side check can redirect.
+        testbed.object_server.revocation_feed.publish(result.revocation)
+        deploy_successor(testbed, result)
+        testbed.clock.advance(MAX_STALENESS / 2.0 + 1.0)
+
+        response = stack.proxy.handle(old_url)  # warm session, old OID
+        assert response.ok, response.security_failure
+        assert response.content == ELEMENTS["index.html"]
+        assert stack.revocation.stats.rejections >= 1
+
+    def test_replica_teardown_redirects_to_successor(self):
+        """Honest server tore the replica down on the key-scope publish:
+        the stale URL fails with ReplicaError, recovery is identical —
+        and needs no revocation checker on the client at all."""
+        testbed, owner = build_world()
+        stack = testbed.client_stack(CLIENT_HOST)  # six checks only
+        old_url = HybridUrl.for_oid(owner.oid, "index.html").raw
+        assert stack.proxy.handle(old_url).ok
+
+        result = emergency_rekey(owner, serial=1, new_keys=fast_keys())
+        # Through the server's publish RPC: key scope → hosting entity
+        # revoked → replica dropped.
+        testbed.object_server.rpc_revocation_publish(result.revocation.to_dict())
+        assert not testbed.object_server.hosts_oid(owner.oid.hex)
+        deploy_successor(testbed, result)
+
+        stack.proxy.drop_all_sessions()  # cold client, stale URL
+        response = stack.proxy.handle(old_url)
+        assert response.ok, response.security_failure
+        assert response.content == ELEMENTS["index.html"]
+
+    def test_name_urls_follow_the_republish(self):
+        """Relative/name-form URLs need no forwarding at all: the
+        successor's publish re-bound the name to the new OID."""
+        testbed, owner = build_world()
+        result = emergency_rekey(owner, serial=1, new_keys=fast_keys())
+        testbed.object_server.rpc_revocation_publish(result.revocation.to_dict())
+        deploy_successor(testbed, result)
+
+        stack = testbed.client_stack(
+            CLIENT_HOST, revocation_max_staleness=MAX_STALENESS
+        )
+        name_url = HybridUrl.for_name(owner.name, "index.html").raw
+        response = stack.proxy.handle(name_url)
+        assert response.ok and response.content == ELEMENTS["index.html"]
+        new_url = HybridUrl.for_oid(result.new_oid, "index.html").raw
+        assert stack.proxy.handle(new_url).ok
+
+    def test_without_forwarding_fails_closed(self):
+        """No forwarding record registered: the revoked object is dead,
+        not replaced — zero bytes, the dedicated error, no fallback."""
+        testbed, owner = build_world()
+        stack = testbed.client_stack(
+            CLIENT_HOST, revocation_max_staleness=MAX_STALENESS
+        )
+        old_url = HybridUrl.for_oid(owner.oid, "index.html").raw
+        assert stack.proxy.handle(old_url).ok
+
+        result = emergency_rekey(owner, serial=1, new_keys=fast_keys())
+        testbed.object_server.revocation_feed.publish(result.revocation)
+        testbed.clock.advance(MAX_STALENESS / 2.0 + 1.0)
+
+        response = stack.proxy.handle(old_url)
+        assert response.status == 403
+        assert response.security_failure == "RevokedKeyError"
+        assert ELEMENTS["index.html"] not in response.content
+
+    def test_forwarding_hop_budget_bounds_chains(self):
+        """A twice-re-keyed object resolves through chained records —
+        but a forwarding loop cannot spin the proxy forever."""
+        testbed, owner = build_world()
+        first = emergency_rekey(owner, serial=1, new_keys=fast_keys())
+        testbed.object_server.rpc_revocation_publish(first.revocation.to_dict())
+        deploy_successor(testbed, first)
+        second = emergency_rekey(first.successor, serial=1, new_keys=fast_keys())
+        testbed.object_server.rpc_revocation_publish(second.revocation.to_dict())
+        deploy_successor(testbed, second)
+
+        stack = testbed.client_stack(CLIENT_HOST)
+        old_url = HybridUrl.for_oid(owner.oid, "index.html").raw
+        response = stack.proxy.handle(old_url)
+        assert response.ok and response.content == ELEMENTS["index.html"]

@@ -1,0 +1,97 @@
+"""DNSsec zone-key rollover, end to end over the RPC naming stack.
+
+The unit-level rollover tests (``test_key_rollover.py``) drive the
+:class:`~repro.naming.dnssec.ChainValidator` directly; here the same
+lifecycle runs through the full testbed — a client's
+:class:`~repro.naming.service.SecureResolver` talking RPC to the name
+service, and a browsing proxy on top of it. The DS-gap window between a
+child zone rotating its keys and the parent re-delegating must fail
+closed at every layer, and re-delegation must restore service with no
+client reconfiguration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ZoneValidationError
+from repro.globedoc.element import PageElement
+from repro.globedoc.oid import ObjectId
+from repro.globedoc.owner import DocumentOwner
+from repro.harness.experiment import Testbed
+from repro.naming.records import OidRecord
+from repro.naming.zone import ZoneKeys
+from tests.conftest import fast_keys
+
+CLIENT_HOST = "canardo.inria.fr"
+NAME = "vu.nl/rollover"
+
+
+def fresh_zone_keys() -> ZoneKeys:
+    return ZoneKeys(zone="nl/vu", keys=fast_keys())
+
+
+class TestRolloverEndToEnd:
+    def test_rotation_fails_closed_then_recovers(self):
+        testbed = Testbed()
+        oid = ObjectId.from_public_key(fast_keys().public)
+        testbed.naming.register(OidRecord(name=NAME, oid=oid, ttl=60.0))
+        stack = testbed.client_stack(CLIENT_HOST)
+
+        result = stack.resolver.resolve(NAME)
+        assert result.oid.hex == oid.hex
+        assert result.chain_length == 2  # root→nl, nl→nl/vu
+
+        # The vu zone rotates; the parent still holds the old DS record.
+        testbed.vu_zone.rotate_keys(fresh_zone_keys())
+        stack.resolver.flush_cache()
+        with pytest.raises(ZoneValidationError):
+            stack.resolver.resolve(NAME)
+
+        # Parent re-delegates: the chain validates again, same client.
+        testbed.nl_zone.redelegate(testbed.vu_zone)
+        stack.resolver.flush_cache()
+        recovered = stack.resolver.resolve(NAME)
+        assert recovered.oid.hex == oid.hex
+        assert recovered.chain_length == 2
+
+    def test_cached_answers_bridge_the_gap_until_ttl(self):
+        """A TTL-cached resolution keeps a client browsing through the
+        DS gap; once it expires, the client fails closed like everyone
+        else — the rollover window is bounded by the record TTL."""
+        testbed = Testbed()
+        oid = ObjectId.from_public_key(fast_keys().public)
+        testbed.naming.register(OidRecord(name=NAME, oid=oid, ttl=30.0))
+        stack = testbed.client_stack(CLIENT_HOST)
+        stack.resolver.resolve(NAME)
+
+        testbed.vu_zone.rotate_keys(fresh_zone_keys())
+        bridged = stack.resolver.resolve(NAME)
+        assert bridged.from_cache and bridged.oid.hex == oid.hex
+
+        testbed.clock.advance(31.0)
+        with pytest.raises(ZoneValidationError):
+            stack.resolver.resolve(NAME)
+
+    def test_browsing_proxy_rides_the_rollover(self):
+        """The whole access pipeline across a rollover: 200, then a
+        fail-closed 404 during the DS gap, then 200 again — the document
+        and its replicas are untouched throughout."""
+        testbed = Testbed()
+        owner = DocumentOwner(NAME, keys=fast_keys(), clock=testbed.clock)
+        owner.put_element(PageElement("index.html", b"<html>rolling</html>"))
+        published = testbed.publish(owner, validity=7 * 24 * 3600.0, ttl=30.0)
+        stack = testbed.client_stack(CLIENT_HOST)
+        url = published.url("index.html")
+        assert stack.proxy.handle(url).ok
+
+        testbed.vu_zone.rotate_keys(fresh_zone_keys())
+        stack.resolver.flush_cache()
+        stack.proxy.drop_all_sessions()
+        gap = stack.proxy.handle(url)
+        assert not gap.ok and gap.status == 404  # naming failure, closed
+
+        testbed.nl_zone.redelegate(testbed.vu_zone)
+        stack.resolver.flush_cache()
+        recovered = stack.proxy.handle(url)
+        assert recovered.ok and recovered.content == b"<html>rolling</html>"

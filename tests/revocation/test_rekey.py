@@ -1,0 +1,61 @@
+"""Emergency re-keying: artifact minting (unit level).
+
+Deployment of the artifacts is integration-tested in
+``tests/integration/test_rekey_forwarding.py``; here the three signed
+products of :func:`emergency_rekey` are checked in isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.revocation.rekey import emergency_rekey
+from repro.revocation.statement import SCOPE_KEY
+from tests.conftest import fast_keys
+
+
+class TestEmergencyRekey:
+    def test_mints_successor_and_signed_artifacts(self, make_owner):
+        owner = make_owner(
+            "vu.nl/rekey", {"index.html": b"<html>page</html>", "a.png": b"img"}
+        )
+        result = emergency_rekey(owner, serial=4, reason="laptop stolen")
+
+        # Fresh key, hence fresh OID — same name, same content.
+        assert result.old_oid.hex == owner.oid.hex
+        assert result.new_oid.hex != owner.oid.hex
+        assert result.successor.name == owner.name
+        assert result.document.oid.hex == result.new_oid.hex
+        assert sorted(result.document.elements) == ["a.png", "index.html"]
+        assert result.document.elements["index.html"].content == b"<html>page</html>"
+
+        # The revocation condemns the old key, signed by the old key.
+        revocation = result.revocation.verify()
+        assert revocation.scope == SCOPE_KEY
+        assert revocation.oid_hex == owner.oid.hex
+        assert revocation.serial == 4
+        assert revocation.reason == "laptop stolen"
+
+        # The forwarding record points old → new, signed by the old key.
+        forwarding = result.forwarding.verify()
+        assert forwarding.from_oid.hex == owner.oid.hex
+        assert forwarding.to_oid.hex == result.new_oid.hex
+
+    def test_accepts_injected_keys(self, make_owner):
+        owner = make_owner("vu.nl/rekey")
+        keys = fast_keys()
+        result = emergency_rekey(owner, serial=1, new_keys=keys)
+        assert result.successor.keys is keys
+
+    def test_refuses_empty_object(self, clock):
+        from repro.globedoc.owner import DocumentOwner
+
+        owner = DocumentOwner("vu.nl/empty", keys=fast_keys(), clock=clock)
+        with pytest.raises(ReproError):
+            emergency_rekey(owner, serial=1)
+
+    def test_refuses_same_keys(self, make_owner):
+        owner = make_owner("vu.nl/rekey")
+        with pytest.raises(ReproError):
+            emergency_rekey(owner, serial=1, new_keys=owner.keys)

@@ -39,3 +39,48 @@ class TestKeystore:
         ks.authorize("zeta", shared_keys.public)
         ks.authorize("alpha", other_keys.public)
         assert ks.labels == ["alpha", "zeta"]
+
+
+class TestRevocationHooks:
+    """Revocation is observable: subscribers fire exactly once per
+    *effective* revoke, with the removed entity's label and key."""
+
+    def test_subscriber_fires_on_effective_revoke(self, shared_keys):
+        ks = Keystore()
+        events = []
+        ks.subscribe(lambda label, key: events.append((label, key.der)))
+        ks.authorize("owner-a", shared_keys.public)
+        assert ks.revoke(shared_keys.public) is True
+        assert events == [("owner-a", shared_keys.public.der)]
+
+    def test_second_revoke_is_silent(self, shared_keys):
+        ks = Keystore()
+        events = []
+        ks.subscribe(lambda label, key: events.append(label))
+        ks.authorize("owner-a", shared_keys.public)
+        ks.revoke(shared_keys.public)
+        assert ks.revoke(shared_keys.public) is False
+        assert events == ["owner-a"]
+
+    def test_unknown_key_fires_nothing(self, shared_keys):
+        ks = Keystore()
+        events = []
+        ks.subscribe(lambda label, key: events.append(label))
+        assert ks.revoke(shared_keys.public) is False
+        assert events == []
+
+    def test_all_subscribers_notified(self, shared_keys):
+        ks = Keystore()
+        first, second = [], []
+        ks.subscribe(lambda label, key: first.append(label))
+        ks.subscribe(lambda label, key: second.append(label))
+        ks.authorize("owner-a", shared_keys.public)
+        ks.revoke(shared_keys.public)
+        assert first == ["owner-a"] and second == ["owner-a"]
+
+    def test_require_returns_label_or_denies(self, shared_keys, other_keys):
+        ks = Keystore()
+        ks.authorize("owner-a", shared_keys.public)
+        assert ks.require(shared_keys.public) == "owner-a"
+        with pytest.raises(AccessDenied):
+            ks.require(other_keys.public)
