@@ -9,6 +9,7 @@ Usage::
     python -m repro.harness chaos [--quick] [--out PATH]
     python -m repro.harness trace [--quick] [--out PATH]
     python -m repro.harness revocation [--quick] [--out PATH]
+    python -m repro.harness monitor [--quick] [--out PATH]
     python -m repro.harness bench-report
     python -m repro.harness all
 """
@@ -36,7 +37,7 @@ def main(argv=None) -> int:
         "target",
         choices=[
             "table1", "fig4", "fig5", "fig6", "fig7", "loadtest",
-            "bench-security", "chaos", "trace", "revocation",
+            "bench-security", "chaos", "trace", "revocation", "monitor",
             "bench-report", "all",
         ],
         help="which artifact to regenerate",
@@ -78,6 +79,10 @@ def main(argv=None) -> int:
                 return code
         elif target == "revocation":
             code = _run_revocation(quick=args.quick, seed=args.seed, out=args.out)
+            if code:
+                return code
+        elif target == "monitor":
+            code = _run_monitor(quick=args.quick, seed=args.seed, out=args.out)
             if code:
                 return code
         elif target == "bench-report":
@@ -176,6 +181,30 @@ def _run_revocation(quick: bool, seed: int, out=None) -> int:
             print(f"FAIL: {problem}")
         return 1
     print(f"\nall revocation gates passed; report written to {out}")
+    return 0
+
+
+def _run_monitor(quick: bool, seed: int, out=None) -> int:
+    """Monitor plane: metrics scrape cadence + SLO alert lifecycle."""
+    from repro.harness.monitor import (
+        REPORT_NAME,
+        check_report,
+        render_monitor,
+        run_monitor,
+        write_report,
+    )
+
+    report = run_monitor(quick=quick, seed=seed)
+    if out is None:
+        out = pathlib.Path(__file__).resolve().parents[3] / REPORT_NAME
+    write_report(report, out)
+    print(render_monitor(report))
+    problems = check_report(report)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print(f"\nall monitor gates passed; report written to {out}")
     return 0
 
 

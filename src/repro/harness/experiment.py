@@ -113,6 +113,7 @@ class Testbed:
         clock: Optional[SimClock] = None,
         start_time: float = 0.0,
         tracer=None,
+        metrics=None,
     ) -> None:
         self.topology: WanTopology = paper_testbed(
             clock if clock is not None else SimClock(start_time)
@@ -122,6 +123,10 @@ class Testbed:
         #: Optional service-side tracer: the object server's RPC surface
         #: records ``server.handle`` spans into it.
         self.tracer = tracer
+        #: Optional shared metrics registry: threaded through the object
+        #: server (and, via :meth:`client_stack`, through every client
+        #: layer) so one scrape sees the whole testbed.
+        self.metrics = metrics
         self._build_services()
         self._published: Dict[str, PublishedObject] = {}
 
@@ -151,6 +156,7 @@ class Testbed:
             site=HOST_SITE[SERVICES_HOST],
             clock=self.clock,
             tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.http_server = StaticHttpServer(host=SERVICES_HOST)
         self.ssl_server = SslServer(
@@ -264,6 +270,7 @@ class Testbed:
         tracer=None,
         revocation_max_staleness: Optional[float] = None,
         revocation_poll_interval: Optional[float] = None,
+        metrics=None,
     ) -> ClientStack:
         """Wire a full proxy stack on *host_name*.
 
@@ -283,14 +290,21 @@ class Testbed:
         :class:`~repro.revocation.checker.RevocationChecker` pulling
         the ginger object server's feed, enabling the seventh check;
         ``revocation_poll_interval`` overrides its refresh cadence.
+        ``metrics`` (default: the testbed's registry, else disabled)
+        threads one shared :class:`~repro.obs.metrics.MetricsRegistry`
+        through every layer; per-client gauges are labeled with
+        ``host_name``.
         """
         host = self.network.host(host_name)
+        if metrics is None:
+            metrics = self.metrics
         if transport is None:
             transport = self.network.transport_for(host_name)
-        rpc = RpcClient(transport, tracer=tracer)
+        rpc = RpcClient(transport, tracer=tracer, metrics=metrics)
         if retry_policy is not None:
             rpc = RetryingRpcClient(
-                rpc, retry_policy, clock=self.clock, health=health, tracer=tracer
+                rpc, retry_policy, clock=self.clock, health=health, tracer=tracer,
+                metrics=metrics,
             )
         resolver = SecureResolver(
             rpc, self.naming_endpoint, self.naming.root_key, clock=self.clock
@@ -313,6 +327,8 @@ class Testbed:
                 poll_interval=revocation_poll_interval,
                 verification_cache=verification_cache,
                 content_cache=content_cache,
+                metrics=metrics,
+                metrics_client=host_name,
             )
         checker = SecurityChecker(
             self.clock,
@@ -321,6 +337,7 @@ class Testbed:
             verification_cache=verification_cache,
             revocation_checker=revocation,
             tracer=tracer,
+            metrics=metrics,
         )
         proxy = GlobeDocProxy(
             binder, checker, rpc,
@@ -328,6 +345,8 @@ class Testbed:
             content_cache=content_cache,
             max_rebinds=max_rebinds,
             tracer=tracer,
+            metrics=metrics,
+            metrics_client=host_name,
         )
         return ClientStack(
             host=host,

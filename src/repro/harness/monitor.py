@@ -1,0 +1,740 @@
+"""Monitor-plane bench: the metrics registry and alert engine, end to end.
+
+Runs a mixed workload over the testbed with the whole stack wired into
+one shared :class:`~repro.obs.metrics.MetricsRegistry`, scrapes it on a
+fixed sim-clock cadence, and injects three sequential faults:
+
+1. **Replica kill** — the inria object server vanishes mid-workload.
+   The client bound there retries, opens the circuit breaker, and fails
+   over; the ``replica_circuit_open`` alert must fire, then resolve
+   after the server returns and the quarantine window expires.
+2. **Feed outage** — the revocation feed becomes unreachable long
+   enough for every client's view staleness to cross the warning bound
+   (but not the fail-closed ``max_staleness``); the
+   ``revocation_staleness_high`` alert must fire, then resolve on the
+   first successful re-sync.
+3. **Key revocation** — one document's key is revoked and published to
+   the feed. Clients must start rejecting it (``RevokedKeyError``),
+   driving the ``revocation_rejections`` rate alert; once the workload
+   abandons the revoked document the trailing window drains and the
+   alert resolves.
+
+The run asserts three gates (see :func:`check_report`): the alert
+timeline fires/resolves in exactly that order with clock-charged
+latencies, the registry's access-time histogram agrees with the
+per-response :class:`~repro.proxy.metrics.AccessMetrics` totals within
+1%, and two idle scrapes are byte-identical in both exposition formats.
+
+Run with ``python -m repro.harness monitor [--quick]``; writes
+``BENCH_monitor_plane.json`` for the CI gate and the aggregate report.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.keys import KeyPair
+from repro.globedoc.element import PageElement
+from repro.globedoc.owner import DocumentOwner
+from repro.globedoc.urls import HybridUrl
+from repro.harness.experiment import ClientStack, Testbed
+from repro.location.service import LocationClient
+from repro.naming.records import OidRecord
+from repro.net.address import ContactAddress, Endpoint
+from repro.net.health import ReplicaHealthTracker
+from repro.net.retry import RetryPolicy
+from repro.net.rpc import RpcClient
+from repro.obs import AlertEngine, MetricsRegistry, RateRule, ThresholdRule
+from repro.proxy.contentcache import ContentCache
+from repro.replication.coordinator import ReplicationCoordinator, SitePort
+from repro.revocation.statement import RevocationStatement
+from repro.server.admin import AdminClient
+from repro.server.objectserver import ObjectServer
+from repro.sim.clock import SimClock
+
+__all__ = [
+    "MonitorReport",
+    "run_monitor",
+    "render_monitor",
+    "write_report",
+    "check_report",
+    "REPORT_NAME",
+    "CONSISTENCY_TOLERANCE",
+]
+
+REPORT_NAME = "BENCH_monitor_plane.json"
+
+#: Gate (a): |registry histogram sum / summed AccessMetrics totals - 1|
+#: must stay within this. The proxy observes exactly the totals it
+#: returns, so the measured ratio is 1.0 to float precision; the 1%
+#: bound is the regression guard, not an accuracy estimate.
+CONSISTENCY_TOLERANCE = 0.01
+
+#: Replica servers for the monitored documents (the feed — and nothing
+#: the workload reads — stays on ginger, so a feed outage never starves
+#: content and a replica kill never starves the feed).
+REPLICA_SITES = {
+    "root/europe/inria": "canardo.inria.fr",
+    "root/us/cornell": "ensamble02.cornell.edu",
+}
+
+CLIENT_HOSTS = ("canardo.inria.fr", "ensamble02.cornell.edu")
+
+OWNER_HOST = "sporty.cs.vu.nl"
+
+#: Scrape cadence (simulated seconds): the alert engine evaluates — and
+#: every collector-driven gauge refreshes — on this fixed grid.
+SCRAPE_INTERVAL = 5.0
+
+#: Simulated think time between accesses.
+THINK_TIME = 1.0
+
+#: Modelled CPU cost of evaluating one alert rule (charged to the sim
+#: clock per rule per scrape — the monitor plane is not free).
+EVALUATION_COST = 0.001
+
+#: Revocation-view staleness policy for every client: poll at 30 s,
+#: fail closed past 60 s; the alert warns at 45 s — after a missed poll,
+#: before fail-closed.
+MAX_STALENESS = 60.0
+STALENESS_WARN = 45.0
+
+#: Circuit-breaker tuning: three consecutive failures open a breaker;
+#: the quarantine is shorter than the bench phases so the open → half
+#: open transition happens on-screen.
+FAILURE_THRESHOLD = 3
+QUARANTINE_SECONDS = 20.0
+
+#: The rate alert's trailing window (seconds).
+REJECTION_WINDOW = 30.0
+
+#: Content-cache TTL: short enough that a killed replica is missed (a
+#: cache hit needs no RPC) within two scrape intervals, long enough
+#: that the steady-state workload still exercises the hit path.
+CACHE_TTL = 8.0
+
+DOC_ELEMENTS = {
+    "index.html": b"<html><body>monitor-plane workload page</body></html>",
+    "logo.gif": b"GIF89a-monitor-bench-bytes",
+}
+
+
+@dataclass
+class FaultTimes:
+    """Clock-stamped fault injections (the latencies are measured
+    against these)."""
+
+    replica_killed_at: float = -1.0
+    replica_restored_at: float = -1.0
+    feed_killed_at: float = -1.0
+    feed_restored_at: float = -1.0
+    revocation_published_at: float = -1.0
+    revoked_doc_abandoned_at: float = -1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "replica_killed_at": self.replica_killed_at,
+            "replica_restored_at": self.replica_restored_at,
+            "feed_killed_at": self.feed_killed_at,
+            "feed_restored_at": self.feed_restored_at,
+            "revocation_published_at": self.revocation_published_at,
+            "revoked_doc_abandoned_at": self.revoked_doc_abandoned_at,
+        }
+
+
+@dataclass
+class MonitorReport:
+    """Everything the monitor run measured, as written to JSON."""
+
+    seed: int
+    quick: bool
+    scrape_interval: float
+    scrapes: int
+    rules: List[str]
+    timeline: List[dict]
+    fire_resolve: Dict[str, Dict[str, Optional[float]]]
+    faults: FaultTimes
+    accesses: int = 0
+    ok: int = 0
+    rejected: int = 0
+    other_failures: int = 0
+    harness_access_seconds: float = 0.0
+    registry_access_seconds: float = 0.0
+    registry_access_count: float = 0.0
+    worst_staleness_seconds: float = 0.0
+    worst_serial_lag: float = 0.0
+    idle_text_identical: bool = False
+    idle_json_identical: bool = False
+    series_count: int = 0
+    final_firing: List[str] = field(default_factory=list)
+    request_outcomes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def consistency_ratio(self) -> float:
+        if self.harness_access_seconds <= 0:
+            return 0.0
+        return self.registry_access_seconds / self.harness_access_seconds
+
+    def alert_latencies(self) -> Dict[str, Optional[float]]:
+        """Clock-charged fire/resolve latencies against the injections."""
+
+        def delta(rule: str, key: str, origin: float) -> Optional[float]:
+            stamp = self.fire_resolve.get(rule, {}).get(key)
+            if stamp is None or origin < 0:
+                return None
+            return stamp - origin
+
+        return {
+            "circuit_fire_after_kill": delta(
+                "replica_circuit_open", "fired_at", self.faults.replica_killed_at
+            ),
+            "circuit_resolve_after_restore": delta(
+                "replica_circuit_open",
+                "resolved_at",
+                self.faults.replica_restored_at,
+            ),
+            "staleness_fire_after_feed_kill": delta(
+                "revocation_staleness_high",
+                "fired_at",
+                self.faults.feed_killed_at,
+            ),
+            "staleness_resolve_after_restore": delta(
+                "revocation_staleness_high",
+                "resolved_at",
+                self.faults.feed_restored_at,
+            ),
+            "rejections_fire_after_publish": delta(
+                "revocation_rejections",
+                "fired_at",
+                self.faults.revocation_published_at,
+            ),
+            "rejections_resolve_after_abandon": delta(
+                "revocation_rejections",
+                "resolved_at",
+                self.faults.revoked_doc_abandoned_at,
+            ),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "quick": self.quick,
+            "scrape_interval": self.scrape_interval,
+            "scrapes": self.scrapes,
+            "rules": self.rules,
+            "timeline": self.timeline,
+            "fire_resolve": self.fire_resolve,
+            "alert_latencies": self.alert_latencies(),
+            "faults": self.faults.to_dict(),
+            "workload": {
+                "accesses": self.accesses,
+                "ok": self.ok,
+                "rejected": self.rejected,
+                "other_failures": self.other_failures,
+                "request_outcomes": self.request_outcomes,
+            },
+            "consistency": {
+                "harness_access_seconds": self.harness_access_seconds,
+                "registry_access_seconds": self.registry_access_seconds,
+                "registry_access_count": self.registry_access_count,
+                "ratio": self.consistency_ratio,
+                "tolerance": CONSISTENCY_TOLERANCE,
+            },
+            "worst_staleness_seconds": self.worst_staleness_seconds,
+            "worst_serial_lag": self.worst_serial_lag,
+            "idle_scrape": {
+                "text_identical": self.idle_text_identical,
+                "json_identical": self.idle_json_identical,
+            },
+            "series_count": self.series_count,
+            "final_firing": self.final_firing,
+        }
+
+
+# ----------------------------------------------------------------------
+# World construction
+# ----------------------------------------------------------------------
+
+
+class _MonitorWorld:
+    """The monitored testbed: two documents on inria+cornell replicas,
+    the revocation feed on ginger, two instrumented client stacks, one
+    shared registry, one alert engine."""
+
+    def __init__(self, seed: int) -> None:
+        self.clock = SimClock(0.0)
+        self.registry = MetricsRegistry(clock=self.clock)
+        self.testbed = Testbed(clock=self.clock, metrics=self.registry)
+        self.seed = seed
+        self.servers: Dict[str, ObjectServer] = {}
+        self._handlers: Dict[Endpoint, object] = {}
+        self.owners: Dict[str, DocumentOwner] = {}
+        self._publish_documents()
+        self.stacks: List[ClientStack] = [
+            self._client_stack(host) for host in CLIENT_HOSTS
+        ]
+        self._wire_serial_lag()
+        self.engine = self._build_engine()
+        # Consistency-gate accumulator: the summed AccessMetrics totals
+        # of every response the workload received.
+        self.harness_access_seconds = 0.0
+        self.counts = {"accesses": 0, "ok": 0, "rejected": 0, "other": 0}
+        self.worst_staleness = 0.0
+        self.worst_serial_lag = 0.0
+        self.scrapes = 0
+        self._next_scrape = SCRAPE_INTERVAL
+
+    # -- documents and servers -----------------------------------------
+
+    def _publish_documents(self) -> None:
+        testbed = self.testbed
+        admin_rpc = RpcClient(testbed.network.transport_for(OWNER_HOST))
+        for site, host in REPLICA_SITES.items():
+            server = ObjectServer(
+                host=host, site=site, clock=self.clock, metrics=self.registry
+            )
+            self.servers[host] = server
+            handler = server.rpc_server().handle_frame
+            endpoint = Endpoint(host, "objectserver")
+            self._handlers[endpoint] = handler
+            testbed.network.register(endpoint, handler)
+        for label in ("healthy", "victim"):
+            owner = DocumentOwner(
+                f"vu.nl/mon-{label}", keys=KeyPair.generate(1024), clock=self.clock
+            )
+            for name, content in DOC_ELEMENTS.items():
+                owner.put_element(PageElement(name, content))
+            document = owner.publish(validity=7 * 24 * 3600.0)
+            for site, host in REPLICA_SITES.items():
+                server = self.servers[host]
+                server.keystore.authorize(owner.name, owner.public_key)
+                admin = AdminClient(
+                    admin_rpc, Endpoint(host, "objectserver"), owner.keys, self.clock
+                )
+                result = admin.create_replica(document)
+                address = ContactAddress.from_dict(result["address"])
+                testbed.location_service.tree.insert(owner.oid.hex, site, address)
+            testbed.naming.register(
+                OidRecord(name=owner.name, oid=owner.oid, ttl=7 * 24 * 3600.0)
+            )
+            self.owners[label] = owner
+
+    def _client_stack(self, host: str) -> ClientStack:
+        health = ReplicaHealthTracker(
+            clock=self.clock,
+            failure_threshold=FAILURE_THRESHOLD,
+            quarantine_seconds=QUARANTINE_SECONDS,
+            metrics=self.registry,
+            metrics_client=host,
+        )
+        return self.testbed.client_stack(
+            host,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.05, seed=self.seed),
+            health=health,
+            content_cache=ContentCache(clock=self.clock, ttl=CACHE_TTL),
+            revocation_max_staleness=MAX_STALENESS,
+        )
+
+    def _wire_serial_lag(self) -> None:
+        """Derived gauge: how many feed serials each client's view is
+        behind the most advanced published feed."""
+        lag = self.registry.gauge(
+            "revocation_serial_lag",
+            "Feed serials the client's revocation view is behind the "
+            "most advanced server feed.",
+            labelnames=("client",),
+        )
+        stacks = self.stacks
+
+        def collect() -> None:
+            heads = self.registry.series_values("revocation_feed_head", None)
+            feed_head = max(heads, default=0.0)
+            for stack in stacks:
+                if stack.revocation is not None:
+                    lag.labels(client=stack.host.name).set(
+                        feed_head - float(stack.revocation.head)
+                    )
+
+        self.registry.register_collector(collect)
+
+    # -- alert engine ---------------------------------------------------
+
+    def _build_engine(self) -> AlertEngine:
+        engine = AlertEngine(
+            self.registry, self.clock, evaluation_cost=EVALUATION_COST
+        )
+        engine.add_rule(
+            ThresholdRule(
+                "replica_circuit_open",
+                metric="replica_circuit_state",
+                threshold=2.0,
+                op=">=",
+                aggregate="max",
+                # Replica ContactAddress strings only — service Endpoint
+                # circuits (the feed during its outage) must not flap
+                # this rule.
+                label_prefixes={"address": "globedoc/replica"},
+                severity="critical",
+                description="some client's breaker to a replica is open",
+            )
+        )
+        engine.add_rule(
+            ThresholdRule(
+                "revocation_staleness_high",
+                metric="revocation_view_staleness_seconds",
+                threshold=STALENESS_WARN,
+                op=">",
+                aggregate="max",
+                severity="warning",
+                description=(
+                    "a client's revocation view is drifting toward the "
+                    "fail-closed bound"
+                ),
+            )
+        )
+        engine.add_rule(
+            RateRule(
+                "revocation_rejections",
+                metric="revocation_rejections_total",
+                threshold=0.0,
+                window_seconds=REJECTION_WINDOW,
+                op=">",
+                severity="critical",
+                description="clients are rejecting revoked content right now",
+            )
+        )
+        return engine
+
+    # -- fault injection ------------------------------------------------
+
+    def kill_endpoint(self, host: str, service: str = "objectserver") -> None:
+        self.testbed.network.unregister(Endpoint(host, service))
+
+    def restore_endpoint(self, host: str, service: str = "objectserver") -> None:
+        endpoint = Endpoint(host, service)
+        self.testbed.network.register(endpoint, self._handlers[endpoint])
+
+    def kill_feed(self) -> None:
+        self.testbed.network.unregister(self.testbed.objectserver_endpoint)
+
+    def restore_feed(self) -> None:
+        self.testbed.network.register(
+            self.testbed.objectserver_endpoint,
+            self.testbed.object_server.rpc_server().handle_frame,
+        )
+
+    def publish_revocation(self) -> float:
+        """Revoke the victim document's key through the owner-side
+        coordinator (feed on ginger only; the replicas never hear)."""
+        owner = self.owners["victim"]
+        statement = RevocationStatement.revoke_key(
+            owner.keys,
+            owner.oid,
+            serial=1,
+            issued_at=self.clock.now(),
+            reason="monitor bench: key compromise",
+        )
+        rpc = RpcClient(self.testbed.network.transport_for(OWNER_HOST))
+        location = LocationClient(
+            rpc,
+            self.testbed.location_endpoint,
+            origin_site="root/europe/vu",
+            clock=self.clock,
+        )
+        coordinator = ReplicationCoordinator(location, metrics=self.registry)
+        admin = AdminClient(
+            rpc, self.testbed.objectserver_endpoint, owner.keys, self.clock
+        )
+        coordinator.add_site(SitePort(site="root/europe/vu", admin=admin))
+        at = self.clock.now()
+        coordinator.publish_revocation(statement)
+        return at
+
+    # -- workload -------------------------------------------------------
+
+    def _access(self, stack: ClientStack, label: str, element: str) -> None:
+        url = HybridUrl.for_name(self.owners[label].name, element).raw
+        response = stack.proxy.handle(url)
+        self.counts["accesses"] += 1
+        if response.ok:
+            self.counts["ok"] += 1
+        elif response.status == 403:
+            self.counts["rejected"] += 1
+        else:
+            self.counts["other"] += 1
+        if response.metrics is not None:
+            self.harness_access_seconds += response.metrics.total
+
+    def _scrape_if_due(self) -> None:
+        while self.clock.now() >= self._next_scrape:
+            self.engine.evaluate()
+            self.scrapes += 1
+            self._next_scrape += SCRAPE_INTERVAL
+            staleness = self.registry.series_values(
+                "revocation_view_staleness_seconds", None
+            )
+            self.worst_staleness = max(
+                self.worst_staleness, max(staleness, default=0.0)
+            )
+            lag = self.registry.series_values("revocation_serial_lag", None)
+            self.worst_serial_lag = max(
+                self.worst_serial_lag, max(lag, default=0.0)
+            )
+
+    def drive(
+        self,
+        seconds: float,
+        labels: Tuple[str, ...] = ("healthy", "victim"),
+        stop_when=None,
+    ) -> None:
+        """Run the mixed workload for *seconds* of simulated time,
+        scraping on the fixed cadence. ``stop_when`` (optional callable)
+        ends the phase early once it returns True (checked per tick)."""
+        elements = sorted(DOC_ELEMENTS)
+        deadline = self.clock.now() + seconds
+        tick = 0
+        while self.clock.now() < deadline:
+            self.clock.advance(THINK_TIME)
+            # Decorrelate stack/document/element choices so every client
+            # touches every document (tick alone would lock each stack
+            # to one label forever).
+            stack = self.stacks[tick % len(self.stacks)]
+            label = labels[(tick // len(self.stacks)) % len(labels)]
+            self._access(stack, label, elements[(tick // 4) % len(elements)])
+            self._scrape_if_due()
+            tick += 1
+            if stop_when is not None and stop_when():
+                return
+
+
+# ----------------------------------------------------------------------
+# The run
+# ----------------------------------------------------------------------
+
+
+def run_monitor(quick: bool = False, seed: int = 0) -> MonitorReport:
+    """The full monitor bench: warmup, three faults, idle round-trip."""
+    world = _MonitorWorld(seed)
+    engine = world.engine
+    faults = FaultTimes()
+
+    # Phase 0 — healthy warmup: sessions bound, feeds synced, a few
+    # clean scrapes on the books.
+    world.drive(12.0 if quick else 20.0)
+
+    # Phase 1 — replica kill. The inria client is bound to the inria
+    # replica; killing it forces retry → circuit open → failover.
+    faults.replica_killed_at = world.clock.now()
+    world.kill_endpoint("canardo.inria.fr")
+    world.drive(
+        30.0,
+        stop_when=lambda: engine.state_of("replica_circuit_open") == "firing",
+    )
+    faults.replica_restored_at = world.clock.now()
+    world.restore_endpoint("canardo.inria.fr")
+    # Quarantine expiry (+ scrape) resolves the alert: the collector
+    # re-reads breaker state, open → half-open once the window passes.
+    world.drive(
+        QUARANTINE_SECONDS + 4 * SCRAPE_INTERVAL,
+        stop_when=lambda: engine.state_of("replica_circuit_open") == "resolved",
+    )
+
+    # Phase 2 — feed outage: staleness crosses the warning bound but
+    # stays inside max_staleness, so nothing fails closed.
+    faults.feed_killed_at = world.clock.now()
+    world.kill_feed()
+    world.drive(
+        STALENESS_WARN + 2 * SCRAPE_INTERVAL,
+        stop_when=lambda: engine.state_of("revocation_staleness_high") == "firing",
+    )
+    faults.feed_restored_at = world.clock.now()
+    world.restore_feed()
+    world.drive(
+        3 * SCRAPE_INTERVAL,
+        stop_when=lambda: engine.state_of("revocation_staleness_high")
+        == "resolved",
+    )
+
+    # Phase 3 — key revocation: published to the (restored) feed; the
+    # serving replicas never hear of it — client polling contains it.
+    faults.revocation_published_at = world.publish_revocation()
+    world.drive(
+        MAX_STALENESS,
+        stop_when=lambda: engine.state_of("revocation_rejections") == "firing",
+    )
+    # The workload abandons the revoked document; the rate window
+    # drains and the alert resolves.
+    faults.revoked_doc_abandoned_at = world.clock.now()
+    world.drive(
+        REJECTION_WINDOW + 4 * SCRAPE_INTERVAL,
+        labels=("healthy",),
+        stop_when=lambda: engine.state_of("revocation_rejections") == "resolved",
+    )
+
+    # Gate (c) — idle round-trip: two scrapes with no traffic and no
+    # clock movement must be byte-identical in both formats.
+    world.registry.collect()
+    text_a, text_b = (
+        world.registry.to_prometheus_text(),
+        world.registry.to_prometheus_text(),
+    )
+    json_a, json_b = world.registry.to_json(), world.registry.to_json()
+
+    snapshot = world.registry.snapshot()
+    access_series = snapshot.get("proxy_access_seconds", {}).get("series", [])
+    report = MonitorReport(
+        seed=seed,
+        quick=quick,
+        scrape_interval=SCRAPE_INTERVAL,
+        scrapes=world.scrapes,
+        rules=[rule.name for rule in engine.rules],
+        timeline=engine.timeline_dicts(),
+        fire_resolve=engine.fire_resolve_times(),
+        faults=faults,
+        accesses=world.counts["accesses"],
+        ok=world.counts["ok"],
+        rejected=world.counts["rejected"],
+        other_failures=world.counts["other"],
+        harness_access_seconds=world.harness_access_seconds,
+        registry_access_seconds=world.registry.total("proxy_access_seconds"),
+        registry_access_count=float(sum(s["count"] for s in access_series)),
+        worst_staleness_seconds=world.worst_staleness,
+        worst_serial_lag=world.worst_serial_lag,
+        idle_text_identical=text_a == text_b,
+        idle_json_identical=json_a == json_b,
+        series_count=sum(len(m["series"]) for m in snapshot.values()),
+        final_firing=engine.firing(),
+    )
+    for labels, value in _series_of(snapshot, "proxy_requests_total"):
+        report.request_outcomes[labels.get("outcome", "")] = value
+    return report
+
+
+def _series_of(snapshot: dict, name: str) -> List[Tuple[dict, float]]:
+    metric = snapshot.get(name)
+    if metric is None:
+        return []
+    return [(s["labels"], s["value"]) for s in metric["series"]]
+
+
+# ----------------------------------------------------------------------
+# Gates / rendering / persistence
+# ----------------------------------------------------------------------
+
+
+def check_report(report: MonitorReport) -> List[str]:
+    """CI-gate violations (empty = pass).
+
+    * every alert fired exactly when its fault was live and resolved
+      afterwards, in injection order (circuit → staleness → rejections);
+    * fire/resolve latencies are clock-charged and bounded by the
+      detection mechanics (scrape cadence, poll interval, quarantine);
+    * the registry's access-seconds histogram matches the summed
+      per-response AccessMetrics totals within 1%;
+    * two idle scrapes are byte-identical (text and JSON);
+    * nothing is left firing, and the workload saw no failures other
+      than the revocation rejections the scenario demands.
+    """
+    problems: List[str] = []
+    order = [
+        ("replica_circuit_open", "fired_at"),
+        ("replica_circuit_open", "resolved_at"),
+        ("revocation_staleness_high", "fired_at"),
+        ("revocation_staleness_high", "resolved_at"),
+        ("revocation_rejections", "fired_at"),
+        ("revocation_rejections", "resolved_at"),
+    ]
+    stamps: List[float] = []
+    for rule, key in order:
+        stamp = report.fire_resolve.get(rule, {}).get(key)
+        if stamp is None:
+            problems.append(f"alert {rule} never reached {key}")
+        else:
+            stamps.append(stamp)
+    if len(stamps) == len(order) and stamps != sorted(stamps):
+        problems.append(
+            "alert timeline out of order: "
+            + ", ".join(f"{r}.{k}={s:.1f}" for (r, k), s in zip(order, stamps))
+        )
+    latencies = report.alert_latencies()
+    bounds = {
+        # Detection: ≤ one content-cache expiry + one failed access +
+        # one scrape; resolution adds the quarantine window / poll
+        # interval the mechanism waits out.
+        "circuit_fire_after_kill": CACHE_TTL + 3 * SCRAPE_INTERVAL,
+        "circuit_resolve_after_restore": QUARANTINE_SECONDS + 3 * SCRAPE_INTERVAL,
+        "staleness_fire_after_feed_kill": STALENESS_WARN + 3 * SCRAPE_INTERVAL,
+        "staleness_resolve_after_restore": MAX_STALENESS / 2.0 + 3 * SCRAPE_INTERVAL,
+        "rejections_fire_after_publish": MAX_STALENESS / 2.0 + 3 * SCRAPE_INTERVAL,
+        "rejections_resolve_after_abandon": REJECTION_WINDOW + 3 * SCRAPE_INTERVAL,
+    }
+    for key, bound in bounds.items():
+        latency = latencies.get(key)
+        if latency is None:
+            continue  # already reported as a missing transition
+        if latency < 0:
+            problems.append(f"{key}: negative latency {latency:.2f}s")
+        elif latency > bound:
+            problems.append(f"{key}: {latency:.1f}s exceeds bound {bound:.1f}s")
+    ratio = report.consistency_ratio
+    if abs(ratio - 1.0) > CONSISTENCY_TOLERANCE:
+        problems.append(
+            f"registry/AccessMetrics consistency ratio {ratio:.4f} outside "
+            f"1 ± {CONSISTENCY_TOLERANCE}"
+        )
+    if not report.idle_text_identical:
+        problems.append("idle Prometheus-text scrapes differ")
+    if not report.idle_json_identical:
+        problems.append("idle JSON snapshots differ")
+    if report.final_firing:
+        problems.append(f"alerts still firing at end of run: {report.final_firing}")
+    if report.rejected <= 0:
+        problems.append("scenario produced no revocation rejections")
+    if report.other_failures:
+        problems.append(
+            f"{report.other_failures} non-revocation failures in the workload"
+        )
+    if report.scrapes < 10:
+        problems.append(f"only {report.scrapes} scrapes — cadence did not run")
+    return problems
+
+
+def render_monitor(report: MonitorReport) -> str:
+    """Human-readable alert timeline + gate summary."""
+    from repro.harness.report import render_table
+
+    rows = [
+        [f"{event['at']:10.2f}", event["rule"], event["state"],
+         f"{event['value']:.2f}", event["severity"]]
+        for event in report.timeline
+    ]
+    table = render_table(["t (s)", "rule", "state", "value", "severity"], rows)
+    latencies = report.alert_latencies()
+    lat_lines = [
+        f"  {key}: {value:.2f} s" if value is not None else f"  {key}: -"
+        for key, value in latencies.items()
+    ]
+    return "\n".join(
+        [
+            f"Monitor plane — {report.scrapes} scrapes every "
+            f"{report.scrape_interval:.0f} s, {report.accesses} accesses "
+            f"({report.ok} ok, {report.rejected} rejected), "
+            f"{report.series_count} series",
+            table,
+            "alert latencies (clock-charged):",
+            *lat_lines,
+            f"consistency ratio (registry vs AccessMetrics): "
+            f"{report.consistency_ratio:.6f}",
+            f"worst feed staleness: {report.worst_staleness_seconds:.1f} s; "
+            f"worst serial lag: {report.worst_serial_lag:.0f}",
+            f"idle scrapes identical: text={report.idle_text_identical} "
+            f"json={report.idle_json_identical}",
+        ]
+    )
+
+
+def write_report(report: MonitorReport, path: pathlib.Path) -> None:
+    path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")

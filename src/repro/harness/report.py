@@ -16,6 +16,7 @@ __all__ = [
     "render_fig567",
     "aggregate_bench_reports",
     "render_bench_summary",
+    "render_monitor_plane_section",
 ]
 
 
@@ -81,7 +82,9 @@ def aggregate_bench_reports(root: pathlib.Path) -> Dict[str, dict]:
     a corrupt report should fail loudly at aggregation time.
     """
     reports: Dict[str, dict] = {}
-    for path in sorted(root.glob("BENCH_*.json")):
+    # glob order is filesystem-dependent; sort by name so the aggregate
+    # report (and anything diffing it) is stable across machines.
+    for path in sorted(root.glob("BENCH_*.json"), key=lambda p: p.name):
         name = path.stem[len("BENCH_"):]
         try:
             reports[name] = json.loads(path.read_text())
@@ -91,7 +94,9 @@ def aggregate_bench_reports(root: pathlib.Path) -> Dict[str, dict]:
 
 
 def render_bench_summary(reports: Dict[str, dict]) -> str:
-    """One table over every collected bench report."""
+    """One table over every collected bench report, plus a monitor-plane
+    digest (alert timeline and worst observed staleness) when the
+    ``monitor`` target has run."""
     if not reports:
         return "no BENCH_*.json reports found (run the bench targets first)"
     rows = []
@@ -103,6 +108,48 @@ def render_bench_summary(reports: Dict[str, dict]) -> str:
             k for k, v in report.items() if isinstance(v, (list, dict))
         )
         rows.append([name, "ok", top_level or "-"])
-    return "Collected bench reports\n" + render_table(
+    summary = "Collected bench reports\n" + render_table(
         ["bench", "status", "sections"], rows
     )
+    monitor = reports.get("monitor_plane")
+    if monitor is not None and "error" not in monitor:
+        summary += "\n\n" + render_monitor_plane_section(monitor)
+    return summary
+
+
+def render_monitor_plane_section(report: dict) -> str:
+    """The operator's at-a-glance view of the last monitor run: the SLO
+    alert timeline in firing order, then the staleness high-water mark.
+
+    Tolerant of partial reports (hand-edited or from an older run):
+    missing keys render as absent rows rather than raising.
+    """
+    lines = ["Monitor plane — alert timeline"]
+    timeline = report.get("timeline") or []
+    if timeline:
+        rows = [
+            [
+                f"{event.get('at', 0.0):10.2f}",
+                str(event.get("rule", "?")),
+                str(event.get("state", "?")),
+                str(event.get("severity", "-")),
+            ]
+            for event in timeline
+        ]
+        lines.append(render_table(["t (s)", "rule", "state", "severity"], rows))
+    else:
+        lines.append("  (no alert transitions recorded)")
+    latencies = report.get("alert_latencies") or {}
+    fired = {k: v for k, v in latencies.items() if v is not None}
+    if fired:
+        lines.append(
+            "alert latencies: "
+            + ", ".join(f"{k}={v:.1f}s" for k, v in sorted(fired.items()))
+        )
+    worst = report.get("worst_staleness_seconds")
+    if worst is not None:
+        lines.append(f"worst revocation-view staleness: {worst:.1f} s")
+    lag = report.get("worst_serial_lag")
+    if lag is not None:
+        lines.append(f"worst feed serial lag: {lag:.0f}")
+    return "\n".join(lines)

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.errors import RpcError, SecurityError, TransportError
-from repro.obs import NOOP_TRACER
+from repro.obs import NOOP_METRICS, NOOP_TRACER
 from repro.sim.clock import Clock, RealClock
 from repro.sim.random import make_rng
 
@@ -144,6 +144,7 @@ class RetryingRpcClient:
         health=None,
         idempotent: Optional[Callable[[str], bool]] = None,
         tracer=None,
+        metrics=None,
     ) -> None:
         self.inner = inner
         self.policy = policy if policy is not None else RetryPolicy()
@@ -156,6 +157,20 @@ class RetryingRpcClient:
         #: attempt carries the chosen ``backoff_s`` as an attribute, so a
         #: trace shows exactly where a flaky access's time went.
         self.tracer = tracer if tracer is not None else NOOP_TRACER
+        #: Registry twins of :attr:`counters`, so the monitor plane sees
+        #: retry pressure without holding a reference to this client.
+        self.metrics = metrics if metrics is not None else NOOP_METRICS
+        self._m_retries = self.metrics.counter(
+            "rpc_retries_total", "Re-issued RPC attempts after backoff."
+        )
+        self._m_giveups = self.metrics.counter(
+            "rpc_giveups_total",
+            "Calls abandoned after exhausting attempts or the deadline.",
+        )
+        self._m_backoff = self.metrics.counter(
+            "rpc_backoff_seconds_total",
+            "Clock time spent waiting between retry attempts.",
+        )
 
     @property
     def transport(self):
@@ -186,6 +201,7 @@ class RetryingRpcClient:
                     self._note_failure(target)
                     if not retryable or attempt >= policy.max_attempts:
                         self.counters.giveups += 1
+                        self._m_giveups.inc()
                         raise
                     delay = policy.delay_for(attempt, self._rng)
                     if (
@@ -193,6 +209,7 @@ class RetryingRpcClient:
                         and (self.clock.now() - start) + delay > policy.deadline
                     ):
                         self.counters.giveups += 1
+                        self._m_giveups.inc()
                         raise
                     span.set_attribute("backoff_s", delay)
                 else:
@@ -203,6 +220,8 @@ class RetryingRpcClient:
             self._wait(delay)
             self.counters.retries += 1
             self.counters.backoff_seconds += delay
+            self._m_retries.inc()
+            self._m_backoff.inc(delay)
 
     # ------------------------------------------------------------------
 

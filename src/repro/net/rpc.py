@@ -17,7 +17,7 @@ from repro.errors import RpcError, TransportError
 from repro.net.address import ContactAddress, Endpoint
 from repro.net.message import Request, Response
 from repro.net.transport import Transport
-from repro.obs import NOOP_TRACER
+from repro.obs import NOOP_METRICS, NOOP_TRACER
 
 __all__ = ["RpcServer", "RpcClient", "rpc_method"]
 
@@ -49,9 +49,17 @@ class RpcServer:
     incoming frame — the server half of the access-pipeline trace.
     """
 
-    def __init__(self, name: str = "rpc", tracer=None) -> None:
+    def __init__(self, name: str = "rpc", tracer=None, metrics=None) -> None:
         self.name = name
         self.tracer = tracer if tracer is not None else NOOP_TRACER
+        #: Server-side request accounting: one ``server_requests_total``
+        #: increment per frame, labeled by server, operation, outcome.
+        self.metrics = metrics if metrics is not None else NOOP_METRICS
+        self._m_requests = self.metrics.counter(
+            "server_requests_total",
+            "RPC frames handled, by server, operation, and outcome.",
+            labelnames=("server", "op", "outcome"),
+        )
         self._ops: Dict[str, Handler] = {}
 
     def register(self, op: str, handler: Handler) -> None:
@@ -85,6 +93,9 @@ class RpcServer:
                 request = Request.from_bytes(frame)
             except Exception as exc:
                 span.mark_error(exc)
+                self._m_requests.labels(
+                    server=self.name, op="<malformed>", outcome="error"
+                ).inc()
                 return Response.failure(
                     TransportError(f"bad request frame: {exc}")
                 ).to_bytes()
@@ -93,13 +104,22 @@ class RpcServer:
             if handler is None:
                 unknown = RpcError(f"unknown operation {request.op!r}")
                 span.mark_error(unknown)
+                self._m_requests.labels(
+                    server=self.name, op=request.op, outcome="error"
+                ).inc()
                 return Response.failure(unknown).to_bytes()
             try:
                 value = handler(**dict(request.args))
             except Exception as exc:
                 logger.debug("handler %s failed: %s", request.op, exc)
                 span.mark_error(exc)
+                self._m_requests.labels(
+                    server=self.name, op=request.op, outcome="error"
+                ).inc()
                 return Response.failure(exc).to_bytes()
+            self._m_requests.labels(
+                server=self.name, op=request.op, outcome="ok"
+            ).inc()
             return Response.success(value).to_bytes()
 
 
@@ -120,9 +140,24 @@ class RpcClient:
     with error status and the exception's class name.
     """
 
-    def __init__(self, transport: Transport, tracer=None) -> None:
+    def __init__(self, transport: Transport, tracer=None, metrics=None) -> None:
         self.transport = transport
         self.tracer = tracer if tracer is not None else NOOP_TRACER
+        #: Client-side call accounting: per-operation totals and a
+        #: latency histogram in (simulated) seconds. Latency is only
+        #: measured when a real registry is installed — the disabled
+        #: path performs no clock reads.
+        self.metrics = metrics if metrics is not None else NOOP_METRICS
+        self._m_calls = self.metrics.counter(
+            "rpc_client_calls_total",
+            "RPC invocations issued, by operation and outcome.",
+            labelnames=("op", "outcome"),
+        )
+        self._m_latency = self.metrics.histogram(
+            "rpc_client_call_seconds",
+            "Per-call wire latency (clock-charged seconds), by operation.",
+            labelnames=("op",),
+        )
 
     def call(self, target, op: str, **args: Any) -> Any:
         """Invoke *op* at *target* (an Endpoint or ContactAddress)."""
@@ -131,13 +166,24 @@ class RpcClient:
             raise RpcError(f"invalid RPC target: {target!r}")
         request = Request(op=op, args=args)
         with self.tracer.span("rpc.call", op=op, target=str(endpoint)) as span:
-            wire = request.to_bytes()
-            span.set_attribute("sent_bytes", len(wire))
-            frame = self.transport.request(endpoint, wire)
+            started = self.metrics.clock.now() if self.metrics.enabled else 0.0
+            try:
+                wire = request.to_bytes()
+                span.set_attribute("sent_bytes", len(wire))
+                frame = self.transport.request(endpoint, wire)
+            except Exception:
+                self._m_calls.labels(op=op, outcome="error").inc()
+                raise
+            if self.metrics.enabled:
+                self._m_latency.labels(op=op).observe(
+                    self.metrics.clock.now() - started
+                )
             span.set_attribute("received_bytes", len(frame))
             response = Response.from_bytes(frame)
             if response.ok:
+                self._m_calls.labels(op=op, outcome="ok").inc()
                 return response.value
+            self._m_calls.labels(op=op, outcome="error").inc()
             exc_cls = _REHYDRATABLE.get(response.error_type)
             if exc_cls is not None:
                 raise exc_cls(response.error)

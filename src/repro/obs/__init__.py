@@ -9,14 +9,45 @@ near-zero-cost way to report *where an access spends its time* and
 * :data:`~repro.obs.span.NOOP_TRACER` — the disabled default every
   instrumented component falls back to;
 * sinks (:mod:`repro.obs.sinks`) — ring buffer, JSONL export, and the
-  aggregating :class:`~repro.obs.sinks.SpanStats`.
+  aggregating :class:`~repro.obs.sinks.SpanStats`;
+* metrics (:mod:`repro.obs.metrics`) — the process-wide labeled
+  :class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+  fixed-bucket histograms) with Prometheus-text and canonical-JSON
+  exposition, and its disabled twin
+  :data:`~repro.obs.metrics.NOOP_METRICS`;
+* alerts (:mod:`repro.obs.alerts`) — the SLO rule engine
+  (:class:`~repro.obs.alerts.AlertEngine`) evaluating threshold and
+  rate-over-window rules on the scrape cadence.
 
 See ``python -m repro.harness trace`` for the end-to-end profile built
-on top of this package, and DESIGN.md §4d for the span taxonomy.
+on the spans, ``python -m repro.harness monitor`` for the standing
+metrics/alerts plane, and DESIGN.md §4d/§4f for the span taxonomy and
+metric naming conventions.
 """
 
 from repro.obs.span import NOOP_TRACER, NoopSpan, NoopTracer, Span, Tracer
 from repro.obs.sinks import JsonlSink, RingBufferSink, SpanSink, SpanStats
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NOOP_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopInstrument,
+    NoopMetricsRegistry,
+)
+from repro.obs.alerts import (
+    STATE_FIRING,
+    STATE_INACTIVE,
+    STATE_PENDING,
+    STATE_RESOLVED,
+    AlertEngine,
+    AlertEvent,
+    AlertRule,
+    RateRule,
+    ThresholdRule,
+)
 
 __all__ = [
     "Span",
@@ -28,4 +59,21 @@ __all__ = [
     "RingBufferSink",
     "JsonlSink",
     "SpanStats",
+    "MetricsRegistry",
+    "NoopMetricsRegistry",
+    "NoopInstrument",
+    "NOOP_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
+    "ThresholdRule",
+    "RateRule",
+    "STATE_INACTIVE",
+    "STATE_PENDING",
+    "STATE_FIRING",
+    "STATE_RESOLVED",
 ]

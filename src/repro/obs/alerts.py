@@ -1,0 +1,346 @@
+"""SLO alerting over the metrics registry.
+
+An operator of untrusted-replica hosting needs to see an SLO breach —
+revocation containment drifting toward its staleness bound, a replica
+circuit stuck open — *before* clients fail closed. The
+:class:`AlertEngine` is that layer: a set of declarative rules
+evaluated against a :class:`~repro.obs.metrics.MetricsRegistry` on the
+scrape cadence, each alert walking the classic lifecycle
+
+    inactive → **pending** → **firing** → **resolved** → inactive
+
+where *pending* debounces transient breaches (``for_seconds``) and
+every transition lands in an append-only, clock-stamped timeline the
+monitor harness asserts on and ``BENCH_monitor_plane.json`` records.
+
+Two rule shapes cover the SLOs this repo cares about:
+
+* :class:`ThresholdRule` — an aggregate (max/min/sum) over the current
+  series of one gauge or counter compared against a bound. Example:
+  ``max(replica_circuit_state) >= 2`` ("some replica's breaker is
+  open"), ``max(revocation_view_staleness_seconds) > 45`` ("fail-closed
+  imminent").
+* :class:`RateRule` — the *increase* of a (summed) counter over a
+  trailing window. Example: ``increase(revocation_rejections_total,
+  30 s) > 0`` ("clients are being served revocations right now").
+
+Evaluation is **clock-charged**: each :meth:`AlertEngine.evaluate`
+advances the injected :class:`~repro.sim.clock.SimClock` by
+``evaluation_cost`` seconds per rule, so the monitor plane's own CPU is
+accounted in simulated time like every other modelled cost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.clock import Clock
+
+__all__ = [
+    "AlertEvent",
+    "AlertRule",
+    "ThresholdRule",
+    "RateRule",
+    "AlertEngine",
+    "STATE_INACTIVE",
+    "STATE_PENDING",
+    "STATE_FIRING",
+    "STATE_RESOLVED",
+]
+
+STATE_INACTIVE = "inactive"
+STATE_PENDING = "pending"
+STATE_FIRING = "firing"
+STATE_RESOLVED = "resolved"
+
+_COMPARATORS = {
+    ">": lambda value, bound: value > bound,
+    ">=": lambda value, bound: value >= bound,
+    "<": lambda value, bound: value < bound,
+    "<=": lambda value, bound: value <= bound,
+}
+
+_AGGREGATES = {
+    "max": lambda values: max(values, default=0.0),
+    "min": lambda values: min(values, default=0.0),
+    "sum": lambda values: sum(values),
+}
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One lifecycle transition, clock-stamped."""
+
+    rule: str
+    state: str
+    at: float
+    value: float
+    severity: str = "warning"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "state": self.state,
+            "at": self.at,
+            "value": self.value,
+            "severity": self.severity,
+        }
+
+
+class AlertRule:
+    """Base rule: a named condition over the registry.
+
+    Subclasses implement :meth:`value`; the engine handles the state
+    machine. ``for_seconds`` is the pending hold time: the condition
+    must stay breached that long (0 = fire on first breach).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        severity: str = "warning",
+        for_seconds: float = 0.0,
+        description: str = "",
+    ) -> None:
+        if for_seconds < 0:
+            raise ValueError(f"for_seconds must be non-negative, got {for_seconds}")
+        self.name = name
+        self.severity = severity
+        self.for_seconds = for_seconds
+        self.description = description
+
+    def value(self, registry: MetricsRegistry, now: float) -> float:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def breached(self, value: float) -> bool:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+class ThresholdRule(AlertRule):
+    """Aggregate-vs-bound on the current value of one metric.
+
+    ``aggregate`` folds the metric's series ("max", "min", "sum");
+    ``label_prefixes`` restricts which series participate by label-value
+    prefix — e.g. ``{"address": "globedoc/replica"}`` watches replica
+    circuit breakers while ignoring service endpoints tracked by the
+    same health tracker.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        metric: str,
+        threshold: float,
+        op: str = ">",
+        aggregate: str = "max",
+        label_prefixes: Optional[Mapping[str, str]] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(name, **kwargs)
+        if op not in _COMPARATORS:
+            raise ValueError(f"unknown comparator {op!r}")
+        if aggregate not in _AGGREGATES:
+            raise ValueError(f"unknown aggregate {aggregate!r}")
+        self.metric = metric
+        self.threshold = threshold
+        self.op = op
+        self.aggregate = aggregate
+        self.label_prefixes = dict(label_prefixes) if label_prefixes else None
+
+    def value(self, registry: MetricsRegistry, now: float) -> float:
+        values = registry.series_values(self.metric, self.label_prefixes)
+        return _AGGREGATES[self.aggregate](values)
+
+    def breached(self, value: float) -> bool:
+        return _COMPARATORS[self.op](value, self.threshold)
+
+
+class RateRule(AlertRule):
+    """Increase of a summed counter over a trailing window.
+
+    Each evaluation samples the counter's total; the rule's value is
+    ``total(now) - total(now - window)`` (linear sample retention, no
+    interpolation: the oldest sample still inside the window anchors
+    the increase). A counter that never moves yields 0.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        metric: str,
+        threshold: float,
+        window_seconds: float,
+        op: str = ">",
+        label_prefixes: Optional[Mapping[str, str]] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(name, **kwargs)
+        if window_seconds <= 0:
+            raise ValueError(f"window_seconds must be positive, got {window_seconds}")
+        if op not in _COMPARATORS:
+            raise ValueError(f"unknown comparator {op!r}")
+        self.metric = metric
+        self.threshold = threshold
+        self.window_seconds = window_seconds
+        self.op = op
+        self.label_prefixes = dict(label_prefixes) if label_prefixes else None
+        self._samples: Deque[Tuple[float, float]] = deque()
+
+    def value(self, registry: MetricsRegistry, now: float) -> float:
+        values = registry.series_values(self.metric, self.label_prefixes)
+        total = sum(values)
+        self._samples.append((now, total))
+        horizon = now - self.window_seconds
+        # Keep one sample at-or-before the horizon as the anchor.
+        while len(self._samples) >= 2 and self._samples[1][0] <= horizon:
+            self._samples.popleft()
+        anchor_time, anchor_total = self._samples[0]
+        if anchor_time > horizon and len(self._samples) == 1:
+            return 0.0  # first-ever sample: no increase measurable yet
+        return total - anchor_total
+
+    def breached(self, value: float) -> bool:
+        return _COMPARATORS[self.op](value, self.threshold)
+
+
+@dataclass
+class _RuleState:
+    state: str = STATE_INACTIVE
+    pending_since: Optional[float] = None
+    fired_at: Optional[float] = None
+    last_value: float = 0.0
+    fire_count: int = 0
+
+
+class AlertEngine:
+    """Evaluates rules against one registry on the scrape cadence.
+
+    The engine never polls on its own: the harness (or an operator
+    loop) calls :meth:`evaluate` each scrape tick. ``evaluation_cost``
+    seconds per rule are charged to the clock on every evaluation when
+    the clock is advanceable (a SimClock) — the monitoring plane is not
+    free, and simulated experiments should account for it.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        clock: Clock,
+        evaluation_cost: float = 0.0,
+    ) -> None:
+        if evaluation_cost < 0:
+            raise ValueError(
+                f"evaluation_cost must be non-negative, got {evaluation_cost}"
+            )
+        self.registry = registry
+        self.clock = clock
+        self.evaluation_cost = evaluation_cost
+        self._rules: List[AlertRule] = []
+        self._states: Dict[str, _RuleState] = {}
+        #: Append-only transition log (the alert timeline).
+        self.timeline: List[AlertEvent] = []
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+
+    def add_rule(self, rule: AlertRule) -> AlertRule:
+        if any(r.name == rule.name for r in self._rules):
+            raise ValueError(f"alert rule {rule.name!r} already registered")
+        self._rules.append(rule)
+        self._states[rule.name] = _RuleState()
+        return rule
+
+    @property
+    def rules(self) -> List[AlertRule]:
+        return list(self._rules)
+
+    def state_of(self, rule_name: str) -> str:
+        return self._states[rule_name].state
+
+    def firing(self) -> List[str]:
+        """Names of currently firing rules, registration order."""
+        return [r.name for r in self._rules if self._states[r.name].state == STATE_FIRING]
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self) -> List[AlertEvent]:
+        """One evaluation pass; returns the transitions it produced.
+
+        Runs the registry's collectors first so derived gauges are
+        current, charges the evaluation cost to the clock, then steps
+        each rule's state machine.
+        """
+        self.registry.collect()
+        cost = self.evaluation_cost * len(self._rules)
+        advance = getattr(self.clock, "advance", None)
+        if cost > 0 and advance is not None:
+            advance(cost)
+        now = self.clock.now()
+        self.evaluations += 1
+        transitions: List[AlertEvent] = []
+        for rule in self._rules:
+            state = self._states[rule.name]
+            value = rule.value(self.registry, now)
+            state.last_value = value
+            breached = rule.breached(value)
+            if state.state in (STATE_INACTIVE, STATE_RESOLVED):
+                if breached:
+                    state.state = STATE_PENDING
+                    state.pending_since = now
+                    transitions.append(self._emit(rule, STATE_PENDING, now, value))
+                    if rule.for_seconds == 0.0:
+                        self._fire(rule, state, now, value, transitions)
+                elif state.state == STATE_RESOLVED:
+                    state.state = STATE_INACTIVE
+            elif state.state == STATE_PENDING:
+                if not breached:
+                    state.state = STATE_INACTIVE  # breach did not hold
+                    state.pending_since = None
+                elif now - (state.pending_since or now) >= rule.for_seconds:
+                    self._fire(rule, state, now, value, transitions)
+            elif state.state == STATE_FIRING:
+                if not breached:
+                    state.state = STATE_RESOLVED
+                    state.pending_since = None
+                    transitions.append(self._emit(rule, STATE_RESOLVED, now, value))
+        self.timeline.extend(transitions)
+        return transitions
+
+    def _fire(
+        self,
+        rule: AlertRule,
+        state: _RuleState,
+        now: float,
+        value: float,
+        transitions: List[AlertEvent],
+    ) -> None:
+        state.state = STATE_FIRING
+        state.fired_at = now
+        state.fire_count += 1
+        transitions.append(self._emit(rule, STATE_FIRING, now, value))
+
+    def _emit(self, rule: AlertRule, state: str, now: float, value: float) -> AlertEvent:
+        return AlertEvent(
+            rule=rule.name, state=state, at=now, value=value, severity=rule.severity
+        )
+
+    # ------------------------------------------------------------------
+
+    def timeline_dicts(self) -> List[dict]:
+        return [event.to_dict() for event in self.timeline]
+
+    def fire_resolve_times(self) -> Dict[str, Dict[str, Optional[float]]]:
+        """Per rule: first fired-at / last resolved-at timestamps (None
+        when the transition never happened)."""
+        out: Dict[str, Dict[str, Optional[float]]] = {}
+        for rule in self._rules:
+            fired = [e.at for e in self.timeline if e.rule == rule.name and e.state == STATE_FIRING]
+            resolved = [e.at for e in self.timeline if e.rule == rule.name and e.state == STATE_RESOLVED]
+            out[rule.name] = {
+                "fired_at": fired[0] if fired else None,
+                "resolved_at": resolved[-1] if resolved else None,
+            }
+        return out

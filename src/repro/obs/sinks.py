@@ -41,9 +41,13 @@ class RingBufferSink:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._spans: "deque[Span]" = deque(maxlen=capacity)
+        #: Lifetime spans received — cumulative, survives :meth:`clear`.
         self.seen = 0
+        self._dropped = 0
 
     def on_span(self, span: Span) -> None:
+        if len(self._spans) == self.capacity:
+            self._dropped += 1  # the oldest span is about to fall off
         self._spans.append(span)
         self.seen += 1
 
@@ -54,7 +58,9 @@ class RingBufferSink:
 
     @property
     def dropped(self) -> int:
-        return self.seen - len(self._spans)
+        """Lifetime spans lost to capacity overflow — cumulative, and
+        unaffected by :meth:`clear` (an explicit clear is not a drop)."""
+        return self._dropped
 
     def named(self, name: str) -> List[Span]:
         return [s for s in self._spans if s.name == name]
@@ -67,15 +73,22 @@ class RingBufferSink:
         return sorted(self._spans, key=lambda s: s.duration, reverse=True)[:n]
 
     def clear(self) -> None:
+        """Drop the retained spans; the cumulative ``seen``/``dropped``
+        accounting is preserved (monitoring counters must be monotone —
+        a buffer reset must not look like traffic vanishing)."""
         self._spans.clear()
-        self.seen = 0
 
     def __len__(self) -> int:
         return len(self._spans)
 
 
 class JsonlSink:
-    """Writes each span as one JSON line to a path or open file object."""
+    """Writes each span as one JSON line to a path or open file object.
+
+    Use as a context manager (``with JsonlSink(path) as sink: ...``) or
+    call :meth:`close` explicitly; both flush. A handle passed in by the
+    caller is flushed but never closed — its lifetime is the caller's.
+    """
 
     def __init__(self, target: Union[str, IO[str]]) -> None:
         if isinstance(target, str):
@@ -84,15 +97,32 @@ class JsonlSink:
         else:
             self._fh = target
             self._owns_fh = False
+        self._closed = False
         self.written = 0
 
     def on_span(self, span: Span) -> None:
+        if self._closed:
+            raise ValueError("JsonlSink is closed")
         self._fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
         self.written += 1
 
+    def flush(self) -> None:
+        """Push buffered lines to the underlying file."""
+        if not self._closed:
+            self._fh.flush()
+
     def close(self) -> None:
+        """Flush, then close an owned handle. Idempotent."""
+        if self._closed:
+            return
+        self._fh.flush()
         if self._owns_fh:
             self._fh.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __enter__(self) -> "JsonlSink":
         return self

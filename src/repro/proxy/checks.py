@@ -33,7 +33,7 @@ to the real RSA operation.
 
 from __future__ import annotations
 
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import Callable, ContextManager, List, Optional
 
@@ -44,7 +44,7 @@ from repro.errors import AuthenticityError, ConsistencyError, FreshnessError
 from repro.globedoc.element import PageElement
 from repro.globedoc.integrity import ElementEntry, IntegrityCertificate
 from repro.globedoc.oid import ObjectId
-from repro.obs import NOOP_TRACER
+from repro.obs import NOOP_METRICS, NOOP_TRACER
 from repro.proxy.metrics import AccessTimer, FastPathStats
 from repro.sim.clock import Clock
 from repro.util.encoding import ENCODE_COUNTERS
@@ -81,6 +81,7 @@ class SecurityChecker:
         verification_cache: Optional[VerificationCache] = None,
         revocation_checker=None,
         tracer=None,
+        metrics=None,
     ) -> None:
         self.clock = clock
         self.trust_store = trust_store if trust_store is not None else TrustStore()
@@ -94,6 +95,26 @@ class SecurityChecker:
         #: closes with error status names the check that rejected the
         #: response — the trace profile's rejection census keys on it.
         self.tracer = tracer if tracer is not None else NOOP_TRACER
+        #: Per-check verdict accounting: every check increments exactly
+        #: one ``security_checks_total{check,outcome}`` series, so the
+        #: monitor plane sees *which* check is rejecting without parsing
+        #: spans.
+        self.metrics = metrics if metrics is not None else NOOP_METRICS
+        self._m_checks = self.metrics.counter(
+            "security_checks_total",
+            "Security checks executed, by check name and verdict.",
+            labelnames=("check", "outcome"),
+        )
+
+    @contextmanager
+    def _count(self, check: str):
+        """Count one check execution as ok/rejected around its body."""
+        try:
+            yield
+        except Exception:
+            self._m_checks.labels(check=check, outcome="rejected").inc()
+            raise
+        self._m_checks.labels(check=check, outcome="ok").inc()
 
     # ------------------------------------------------------------------
     # Fast-path accounting
@@ -139,8 +160,9 @@ class SecurityChecker:
     ) -> PublicKey:
         """Step 5 of Fig. 3: SHA-1(key) must equal the OID."""
         with self.tracer.span("check.public_key", oid=oid.hex[:16]):
-            with timer.phase("verify_public_key"), self._compute():
-                return oid.check_key(key)
+            with self._count("public_key"):
+                with timer.phase("verify_public_key"), self._compute():
+                    return oid.check_key(key)
 
     def check_revocation(
         self,
@@ -163,10 +185,11 @@ class SecurityChecker:
         with self.tracer.span(
             "check.revocation", oid=oid.hex[:16], element=element_name or ""
         ) as span:
-            with timer.phase("check_revocation"), self._compute():
-                self.revocation_checker.check(
-                    oid, element_name=element_name, cert_version=cert_version
-                )
+            with self._count("revocation"):
+                with timer.phase("check_revocation"), self._compute():
+                    self.revocation_checker.check(
+                        oid, element_name=element_name, cert_version=cert_version
+                    )
             staleness = self.revocation_checker.staleness
             if staleness is not None:
                 span.set_attribute("feed_staleness", round(staleness, 3))
@@ -188,23 +211,24 @@ class SecurityChecker:
         with self.tracer.span(
             "check.identity", proofs=len(certificates), require=require
         ) as span:
-            with timer.phase("verify_identity_proofs"), self._compute():
-                match = self.trust_store.first_match(
-                    certificates,
-                    clock=self.clock,
-                    expected_subject_key=key,
-                    cache=self.verification_cache,
-                )
-            self._span_cache_attrs(span, before)
-            self._record_fastpath(timer, before)
-            if match is not None:
-                span.set_attribute("certified_as", match.subject_name)
-                return match.subject_name
-            if require:
-                raise AuthenticityError(
-                    "no identity certificate from a trusted CA was presented"
-                )
-            return None
+            with self._count("identity"):
+                with timer.phase("verify_identity_proofs"), self._compute():
+                    match = self.trust_store.first_match(
+                        certificates,
+                        clock=self.clock,
+                        expected_subject_key=key,
+                        cache=self.verification_cache,
+                    )
+                self._span_cache_attrs(span, before)
+                self._record_fastpath(timer, before)
+                if match is not None:
+                    span.set_attribute("certified_as", match.subject_name)
+                    return match.subject_name
+                if require:
+                    raise AuthenticityError(
+                        "no identity certificate from a trusted CA was presented"
+                    )
+                return None
 
     def check_certificate(
         self,
@@ -217,17 +241,18 @@ class SecurityChecker:
         issued for this OID (prevents cross-object certificate replay)."""
         before = self._fastpath_snapshot()
         with self.tracer.span("check.certificate", oid=oid.hex[:16]) as span:
-            with timer.phase("verify_certificate"), self._compute():
-                integrity.verify_signature(
-                    key, cache=self.verification_cache, clock=self.clock
-                )
-                if integrity.oid_hex != oid.hex:
-                    raise AuthenticityError(
-                        "integrity certificate was issued for a different object"
+            with self._count("certificate"):
+                with timer.phase("verify_certificate"), self._compute():
+                    integrity.verify_signature(
+                        key, cache=self.verification_cache, clock=self.clock
                     )
-            self._span_cache_attrs(span, before)
-            self._record_fastpath(timer, before)
-            return integrity
+                    if integrity.oid_hex != oid.hex:
+                        raise AuthenticityError(
+                            "integrity certificate was issued for a different object"
+                        )
+                self._span_cache_attrs(span, before)
+                self._record_fastpath(timer, before)
+                return integrity
 
     def check_element(
         self,
@@ -244,28 +269,32 @@ class SecurityChecker:
         """
         # Consistency: the right name, and part of the object.
         with self.tracer.span("check.consistency", element=requested_name):
-            with timer.phase("check_consistency"):
-                if element.name != requested_name:
-                    raise ConsistencyError(
-                        f"server returned {element.name!r} for request {requested_name!r}"
-                    )
-                entry = integrity.entry_for(requested_name)
+            with self._count("consistency"):
+                with timer.phase("check_consistency"):
+                    if element.name != requested_name:
+                        raise ConsistencyError(
+                            f"server returned {element.name!r} "
+                            f"for request {requested_name!r}"
+                        )
+                    entry = integrity.entry_for(requested_name)
         # Authenticity: content hash (the expensive, size-proportional part).
         with self.tracer.span(
             "check.element_hash", element=requested_name, size=element.size
         ):
-            with timer.phase("verify_element_hash"), self._compute():
-                if element.content_hash(integrity.suite) != entry.content_hash:
-                    raise AuthenticityError(
-                        f"content hash mismatch for element {requested_name!r}"
-                    )
+            with self._count("element_hash"):
+                with timer.phase("verify_element_hash"), self._compute():
+                    if element.content_hash(integrity.suite) != entry.content_hash:
+                        raise AuthenticityError(
+                            f"content hash mismatch for element {requested_name!r}"
+                        )
         # Freshness: validity interval against retrieval time.
         with self.tracer.span("check.freshness", element=requested_name):
-            with timer.phase("check_freshness"):
-                now = self.clock.now()
-                if now > entry.expires_at:
-                    raise FreshnessError(
-                        f"element {requested_name!r} expired at {entry.expires_at} "
-                        f"(retrieved at {now})"
-                    )
+            with self._count("freshness"):
+                with timer.phase("check_freshness"):
+                    now = self.clock.now()
+                    if now > entry.expires_at:
+                        raise FreshnessError(
+                            f"element {requested_name!r} expired at {entry.expires_at} "
+                            f"(retrieved at {now})"
+                        )
         return entry

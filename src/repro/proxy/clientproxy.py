@@ -34,7 +34,7 @@ from repro.location.service import LocationClient
 from repro.naming.service import SecureResolver
 from repro.net.address import Endpoint
 from repro.net.rpc import RpcClient
-from repro.obs import NOOP_TRACER
+from repro.obs import NOOP_METRICS, NOOP_TRACER
 from repro.proxy.binding import Binder
 from repro.proxy.checks import SecurityChecker
 from repro.proxy.metrics import AccessMetrics, AccessTimer
@@ -91,6 +91,8 @@ class GlobeDocProxy:
         session_ttl: Optional[float] = None,
         max_rebinds: int = 3,
         tracer=None,
+        metrics=None,
+        metrics_client: str = "",
     ) -> None:
         self.binder = binder
         self.checker = checker
@@ -113,6 +115,38 @@ class GlobeDocProxy:
         self._session_created: Dict[str, float] = {}
         self.request_count = 0
         self.failure_count = 0
+        #: Monitor-plane instruments. Counters and histograms are shared
+        #: across proxies (additive); the cache hit-ratio gauges carry a
+        #: ``client`` label (``metrics_client``) so several stacks can
+        #: share one registry without clobbering each other's ratios.
+        self.metrics = metrics if metrics is not None else NOOP_METRICS
+        self.metrics_client = metrics_client
+        self._m_requests = self.metrics.counter(
+            "proxy_requests_total",
+            "Browser requests handled, by outcome "
+            "(ok / rejected / not_found / passthrough / bad_url).",
+            labelnames=("outcome",),
+        )
+        self._m_rejections = self.metrics.counter(
+            "proxy_rejections_total",
+            "Accesses rejected by a security check, by exception class.",
+            labelnames=("error",),
+        )
+        self._m_access = self.metrics.histogram(
+            "proxy_access_seconds",
+            "Total per-access time (clock-charged seconds), every phase.",
+        )
+        self._m_overhead = self.metrics.histogram(
+            "proxy_security_overhead_fraction",
+            "Security time as a fraction of total access time (Fig. 4).",
+            buckets=(0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0),
+        )
+        self._m_cache_ratio = self.metrics.gauge(
+            "proxy_cache_hit_ratio",
+            "Hit ratio of the proxy's caches (content / verify), 0-1.",
+            labelnames=("client", "cache"),
+        )
+        self.metrics.register_collector(self._collect_metrics)
 
     # ------------------------------------------------------------------
     # Request handling
@@ -129,6 +163,7 @@ class GlobeDocProxy:
         try:
             parsed = HybridUrl.parse(url)
         except UrlError as exc:
+            self._m_requests.labels(outcome="bad_url").inc()
             return ProxyResponse(
                 status=400, content=NOT_FOUND_HTML % str(exc).encode()
             )
@@ -175,6 +210,8 @@ class GlobeDocProxy:
                 ) as exc:
                     return self._failure_response(span, exc, timer)
                 span.set_attribute("status", 200)
+                self._m_requests.labels(outcome="ok").inc()
+                self._observe_access(result.metrics)
                 return ProxyResponse(
                     status=200,
                     content=result.element.content,
@@ -187,22 +224,53 @@ class GlobeDocProxy:
         self, span, exc: Exception, timer: AccessTimer
     ) -> ProxyResponse:
         self.failure_count += 1
+        metrics = timer.finish()
+        self._observe_access(metrics)
         if isinstance(exc, SecurityError):
             # §3.3: failed checks render the Security Check Failed page.
             span.set_attribute("status", 403)
             span.set_attribute("security_failure", type(exc).__name__)
+            self._m_requests.labels(outcome="rejected").inc()
+            self._m_rejections.labels(error=type(exc).__name__).inc()
             return ProxyResponse(
                 status=403,
                 content=SECURITY_FAILED_HTML % str(exc).encode(),
-                metrics=timer.finish(),
+                metrics=metrics,
                 security_failure=type(exc).__name__,
             )
         span.set_attribute("status", 404)
+        self._m_requests.labels(outcome="not_found").inc()
         return ProxyResponse(
             status=404,
             content=NOT_FOUND_HTML % str(exc).encode(),
-            metrics=timer.finish(),
+            metrics=metrics,
         )
+
+    def _observe_access(self, metrics: Optional[AccessMetrics]) -> None:
+        """Mirror one access's timer decomposition into the registry.
+
+        The monitor harness cross-checks the histogram's sum against the
+        per-response :class:`AccessMetrics` totals (consistency gate),
+        so exactly the totals returned to callers are observed here.
+        """
+        if metrics is None or not self.metrics.enabled:
+            return
+        self._m_access.observe(metrics.total)
+        self._m_overhead.observe(metrics.overhead_fraction)
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time refresh of the derived cache hit-ratio gauges."""
+        if self.content_cache is not None:
+            self._m_cache_ratio.labels(
+                client=self.metrics_client, cache="content"
+            ).set(self.content_cache.hit_rate)
+        cache = self.checker.verification_cache
+        if cache is not None:
+            hits, misses, _saved = cache.stats.snapshot()
+            total = hits + misses
+            self._m_cache_ratio.labels(
+                client=self.metrics_client, cache="verify"
+            ).set(hits / total if total else 0.0)
 
     def _follow_forwarding(
         self, url: HybridUrl, timer: AccessTimer
@@ -274,7 +342,9 @@ class GlobeDocProxy:
             )
         except ReproError as exc:
             self.failure_count += 1
+            self._m_requests.labels(outcome="not_found").inc()
             return ProxyResponse(status=502, content=NOT_FOUND_HTML % str(exc).encode())
+        self._m_requests.labels(outcome="passthrough").inc()
         return ProxyResponse(
             status=int(answer["status"]),
             content=bytes(answer["body"]),

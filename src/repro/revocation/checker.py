@@ -40,6 +40,7 @@ from repro.errors import (
     RevokedKeyError,
 )
 from repro.globedoc.oid import ObjectId
+from repro.obs import NOOP_METRICS
 from repro.revocation.feed import RevocationFeed
 from repro.revocation.statement import SCOPE_KEY, RevocationStatement
 
@@ -76,6 +77,8 @@ class RevocationChecker:
         poll_interval: Optional[float] = None,
         verification_cache=None,
         content_cache=None,
+        metrics=None,
+        metrics_client: str = "",
     ) -> None:
         if max_staleness <= 0:
             raise ValueError(f"max_staleness must be positive, got {max_staleness}")
@@ -92,10 +95,47 @@ class RevocationChecker:
         self._head = 0
         self._synced_at: Optional[float] = None
         self._by_oid: Dict[str, List[RevocationStatement]] = {}
+        #: Monitor instruments. The staleness gauge is the input to the
+        #: fail-closed-imminent alert rule; -1 marks "never synced" (a
+        #: state the check itself already fails closed on). The head
+        #: serial, against ``revocation_feed_head``, yields serial lag.
+        self.metrics = metrics if metrics is not None else NOOP_METRICS
+        self.metrics_client = metrics_client
+        self._m_refreshes = self.metrics.counter(
+            "revocation_refreshes_total", "Successful feed delta pulls."
+        )
+        self._m_refresh_failures = self.metrics.counter(
+            "revocation_refresh_failures_total",
+            "Feed pulls that failed with a network error.",
+        )
+        self._m_rejections = self.metrics.counter(
+            "revocation_rejections_total",
+            "Accesses rejected because a key or element was revoked.",
+        )
+        self._m_ingested = self.metrics.counter(
+            "revocation_statements_ingested_total",
+            "Verified revocation statements accepted into the local view.",
+        )
+        self._m_staleness = self.metrics.gauge(
+            "revocation_view_staleness_seconds",
+            "Age of the client's last good feed sync (-1: never synced).",
+            labelnames=("client",),
+        )
+        self._m_head = self.metrics.gauge(
+            "revocation_head_serial",
+            "Highest feed serial this client has synced through.",
+            labelnames=("client",),
+        )
+        self.metrics.register_collector(self._collect_metrics)
 
     # ------------------------------------------------------------------
     # Feed synchronisation
     # ------------------------------------------------------------------
+
+    @property
+    def head(self) -> int:
+        """Highest feed serial this checker has synced through."""
+        return self._head
 
     @property
     def staleness(self) -> Optional[float]:
@@ -113,6 +153,7 @@ class RevocationChecker:
         answer = self.rpc.call(self.feed_target, "revocation.fetch", since=self._head)
         head, statements = RevocationFeed.decode_delta(answer)
         self.stats.refreshes += 1
+        self._m_refreshes.inc()
         ingested = 0
         for statement in statements:
             if self._ingest(statement):
@@ -136,6 +177,7 @@ class RevocationChecker:
             return False
         known.append(statement)
         self.stats.statements_ingested += 1
+        self._m_ingested.inc()
         self._purge_caches(statement)
         return True
 
@@ -164,6 +206,7 @@ class RevocationChecker:
             self.refresh()
         except NetworkError as exc:
             self.stats.refresh_failures += 1
+            self._m_refresh_failures.inc()
             staleness = self.staleness
             if staleness is None or staleness > self.max_staleness:
                 raise RevocationStalenessError(
@@ -190,6 +233,7 @@ class RevocationChecker:
         for statement in self._by_oid.get(oid.hex, ()):  # newest need not win: any hit rejects
             if statement.scope == SCOPE_KEY:
                 self.stats.rejections += 1
+                self._m_rejections.inc()
                 raise RevokedKeyError(
                     f"object key for OID {oid.hex[:12]}… was revoked at "
                     f"{statement.issued_at} (serial {statement.serial}: "
@@ -197,6 +241,7 @@ class RevocationChecker:
                 )
             if element_name is not None and statement.covers(element_name, cert_version):
                 self.stats.rejections += 1
+                self._m_rejections.inc()
                 raise RevokedElementError(
                     f"element {element_name!r} of OID {oid.hex[:12]}… was "
                     f"revoked at {statement.issued_at} through certificate "
@@ -206,3 +251,14 @@ class RevocationChecker:
 
     def known_statements(self, oid: ObjectId) -> List[RevocationStatement]:
         return list(self._by_oid.get(oid.hex, ()))
+
+    # ------------------------------------------------------------------
+    # Monitor-plane collector
+    # ------------------------------------------------------------------
+
+    def _collect_metrics(self) -> None:
+        staleness = self.staleness
+        self._m_staleness.labels(client=self.metrics_client).set(
+            -1.0 if staleness is None else staleness
+        )
+        self._m_head.labels(client=self.metrics_client).set(float(self._head))

@@ -61,7 +61,9 @@ class ObjectServer:
         service: str = DEFAULT_SERVICE,
         limits: Optional["ResourceLimits"] = None,
         tracer=None,
+        metrics=None,
     ) -> None:
+        from repro.obs import NOOP_METRICS
         from repro.server.resources import ResourceAccountant, ResourceLimits
 
         self.host = host
@@ -86,6 +88,26 @@ class ObjectServer:
         # A revoked keystore entity must stop serving, not just stop
         # creating: drop its hosted replicas the moment it is removed.
         self.keystore.subscribe(self._on_entity_revoked)
+        #: Server-side monitor instruments. Gauges are host-labeled (one
+        #: registry watches many servers); the feed head lets the report
+        #: derive client serial lag against ``revocation_head_serial``.
+        self.metrics = metrics if metrics is not None else NOOP_METRICS
+        self._m_entity_revocations = self.metrics.counter(
+            "server_entity_revocations_total",
+            "Keystore entities revoked (replicas torn down), by host.",
+            labelnames=("host",),
+        )
+        self._m_replicas = self.metrics.gauge(
+            "server_replicas_hosted",
+            "Replicas currently hosted, by server host.",
+            labelnames=("host",),
+        )
+        self._m_feed_head = self.metrics.gauge(
+            "revocation_feed_head",
+            "Highest revocation-feed serial this server has published.",
+            labelnames=("host",),
+        )
+        self.metrics.register_collector(self._collect_metrics)
 
     # ------------------------------------------------------------------
     # Addressing
@@ -187,6 +209,13 @@ class ObjectServer:
                 "at": self.clock.now(),
                 "replicas_dropped": sorted(dropped),
             }
+        )
+        self._m_entity_revocations.labels(host=self.host).inc()
+
+    def _collect_metrics(self) -> None:
+        self._m_replicas.labels(host=self.host).set(float(self.replica_count))
+        self._m_feed_head.labels(host=self.host).set(
+            float(self.revocation_feed.head)
         )
 
     # ------------------------------------------------------------------
@@ -315,6 +344,10 @@ class ObjectServer:
         raise ServerError(f"unknown admin operation {cmd.op!r}")
 
     def rpc_server(self) -> RpcServer:
-        server = RpcServer(name=f"objectserver@{self.host}", tracer=self.tracer)
+        server = RpcServer(
+            name=f"objectserver@{self.host}",
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
         server.register_object(self)
         return server

@@ -64,13 +64,23 @@ class TestRingBufferSink:
         slowest = ring.slowest(2)
         assert [s.duration for s in slowest] == [0.5, 0.3]
 
-    def test_clear(self):
-        ring = RingBufferSink()
-        for span in make_spans([0.1]):
+    def test_clear_preserves_cumulative_counters(self):
+        ring = RingBufferSink(capacity=2)
+        for span in make_spans([0.1] * 3):
             ring.on_span(span)
+        assert ring.seen == 3
+        assert ring.dropped == 1
         ring.clear()
         assert len(ring) == 0
-        assert ring.seen == 0
+        assert ring.spans == []
+        # Lifetime accounting is monotone: a buffer reset is not a drop
+        # and must not look like traffic vanishing.
+        assert ring.seen == 3
+        assert ring.dropped == 1
+        for span in make_spans([0.1]):
+            ring.on_span(span)
+        assert ring.seen == 4
+        assert ring.dropped == 1  # plenty of room after the clear
 
 
 class TestJsonlSink:
@@ -94,9 +104,31 @@ class TestJsonlSink:
         with JsonlSink(str(path)) as sink:
             for span in make_spans([0.5]):
                 sink.on_span(span)
+        assert sink.closed
         records = [json.loads(line) for line in path.read_text().splitlines()]
         assert len(records) == 1
         assert records[0]["duration_s"] == 0.5
+
+    def test_flush_makes_lines_visible_before_close(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        sink = JsonlSink(str(path))
+        for span in make_spans([0.5]):
+            sink.on_span(span)
+        sink.flush()
+        assert len(path.read_text().splitlines()) == 1
+        sink.close()
+
+    def test_close_is_idempotent_and_leaves_caller_handles_open(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        for span in make_spans([0.5]):
+            sink.on_span(span)
+        sink.close()
+        sink.close()  # idempotent
+        assert sink.closed
+        assert not buffer.closed  # caller-owned handle stays usable
+        with pytest.raises(ValueError):
+            sink.on_span(make_spans([0.1])[0])
 
 
 class TestSpanStats:

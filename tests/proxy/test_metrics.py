@@ -67,6 +67,16 @@ class TestAccessTimer:
         )
         assert stats.verify_hit_rate == pytest.approx(1 / 3)
 
+    def test_fastpath_and_resilience_addition_is_associative(self):
+        f1 = FastPathStats(verify_hits=1, verify_misses=2, saved_us=10.0)
+        f2 = FastPathStats(encode_hits=3, saved_us=5.0)
+        f3 = FastPathStats(verify_hits=4, encode_misses=1)
+        assert (f1 + f2) + f3 == f1 + (f2 + f3)
+        r1 = ResilienceStats(retries=1, backoff_seconds=0.25)
+        r2 = ResilienceStats(failovers=2)
+        r3 = ResilienceStats(quarantines=1, backoff_seconds=0.5)
+        assert (r1 + r2) + r3 == r1 + (r2 + r3)
+
 
 class TestAccessMetrics:
     def make(self):
@@ -137,6 +147,45 @@ class TestAccessMetrics:
         assert left.merged_with(bare).resilience == left.resilience
         assert bare.merged_with(left).resilience == left.resilience
         assert bare.merged_with(bare).resilience is None
+
+    def test_merged_with_is_associative(self):
+        """Multi-element accesses merge pairwise in whatever order the
+        proxy composes them; the grouping must not change the result."""
+        a = AccessMetrics(
+            phases=(("resolve_name", 1.0),),
+            fastpath=FastPathStats(verify_hits=1, saved_us=10.0),
+            resilience=ResilienceStats(retries=1),
+        )
+        b = AccessMetrics(
+            phases=(("get_page_element", 2.0),),
+            fastpath=FastPathStats(verify_misses=2, encode_hits=1),
+        )
+        c = AccessMetrics(
+            phases=(("verify_element_hash", 0.5),),
+            resilience=ResilienceStats(failovers=1, backoff_seconds=0.2),
+        )
+        left = a.merged_with(b).merged_with(c)
+        right = a.merged_with(b.merged_with(c))
+        assert left == right
+        assert left.total == pytest.approx(3.5)
+        assert left.fastpath == FastPathStats(
+            verify_hits=1, verify_misses=2, encode_hits=1, saved_us=10.0
+        )
+        assert left.resilience == ResilienceStats(
+            retries=1, failovers=1, backoff_seconds=0.2
+        )
+
+    def test_merged_with_associative_when_middle_side_is_bare(self):
+        a = AccessMetrics(
+            phases=(("a", 1.0),), fastpath=FastPathStats(verify_hits=1)
+        )
+        bare = AccessMetrics(phases=(("b", 1.0),))
+        c = AccessMetrics(
+            phases=(("c", 1.0),), fastpath=FastPathStats(encode_misses=1)
+        )
+        assert a.merged_with(bare).merged_with(c) == a.merged_with(
+            bare.merged_with(c)
+        )
 
     def test_security_phase_list_matches_paper(self):
         """§4 enumerates the security-specific operations; our phase set
