@@ -20,10 +20,24 @@ from repro.attacks.malicious_server import (
 )
 from repro.attacks.malicious_location import LyingLocationService
 from repro.attacks.mitm import MitmTransport
+from repro.attacks.scenarios import (
+    SCENARIOS,
+    Scenario,
+    World,
+    build_world,
+    run_matrix,
+    run_scenario,
+)
 
 __all__ = [
     "AttackOutcome",
     "run_attack_probe",
+    "SCENARIOS",
+    "Scenario",
+    "World",
+    "build_world",
+    "run_matrix",
+    "run_scenario",
     "MaliciousReplica",
     "TamperBehavior",
     "StaleReplayBehavior",

@@ -1,0 +1,357 @@
+"""The adversarial conformance matrix, as a reusable library.
+
+Every tamper mode of the §3.2.1 taxonomy — wire injection, content
+tampering, element swapping, stale replay, impostor keys, a lying
+location service, and a compromised-then-revoked key — paired with the
+exact :class:`~repro.errors.SecurityError` subclass and ``check.*`` span
+that must reject it. The integration tests parametrize over this list;
+the security benchmark replays the same matrix cold *and* warm, with the
+concurrent pipeline disabled *and* enabled, to prove the fast paths
+never convert a cached or prefetched artifact into a bypass.
+
+:func:`build_world` assembles one scenario universe (testbed, victim
+document, client stack); :func:`run_matrix` sweeps the whole matrix and
+returns machine-checkable verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.attacks.adversary import AttackOutcome, run_attack_probe
+from repro.attacks.malicious_location import LyingLocationService
+from repro.attacks.malicious_server import (
+    ElementSwapBehavior,
+    ElementSwapRenamedBehavior,
+    HonestBehavior,
+    ImpostorBehavior,
+    MaliciousReplica,
+    StaleReplayBehavior,
+    TamperBehavior,
+)
+from repro.attacks.mitm import MitmTransport
+from repro.crypto.keys import KeyPair
+from repro.crypto.verifycache import VerificationCache
+from repro.globedoc.element import PageElement
+from repro.globedoc.owner import DocumentOwner
+from repro.harness.experiment import Testbed
+from repro.net.address import Endpoint
+from repro.obs import RingBufferSink, Tracer
+from repro.proxy.pipeline import PipelineConfig
+from repro.revocation.statement import RevocationStatement
+
+__all__ = [
+    "ELEMENTS",
+    "EVIL_MARKER",
+    "CLIENT_HOST",
+    "ATTACK_SITE",
+    "REVOCATION_STALENESS",
+    "Scenario",
+    "SCENARIOS",
+    "World",
+    "build_world",
+    "run_scenario",
+    "run_matrix",
+]
+
+ELEMENTS = {
+    "index.html": b"<html>genuine matrix page</html>",
+    "retraction.html": b"<html>genuine retraction</html>",
+}
+
+#: Bytes every attacker injects/serves; must never reach the caller.
+EVIL_MARKER = b"EVIL-PAYLOAD"
+
+CLIENT_HOST = "canardo.inria.fr"
+ATTACK_SITE = "root/europe/inria"
+
+#: Staleness window for the revocation scenario's stack (poll at half).
+REVOCATION_STALENESS = 30.0
+
+
+def _default_keys() -> KeyPair:
+    # RSA-1024 keeps matrix sweeps fast; the tests inject their own
+    # pre-generated key pool instead.
+    return KeyPair.generate(1024)
+
+
+class FlippedBytesBehavior(HonestBehavior):
+    """Flip one content byte — the minimal authenticity violation."""
+
+    def element(self, state, name):
+        element = state.element(name)
+        content = bytearray(element.content)
+        content[0] ^= 0xFF
+        return element.with_content(bytes(content) + EVIL_MARKER)
+
+
+@dataclass
+class World:
+    """One scenario's universe: testbed, victim document, client stack."""
+
+    testbed: Testbed
+    published: object
+    stack: object
+    ring: RingBufferSink
+    keys: Callable[[], KeyPair]
+    pipelined: bool = False
+
+    def deploy_replica(self, behavior) -> MaliciousReplica:
+        replica = MaliciousReplica(
+            host=CLIENT_HOST, document=self.published.document, behavior=behavior
+        )
+        self.testbed.network.register(
+            Endpoint(CLIENT_HOST, "objectserver"), replica.rpc_server().handle_frame
+        )
+        self.testbed.location_service.tree.insert(
+            self.published.owner.oid.hex, ATTACK_SITE, replica.contact_address()
+        )
+        return replica
+
+    def handle(self, url: str):
+        """Serve *url* through the mode under test: the pipelined batch
+        path when enabled, the plain sequential proxy otherwise."""
+        if self.pipelined:
+            return self.stack.proxy.handle_many([url])[0]
+        return self.stack.proxy.handle(url)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One tamper mode and the check that must reject it."""
+
+    id: str
+    expected_error: str
+    expected_span: str
+    deploy: Callable[[World], None]
+    #: Scenarios that need the seventh check build their stack with a
+    #: revocation checker attached (the rest keep the six-check pipeline).
+    revocation: bool = False
+
+
+def deploy_mitm(world: World) -> None:
+    # The stack's transport is a MitmTransport built with the rewriter
+    # disarmed (so the warm-up access is clean); arm it now.
+    world.stack.transport.rewrite = MitmTransport.content_injector(EVIL_MARKER)
+
+
+def deploy_tamper(world: World) -> None:
+    world.deploy_replica(TamperBehavior(target="index.html", payload=EVIL_MARKER))
+
+
+def deploy_flipped_bytes(world: World) -> None:
+    world.deploy_replica(FlippedBytesBehavior())
+
+
+def deploy_element_swap(world: World) -> None:
+    world.deploy_replica(
+        ElementSwapBehavior(
+            when_asked_for="index.html", serve_instead="retraction.html"
+        )
+    )
+
+
+def deploy_element_swap_renamed(world: World) -> None:
+    world.deploy_replica(
+        ElementSwapRenamedBehavior(
+            when_asked_for="index.html", serve_instead="retraction.html"
+        )
+    )
+
+
+def deploy_stale_replay(world: World) -> None:
+    # Re-sign the *current* elements with a certificate that expires in
+    # 60 s, replay it, and let the interval lapse: every signature still
+    # verifies, only the freshness check can object.
+    stale = world.published.owner.publish(validity=60.0)
+    world.deploy_replica(StaleReplayBehavior(stale))
+    world.testbed.clock.advance(61.0)
+
+
+def deploy_impostor(world: World) -> None:
+    impostor_owner = DocumentOwner(
+        "evil.example/fake", keys=world.keys(), clock=world.testbed.clock
+    )
+    impostor_owner.put_element(PageElement("index.html", EVIL_MARKER))
+    world.deploy_replica(ImpostorBehavior(impostor_owner.publish(validity=3600.0)))
+
+
+def deploy_lying_location(world: World) -> None:
+    impostor_owner = DocumentOwner(
+        "evil.example/fake", keys=world.keys(), clock=world.testbed.clock
+    )
+    impostor_owner.put_element(PageElement("index.html", EVIL_MARKER))
+    impostor = MaliciousReplica(
+        host=CLIENT_HOST,
+        document=world.published.document,
+        behavior=ImpostorBehavior(impostor_owner.publish(validity=3600.0)),
+        replica_id="impostor",
+    )
+    world.testbed.network.register(
+        Endpoint(CLIENT_HOST, "objectserver"), impostor.rpc_server().handle_frame
+    )
+    liar = LyingLocationService(world.testbed.location_service.tree)
+    liar.lie_about(
+        world.published.owner.oid.hex,
+        [impostor.contact_address()],
+        suppress_truth=True,
+    )
+    world.testbed.network.register(  # replaces the honest handler
+        world.testbed.location_endpoint, liar.rpc_server().handle_frame
+    )
+
+
+def deploy_compromised_key(world: World) -> None:
+    # The ultimate replay: an attacker who stole the object key serves
+    # the *genuine* document, bit-perfect, from a replica the six checks
+    # fully trust — only the revocation check can reject it. The owner
+    # publishes a key-scope statement to the feed; the serving replica
+    # never hears of it.
+    world.deploy_replica(HonestBehavior())
+    owner = world.published.owner
+    statement = RevocationStatement.revoke_key(
+        owner.keys,
+        owner.oid,
+        serial=1,
+        issued_at=world.testbed.clock.now(),
+        reason="object key compromised",
+    )
+    world.testbed.object_server.revocation_feed.publish(statement)
+    # Past the poll interval: the next check must refresh and see it.
+    world.testbed.clock.advance(REVOCATION_STALENESS / 2.0 + 1.0)
+
+
+SCENARIOS = [
+    Scenario("mitm_inject", "AuthenticityError", "check.element_hash", deploy_mitm),
+    Scenario("tamper", "AuthenticityError", "check.element_hash", deploy_tamper),
+    Scenario(
+        "flipped_bytes", "AuthenticityError", "check.element_hash",
+        deploy_flipped_bytes,
+    ),
+    Scenario(
+        "element_swap", "ConsistencyError", "check.consistency",
+        deploy_element_swap,
+    ),
+    Scenario(
+        "element_swap_renamed", "AuthenticityError", "check.element_hash",
+        deploy_element_swap_renamed,
+    ),
+    Scenario(
+        "stale_replay", "FreshnessError", "check.freshness", deploy_stale_replay
+    ),
+    Scenario(
+        "impostor_key", "AuthenticityError", "check.public_key", deploy_impostor
+    ),
+    Scenario(
+        "lying_location", "AuthenticityError", "check.public_key",
+        deploy_lying_location,
+    ),
+    Scenario(
+        "compromised_key_replay", "RevokedKeyError", "check.revocation",
+        deploy_compromised_key, revocation=True,
+    ),
+]
+
+
+def build_world(
+    revocation: bool = False,
+    key_factory: Optional[Callable[[], KeyPair]] = None,
+    pipeline: Optional[PipelineConfig] = None,
+) -> World:
+    keys = key_factory if key_factory is not None else _default_keys
+    testbed = Testbed()
+    owner = DocumentOwner("vu.nl/matrix", keys=keys(), clock=testbed.clock)
+    for name, content in ELEMENTS.items():
+        owner.put_element(PageElement(name, content))
+    published = testbed.publish(owner, validity=3600.0)
+
+    ring = RingBufferSink()
+    tracer = Tracer(clock=testbed.clock, sinks=(ring,))
+    # A disarmed MITM wrapper on every stack: scenarios that need it arm
+    # the rewriter, the rest pass traffic through untouched.
+    transport = MitmTransport(testbed.network.transport_for(CLIENT_HOST))
+    stack = testbed.client_stack(
+        CLIENT_HOST,
+        transport=transport,
+        verification_cache=VerificationCache(),
+        max_rebinds=0,  # fail closed: no silent failover to ginger
+        tracer=tracer,
+        revocation_max_staleness=REVOCATION_STALENESS if revocation else None,
+        pipeline=pipeline,
+    )
+    return World(
+        testbed=testbed,
+        published=published,
+        stack=stack,
+        ring=ring,
+        keys=keys,
+        pipelined=pipeline is not None,
+    )
+
+
+def run_scenario(
+    scenario: Scenario,
+    warm: bool,
+    key_factory: Optional[Callable[[], KeyPair]] = None,
+    pipeline: Optional[PipelineConfig] = None,
+) -> dict:
+    """One matrix cell; returns a machine-checkable verdict dict.
+
+    ``ok`` requires: the probe was *detected*, by the *exact* expected
+    error class, with zero attacker bytes in the response, and the
+    expected ``check.*`` span closed with that same error type.
+    """
+    world = build_world(
+        revocation=scenario.revocation, key_factory=key_factory, pipeline=pipeline
+    )
+    url = world.published.url("index.html")
+    warmup_ok = True
+    if warm:
+        # One honest access first: the VerificationCache now holds the
+        # genuine certificate's verdict. Then force a cold bind so the
+        # attacker (deployed at the client's own site) is found first.
+        warmup = world.handle(url)
+        warmup_ok = bool(warmup.ok) and warmup.content == ELEMENTS["index.html"]
+        world.stack.proxy.drop_all_sessions()
+        world.stack.location.invalidate(world.published.owner.oid)
+    scenario.deploy(world)
+    world.ring.clear()
+
+    probe = run_attack_probe(world, url, ELEMENTS["index.html"])
+
+    detected = probe.outcome is AttackOutcome.DETECTED
+    exact_error = probe.failure_type == scenario.expected_error
+    leaked = EVIL_MARKER in probe.response.content or any(
+        content in probe.response.content for content in ELEMENTS.values()
+    )
+    error_spans = [
+        span for span in world.ring.errors() if span.name == scenario.expected_span
+    ]
+    span_ok = bool(error_spans) and error_spans[-1].error_type == scenario.expected_error
+    return {
+        "scenario": scenario.id,
+        "warm": warm,
+        "pipelined": pipeline is not None,
+        "expected_error": scenario.expected_error,
+        "failure_type": probe.failure_type,
+        "detected": detected,
+        "exact_error": exact_error,
+        "unverified_bytes_leaked": leaked,
+        "span_ok": span_ok,
+        "ok": warmup_ok and detected and exact_error and not leaked and span_ok,
+    }
+
+
+def run_matrix(
+    key_factory: Optional[Callable[[], KeyPair]] = None,
+    pipeline: Optional[PipelineConfig] = None,
+    warm_states: Sequence[bool] = (False, True),
+    scenarios: Sequence[Scenario] = SCENARIOS,
+) -> List[dict]:
+    """The full matrix (scenarios × cold/warm) in one pipeline mode."""
+    return [
+        run_scenario(scenario, warm, key_factory=key_factory, pipeline=pipeline)
+        for scenario in scenarios
+        for warm in warm_states
+    ]

@@ -18,6 +18,7 @@ from repro.crypto.identity import (
 )
 from repro.crypto.merkle import MerkleTree, MerkleProof
 from repro.crypto.verifycache import VerificationCache, VerifyCacheStats
+from repro.crypto.batch import BatchItem, verify_batch
 
 __all__ = [
     "KeyPair",
@@ -38,4 +39,6 @@ __all__ = [
     "MerkleProof",
     "VerificationCache",
     "VerifyCacheStats",
+    "BatchItem",
+    "verify_batch",
 ]

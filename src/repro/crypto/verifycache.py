@@ -24,10 +24,16 @@ Entries carry an optional expiry (the certificate's ``not_after``):
 a hit past expiry is refused and the entry evicted, so a long-lived
 proxy does not replay verdicts for certificates it should re-examine.
 Both an entry count and a byte budget bound the cache (LRU eviction).
+
+The cache is thread-safe: table reads and writes are serialized by an
+internal lock (the concurrent TCP pipeline shares one cache across
+request threads), but the RSA operation itself runs *outside* the lock
+— concurrent misses may both pay the RSA cost, never corrupt the table.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -106,6 +112,7 @@ class VerificationCache:
         self.stats = VerifyCacheStats()
         self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
         self._bytes = 0
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Key construction
@@ -150,23 +157,24 @@ class VerificationCache:
         :attr:`digest_suite` or tamper evidence is lost.
         """
         cache_key = self._key(key, signature, payload, suite, payload_digest)
-        entry = self._entries.get(cache_key)
-        if entry is None:
-            self.stats.misses += 1
-            return False
-        if (
-            entry.expires_at is not None
-            and now is not None
-            and now > entry.expires_at
-        ):
-            self._evict(cache_key)
-            self.stats.invalidations += 1
-            self.stats.misses += 1
-            return False
-        self._entries.move_to_end(cache_key)
-        self.stats.hits += 1
-        self.stats.saved_seconds += entry.cost_seconds
-        return True
+        with self._lock:
+            entry = self._entries.get(cache_key)
+            if entry is None:
+                self.stats.misses += 1
+                return False
+            if (
+                entry.expires_at is not None
+                and now is not None
+                and now > entry.expires_at
+            ):
+                self._evict(cache_key)
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                return False
+            self._entries.move_to_end(cache_key)
+            self.stats.hits += 1
+            self.stats.saved_seconds += entry.cost_seconds
+            return True
 
     def record(
         self,
@@ -184,7 +192,6 @@ class VerificationCache:
         passed — the cache itself never verifies anything on record.
         """
         cache_key = self._key(key, signature, payload, suite, payload_digest)
-        self._evict(cache_key)
         nbytes = (
             sum(len(part) for part in cache_key[:1] + cache_key[2:])
             + len(suite.name)
@@ -192,16 +199,20 @@ class VerificationCache:
         )
         if nbytes > self.max_bytes:
             return
-        while self._entries and (
-            len(self._entries) >= self.max_entries
-            or self._bytes + nbytes > self.max_bytes
-        ):
-            self._evict(next(iter(self._entries)))
-            self.stats.evictions += 1
-        self._entries[cache_key] = _Entry(
-            nbytes=nbytes, cost_seconds=max(cost_seconds, 0.0), expires_at=expires_at
-        )
-        self._bytes += nbytes
+        with self._lock:
+            self._evict(cache_key)
+            while self._entries and (
+                len(self._entries) >= self.max_entries
+                or self._bytes + nbytes > self.max_bytes
+            ):
+                self._evict(next(iter(self._entries)))
+                self.stats.evictions += 1
+            self._entries[cache_key] = _Entry(
+                nbytes=nbytes,
+                cost_seconds=max(cost_seconds, 0.0),
+                expires_at=expires_at,
+            )
+            self._bytes += nbytes
 
     def verify(
         self,
@@ -249,25 +260,27 @@ class VerificationCache:
         issuer can no longer be trusted for. Returns entries removed.
         """
         fingerprint = key.fingerprint(self.digest_suite)
-        doomed = [
-            cache_key for cache_key in self._entries if cache_key[0] == fingerprint
-        ]
-        for cache_key in doomed:
-            self._evict(cache_key)
-        self.stats.invalidations += len(doomed)
-        return len(doomed)
+        with self._lock:
+            doomed = [
+                cache_key for cache_key in self._entries if cache_key[0] == fingerprint
+            ]
+            for cache_key in doomed:
+                self._evict(cache_key)
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
 
     def invalidate_expired(self, now: float) -> int:
         """Drop every entry whose certificate expiry has passed."""
-        doomed = [
-            cache_key
-            for cache_key, entry in self._entries.items()
-            if entry.expires_at is not None and now > entry.expires_at
-        ]
-        for cache_key in doomed:
-            self._evict(cache_key)
-        self.stats.invalidations += len(doomed)
-        return len(doomed)
+        with self._lock:
+            doomed = [
+                cache_key
+                for cache_key, entry in self._entries.items()
+                if entry.expires_at is not None and now > entry.expires_at
+            ]
+            for cache_key in doomed:
+                self._evict(cache_key)
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
 
     def _evict(self, cache_key: tuple) -> None:
         entry = self._entries.pop(cache_key, None)
@@ -275,15 +288,18 @@ class VerificationCache:
             self._bytes -= entry.nbytes
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def bytes_used(self) -> int:
-        return self._bytes
+        with self._lock:
+            return self._bytes
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

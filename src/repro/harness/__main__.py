@@ -68,7 +68,9 @@ def main(argv=None) -> int:
         elif target == "loadtest":
             _run_loadtest(seed=args.seed)
         elif target == "bench-security":
-            _run_bench_security(quick=args.quick, seed=args.seed, out=args.out)
+            code = _run_bench_security(quick=args.quick, seed=args.seed, out=args.out)
+            if code:
+                return code
         elif target == "chaos":
             code = _run_chaos(quick=args.quick, seed=args.seed, out=args.out)
             if code:
@@ -95,10 +97,17 @@ def main(argv=None) -> int:
     return 0
 
 
-def _run_bench_security(quick: bool, seed: int, out=None) -> None:
-    """Baseline-vs-fastpath security pipeline benchmark + JSON report."""
+def _run_bench_security(quick: bool, seed: int, out=None) -> int:
+    """Baseline-vs-fastpath + sequential-vs-pipelined security benchmark.
+
+    Runs the access pipeline in both modes (concurrent scheduler enabled
+    and disabled) and gates on the criteria: pipelined throughput at
+    least the concurrency target over sequential, zero unverified bytes,
+    and the adversarial conformance matrix green in both modes.
+    """
     from repro.harness.security_bench import (
         REPORT_NAME,
+        check_report,
         render_security_bench,
         run_security_bench,
         write_report,
@@ -109,7 +118,13 @@ def _run_bench_security(quick: bool, seed: int, out=None) -> None:
         out = pathlib.Path(__file__).resolve().parents[3] / REPORT_NAME
     write_report(report, out)
     print(render_security_bench(report))
-    print(f"\nreport written to {out}")
+    problems = check_report(report)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print(f"\nall security gates passed; report written to {out}")
+    return 0
 
 
 def _run_chaos(quick: bool, seed: int, out=None) -> int:

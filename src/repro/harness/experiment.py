@@ -41,6 +41,7 @@ from repro.net.topology import WanTopology, paper_testbed
 from repro.proxy.binding import Binder
 from repro.proxy.checks import SecurityChecker
 from repro.proxy.clientproxy import GlobeDocProxy
+from repro.proxy.pipeline import AccessScheduler, PipelineConfig, PrefetchingRpcClient
 from repro.revocation.checker import RevocationChecker
 from repro.server.admin import AdminClient
 from repro.server.objectserver import ObjectServer
@@ -89,6 +90,7 @@ class ClientStack:
     checker: SecurityChecker
     proxy: GlobeDocProxy
     revocation: Optional[RevocationChecker] = None
+    scheduler: Optional[AccessScheduler] = None
 
     def fresh_proxy(
         self, cache_binding: bool = True, require_identity: bool = False
@@ -271,6 +273,7 @@ class Testbed:
         revocation_max_staleness: Optional[float] = None,
         revocation_poll_interval: Optional[float] = None,
         metrics=None,
+        pipeline: Optional[PipelineConfig] = None,
     ) -> ClientStack:
         """Wire a full proxy stack on *host_name*.
 
@@ -293,7 +296,11 @@ class Testbed:
         ``metrics`` (default: the testbed's registry, else disabled)
         threads one shared :class:`~repro.obs.metrics.MetricsRegistry`
         through every layer; per-client gauges are labeled with
-        ``host_name``.
+        ``host_name``. ``pipeline`` (off by default) wraps the RPC
+        client in a :class:`~repro.proxy.pipeline.PrefetchingRpcClient`
+        and installs an :class:`~repro.proxy.pipeline.AccessScheduler`
+        on the proxy, enabling the concurrent batched access pipeline
+        behind ``proxy.handle_many``.
         """
         host = self.network.host(host_name)
         if metrics is None:
@@ -306,6 +313,10 @@ class Testbed:
                 rpc, retry_policy, clock=self.clock, health=health, tracer=tracer,
                 metrics=metrics,
             )
+        prefetcher = None
+        if pipeline is not None:
+            prefetcher = PrefetchingRpcClient(rpc, metrics=metrics, tracer=tracer)
+            rpc = prefetcher
         resolver = SecureResolver(
             rpc, self.naming_endpoint, self.naming.root_key, clock=self.clock
         )
@@ -348,6 +359,12 @@ class Testbed:
             metrics=metrics,
             metrics_client=host_name,
         )
+        scheduler = None
+        if prefetcher is not None:
+            scheduler = AccessScheduler(
+                proxy, prefetcher, config=pipeline, tracer=tracer, metrics=metrics
+            )
+            proxy.scheduler = scheduler
         return ClientStack(
             host=host,
             transport=transport,
@@ -358,6 +375,7 @@ class Testbed:
             checker=checker,
             proxy=proxy,
             revocation=revocation,
+            scheduler=scheduler,
         )
 
     def ssl_client(self, host_name: str) -> SslClient:

@@ -17,6 +17,7 @@ __all__ = [
     "aggregate_bench_reports",
     "render_bench_summary",
     "render_monitor_plane_section",
+    "render_concurrency_section",
 ]
 
 
@@ -114,7 +115,64 @@ def render_bench_summary(reports: Dict[str, dict]) -> str:
     monitor = reports.get("monitor_plane")
     if monitor is not None and "error" not in monitor:
         summary += "\n\n" + render_monitor_plane_section(monitor)
+    concurrency = render_concurrency_section(reports)
+    if concurrency:
+        summary += "\n\n" + concurrency
     return summary
+
+
+def render_concurrency_section(reports: Dict[str, dict]) -> str:
+    """Digest of the concurrent access pipeline across bench reports:
+    the security bench's throughput multiple and coalesce ratio, and the
+    trace profile's in-handle ``rpc.attempt`` share per mode.
+
+    Returns an empty string when neither report carries pipeline data
+    (older reports, or the targets have not run), so callers can append
+    conditionally. Tolerant of partial reports throughout.
+    """
+    lines: List[str] = []
+    security = reports.get("security_pipeline") or {}
+    concurrency = security.get("concurrency")
+    if isinstance(concurrency, dict):
+        pipelined = concurrency.get("pipelined") or {}
+        sequential = concurrency.get("sequential") or {}
+        multiple = concurrency.get("throughput_multiple")
+        if multiple is not None:
+            lines.append(
+                f"throughput multiple: {multiple:.2f}x "
+                f"({sequential.get('accesses_per_s', 0.0):.1f} -> "
+                f"{pipelined.get('accesses_per_s', 0.0):.1f} accesses/s)"
+            )
+        ratio = pipelined.get("coalesce_ratio")
+        if ratio is not None:
+            counters = pipelined.get("counters") or {}
+            lines.append(
+                f"coalesce ratio: {ratio:.2f} "
+                f"({counters.get('coalesced_calls', 0)} calls + "
+                f"{counters.get('coalesced_responses', 0)} responses over "
+                f"{pipelined.get('accesses', 0)} accesses)"
+            )
+        unverified = concurrency.get("unverified_responses")
+        if unverified is not None:
+            lines.append(f"unverified responses: {unverified}")
+    trace = reports.get("trace_profile") or {}
+    comparison = trace.get("pipeline_comparison")
+    if isinstance(comparison, dict):
+        sequential = comparison.get("sequential") or {}
+        pipelined = comparison.get("pipelined") or {}
+        seq_share = sequential.get("rpc_attempt_share")
+        pipe_share = pipelined.get("rpc_attempt_share")
+        if seq_share is not None and pipe_share is not None:
+            lines.append(
+                f"rpc.attempt in-handle share: {seq_share:.3f} sequential -> "
+                f"{pipe_share:.3f} pipelined"
+            )
+        speedup = comparison.get("speedup")
+        if speedup is not None:
+            lines.append(f"trace-workload speedup: {speedup:.2f}x")
+    if not lines:
+        return ""
+    return "Concurrent access pipeline\n" + "\n".join(f"  {line}" for line in lines)
 
 
 def render_monitor_plane_section(report: dict) -> str:

@@ -47,6 +47,7 @@ from repro.globedoc.oid import ObjectId
 from repro.globedoc.owner import DocumentOwner
 from repro.harness.experiment import Testbed
 from repro.proxy.metrics import AccessTimer
+from repro.proxy.pipeline import PipelineConfig
 from repro.sim.random import make_rng
 from repro.util.encoding import canonical_bytes
 from repro.util.sizes import KB
@@ -55,15 +56,23 @@ from repro.workloads.generator import make_content
 
 __all__ = [
     "run_security_bench",
+    "run_concurrency_bench",
+    "run_conformance_bench",
     "evaluate_criteria",
+    "check_report",
     "write_report",
     "WARM_SPEEDUP_TARGET",
+    "CONCURRENCY_TARGET",
     "REPORT_NAME",
 ]
 
 #: Acceptance threshold: warm certificate verification must beat cold
 #: by at least this factor.
 WARM_SPEEDUP_TARGET = 5.0
+
+#: Acceptance threshold: the concurrent pipeline must deliver at least
+#: this many times the sequential path's accesses/second.
+CONCURRENCY_TARGET = 2.0
 
 #: Default report file name (written at the repository root by the CLI).
 REPORT_NAME = "BENCH_security_pipeline.json"
@@ -297,22 +306,209 @@ def run_pipeline_bench(quick: bool = False, seed: int = 0) -> Dict[str, object]:
 
 
 # ----------------------------------------------------------------------
+# Concurrency benchmark (pipelined vs sequential batch, simulated time)
+# ----------------------------------------------------------------------
+
+#: Batch shape for the concurrency section: a site of this many
+#: documents, each with this many page elements of this size, plus
+#: duplicate requests for the hottest element of every document.
+CONCURRENCY_OBJECTS = 3
+CONCURRENCY_ELEMENTS = 6
+CONCURRENCY_ELEMENT_BYTES = 8 * KB
+CONCURRENCY_HOT_DUPLICATES = 3
+
+
+def _publish_concurrency_site(testbed: Testbed, seed: int):
+    """*CONCURRENCY_OBJECTS* documents; returns (urls, expected bytes)."""
+    urls: List[str] = []
+    expected: List[bytes] = []
+    hot: List[tuple] = []
+    for i in range(CONCURRENCY_OBJECTS):
+        owner = DocumentOwner(
+            f"vu.nl/conc{i}", keys=KeyPair.generate(), clock=testbed.clock
+        )
+        contents = {}
+        for j in range(CONCURRENCY_ELEMENTS):
+            content = make_content(
+                CONCURRENCY_ELEMENT_BYTES, make_rng(seed * 1009 + i * 101 + j)
+            )
+            contents[f"e{j}.html"] = content
+            owner.put_element(PageElement(f"e{j}.html", content))
+        published = testbed.publish(owner, validity=7 * 24 * 3600.0)
+        for name, content in contents.items():
+            urls.append(published.url(name))
+            expected.append(content)
+        hot.append((published.url("e0.html"), contents["e0.html"]))
+    # The hot tail: the same first element of every document requested
+    # again in the same batch — the coalescing path's workload.
+    for url, content in hot[:CONCURRENCY_HOT_DUPLICATES]:
+        urls.append(url)
+        expected.append(content)
+    return urls, expected
+
+
+def _run_concurrency_mode(
+    pipelined: bool, waves: int, seed: int
+) -> Dict[str, object]:
+    """One mode, *waves* batches; sessions dropped between waves so
+    every wave pays establishment (the steady-state browse pattern of a
+    proxy whose sessions age out)."""
+    testbed = Testbed()
+    urls, expected = _publish_concurrency_site(testbed, seed)
+    stack = testbed.client_stack(
+        PIPELINE_CLIENT,
+        verification_cache=VerificationCache(),
+        pipeline=PipelineConfig() if pipelined else None,
+    )
+    accesses = 0
+    unverified = 0
+    failures = 0
+    start = testbed.clock.now()
+    for _ in range(waves):
+        responses = stack.proxy.handle_many(urls)
+        for response, want in zip(responses, expected):
+            accesses += 1
+            if not response.ok:
+                failures += 1
+            elif response.content != want:
+                # A 200 with wrong bytes = unverified data delivered.
+                unverified += 1
+        stack.proxy.drop_all_sessions()
+    elapsed = testbed.clock.now() - start
+    result: Dict[str, object] = {
+        "pipelined": pipelined,
+        "waves": waves,
+        "accesses": accesses,
+        "elapsed_s": elapsed,
+        "accesses_per_s": accesses / elapsed if elapsed else float("inf"),
+        "failures": failures,
+        "unverified_responses": unverified,
+    }
+    if pipelined and stack.scheduler is not None:
+        counters = stack.scheduler.counters
+        result["counters"] = {
+            "prefetched": counters.prefetched,
+            "prefetch_hits": counters.prefetch_hits,
+            "prefetch_misses": counters.prefetch_misses,
+            "coalesced_calls": counters.coalesced_calls,
+            "coalesced_responses": counters.coalesced_responses,
+            "speculations": counters.speculations,
+            "mispredictions": counters.mispredictions,
+            "waves": counters.waves,
+        }
+        requests = accesses
+        result["coalesce_ratio"] = (
+            (counters.coalesced_responses + counters.coalesced_calls) / requests
+            if requests
+            else 0.0
+        )
+    return result
+
+
+def run_concurrency_bench(quick: bool = False, seed: int = 0) -> Dict[str, object]:
+    """Sequential loop vs concurrent pipeline over the same batch.
+
+    Both modes run the identical stack configuration (shared
+    :class:`VerificationCache`, default content cache, retry layer) on
+    identical content; the only variable is the
+    :class:`~repro.proxy.pipeline.AccessScheduler`. Times are simulated
+    seconds, so the comparison is deterministic: the pipeline wins by
+    overlapping WAN round trips (max-of-parallel), not by CPU luck.
+    """
+    waves = 2 if quick else 4
+    sequential = _run_concurrency_mode(pipelined=False, waves=waves, seed=seed)
+    pipelined = _run_concurrency_mode(pipelined=True, waves=waves, seed=seed)
+    seq_rate = sequential["accesses_per_s"]
+    pipe_rate = pipelined["accesses_per_s"]
+    return {
+        "objects": CONCURRENCY_OBJECTS,
+        "elements_per_object": CONCURRENCY_ELEMENTS,
+        "element_bytes": CONCURRENCY_ELEMENT_BYTES,
+        "hot_duplicates": CONCURRENCY_HOT_DUPLICATES,
+        "client": PIPELINE_CLIENT,
+        "sequential": sequential,
+        "pipelined": pipelined,
+        "throughput_multiple": pipe_rate / seq_rate if seq_rate else float("inf"),
+        "unverified_responses": (
+            sequential["unverified_responses"] + pipelined["unverified_responses"]
+        ),
+        "failures": sequential["failures"] + pipelined["failures"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Conformance matrix (every tamper mode, both pipeline modes)
+# ----------------------------------------------------------------------
+
+
+def run_conformance_bench(quick: bool = False) -> Dict[str, object]:
+    """The full adversarial matrix, pipeline disabled *and* enabled.
+
+    Every scenario × {cold, warm} must be rejected by the exact expected
+    :class:`~repro.errors.SecurityError` subclass with zero attacker
+    bytes delivered — in both modes. The scenarios are the same objects
+    the integration tests parametrize over, so a green bench is the same
+    statement as a green test matrix.
+    """
+    from repro.attacks.scenarios import run_matrix
+
+    # A small cycled key pool keeps the sweep fast while guaranteeing
+    # the impostor scenarios draw a key distinct from the victim's.
+    pool = [KeyPair.generate(1024) for _ in range(4)]
+    state = {"next": 0}
+
+    def key_factory() -> KeyPair:
+        keys = pool[state["next"] % len(pool)]
+        state["next"] += 1
+        return keys
+
+    modes: Dict[str, object] = {}
+    for label, pipeline in (("sequential", None), ("pipelined", PipelineConfig())):
+        cells = run_matrix(key_factory=key_factory, pipeline=pipeline)
+        modes[label] = {
+            "cells": len(cells),
+            "passed": sum(1 for cell in cells if cell["ok"]),
+            "unverified_bytes_leaked": sum(
+                1 for cell in cells if cell["unverified_bytes_leaked"]
+            ),
+            "failing": [
+                {
+                    "scenario": cell["scenario"],
+                    "warm": cell["warm"],
+                    "expected_error": cell["expected_error"],
+                    "failure_type": cell["failure_type"],
+                }
+                for cell in cells
+                if not cell["ok"]
+            ],
+        }
+    return modes
+
+
+# ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
 
 
-def evaluate_criteria(pipeline: Dict[str, object]) -> Dict[str, object]:
-    """The pass/fail gate over one pipeline-bench result.
+def evaluate_criteria(
+    pipeline: Dict[str, object],
+    concurrency: Optional[Dict[str, object]] = None,
+    conformance: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The pass/fail gate over one bench run's results.
 
     Pure so the gate logic is unit-testable without running the bench:
     warm certificate verification must beat cold by
-    :data:`WARM_SPEEDUP_TARGET`, and the fast-path run must not be
-    slower than the baseline overall.
+    :data:`WARM_SPEEDUP_TARGET`, the fast-path run must not be slower
+    than the baseline overall, the concurrent pipeline must deliver at
+    least :data:`CONCURRENCY_TARGET` times the sequential throughput
+    with zero unverified bytes, and the adversarial matrix must be
+    green in both pipeline modes.
     """
     warm_speedup = pipeline["warm"]["speedup"]  # type: ignore[index]
     fastpath_total = pipeline["fastpath"]["total_ms_mean"]  # type: ignore[index]
     baseline_total = pipeline["baseline"]["total_ms_mean"]  # type: ignore[index]
-    return {
+    criteria: Dict[str, object] = {
         "warm_speedup": warm_speedup,
         "warm_speedup_target": WARM_SPEEDUP_TARGET,
         "warm_speedup_ok": warm_speedup >= WARM_SPEEDUP_TARGET,
@@ -320,19 +516,80 @@ def evaluate_criteria(pipeline: Dict[str, object]) -> Dict[str, object]:
         "baseline_total_ms": baseline_total,
         "fastpath_not_slower": fastpath_total <= baseline_total,
     }
+    if concurrency is not None:
+        multiple = concurrency["throughput_multiple"]
+        criteria.update(
+            {
+                "concurrency_multiple": multiple,
+                "concurrency_target": CONCURRENCY_TARGET,
+                "concurrency_multiple_ok": multiple >= CONCURRENCY_TARGET,
+                "zero_unverified_bytes": (
+                    concurrency["unverified_responses"] == 0
+                    and concurrency["failures"] == 0
+                ),
+            }
+        )
+    if conformance is not None:
+        for label in ("sequential", "pipelined"):
+            mode = conformance[label]
+            criteria[f"conformance_{label}_ok"] = (
+                mode["passed"] == mode["cells"]
+                and mode["unverified_bytes_leaked"] == 0
+            )
+    return criteria
+
+
+def check_report(report: Dict[str, object]) -> List[str]:
+    """Every failed gate in *report*, as human-readable problems."""
+    criteria = report["criteria"]
+    problems: List[str] = []
+
+    def gate(key: str, message: str) -> None:
+        if key in criteria and not criteria[key]:
+            problems.append(message)
+
+    gate(
+        "warm_speedup_ok",
+        f"warm verification speedup {criteria['warm_speedup']:.1f}x "
+        f"below target {WARM_SPEEDUP_TARGET:.0f}x",
+    )
+    gate("fastpath_not_slower", "fast-path run slower than baseline")
+    if "concurrency_multiple_ok" in criteria:
+        gate(
+            "concurrency_multiple_ok",
+            f"pipeline throughput multiple "
+            f"{criteria['concurrency_multiple']:.2f}x below target "
+            f"{CONCURRENCY_TARGET:.1f}x",
+        )
+        gate(
+            "zero_unverified_bytes",
+            "unverified or failed responses in the concurrency workload",
+        )
+    for label in ("sequential", "pipelined"):
+        gate(
+            f"conformance_{label}_ok",
+            f"conformance matrix not green with pipeline {label}",
+        )
+    return problems
 
 
 def run_security_bench(quick: bool = False, seed: int = 0) -> Dict[str, object]:
-    """The full report: micro + pipeline + pass/fail criteria."""
+    """The full report: micro + pipeline + concurrency + conformance."""
     micro = run_micro_benches(quick=quick)
     pipeline = run_pipeline_bench(quick=quick, seed=seed)
+    concurrency = run_concurrency_bench(quick=quick, seed=seed)
+    conformance = run_conformance_bench(quick=quick)
     return {
         "name": "security_pipeline",
         "generated_by": "python -m repro.harness bench-security",
         "quick": quick,
         "micro": micro,
         "pipeline": pipeline,
-        "criteria": evaluate_criteria(pipeline),
+        "concurrency": concurrency,
+        "conformance": conformance,
+        "criteria": evaluate_criteria(
+            pipeline, concurrency=concurrency, conformance=conformance
+        ),
     }
 
 
@@ -376,4 +633,59 @@ def render_security_bench(report: Dict[str, object]) -> str:
         f" fastpath not slower -> "
         f"{'PASS' if criteria['fastpath_not_slower'] else 'FAIL'}",
     ]
+    concurrency = report.get("concurrency")
+    if concurrency is not None:
+        sequential = concurrency["sequential"]
+        pipelined = concurrency["pipelined"]
+        counters = pipelined.get("counters", {})
+        lines += [
+            "",
+            f"  concurrency ({concurrency['objects']} objects x "
+            f"{concurrency['elements_per_object']} elements x "
+            f"{concurrency['element_bytes'] // KB} KB"
+            f" + {concurrency['hot_duplicates']} hot duplicates,"
+            f" {sequential['waves']} waves, simulated time):",
+            f"    sequential             {sequential['accesses_per_s']:8.1f}"
+            " accesses/s",
+            f"    pipelined              {pipelined['accesses_per_s']:8.1f}"
+            " accesses/s"
+            f"    ({concurrency['throughput_multiple']:.2f}x)",
+            f"    prefetch hits/parked   {counters.get('prefetch_hits', 0):8d}"
+            f"  /{counters.get('prefetched', 0):8d}"
+            f"   coalesced {counters.get('coalesced_calls', 0)} calls"
+            f" + {counters.get('coalesced_responses', 0)} responses"
+            f"  (ratio {pipelined.get('coalesce_ratio', 0.0):.2f})",
+            f"    unverified responses   "
+            f"{concurrency['unverified_responses']:8d}"
+            f"   failures {concurrency['failures']}",
+        ]
+    conformance = report.get("conformance")
+    if conformance is not None:
+        lines.append("")
+        lines.append("  conformance matrix (cold + warm, every tamper mode):")
+        for label in ("sequential", "pipelined"):
+            mode = conformance[label]
+            verdict = (
+                "PASS"
+                if mode["passed"] == mode["cells"]
+                and mode["unverified_bytes_leaked"] == 0
+                else "FAIL"
+            )
+            lines.append(
+                f"    {label:<11}{mode['passed']:>3}/{mode['cells']} cells,"
+                f" {mode['unverified_bytes_leaked']} leaks -> {verdict}"
+            )
+    gates = [
+        ("concurrency_multiple_ok", "throughput multiple"),
+        ("zero_unverified_bytes", "zero unverified bytes"),
+        ("conformance_sequential_ok", "matrix sequential"),
+        ("conformance_pipelined_ok", "matrix pipelined"),
+    ]
+    extra = [
+        f"{name} -> {'PASS' if criteria[key] else 'FAIL'}"
+        for key, name in gates
+        if key in criteria
+    ]
+    if extra:
+        lines += ["", "  gates: " + "; ".join(extra)]
     return "\n".join(lines)

@@ -50,6 +50,7 @@ from repro.net.faults import FaultPlan, FlakyTransport
 from repro.net.retry import RetryPolicy
 from repro.obs import RingBufferSink, SpanStats, Tracer
 from repro.proxy.contentcache import ContentCache
+from repro.proxy.pipeline import PipelineConfig
 from repro.sim.clock import SimClock
 from repro.sim.random import derive_seed
 
@@ -114,6 +115,108 @@ def _make_document(testbed: Testbed, name: str, **publish_kwargs):
     for element_name, content in ELEMENTS.items():
         owner.put_element(PageElement(element_name, content))
     return testbed.publish(owner, **publish_kwargs)
+
+
+def _attempt_share(ring: RingBufferSink) -> Dict[str, float]:
+    """How much ``rpc.attempt`` time sits *inside* ``proxy.handle``.
+
+    Spans carry parent links, so each attempt can be attributed: an
+    attempt whose ancestor chain reaches ``proxy.handle`` blocked an
+    access being served; one under ``pipeline.schedule``'s prefetch ran
+    off the serving path. The *share* is in-handle attempt time over
+    total handle time — the fraction of request handling spent waiting
+    on the wire, which is exactly what the concurrent pipeline exists to
+    shrink.
+    """
+    spans = ring.spans
+    by_id = {span.span_id: span for span in spans}
+    handle_total = 0.0
+    attempt_total = 0.0
+    attempt_in_handle = 0.0
+    for span in spans:
+        if span.name == "proxy.handle":
+            handle_total += span.duration
+        elif span.name == "rpc.attempt":
+            attempt_total += span.duration
+            parent = span.parent_id
+            while parent is not None:
+                ancestor = by_id.get(parent)
+                if ancestor is None:
+                    break
+                if ancestor.name == "proxy.handle":
+                    attempt_in_handle += span.duration
+                    break
+                parent = ancestor.parent_id
+    return {
+        "handle_total_s": handle_total,
+        "rpc_attempt_total_s": attempt_total,
+        "rpc_attempt_in_handle_s": attempt_in_handle,
+        "rpc_attempt_share": (
+            attempt_in_handle / handle_total if handle_total else 0.0
+        ),
+    }
+
+
+def _run_pipeline_mode(
+    pipelined: bool, waves: int, seed: int
+) -> Dict[str, object]:
+    """One mode of the pipeline comparison: same document, same waves,
+    fresh testbed/clock/tracer, retry layer enabled in both."""
+    ring = RingBufferSink(capacity=8192)
+    stats = SpanStats()
+    clock = SimClock()
+    tracer = Tracer(clock=clock, sinks=(ring, stats))
+    testbed = Testbed(clock=clock, tracer=tracer)
+    published = _make_document(testbed, "vu.nl/trace-pipe", validity=7 * 24 * 3600.0)
+    stack = testbed.client_stack(
+        CLIENT_HOST,
+        verification_cache=VerificationCache(),
+        retry_policy=RetryPolicy(
+            max_attempts=3, base_delay=0.02, seed=derive_seed(seed, "pipe-retry")
+        ),
+        tracer=tracer,
+        pipeline=PipelineConfig() if pipelined else None,
+    )
+    urls = [published.url(name) for name in ELEMENTS]
+    ok = 0
+    start = clock.now()
+    for _ in range(waves):
+        responses = stack.proxy.handle_many(urls)
+        ok += sum(1 for response in responses if response.ok)
+        stack.proxy.drop_all_sessions()
+    elapsed = clock.now() - start
+    phases = stats.stats()
+    result: Dict[str, object] = {
+        "pipelined": pipelined,
+        "requests": waves * len(urls),
+        "ok": ok,
+        "elapsed_s": elapsed,
+        "pipeline_spans": {
+            name: phases[name]["count"]
+            for name in ("pipeline.schedule", "pipeline.prefetch", "pipeline.batch_verify")
+            if name in phases
+        },
+    }
+    result.update(_attempt_share(ring))
+    return result
+
+
+def run_pipeline_comparison(quick: bool = False, seed: int = 0) -> Dict[str, object]:
+    """Sequential vs concurrent pipeline over the traced document."""
+    waves = 3 if quick else 6
+    sequential = _run_pipeline_mode(pipelined=False, waves=waves, seed=seed)
+    pipelined = _run_pipeline_mode(pipelined=True, waves=waves, seed=seed)
+    return {
+        "waves": waves,
+        "requests_per_wave": len(ELEMENTS),
+        "sequential": sequential,
+        "pipelined": pipelined,
+        "speedup": (
+            sequential["elapsed_s"] / pipelined["elapsed_s"]
+            if pipelined["elapsed_s"]
+            else float("inf")
+        ),
+    }
 
 
 def run_trace(quick: bool = False, seed: int = 0) -> dict:
@@ -252,6 +355,9 @@ def run_trace(quick: bool = False, seed: int = 0) -> dict:
         ELEMENTS["index.html"],
     )
 
+    # ------------------------------------------------- pipeline modes
+    pipeline_comparison = run_pipeline_comparison(quick=quick, seed=seed)
+
     # ------------------------------------------------------------ report
     phases = stats.stats()
     span_total = phases.get("proxy.handle", {}).get("total_s", 0.0)
@@ -269,6 +375,7 @@ def run_trace(quick: bool = False, seed: int = 0) -> dict:
             "elements": len(ELEMENTS),
         },
         "phases": phases,
+        "pipeline_comparison": pipeline_comparison,
         "slowest_spans": [span.to_dict() for span in ring.slowest(15)],
         "spans_seen": ring.seen,
         "spans_dropped": ring.dropped,
@@ -317,6 +424,31 @@ def check_report(report: dict) -> List[str]:
             f"span/metrics consistency ratio {ratio:.4f} outside "
             f"1 ± {CONSISTENCY_TOLERANCE}"
         )
+    comparison = report.get("pipeline_comparison")
+    if comparison is not None:
+        sequential = comparison["sequential"]
+        pipelined = comparison["pipelined"]
+        for mode in (sequential, pipelined):
+            if mode.get("ok") != mode.get("requests"):
+                problems.append(
+                    f"pipeline-comparison workload degraded "
+                    f"({'pipelined' if mode.get('pipelined') else 'sequential'}: "
+                    f"{mode.get('ok')}/{mode.get('requests')} ok)"
+                )
+        if pipelined["rpc_attempt_share"] >= sequential["rpc_attempt_share"]:
+            problems.append(
+                "pipelined rpc.attempt share of proxy.handle did not shrink: "
+                f"{pipelined['rpc_attempt_share']:.3f} vs sequential "
+                f"{sequential['rpc_attempt_share']:.3f}"
+            )
+        if pipelined["elapsed_s"] > sequential["elapsed_s"]:
+            problems.append(
+                "pipelined workload slower than sequential: "
+                f"{pipelined['elapsed_s']:.3f} s vs {sequential['elapsed_s']:.3f} s"
+            )
+        for name in ("pipeline.schedule", "pipeline.prefetch", "pipeline.batch_verify"):
+            if not pipelined.get("pipeline_spans", {}).get(name):
+                problems.append(f"no {name!r} spans recorded in pipelined mode")
     return problems
 
 
@@ -356,6 +488,18 @@ def render_trace(report: dict) -> str:
         f"metrics {consistency['metrics_total_s']:.3f} s "
         f"(ratio {consistency['ratio']:.4f})"
     )
+    comparison = report.get("pipeline_comparison")
+    if comparison is not None:
+        lines.append("")
+        lines.append("pipeline comparison (same waves, retry on, simulated time):")
+        for mode in (comparison["sequential"], comparison["pipelined"]):
+            label = "pipelined" if mode["pipelined"] else "sequential"
+            lines.append(
+                f"  {label:<11}{mode['elapsed_s']:8.3f} s elapsed,"
+                f" rpc.attempt in-handle share {mode['rpc_attempt_share']:.3f}"
+                f" ({mode['ok']}/{mode['requests']} ok)"
+            )
+        lines.append(f"  speedup: {comparison['speedup']:.2f}x")
     return "\n".join(lines)
 
 

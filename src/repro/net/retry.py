@@ -28,9 +28,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Sequence
 
 from repro.errors import RpcError, SecurityError, TransportError
+from repro.net.rpc import BatchCall, BatchOutcome, DEFAULT_WINDOW
 from repro.obs import NOOP_METRICS, NOOP_TRACER
 from repro.sim.clock import Clock, RealClock
 from repro.sim.random import make_rng
@@ -222,6 +223,80 @@ class RetryingRpcClient:
             self.counters.backoff_seconds += delay
             self._m_retries.inc()
             self._m_backoff.inc(delay)
+
+    def call_many(
+        self, calls: Sequence[BatchCall], window: int = DEFAULT_WINDOW
+    ) -> List[BatchOutcome]:
+        """Pipelined batch with round-based retries.
+
+        Round 1 issues every call through the inner client's
+        ``call_many``; failed slots that are retryable (idempotent op,
+        operational error, attempts and deadline remaining) go into the
+        next round after *one* shared backoff wait — the max of the
+        per-call delays, since the waits would overlap in flight just
+        like the calls do. Security errors fail closed per slot and are
+        never re-issued; every slot's outcome feeds the health tracker
+        exactly as single calls do.
+        """
+        policy = self.policy
+        calls = list(calls)
+        results: List[Optional[BatchOutcome]] = [None] * len(calls)
+        pending = list(enumerate(calls))
+        start = self.clock.now()
+        attempt = 0
+        while pending:
+            attempt += 1
+            with self.tracer.span(
+                "rpc.attempt", op="<batch>", calls=len(pending), attempt=attempt
+            ) as span:
+                outcomes = self.inner.call_many(
+                    [call for _, call in pending], window=window
+                )
+                next_pending = []
+                round_delay = 0.0
+                for (index, call), outcome in zip(pending, outcomes):
+                    if outcome.ok:
+                        self._note_success(call.target)
+                        results[index] = outcome
+                        continue
+                    error = outcome.error
+                    if isinstance(error, SecurityError):
+                        # Fail closed, never retried (see call()).
+                        self._note_failure(call.target)
+                        results[index] = outcome
+                        continue
+                    if not isinstance(error, (TransportError, RpcError)):
+                        results[index] = outcome
+                        continue
+                    self._note_failure(call.target)
+                    retryable = (
+                        self._idempotent(call.op) and attempt < policy.max_attempts
+                    )
+                    if retryable:
+                        delay = policy.delay_for(attempt, self._rng)
+                        if (
+                            policy.deadline is not None
+                            and (self.clock.now() - start) + delay > policy.deadline
+                        ):
+                            retryable = False
+                        else:
+                            next_pending.append((index, call))
+                            round_delay = max(round_delay, delay)
+                    if not retryable:
+                        self.counters.giveups += 1
+                        self._m_giveups.inc()
+                        results[index] = outcome
+                span.set_attribute("retrying", len(next_pending))
+                if next_pending:
+                    span.set_attribute("backoff_s", round_delay)
+            pending = next_pending
+            if pending:
+                self._wait(round_delay)
+                self.counters.retries += len(pending)
+                self.counters.backoff_seconds += round_delay
+                self._m_retries.inc(len(pending))
+                self._m_backoff.inc(round_delay)
+        return [outcome for outcome in results if outcome is not None]
 
     # ------------------------------------------------------------------
 

@@ -10,7 +10,8 @@ proper :mod:`repro.errors` types so attack detection survives the wire.
 from __future__ import annotations
 
 import logging
-from typing import Any, Callable, Dict, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 import repro.errors as _errors
 from repro.errors import RpcError, TransportError
@@ -19,7 +20,17 @@ from repro.net.message import Request, Response
 from repro.net.transport import Transport
 from repro.obs import NOOP_METRICS, NOOP_TRACER
 
-__all__ = ["RpcServer", "RpcClient", "rpc_method"]
+__all__ = [
+    "RpcServer",
+    "RpcClient",
+    "BatchCall",
+    "BatchOutcome",
+    "rpc_method",
+    "DEFAULT_WINDOW",
+]
+
+#: Default cap on RPCs a pipelined batch keeps in flight at once.
+DEFAULT_WINDOW = 8
 
 logger = logging.getLogger(__name__)
 
@@ -123,6 +134,33 @@ class RpcServer:
             return Response.success(value).to_bytes()
 
 
+@dataclass(frozen=True)
+class BatchCall:
+    """One invocation in a pipelined batch (target + op + args)."""
+
+    target: Any  # Endpoint or ContactAddress
+    op: str
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class BatchOutcome:
+    """Result slot of one :class:`BatchCall`: a value or an exception.
+
+    Batched calls never raise per-call — a failed call's outcome carries
+    the rehydrated exception so the caller (retry layer, scheduler)
+    decides what to do with each slot.
+    """
+
+    call: BatchCall
+    value: Any = None
+    error: Optional[Exception] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
 # Error classes that are re-raised with their original type client-side.
 _REHYDRATABLE = {
     name: getattr(_errors, name)
@@ -158,6 +196,10 @@ class RpcClient:
             "Per-call wire latency (clock-charged seconds), by operation.",
             labelnames=("op",),
         )
+        self._m_inflight = self.metrics.gauge(
+            "rpc_inflight",
+            "RPC requests currently in flight in a pipelined batch.",
+        )
 
     def call(self, target, op: str, **args: Any) -> Any:
         """Invoke *op* at *target* (an Endpoint or ContactAddress)."""
@@ -188,3 +230,90 @@ class RpcClient:
             if exc_cls is not None:
                 raise exc_cls(response.error)
             raise RpcError(f"{response.error_type or 'RemoteError'}: {response.error}")
+
+    # ------------------------------------------------------------------
+    # Pipelined batches
+    # ------------------------------------------------------------------
+
+    def call_many(
+        self, calls: Sequence[BatchCall], window: int = DEFAULT_WINDOW
+    ) -> List[BatchOutcome]:
+        """Issue a batch of calls, at most *window* in flight at once.
+
+        When the transport supports concurrent requests (``request_many``
+        — the simulated WAN charges max-of-parallel, the TCP transport
+        fans out over pooled connections), each window of calls travels
+        together under one ``rpc.call_many`` span. Wrapper transports
+        without batch support (fault injection, MITM) degrade to
+        sequential :meth:`call` — same outcomes, serial cost.
+
+        Outcomes align with *calls*; per-call failures are captured in
+        the outcome's ``error`` (rehydrated to the proper
+        :mod:`repro.errors` type), never raised.
+        """
+        calls = list(calls)
+        if window < 1:
+            raise RpcError(f"pipeline window must be >= 1, got {window}")
+        request_many = getattr(self.transport, "request_many", None)
+        if request_many is None:
+            return [self._call_outcome(call) for call in calls]
+        outcomes: List[BatchOutcome] = []
+        for start in range(0, len(calls), window):
+            chunk = calls[start : start + window]
+            with self.tracer.span("rpc.call_many", calls=len(chunk)) as span:
+                prepared = []
+                for call in chunk:
+                    endpoint = (
+                        call.target.endpoint
+                        if isinstance(call.target, ContactAddress)
+                        else call.target
+                    )
+                    if not isinstance(endpoint, Endpoint):
+                        raise RpcError(f"invalid RPC target: {call.target!r}")
+                    wire = Request(op=call.op, args=dict(call.args)).to_bytes()
+                    prepared.append((call, endpoint, wire))
+                self._m_inflight.set(len(prepared))
+                try:
+                    raw = request_many([(ep, wire) for _, ep, wire in prepared])
+                finally:
+                    self._m_inflight.set(0)
+                errors = 0
+                for (call, _, _), frame in zip(prepared, raw):
+                    outcome = self._decode_outcome(call, frame)
+                    if not outcome.ok:
+                        errors += 1
+                    outcomes.append(outcome)
+                span.set_attribute("errors", errors)
+        return outcomes
+
+    def _call_outcome(self, call: BatchCall) -> BatchOutcome:
+        """Sequential fallback: one :meth:`call`, exception captured."""
+        try:
+            value = self.call(call.target, call.op, **dict(call.args))
+        except Exception as exc:
+            return BatchOutcome(call=call, error=exc)
+        return BatchOutcome(call=call, value=value)
+
+    def _decode_outcome(self, call: BatchCall, frame) -> BatchOutcome:
+        """Turn one raw transport slot into a :class:`BatchOutcome`."""
+        if isinstance(frame, Exception):
+            self._m_calls.labels(op=call.op, outcome="error").inc()
+            return BatchOutcome(call=call, error=frame)
+        try:
+            response = Response.from_bytes(frame)
+        except Exception as exc:
+            self._m_calls.labels(op=call.op, outcome="error").inc()
+            return BatchOutcome(
+                call=call, error=TransportError(f"bad response frame: {exc}")
+            )
+        if response.ok:
+            self._m_calls.labels(op=call.op, outcome="ok").inc()
+            return BatchOutcome(call=call, value=response.value)
+        self._m_calls.labels(op=call.op, outcome="error").inc()
+        exc_cls = _REHYDRATABLE.get(response.error_type)
+        if exc_cls is not None:
+            return BatchOutcome(call=call, error=exc_cls(response.error))
+        return BatchOutcome(
+            call=call,
+            error=RpcError(f"{response.error_type or 'RemoteError'}: {response.error}"),
+        )

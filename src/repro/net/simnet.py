@@ -23,7 +23,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import TransportError
 from repro.net.address import Endpoint
@@ -236,3 +236,26 @@ class SimTransport:
 
         self.stats.record(sent=len(frame), received=len(response))
         return response
+
+    def request_many(
+        self, batch: Sequence[Tuple[Endpoint, bytes]]
+    ) -> List[Union[bytes, Exception]]:
+        """Issue a batch of requests concurrently (simulated).
+
+        Each request runs in its own branch of a
+        :meth:`~repro.sim.clock.SimClock.parallel` region, so the batch
+        charges the *slowest* request's time instead of the sum — the
+        cost model of a client keeping several RPCs in flight. Slots in
+        the returned list align with *batch*; a failed request's slot
+        holds the exception instead of raising, so one dead endpoint
+        cannot sink its wave-mates.
+        """
+        results: List[Union[bytes, Exception]] = []
+        with self.network.clock.parallel() as region:
+            for endpoint, frame in batch:
+                with region.branch():
+                    try:
+                        results.append(self.request(endpoint, frame))
+                    except Exception as exc:
+                        results.append(exc)
+        return results

@@ -139,6 +139,16 @@ class Binder:
                 bound.oid, list(bound.addresses) + fresh, len(bound.addresses)
             )
 
+    def candidates(self, oid: ObjectId) -> List[ContactAddress]:
+        """Health-ordered contact addresses for *oid*, no LR installed.
+
+        The pipeline scheduler uses this during speculative binding: a
+        location lookup it can overlap with name resolution, yielding
+        the same address order :meth:`bind` would pick. The location
+        client's own cache makes the follow-up real bind free.
+        """
+        return self._order(self.location.lookup(oid).addresses)
+
     def _order(self, addresses: List[ContactAddress]) -> List[ContactAddress]:
         """Health-aware ordering: keep proximity order, sink quarantined
         addresses to the back (without the tracker, a no-op)."""

@@ -37,6 +37,7 @@ from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import Callable, ContextManager, List, Optional
 
+from repro.crypto.batch import BatchItem, verify_batch
 from repro.crypto.identity import IdentityCertificate, TrustStore
 from repro.crypto.keys import PublicKey
 from repro.crypto.verifycache import VerificationCache
@@ -253,6 +254,42 @@ class SecurityChecker:
                 self._span_cache_attrs(span, before)
                 self._record_fastpath(timer, before)
                 return integrity
+
+    def prewarm_certificates(self, pairs) -> int:
+        """Batch-verify (key, integrity certificate) pairs into the cache.
+
+        The pipeline scheduler calls this with every certificate a wave
+        prefetched: :func:`~repro.crypto.batch.verify_batch` runs one RSA
+        operation per distinct certificate and records the successes in
+        the shared verification cache, so the per-object
+        :meth:`check_certificate` that follows is a cache hit. Failures
+        are *dropped here on purpose* — the sequential check re-runs the
+        real RSA and raises the exact error in its proper context.
+        Returns the number of signatures that verified.
+
+        No-op without a verification cache (nowhere to amortize into).
+        """
+        pairs = list(pairs)
+        if self.verification_cache is None or not pairs:
+            return 0
+        with self.tracer.span("pipeline.batch_verify", items=len(pairs)) as span:
+            with self._compute():
+                verdicts = verify_batch(
+                    [
+                        BatchItem(
+                            key=key,
+                            envelope=integrity.certificate.envelope,
+                            expires_at=integrity.certificate.not_after,
+                        )
+                        for key, integrity in pairs
+                    ],
+                    cache=self.verification_cache,
+                    now=self.clock.now(),
+                )
+            verified = sum(1 for verdict in verdicts if verdict is None)
+            span.set_attribute("verified", verified)
+            span.set_attribute("failed", len(verdicts) - verified)
+            return verified
 
     def check_element(
         self,

@@ -115,6 +115,9 @@ class GlobeDocProxy:
         self._session_created: Dict[str, float] = {}
         self.request_count = 0
         self.failure_count = 0
+        #: Optional :class:`~repro.proxy.pipeline.AccessScheduler`; when
+        #: installed, :meth:`handle_many` prefetches batches in parallel.
+        self.scheduler = None
         #: Monitor-plane instruments. Counters and histograms are shared
         #: across proxies (additive); the cache hit-ratio gauges carry a
         #: ``client`` label (``metrics_client``) so several stacks can
@@ -170,6 +173,19 @@ class GlobeDocProxy:
         if not parsed.is_globedoc:
             return self._passthrough(parsed)
         return self._handle_globedoc(parsed, timer)
+
+    def handle_many(self, urls) -> list:
+        """Serve a batch of browser requests; responses align with input.
+
+        With an :attr:`scheduler` installed the batch goes through the
+        concurrent access pipeline (parallel prefetch, batched
+        verification, request coalescing); without one it degrades to a
+        sequential loop over :meth:`handle`. Either way every request
+        passes the full security pipeline individually.
+        """
+        if self.scheduler is not None:
+            return self.scheduler.run(list(urls))
+        return [self.handle(url) for url in urls]
 
     def _handle_globedoc(
         self, url: HybridUrl, timer: Optional[AccessTimer]

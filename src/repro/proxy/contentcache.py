@@ -16,6 +16,7 @@ signed interval, not by a cache operator's configuration.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
@@ -42,7 +43,8 @@ class ContentCache:
     ``max_bytes`` bounds total cached content; eviction is LRU. The
     effective lifetime of an entry is ``min(cached_at + ttl,
     certificate expires_at)`` — the owner's freshness constraint always
-    wins.
+    wins. Table operations are serialized by an internal lock so the
+    concurrent pipeline can share one cache across request threads.
     """
 
     def __init__(
@@ -62,6 +64,7 @@ class ContentCache:
         self.tracer = tracer if tracer is not None else NOOP_TRACER
         self._entries: "OrderedDict[Tuple[str, str], CachedElement]" = OrderedDict()
         self._bytes = 0
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -76,18 +79,33 @@ class ContentCache:
 
     def _get(self, oid_hex: str, name: str) -> Optional[PageElement]:
         key = (oid_hex, name)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        now = self.clock.now()
-        if now > entry.expires_at or now > entry.cached_at + self.ttl:
-            self._evict(key)
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry.element
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            now = self.clock.now()
+            if now > entry.expires_at or now > entry.cached_at + self.ttl:
+                self._evict(key)
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry.element
+
+    def contains(self, oid_hex: str, name: str) -> bool:
+        """True iff a still-valid entry exists — a pure peek.
+
+        Unlike :meth:`get` this neither counts as a hit/miss nor bumps
+        the LRU position: the pipeline scheduler uses it to decide which
+        fetches to skip without distorting cache statistics.
+        """
+        with self._lock:
+            entry = self._entries.get((oid_hex, name))
+            if entry is None:
+                return False
+            now = self.clock.now()
+            return not (now > entry.expires_at or now > entry.cached_at + self.ttl)
 
     def put(self, oid_hex: str, element: PageElement, expires_at: float) -> None:
         """Insert a *verified* element with its certificate expiry.
@@ -107,13 +125,14 @@ class ContentCache:
                 span.set_attribute("stored", False)
                 return
             key = (oid_hex, element.name)
-            self._evict(key)
-            while self._bytes + element.size > self.max_bytes and self._entries:
-                self._evict(next(iter(self._entries)))
-            self._entries[key] = CachedElement(
-                element=element, expires_at=expires_at, cached_at=self.clock.now()
-            )
-            self._bytes += element.size
+            with self._lock:
+                self._evict(key)
+                while self._bytes + element.size > self.max_bytes and self._entries:
+                    self._evict(next(iter(self._entries)))
+                self._entries[key] = CachedElement(
+                    element=element, expires_at=expires_at, cached_at=self.clock.now()
+                )
+                self._bytes += element.size
             span.set_attribute("stored", True)
 
     def evict_expired(self) -> int:
@@ -123,30 +142,33 @@ class ContentCache:
         cache bytes between accesses; returns entries removed.
         """
         now = self.clock.now()
-        doomed = [
-            key
-            for key, entry in self._entries.items()
-            if now > entry.expires_at or now > entry.cached_at + self.ttl
-        ]
-        for key in doomed:
-            self._evict(key)
-        return len(doomed)
+        with self._lock:
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if now > entry.expires_at or now > entry.cached_at + self.ttl
+            ]
+            for key in doomed:
+                self._evict(key)
+            return len(doomed)
 
     def invalidate_object(self, oid_hex: str) -> int:
         """Drop every cached element of one object (e.g. on a version
         bump the client learned about); returns entries removed."""
-        doomed = [key for key in self._entries if key[0] == oid_hex]
-        for key in doomed:
-            self._evict(key)
-        return len(doomed)
+        with self._lock:
+            doomed = [key for key in self._entries if key[0] == oid_hex]
+            for key in doomed:
+                self._evict(key)
+            return len(doomed)
 
     def invalidate_element(self, oid_hex: str, name: str) -> int:
         """Drop one (OID, element) entry — an element-scoped revocation
         purge; returns entries removed (0 or 1)."""
-        if (oid_hex, name) in self._entries:
-            self._evict((oid_hex, name))
-            return 1
-        return 0
+        with self._lock:
+            if (oid_hex, name) in self._entries:
+                self._evict((oid_hex, name))
+                return 1
+            return 0
 
     def _evict(self, key: Tuple[str, str]) -> None:
         entry = self._entries.pop(key, None)
@@ -156,11 +178,13 @@ class ContentCache:
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def bytes_used(self) -> int:
-        return self._bytes
+        with self._lock:
+            return self._bytes
 
     @property
     def hit_rate(self) -> float:
@@ -168,5 +192,6 @@ class ContentCache:
         return self.hits / total if total else 0.0
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0

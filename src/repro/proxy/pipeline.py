@@ -1,0 +1,587 @@
+"""Concurrent access pipeline: prefetch in parallel, replay verified.
+
+The sequential proxy charges one round trip per step of Fig. 3 —
+resolve, locate, key, certificate, then one trip per element. For a
+page of N elements that is ~(4 + N) serial RTTs even though none of the
+fetches depend on each other's *bytes*, only on their verification
+order. This module splits the two concerns:
+
+* **Prefetch** — :class:`AccessScheduler` computes every RPC a batch of
+  URLs will need, issues them in parallel waves (max-of-parallel under
+  the simulated clock, pooled threads over TCP), and parks the raw
+  results in a :class:`PrefetchingRpcClient` table keyed by (endpoint,
+  op, canonical args).
+* **Replay** — the *unchanged* sequential pipeline
+  (:meth:`GlobeDocProxy.handle`) then runs per request; its RPCs pop
+  their prefetched results at zero network cost, while every security
+  check executes exactly as before, in exactly the same order.
+
+Security semantics are preserved by construction: the table stores only
+successful transports' bytes, never verdicts — tampered data is parked
+just like genuine data and then fails the same check it always failed,
+raising the same :class:`~repro.errors.SecurityError` subclass. A
+prefetch *failure* is simply not parked, so the replay re-issues the
+call and the retry/failover machinery sees it first-hand.
+
+Speculative binding overlaps resolve and locate: once an object name
+has resolved once, its OID is remembered as a *hint*, and the next
+batch issues the location lookup concurrently with the (re-)resolution
+— a misprediction costs one repair lookup, a hit removes the naming
+round trip from the critical path.
+
+Request coalescing is layered: identical URLs in one batch share a
+single prefetch *and* a single replay (waiters get the leader's
+response object), and :class:`SingleFlight` deduplicates identical
+in-flight calls when real threads race on a hot OID.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.keys import PublicKey
+from repro.errors import UrlError
+from repro.globedoc.integrity import IntegrityCertificate
+from repro.globedoc.urls import HybridUrl
+from repro.net.rpc import BatchCall, DEFAULT_WINDOW
+from repro.net.address import ContactAddress
+from repro.net.retry import is_idempotent
+from repro.obs import NOOP_METRICS, NOOP_TRACER
+from repro.proxy.metrics import AccessTimer
+from repro.util.encoding import canonical_bytes
+
+__all__ = [
+    "PipelineConfig",
+    "PipelineCounters",
+    "PrefetchingRpcClient",
+    "AccessScheduler",
+    "SingleFlight",
+]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tuning knobs of the concurrent access pipeline."""
+
+    #: Max RPCs kept in flight per wave (forwarded to ``call_many``).
+    window: int = DEFAULT_WINDOW
+    #: Overlap location lookups with name resolution using OID hints.
+    speculate: bool = True
+    #: Batch-verify prefetched integrity certificates into the cache.
+    batch_verify: bool = True
+
+
+@dataclass
+class PipelineCounters:
+    """Plain counters one scheduler/prefetcher pair accumulates."""
+
+    prefetched: int = 0
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    coalesced_calls: int = 0
+    coalesced_responses: int = 0
+    speculations: int = 0
+    mispredictions: int = 0
+    waves: int = 0
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+
+class SingleFlight:
+    """Thread-safe single-flight execution: one winner per key.
+
+    Concurrent :meth:`do` calls with the same key collapse to a single
+    execution of *fn*; every waiter receives the leader's result object
+    (or its exception). Keys leave the table as soon as the flight
+    lands, so this deduplicates *in-flight* work only — a later call
+    with the same key executes again (memoization is the caches' job).
+    """
+
+    def __init__(self, metrics=None) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[Any, "_Flight"] = {}
+        self.leaders = 0
+        self.waiters = 0
+        metrics = metrics if metrics is not None else NOOP_METRICS
+        self._m_waiters = metrics.counter(
+            "coalesce_waiters_total",
+            "Requests served another request's in-flight result.",
+        )
+
+    def do(self, key: Any, fn: Callable[[], Any]) -> Any:
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                self.leaders += 1
+                leader = True
+            else:
+                self.waiters += 1
+                self._m_waiters.inc()
+                leader = False
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value
+        try:
+            flight.value = fn()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.done.set()
+        return flight.value
+
+
+class _Flight:
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+
+class PrefetchingRpcClient:
+    """An RPC client that serves parked prefetch results before the wire.
+
+    Drop-in for :class:`~repro.net.rpc.RpcClient` (``call`` +
+    ``transport``; ``counters`` and ``call_many`` forward to the inner
+    client, typically a :class:`~repro.net.retry.RetryingRpcClient`).
+    :meth:`prefetch` issues a wave of calls in parallel and parks each
+    *successful* raw result under its call key; a later identical
+    :meth:`call` pops the parked value at zero network cost. Entries are
+    consumed exactly once (pop-on-use) and the scheduler clears the
+    table after each replay, so no parked byte outlives the batch that
+    fetched it.
+    """
+
+    def __init__(self, inner, metrics=None, tracer=None) -> None:
+        self.inner = inner
+        self.metrics = metrics if metrics is not None else NOOP_METRICS
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.counters_pipeline = PipelineCounters()
+        self._table: Dict[tuple, List[Any]] = {}
+        self._lock = threading.RLock()
+        self._flight = SingleFlight(metrics=self.metrics)
+        self._m_coalesce_hits = self.metrics.counter(
+            "coalesce_hits_total",
+            "Duplicate calls collapsed into one RPC by the pipeline.",
+        )
+
+    # -- RpcClient surface -------------------------------------------------
+
+    @property
+    def transport(self):
+        return self.inner.transport
+
+    @property
+    def counters(self):
+        """The retry counters of the inner client (duck-typed, may be
+        absent when the inner client is a plain ``RpcClient``)."""
+        return getattr(self.inner, "counters", None)
+
+    def call(self, target, op: str, **args: Any) -> Any:
+        key = self._call_key(target, op, args)
+        with self._lock:
+            parked = self._table.get(key)
+            if parked:
+                value = parked.pop(0)
+                if not parked:
+                    del self._table[key]
+                self.counters_pipeline.prefetch_hits += 1
+                return value
+        self.counters_pipeline.prefetch_misses += 1
+        if is_idempotent(op):
+            # Hot-OID coalescing: concurrent identical reads (real
+            # threads racing on one popular document) share one wire
+            # call and one result object.
+            return self._flight.do(key, lambda: self.inner.call(target, op, **args))
+        return self.inner.call(target, op, **args)
+
+    def call_many(self, calls, window: int = DEFAULT_WINDOW):
+        return self.inner.call_many(calls, window=window)
+
+    # -- Prefetch table ----------------------------------------------------
+
+    def prefetch(self, calls: Sequence[BatchCall], window: int = DEFAULT_WINDOW) -> int:
+        """Issue *calls* in parallel; park the successes. Returns parks.
+
+        Duplicate calls (same key) within the wave collapse to a single
+        RPC — the coalescing half of the pipeline — and park a single
+        result, because duplicate *requests* share a single replay too.
+        """
+        unique: Dict[tuple, BatchCall] = {}
+        for call in calls:
+            key = self._call_key(call.target, call.op, call.args)
+            if key in unique:
+                self.counters_pipeline.coalesced_calls += 1
+                self._m_coalesce_hits.inc()
+            else:
+                unique[key] = call
+        if not unique:
+            return 0
+        self.counters_pipeline.waves += 1
+        with self.tracer.span("pipeline.prefetch", calls=len(unique)) as span:
+            outcomes = self.inner.call_many(list(unique.values()), window=window)
+            parked = 0
+            with self._lock:
+                for key, outcome in zip(unique, outcomes):
+                    if outcome.ok:
+                        self._table.setdefault(key, []).append(outcome.value)
+                        parked += 1
+            self.counters_pipeline.prefetched += parked
+            span.set_attribute("parked", parked)
+            span.set_attribute("failed", len(outcomes) - parked)
+        return parked
+
+    def peek(self, target, op: str, **args: Any) -> Optional[Any]:
+        """A parked value without consuming it (verify-phase preview)."""
+        with self._lock:
+            parked = self._table.get(self._call_key(target, op, args))
+            return parked[0] if parked else None
+
+    def clear(self) -> None:
+        """Drop every parked entry (end of batch; nothing may leak)."""
+        with self._lock:
+            self._table.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(values) for values in self._table.values())
+
+    @staticmethod
+    def _call_key(target, op: str, args) -> tuple:
+        endpoint = target.endpoint if isinstance(target, ContactAddress) else target
+        try:
+            encoded = canonical_bytes(dict(args))
+        except Exception:
+            encoded = repr(sorted(args.items())).encode()
+        return (str(endpoint), op, encoded)
+
+
+class _ObjectPlan:
+    """What one batch knows about one object before replay."""
+
+    __slots__ = (
+        "key",
+        "url",
+        "oid",
+        "addresses",
+        "elements",
+        "session",
+        "establish_needed",
+        "error",
+    )
+
+    def __init__(self, key: str, url: HybridUrl) -> None:
+        self.key = key
+        self.url = url
+        self.oid = None
+        self.addresses: List[ContactAddress] = []
+        self.elements: List[str] = []
+        self.session = None
+        self.establish_needed = True
+        self.error: Optional[Exception] = None
+
+
+class AccessScheduler:
+    """Plans, prefetches, and replays one batch of browser requests.
+
+    Owned by a :class:`~repro.proxy.clientproxy.GlobeDocProxy`; its
+    :meth:`run` is the engine behind ``proxy.handle_many``. The replay
+    delegates every request to ``proxy.handle`` unchanged — the
+    scheduler only ever *adds* parked bytes and cache warmth, so a
+    pipelined batch and a sequential loop return identical responses.
+    """
+
+    def __init__(
+        self,
+        proxy,
+        prefetcher: PrefetchingRpcClient,
+        config: Optional[PipelineConfig] = None,
+        tracer=None,
+        metrics=None,
+    ) -> None:
+        self.proxy = proxy
+        self.prefetcher = prefetcher
+        self.config = config if config is not None else PipelineConfig()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.metrics = metrics if metrics is not None else NOOP_METRICS
+        self.counters = self.prefetcher.counters_pipeline
+        #: name → OID hints feeding speculative binding across batches.
+        self._oid_hints: Dict[str, Any] = {}
+        self._m_waiters = self.metrics.counter(
+            "coalesce_waiters_total",
+            "Requests served another request's in-flight result.",
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(self, urls: Sequence[str]) -> List[Any]:
+        """Serve *urls*; responses align with the input order."""
+        urls = list(urls)
+        responses: List[Any] = [None] * len(urls)
+        with self.tracer.span("pipeline.schedule", requests=len(urls)) as span:
+            parsed: List[Optional[HybridUrl]] = []
+            for url in urls:
+                try:
+                    hybrid = HybridUrl.parse(url)
+                except UrlError:
+                    hybrid = None
+                parsed.append(hybrid if hybrid is not None and hybrid.is_globedoc else None)
+
+            # Unit = one (object, element) replay; duplicates coalesce.
+            units: Dict[Tuple[str, str], List[int]] = {}
+            plans: Dict[str, _ObjectPlan] = {}
+            for index, hybrid in enumerate(parsed):
+                if hybrid is None:
+                    continue  # passthrough/bad URLs replay sequentially
+                key = self._session_key(hybrid)
+                unit = (key, hybrid.element_name)
+                units.setdefault(unit, []).append(index)
+                if key not in plans:
+                    plans[key] = _ObjectPlan(key, hybrid)
+                if hybrid.element_name not in plans[key].elements:
+                    plans[key].elements.append(hybrid.element_name)
+
+            self._bind_phase(list(plans.values()))
+            self._fetch_phase(list(plans.values()))
+            if self.config.batch_verify:
+                self._verify_phase(list(plans.values()))
+
+            coalesced = 0
+            try:
+                for index, hybrid in enumerate(parsed):
+                    if hybrid is None:
+                        responses[index] = self.proxy.handle(urls[index])
+                for (key, _element), members in units.items():
+                    leader = members[0]
+                    response = self.proxy.handle(urls[leader])
+                    for member in members:
+                        responses[member] = response
+                    waiters = len(members) - 1
+                    if waiters:
+                        coalesced += waiters
+                        self._m_waiters.inc(waiters)
+            finally:
+                # Unconsumed parked bytes must not leak into later
+                # accesses (a replica may change between batches).
+                self.prefetcher.clear()
+            self.counters.coalesced_responses += coalesced
+            span.set_attribute("objects", len(plans))
+            span.set_attribute("units", len(units))
+            span.set_attribute("coalesced", coalesced)
+        return responses
+
+    # ------------------------------------------------------------------
+    # Phase 1: speculative binding (resolve + locate in flight together)
+    # ------------------------------------------------------------------
+
+    def _bind_phase(self, plans: List[_ObjectPlan]) -> None:
+        proxy = self.proxy
+        binder = proxy.binder
+        clock = proxy.checker.clock
+        need_bind: List[_ObjectPlan] = []
+        for plan in plans:
+            session = self._live_session(plan.key)
+            if session is not None:
+                plan.session = session
+                plan.oid = session.bound.oid
+                plan.addresses = [session.bound.address]
+                plan.establish_needed = session.verified is None
+            else:
+                need_bind.append(plan)
+        if not need_bind:
+            return
+
+        thunks: List[Callable[[], None]] = []
+        speculative: Dict[str, List[ContactAddress]] = {}
+        for plan in need_bind:
+            url = plan.url
+            hint = (
+                self._oid_hints.get(url.object_name)
+                if self.config.speculate and url.oid is None and url.object_name
+                else None
+            )
+
+            def resolve_and_locate(plan=plan, url=url, hint=hint) -> None:
+                timer = AccessTimer(clock)
+                try:
+                    plan.oid = binder.resolve_oid(url, timer)
+                    if hint is None or hint != plan.oid:
+                        plan.addresses = binder.candidates(plan.oid)
+                except Exception as exc:
+                    plan.error = exc
+
+            thunks.append(resolve_and_locate)
+            if hint is not None:
+                self.counters.speculations += 1
+
+                def locate_hint(plan=plan, hint=hint) -> None:
+                    try:
+                        speculative[plan.key] = binder.candidates(hint)
+                    except Exception:
+                        pass  # the repair path below re-looks-up
+
+                thunks.append(locate_hint)
+        self._run_parallel(thunks)
+
+        for plan in need_bind:
+            if plan.error is not None or plan.oid is None:
+                continue
+            hint = (
+                self._oid_hints.get(plan.url.object_name)
+                if plan.url.object_name
+                else None
+            )
+            if hint is not None and hint != plan.oid:
+                # Stale hint: the resolve branch already repaired the
+                # address list with a post-resolution lookup.
+                self.counters.mispredictions += 1
+            if not plan.addresses:
+                hinted = speculative.get(plan.key)
+                if hinted is not None and hint == plan.oid:
+                    plan.addresses = hinted  # speculation confirmed
+                else:
+                    try:
+                        plan.addresses = binder.candidates(plan.oid)
+                    except Exception as exc:
+                        plan.error = exc
+                        continue
+            if plan.url.object_name:
+                self._oid_hints[plan.url.object_name] = plan.oid
+
+    # ------------------------------------------------------------------
+    # Phase 2: one parallel wave of session + element fetches
+    # ------------------------------------------------------------------
+
+    def _fetch_phase(self, plans: List[_ObjectPlan]) -> None:
+        proxy = self.proxy
+        checker = proxy.checker
+        identity_needed = len(checker.trust_store) > 0 or proxy.require_identity
+        calls: List[BatchCall] = []
+        seen_elements = set()
+        for plan in plans:
+            if plan.error is not None or plan.oid is None or not plan.addresses:
+                continue
+            address = plan.addresses[0]
+            base = {"replica_id": address.replica_id}
+            if plan.establish_needed:
+                calls.append(BatchCall(address, "globedoc.get_public_key", base))
+                if identity_needed:
+                    calls.append(
+                        BatchCall(address, "globedoc.get_identity_certificates", base)
+                    )
+                calls.append(
+                    BatchCall(address, "globedoc.get_integrity_certificate", base)
+                )
+            cache = proxy.content_cache
+            for element in self._elements_for(plan):
+                if (plan.oid.hex, element) in seen_elements:
+                    continue
+                seen_elements.add((plan.oid.hex, element))
+                if cache is not None and cache.contains(plan.oid.hex, element):
+                    continue  # replay serves it from the content cache
+                calls.append(
+                    BatchCall(
+                        plan.addresses[0],
+                        "globedoc.get_element",
+                        dict(base, name=element),
+                    )
+                )
+        if calls:
+            self.prefetcher.prefetch(calls, window=self.config.window)
+
+    def _elements_for(self, plan: _ObjectPlan) -> List[str]:
+        """Every element of *plan*'s object requested in this batch."""
+        return plan.elements if plan.elements else [plan.url.element_name]
+
+    # ------------------------------------------------------------------
+    # Phase 3: batched verification of prefetched certificates
+    # ------------------------------------------------------------------
+
+    def _verify_phase(self, plans: List[_ObjectPlan]) -> None:
+        checker = self.proxy.checker
+        if checker.verification_cache is None:
+            return
+        pairs = []
+        for plan in plans:
+            if (
+                plan.error is not None
+                or not plan.establish_needed
+                or not plan.addresses
+            ):
+                continue
+            address = plan.addresses[0]
+            der = self.prefetcher.peek(
+                address, "globedoc.get_public_key", replica_id=address.replica_id
+            )
+            raw = self.prefetcher.peek(
+                address,
+                "globedoc.get_integrity_certificate",
+                replica_id=address.replica_id,
+            )
+            if der is None or raw is None:
+                continue
+            try:
+                key = PublicKey(der=bytes(der))
+                integrity = IntegrityCertificate.from_dict(raw)
+            except Exception:
+                # Malformed prefetched data: let the replay's real check
+                # reject it with the proper error in the proper context.
+                continue
+            pairs.append((key, integrity))
+        if pairs:
+            checker.prewarm_certificates(pairs)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _session_key(self, url: HybridUrl) -> str:
+        return url.oid.hex if url.oid is not None else str(url.object_name)
+
+    def _live_session(self, key: str):
+        proxy = self.proxy
+        session = proxy._sessions.get(key)
+        if session is None:
+            return None
+        if (
+            proxy.session_ttl is not None
+            and proxy.checker.clock.now() - proxy._session_created.get(key, 0.0)
+            > proxy.session_ttl
+        ):
+            return None
+        return session
+
+    def _run_parallel(self, thunks: List[Callable[[], None]]) -> None:
+        """Run *thunks* concurrently: simulated branches under a
+        :class:`~repro.sim.clock.SimClock`, real threads otherwise.
+        Thunks must capture their own exceptions."""
+        if not thunks:
+            return
+        clock = self.proxy.checker.clock
+        parallel = getattr(clock, "parallel", None)
+        if len(thunks) == 1:
+            thunks[0]()
+            return
+        if parallel is not None:
+            with parallel() as region:
+                for thunk in thunks:
+                    with region.branch():
+                        thunk()
+            return
+        threads = [threading.Thread(target=thunk, daemon=True) for thunk in thunks]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()

@@ -9,9 +9,10 @@ and assert the proxy raises :class:`~repro.errors.FreshnessError`.
 from __future__ import annotations
 
 import time
-from typing import Protocol, runtime_checkable
+from contextlib import contextmanager
+from typing import Iterator, Protocol, runtime_checkable
 
-__all__ = ["Clock", "RealClock", "SimClock"]
+__all__ = ["Clock", "RealClock", "SimClock", "ParallelRegion"]
 
 
 @runtime_checkable
@@ -64,5 +65,75 @@ class SimClock:
         self._now = float(timestamp)
         return self._now
 
+    @contextmanager
+    def parallel(self) -> Iterator["ParallelRegion"]:
+        """A region whose branches are charged max-of-parallel.
+
+        Simulated concurrency: each :meth:`ParallelRegion.branch` runs
+        with the clock rewound to the fork time, and when the region
+        closes the clock lands at the *latest* branch end — overlapped
+        work costs the slowest branch, not the sum. Regions nest (a
+        branch may open its own inner region), so a pipelined scheduler
+        can fan out waves inside waves.
+
+        Usage::
+
+            with clock.parallel() as region:
+                for job in jobs:
+                    with region.branch():
+                        job()  # advances the clock branch-locally
+        """
+        region = ParallelRegion(self)
+        try:
+            yield region
+        finally:
+            region.close()
+
+
+class ParallelRegion:
+    """Bookkeeping for one :meth:`SimClock.parallel` region."""
+
+    __slots__ = ("_clock", "_start", "_max_end", "_branch_open", "_closed")
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._start = clock.now()
+        self._max_end = self._start
+        self._branch_open = False
+        self._closed = False
+
+    @contextmanager
+    def branch(self) -> Iterator[None]:
+        """One concurrent strand: starts at the fork time, and its end
+        time only moves the region's high-water mark. Branches of one
+        region must not overlap each other (they model strands the
+        single-threaded simulation executes one after another)."""
+        if self._closed:
+            raise ValueError("cannot open a branch on a closed parallel region")
+        if self._branch_open:
+            raise ValueError("parallel branches cannot be nested in each other")
+        self._branch_open = True
+        self._clock._now = self._start
+        try:
+            yield
+        finally:
+            self._branch_open = False
+            if self._clock._now > self._max_end:
+                self._max_end = self._clock._now
+            self._clock._now = self._start
+
+    def close(self) -> None:
+        """Commit the region: the clock jumps to the latest branch end."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._max_end > self._clock._now:
+            self._clock._now = self._max_end
+
+    @property
+    def elapsed(self) -> float:
+        """Longest branch duration seen so far (charged on close)."""
+        return self._max_end - self._start
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"SimClock(now={self._now})"
+        return f"ParallelRegion(start={self._start}, max_end={self._max_end})"

@@ -12,279 +12,34 @@ The tracing layer is the second witness: the ``check.*`` span of the
 responsible security check must close with error status and the same
 exception type, proving the rejection happened at the check the paper's
 §3.2.1 taxonomy assigns to that attack.
+
+The matrix itself lives in :mod:`repro.attacks.scenarios` so the
+security benchmark can replay the identical scenarios; this module is
+the pytest harness over it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
-
 import pytest
 
-from repro.attacks.adversary import AttackOutcome, run_attack_probe
-from repro.attacks.malicious_location import LyingLocationService
-from repro.attacks.malicious_server import (
-    ElementSwapBehavior,
-    ElementSwapRenamedBehavior,
-    HonestBehavior,
-    ImpostorBehavior,
-    MaliciousReplica,
-    StaleReplayBehavior,
-    TamperBehavior,
-)
-from repro.attacks.mitm import MitmTransport
-from repro.crypto.verifycache import VerificationCache
-from repro.globedoc.element import PageElement
-from repro.globedoc.owner import DocumentOwner
-from repro.harness.experiment import Testbed
-from repro.net.address import Endpoint
-from repro.obs import RingBufferSink, Tracer
-from repro.revocation.statement import RevocationStatement
+from repro.attacks.scenarios import SCENARIOS, Scenario, run_scenario
 from tests.conftest import fast_keys
-
-ELEMENTS = {
-    "index.html": b"<html>genuine matrix page</html>",
-    "retraction.html": b"<html>genuine retraction</html>",
-}
-
-#: Bytes every attacker injects/serves; must never reach the caller.
-EVIL_MARKER = b"EVIL-PAYLOAD"
-
-CLIENT_HOST = "canardo.inria.fr"
-ATTACK_SITE = "root/europe/inria"
-
-#: Staleness window for the revocation scenario's stack (poll at half).
-REVOCATION_STALENESS = 30.0
-
-
-class FlippedBytesBehavior(HonestBehavior):
-    """Flip one content byte — the minimal authenticity violation."""
-
-    def element(self, state, name):
-        element = state.element(name)
-        content = bytearray(element.content)
-        content[0] ^= 0xFF
-        return element.with_content(bytes(content) + EVIL_MARKER)
-
-
-@dataclass
-class World:
-    """One scenario's universe: testbed, victim document, client stack."""
-
-    testbed: Testbed
-    published: object
-    stack: object
-    ring: RingBufferSink
-
-    def deploy_replica(self, behavior) -> MaliciousReplica:
-        replica = MaliciousReplica(
-            host=CLIENT_HOST, document=self.published.document, behavior=behavior
-        )
-        self.testbed.network.register(
-            Endpoint(CLIENT_HOST, "objectserver"), replica.rpc_server().handle_frame
-        )
-        self.testbed.location_service.tree.insert(
-            self.published.owner.oid.hex, ATTACK_SITE, replica.contact_address()
-        )
-        return replica
-
-
-@dataclass(frozen=True)
-class Scenario:
-    """One tamper mode and the check that must reject it."""
-
-    id: str
-    expected_error: str
-    expected_span: str
-    deploy: Callable[[World], None]
-    #: Scenarios that need the seventh check build their stack with a
-    #: revocation checker attached (the rest keep the six-check pipeline).
-    revocation: bool = False
-
-
-def deploy_mitm(world: World) -> None:
-    # The stack's transport is a MitmTransport built with the rewriter
-    # disarmed (so the warm-up access is clean); arm it now.
-    world.stack.transport.rewrite = MitmTransport.content_injector(EVIL_MARKER)
-
-
-def deploy_tamper(world: World) -> None:
-    world.deploy_replica(TamperBehavior(target="index.html", payload=EVIL_MARKER))
-
-
-def deploy_flipped_bytes(world: World) -> None:
-    world.deploy_replica(FlippedBytesBehavior())
-
-
-def deploy_element_swap(world: World) -> None:
-    world.deploy_replica(
-        ElementSwapBehavior(
-            when_asked_for="index.html", serve_instead="retraction.html"
-        )
-    )
-
-
-def deploy_element_swap_renamed(world: World) -> None:
-    world.deploy_replica(
-        ElementSwapRenamedBehavior(
-            when_asked_for="index.html", serve_instead="retraction.html"
-        )
-    )
-
-
-def deploy_stale_replay(world: World) -> None:
-    # Re-sign the *current* elements with a certificate that expires in
-    # 60 s, replay it, and let the interval lapse: every signature still
-    # verifies, only the freshness check can object.
-    stale = world.published.owner.publish(validity=60.0)
-    world.deploy_replica(StaleReplayBehavior(stale))
-    world.testbed.clock.advance(61.0)
-
-
-def deploy_impostor(world: World) -> None:
-    impostor_owner = DocumentOwner(
-        "evil.example/fake", keys=fast_keys(), clock=world.testbed.clock
-    )
-    impostor_owner.put_element(PageElement("index.html", EVIL_MARKER))
-    world.deploy_replica(ImpostorBehavior(impostor_owner.publish(validity=3600.0)))
-
-
-def deploy_lying_location(world: World) -> None:
-    impostor_owner = DocumentOwner(
-        "evil.example/fake", keys=fast_keys(), clock=world.testbed.clock
-    )
-    impostor_owner.put_element(PageElement("index.html", EVIL_MARKER))
-    impostor = MaliciousReplica(
-        host=CLIENT_HOST,
-        document=world.published.document,
-        behavior=ImpostorBehavior(impostor_owner.publish(validity=3600.0)),
-        replica_id="impostor",
-    )
-    world.testbed.network.register(
-        Endpoint(CLIENT_HOST, "objectserver"), impostor.rpc_server().handle_frame
-    )
-    liar = LyingLocationService(world.testbed.location_service.tree)
-    liar.lie_about(
-        world.published.owner.oid.hex,
-        [impostor.contact_address()],
-        suppress_truth=True,
-    )
-    world.testbed.network.register(  # replaces the honest handler
-        world.testbed.location_endpoint, liar.rpc_server().handle_frame
-    )
-
-
-def deploy_compromised_key(world: World) -> None:
-    # The ultimate replay: an attacker who stole the object key serves
-    # the *genuine* document, bit-perfect, from a replica the six checks
-    # fully trust — only the revocation check can reject it. The owner
-    # publishes a key-scope statement to the feed; the serving replica
-    # never hears of it.
-    world.deploy_replica(HonestBehavior())
-    owner = world.published.owner
-    statement = RevocationStatement.revoke_key(
-        owner.keys,
-        owner.oid,
-        serial=1,
-        issued_at=world.testbed.clock.now(),
-        reason="object key compromised",
-    )
-    world.testbed.object_server.revocation_feed.publish(statement)
-    # Past the poll interval: the next check must refresh and see it.
-    world.testbed.clock.advance(REVOCATION_STALENESS / 2.0 + 1.0)
-
-
-SCENARIOS = [
-    Scenario("mitm_inject", "AuthenticityError", "check.element_hash", deploy_mitm),
-    Scenario("tamper", "AuthenticityError", "check.element_hash", deploy_tamper),
-    Scenario(
-        "flipped_bytes", "AuthenticityError", "check.element_hash",
-        deploy_flipped_bytes,
-    ),
-    Scenario(
-        "element_swap", "ConsistencyError", "check.consistency",
-        deploy_element_swap,
-    ),
-    Scenario(
-        "element_swap_renamed", "AuthenticityError", "check.element_hash",
-        deploy_element_swap_renamed,
-    ),
-    Scenario(
-        "stale_replay", "FreshnessError", "check.freshness", deploy_stale_replay
-    ),
-    Scenario(
-        "impostor_key", "AuthenticityError", "check.public_key", deploy_impostor
-    ),
-    Scenario(
-        "lying_location", "AuthenticityError", "check.public_key",
-        deploy_lying_location,
-    ),
-    Scenario(
-        "compromised_key_replay", "RevokedKeyError", "check.revocation",
-        deploy_compromised_key, revocation=True,
-    ),
-]
-
-
-def build_world(revocation: bool = False) -> World:
-    testbed = Testbed()
-    owner = DocumentOwner("vu.nl/matrix", keys=fast_keys(), clock=testbed.clock)
-    for name, content in ELEMENTS.items():
-        owner.put_element(PageElement(name, content))
-    published = testbed.publish(owner, validity=3600.0)
-
-    ring = RingBufferSink()
-    tracer = Tracer(clock=testbed.clock, sinks=(ring,))
-    # A disarmed MITM wrapper on every stack: scenarios that need it arm
-    # the rewriter, the rest pass traffic through untouched.
-    transport = MitmTransport(testbed.network.transport_for(CLIENT_HOST))
-    stack = testbed.client_stack(
-        CLIENT_HOST,
-        transport=transport,
-        verification_cache=VerificationCache(),
-        max_rebinds=0,  # fail closed: no silent failover to ginger
-        tracer=tracer,
-        revocation_max_staleness=REVOCATION_STALENESS if revocation else None,
-    )
-    return World(testbed=testbed, published=published, stack=stack, ring=ring)
 
 
 @pytest.mark.parametrize("warm", [False, True], ids=["cold", "warm"])
 @pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.id)
 class TestConformanceMatrix:
     def test_rejected_by_expected_check(self, scenario: Scenario, warm: bool):
-        world = build_world(revocation=scenario.revocation)
-        url = world.published.url("index.html")
-        if warm:
-            # One honest access first: the VerificationCache now holds
-            # the genuine certificate's verdict. Then force a cold bind
-            # so the attacker (deployed at the client's own site) is
-            # found first on the next access.
-            warmup = world.stack.proxy.handle(url)
-            assert warmup.ok and warmup.content == ELEMENTS["index.html"]
-            world.stack.proxy.drop_all_sessions()
-            world.stack.location.invalidate(world.published.owner.oid)
-        scenario.deploy(world)
-        world.ring.clear()
+        result = run_scenario(scenario, warm, key_factory=fast_keys)
 
-        probe = run_attack_probe(world.stack.proxy, url, ELEMENTS["index.html"])
-
-        assert probe.outcome is AttackOutcome.DETECTED, (
-            f"{scenario.id}/{'warm' if warm else 'cold'}: "
-            f"expected detection, got {probe.outcome} "
-            f"(status {probe.response.status})"
+        assert result["detected"], (
+            f"{scenario.id}/{'warm' if warm else 'cold'}: expected detection"
         )
-        assert probe.failure_type == scenario.expected_error
+        assert result["failure_type"] == scenario.expected_error
         # Zero unverified bytes: the caller sees only the failure page.
-        assert EVIL_MARKER not in probe.response.content
-        for name, content in ELEMENTS.items():
-            assert content not in probe.response.content
-
-        error_spans = [
-            s for s in world.ring.errors() if s.name == scenario.expected_span
-        ]
-        assert error_spans, (
-            f"{scenario.id}: no error span named {scenario.expected_span!r}; "
-            f"errors seen: {[(s.name, s.error_type) for s in world.ring.errors()]}"
+        assert not result["unverified_bytes_leaked"]
+        assert result["span_ok"], (
+            f"{scenario.id}: no error span named {scenario.expected_span!r} "
+            f"closing with {scenario.expected_error}"
         )
-        assert error_spans[-1].error_type == scenario.expected_error
+        assert result["ok"]

@@ -1,0 +1,66 @@
+"""The conformance matrix under the concurrent access pipeline.
+
+The batched pipeline prefetches RPC responses, reuses verification
+verdicts across a batch, and coalesces identical requests — three fast
+paths, three new chances to serve unverified bytes. This suite replays
+the *identical* adversarial matrix with the pipeline enabled and
+demands the identical outcome: every tamper mode rejected by the exact
+expected :class:`~repro.errors.SecurityError` subclass, zero attacker
+bytes delivered, the responsible ``check.*`` span closing with that
+error — cold and with a warm :class:`VerificationCache`.
+
+Prefetched bytes are parked *unverified* and replayed through the full
+sequential check pipeline, so detection must be byte-for-byte identical
+to the sequential path; these tests are the proof.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.scenarios import SCENARIOS, Scenario, run_scenario
+from repro.proxy.pipeline import PipelineConfig
+from tests.conftest import fast_keys
+
+
+@pytest.mark.parametrize("warm", [False, True], ids=["cold", "warm"])
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.id)
+class TestPipelinedConformanceMatrix:
+    def test_rejected_by_expected_check(self, scenario: Scenario, warm: bool):
+        result = run_scenario(
+            scenario, warm, key_factory=fast_keys, pipeline=PipelineConfig()
+        )
+
+        assert result["pipelined"]
+        assert result["detected"], (
+            f"{scenario.id}/{'warm' if warm else 'cold'}/pipelined: "
+            "expected detection"
+        )
+        assert result["failure_type"] == scenario.expected_error
+        assert not result["unverified_bytes_leaked"]
+        assert result["span_ok"], (
+            f"{scenario.id}: no error span named {scenario.expected_span!r} "
+            f"closing with {scenario.expected_error}"
+        )
+        assert result["ok"]
+
+
+def test_pipeline_batch_rejects_only_tampered_element():
+    """A batch mixing honest and tampered objects: the honest URLs are
+    served verified, the tampered one is rejected — per-element checks
+    survive batching."""
+    from repro.attacks.malicious_server import TamperBehavior
+    from repro.attacks.scenarios import ELEMENTS, EVIL_MARKER, build_world
+
+    world = build_world(key_factory=fast_keys, pipeline=PipelineConfig())
+    world.deploy_replica(TamperBehavior(target="index.html", payload=EVIL_MARKER))
+
+    index_url = world.published.url("index.html")
+    retraction_url = world.published.url("retraction.html")
+    responses = world.stack.proxy.handle_many([index_url, retraction_url])
+
+    tampered, honest = responses
+    assert tampered.status == 403 and tampered.security_failure
+    assert EVIL_MARKER not in tampered.content
+    assert honest.status == 200
+    assert honest.content == ELEMENTS["retraction.html"]

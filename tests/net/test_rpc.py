@@ -13,7 +13,7 @@ from repro.errors import (
 )
 from repro.net.address import ContactAddress, Endpoint
 from repro.net.message import Request, Response
-from repro.net.rpc import RpcClient, RpcServer, rpc_method
+from repro.net.rpc import BatchCall, RpcClient, RpcServer, rpc_method
 from repro.net.transport import LoopbackTransport
 
 
@@ -109,3 +109,120 @@ class TestTransportErrors:
         assert stats.requests == 1
         assert stats.bytes_sent > 0
         assert stats.bytes_received > 0
+
+
+class BatchingTransport(LoopbackTransport):
+    """Loopback plus ``request_many``, recording each wave's size."""
+
+    def __init__(self):
+        super().__init__()
+        self.batches = []
+        self.probe = None  # callable invoked mid-batch (gauge snapshots)
+
+    def request_many(self, batch):
+        self.batches.append(len(batch))
+        if self.probe is not None:
+            self.probe()
+        results = []
+        for endpoint, frame in batch:
+            try:
+                results.append(self.request(endpoint, frame))
+            except Exception as exc:
+                results.append(exc)
+        return results
+
+
+@pytest.fixture
+def batch_wired():
+    transport = BatchingTransport()
+    server = RpcServer(name="calc")
+    server.register_object(Calculator())
+    endpoint = Endpoint(host="h1", service="calc")
+    transport.register(endpoint, server.handle_frame)
+    return RpcClient(transport), endpoint, transport
+
+
+class TestCallMany:
+    def test_outcomes_align_with_calls(self, batch_wired):
+        client, endpoint, _ = batch_wired
+        calls = [
+            BatchCall(endpoint, "calc.add", {"a": i, "b": 10}) for i in range(5)
+        ]
+        outcomes = client.call_many(calls)
+        assert [o.value for o in outcomes] == [10, 11, 12, 13, 14]
+        assert all(o.ok for o in outcomes)
+        assert [o.call for o in outcomes] == calls
+
+    def test_windowing_chunks_the_batch(self, batch_wired):
+        client, endpoint, transport = batch_wired
+        calls = [
+            BatchCall(endpoint, "calc.add", {"a": i, "b": 0}) for i in range(7)
+        ]
+        client.call_many(calls, window=3)
+        assert transport.batches == [3, 3, 1]
+
+    def test_window_must_be_positive(self, batch_wired):
+        client, endpoint, _ = batch_wired
+        with pytest.raises(RpcError, match="window"):
+            client.call_many([BatchCall(endpoint, "calc.add", {"a": 1, "b": 1})], window=0)
+
+    def test_remote_errors_rehydrate_per_slot(self, batch_wired):
+        client, endpoint, _ = batch_wired
+        outcomes = client.call_many(
+            [
+                BatchCall(endpoint, "calc.add", {"a": 1, "b": 2}),
+                BatchCall(endpoint, "calc.fail"),
+                BatchCall(endpoint, "calc.add", {"a": 3, "b": 4}),
+            ]
+        )
+        assert outcomes[0].value == 3
+        assert not outcomes[1].ok
+        assert isinstance(outcomes[1].error, AuthenticityError)
+        assert outcomes[2].value == 7
+
+    def test_transport_fault_captured_not_raised(self, batch_wired):
+        client, endpoint, _ = batch_wired
+        ghost = Endpoint(host="h1", service="ghost")
+        outcomes = client.call_many(
+            [
+                BatchCall(ghost, "calc.add", {"a": 1, "b": 1}),
+                BatchCall(endpoint, "calc.add", {"a": 1, "b": 1}),
+            ]
+        )
+        assert isinstance(outcomes[0].error, TransportError)
+        assert outcomes[1].value == 2
+
+    def test_sequential_fallback_without_request_many(self, wired):
+        # LoopbackTransport has no request_many: same outcomes, serially.
+        client, endpoint, _ = wired
+        outcomes = client.call_many(
+            [
+                BatchCall(endpoint, "calc.add", {"a": 2, "b": 2}),
+                BatchCall(endpoint, "calc.fail"),
+            ]
+        )
+        assert outcomes[0].value == 4
+        assert isinstance(outcomes[1].error, AuthenticityError)
+
+    def test_contact_address_targets(self, batch_wired):
+        client, endpoint, _ = batch_wired
+        address = ContactAddress(endpoint=endpoint, replica_id="r1")
+        outcomes = client.call_many([BatchCall(address, "calc.add", {"a": 5, "b": 5})])
+        assert outcomes[0].value == 10
+
+    def test_inflight_gauge_tracks_window(self, batch_wired):
+        from repro.obs import MetricsRegistry
+
+        transport = batch_wired[2]
+        endpoint = batch_wired[1]
+        metrics = MetricsRegistry()
+        client = RpcClient(transport, metrics=metrics)
+        gauge = metrics.gauge("rpc_inflight")
+        observed = []
+        transport.probe = lambda: observed.append(gauge.value)
+        client.call_many(
+            [BatchCall(endpoint, "calc.add", {"a": i, "b": 0}) for i in range(5)],
+            window=2,
+        )
+        assert observed == [2.0, 2.0, 1.0]
+        assert gauge.value == 0.0

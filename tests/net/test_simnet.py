@@ -134,3 +134,62 @@ class TestCompute:
     def test_profile_compute_scale(self):
         profile = HostProfile(name="x", site="s", cpu_factor=3.0, memory_pressure=2.0)
         assert profile.compute_scale == 6.0
+
+
+class TestRequestMany:
+    def test_batch_charges_max_not_sum(self):
+        net = make_net()
+        net.register(Endpoint("b", "echo"), lambda f: f)
+        transport = net.transport_for("a")
+        clock = net.clock
+
+        start = clock.now()
+        transport.request(Endpoint("b", "echo"), b"x" * 100)
+        single = clock.now() - start
+
+        start = clock.now()
+        results = transport.request_many(
+            [(Endpoint("b", "echo"), b"x" * 100) for _ in range(5)]
+        )
+        batch = clock.now() - start
+
+        assert [bytes(r) for r in results] == [b"x" * 100] * 5
+        # Identical requests overlap perfectly: the wave costs one
+        # request's time, not five.
+        assert batch == pytest.approx(single)
+
+    def test_batch_cost_is_slowest_member(self):
+        net = make_net()
+        net.register(Endpoint("b", "small"), lambda f: b"s")
+        net.register(Endpoint("b", "large"), lambda f: b"L" * 500_000)
+        transport = net.transport_for("a")
+        clock = net.clock
+
+        start = clock.now()
+        transport.request(Endpoint("b", "large"), b"q")
+        slowest = clock.now() - start
+
+        start = clock.now()
+        transport.request_many(
+            [(Endpoint("b", "small"), b"q"), (Endpoint("b", "large"), b"q")]
+        )
+        assert clock.now() - start == pytest.approx(slowest)
+
+    def test_failed_slot_holds_exception(self):
+        net = make_net()
+        net.register(Endpoint("b", "echo"), lambda f: f)
+        transport = net.transport_for("a")
+        results = transport.request_many(
+            [
+                (Endpoint("b", "echo"), b"ok"),
+                (Endpoint("b", "ghost"), b"dead"),
+                (Endpoint("b", "echo"), b"also ok"),
+            ]
+        )
+        assert results[0] == b"ok"
+        assert isinstance(results[1], TransportError)
+        assert results[2] == b"also ok"
+
+    def test_empty_batch(self):
+        net = make_net()
+        assert net.transport_for("a").request_many([]) == []

@@ -95,3 +95,103 @@ class TestTcpTransport:
         client = RpcClient(transport)
         assert client.call(Endpoint("remote", "extra"), "extra.ping") == "pong"
         assert client.call(Endpoint("remote", "echo"), "echo.say", text="y") == "echo: y"
+
+
+class TestConnectionPool:
+    def test_connection_reused_across_requests(self, tcp_server):
+        ip, port = tcp_server.address
+        transport = TcpTransport(directory={"remote": (ip, port)})
+        client = RpcClient(transport)
+        endpoint = Endpoint("remote", "echo")
+        for i in range(4):
+            assert client.call(endpoint, "echo.say", text=str(i)) == f"echo: {i}"
+        # One persistent socket served all four calls.
+        assert transport.pooled_connections == 1
+        transport.close()
+
+    def test_close_drains_pool(self, tcp_server):
+        ip, port = tcp_server.address
+        transport = TcpTransport(directory={"remote": (ip, port)})
+        transport.request(Endpoint("remote", "echo"), b"frame")
+        assert transport.pooled_connections == 1
+        transport.close()
+        assert transport.pooled_connections == 0
+
+    def test_pool_capped_at_pool_size(self, tcp_server):
+        ip, port = tcp_server.address
+        transport = TcpTransport(directory={"remote": (ip, port)}, pool_size=1)
+        batch = [(Endpoint("remote", "echo"), b"x") for _ in range(3)]
+        results = transport.request_many(batch)
+        assert all(isinstance(r, bytes) for r in results)
+        assert transport.pooled_connections <= 1
+        transport.close()
+
+    def test_stale_pooled_socket_retried_once(self):
+        # A server that hangs up idle connections quickly: the pooled
+        # socket goes stale between requests, and the transport must
+        # retry on a fresh connection instead of surfacing the EOF.
+        server = TcpEndpointServer(idle_timeout=0.2)
+        rpc = RpcServer("echo")
+        rpc.register_object(Echo())
+        server.register("echo", rpc.handle_frame)
+        with server:
+            ip, port = server.address
+            transport = TcpTransport(directory={"remote": (ip, port)})
+            client = RpcClient(transport)
+            endpoint = Endpoint("remote", "echo")
+            assert client.call(endpoint, "echo.say", text="a") == "echo: a"
+            assert transport.pooled_connections == 1
+            import time as _time
+
+            _time.sleep(0.5)  # server closes the idle connection
+            assert client.call(endpoint, "echo.say", text="b") == "echo: b"
+            transport.close()
+
+
+class TestTimeouts:
+    def test_slow_handler_surfaces_transport_error(self, tcp_server):
+        import time as _time
+
+        def slow(frame: bytes) -> bytes:
+            _time.sleep(1.0)
+            return b"late"
+
+        tcp_server.register("slow", slow)
+        ip, port = tcp_server.address
+        transport = TcpTransport(directory={"remote": (ip, port)}, timeout=0.2)
+        with pytest.raises(TransportError, match="timed out"):
+            transport.request(Endpoint("remote", "slow"), b"frame")
+        transport.close()
+
+
+class TestRequestManyTcp:
+    def test_batch_over_threads(self, tcp_server):
+        ip, port = tcp_server.address
+        transport = TcpTransport(directory={"remote": (ip, port)})
+        client = RpcClient(transport)
+        endpoint = Endpoint("remote", "echo")
+        from repro.net.rpc import BatchCall
+
+        outcomes = client.call_many(
+            [BatchCall(endpoint, "echo.say", {"text": str(i)}) for i in range(6)]
+        )
+        assert [o.value for o in outcomes] == [f"echo: {i}" for i in range(6)]
+        transport.close()
+
+    def test_failed_slot_holds_exception(self, tcp_server):
+        ip, port = tcp_server.address
+        transport = TcpTransport(directory={"remote": (ip, port)})
+        results = transport.request_many(
+            [
+                (Endpoint("remote", "echo"), b"ok"),
+                (Endpoint("remote", "ghost"), b"dead"),
+                (Endpoint("nowhere", "echo"), b"lost"),
+            ]
+        )
+        assert isinstance(results[0], bytes)
+        assert isinstance(results[1], TransportError)
+        assert isinstance(results[2], TransportError)
+        transport.close()
+
+    def test_empty_batch(self):
+        assert TcpTransport().request_many([]) == []

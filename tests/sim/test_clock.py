@@ -54,3 +54,84 @@ class TestRealClock:
         observed = clock.now()
         after = time.time()
         assert before <= observed <= after
+
+
+class TestParallelRegion:
+    def test_charges_max_of_parallel(self):
+        clock = SimClock(100.0)
+        with clock.parallel() as region:
+            with region.branch():
+                clock.advance(3.0)
+            with region.branch():
+                clock.advance(7.0)
+            with region.branch():
+                clock.advance(5.0)
+        assert clock.now() == pytest.approx(107.0)
+
+    def test_each_branch_starts_at_fork_time(self):
+        clock = SimClock(50.0)
+        starts = []
+        with clock.parallel() as region:
+            for cost in (1.0, 2.0):
+                with region.branch():
+                    starts.append(clock.now())
+                    clock.advance(cost)
+        assert starts == [50.0, 50.0]
+
+    def test_empty_region_is_free(self):
+        clock = SimClock(9.0)
+        with clock.parallel():
+            pass
+        assert clock.now() == 9.0
+
+    def test_elapsed_reports_longest_branch(self):
+        clock = SimClock()
+        with clock.parallel() as region:
+            with region.branch():
+                clock.advance(2.0)
+            with region.branch():
+                clock.advance(4.0)
+            assert region.elapsed == pytest.approx(4.0)
+
+    def test_regions_nest(self):
+        # A branch may fan out again: the outer region charges the
+        # slowest branch, where that branch's own cost is serial work
+        # plus its inner region's max.
+        clock = SimClock()
+        with clock.parallel() as outer:
+            with outer.branch():
+                clock.advance(1.0)  # serial prologue
+                with clock.parallel() as inner:
+                    with inner.branch():
+                        clock.advance(10.0)
+                    with inner.branch():
+                        clock.advance(4.0)
+            with outer.branch():
+                clock.advance(6.0)
+        assert clock.now() == pytest.approx(11.0)
+
+    def test_branches_must_not_overlap(self):
+        clock = SimClock()
+        with clock.parallel() as region:
+            with region.branch():
+                with pytest.raises(ValueError):
+                    with region.branch():
+                        pass
+
+    def test_branch_after_close_rejected(self):
+        clock = SimClock()
+        with clock.parallel() as region:
+            pass
+        with pytest.raises(ValueError):
+            with region.branch():
+                pass
+
+    def test_branch_exception_still_recorded(self):
+        clock = SimClock()
+        with pytest.raises(RuntimeError):
+            with clock.parallel() as region:
+                with region.branch():
+                    clock.advance(5.0)
+                    raise RuntimeError("branch died")
+        # The failed branch's time was still committed on close.
+        assert clock.now() == pytest.approx(5.0)
