@@ -23,6 +23,9 @@ __all__ = [
     "RevokedKeyError",
     "RevokedElementError",
     "RevocationStalenessError",
+    "FeedRegressionError",
+    "StorageError",
+    "RecoveryIntegrityError",
     "NamingError",
     "NameNotFound",
     "ZoneValidationError",
@@ -105,6 +108,29 @@ class RevocationStalenessError(RevocationError):
     """The revocation feed could not be refreshed within the configured
     max-staleness window — the proxy fails closed for the affected OID
     rather than serve content it cannot prove unrevoked."""
+
+
+class FeedRegressionError(RevocationError):
+    """The revocation feed's head moved *backwards* relative to this
+    consumer's synced cursor — a feed that restarted empty (losing
+    statements) or a malicious rollback. Either way the consumer can no
+    longer prove anything unrevoked and must fail closed immediately,
+    not wait out the staleness window."""
+
+
+class StorageError(ReproError):
+    """A durable-storage operation failed (unwritable log, snapshot
+    corruption outside the recoverable torn tail, misuse of a closed
+    store)."""
+
+
+class RecoveryIntegrityError(SecurityError):
+    """Recovered state failed re-verification on load.
+
+    Bytes read back from disk are as untrusted as bytes fetched from
+    the network: a CRC-valid record whose *signature* no longer checks
+    means the store was tampered with at rest, and recovery must fail
+    closed rather than serve it."""
 
 
 class NamingError(ReproError):

@@ -9,6 +9,7 @@ Usage::
     python -m repro.harness chaos [--quick] [--out PATH]
     python -m repro.harness trace [--quick] [--out PATH]
     python -m repro.harness revocation [--quick] [--out PATH]
+    python -m repro.harness recovery [--quick] [--out PATH]
     python -m repro.harness monitor [--quick] [--out PATH]
     python -m repro.harness bench-report
     python -m repro.harness all
@@ -37,8 +38,8 @@ def main(argv=None) -> int:
         "target",
         choices=[
             "table1", "fig4", "fig5", "fig6", "fig7", "loadtest",
-            "bench-security", "chaos", "trace", "revocation", "monitor",
-            "bench-report", "all",
+            "bench-security", "chaos", "trace", "revocation", "recovery",
+            "monitor", "bench-report", "all",
         ],
         help="which artifact to regenerate",
     )
@@ -81,6 +82,10 @@ def main(argv=None) -> int:
                 return code
         elif target == "revocation":
             code = _run_revocation(quick=args.quick, seed=args.seed, out=args.out)
+            if code:
+                return code
+        elif target == "recovery":
+            code = _run_recovery(quick=args.quick, seed=args.seed, out=args.out)
             if code:
                 return code
         elif target == "monitor":
@@ -196,6 +201,30 @@ def _run_revocation(quick: bool, seed: int, out=None) -> int:
             print(f"FAIL: {problem}")
         return 1
     print(f"\nall revocation gates passed; report written to {out}")
+    return 0
+
+
+def _run_recovery(quick: bool, seed: int, out=None) -> int:
+    """Crash recovery: kill/restart gates + fail-closed tamper gates."""
+    from repro.harness.recovery import (
+        REPORT_NAME,
+        check_report,
+        render_recovery,
+        run_recovery,
+        write_report,
+    )
+
+    report = run_recovery(quick=quick, seed=seed)
+    if out is None:
+        out = pathlib.Path(__file__).resolve().parents[3] / REPORT_NAME
+    write_report(report, out)
+    print(render_recovery(report))
+    problems = check_report(report)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print(f"\nall recovery gates passed; report written to {out}")
     return 0
 
 

@@ -116,6 +116,9 @@ class Testbed:
         start_time: float = 0.0,
         tracer=None,
         metrics=None,
+        data_dir: Optional[str] = None,
+        storage_sync: bool = True,
+        zone_keys: Optional[Dict[str, object]] = None,
     ) -> None:
         self.topology: WanTopology = paper_testbed(
             clock if clock is not None else SimClock(start_time)
@@ -129,6 +132,18 @@ class Testbed:
         #: server (and, via :meth:`client_stack`, through every client
         #: layer) so one scrape sees the whole testbed.
         self.metrics = metrics
+        #: ``data_dir`` turns on durable backends: the object server
+        #: journals keystore + replicas + revocation feed under it, and
+        #: the naming/location services journal their published records.
+        #: A second Testbed pointed at the same directory recovers them
+        #: (the recovery harness's restart primitive).
+        self.data_dir = data_dir
+        self.storage_sync = storage_sync
+        #: Zone signing keys to reuse (restart): the key ceremony is
+        #: administrator configuration and survives restarts out of
+        #: band; only the *published records* go through the durable
+        #: store. Map of zone path ("", "nl", "nl/vu") → ZoneKeys.
+        self._zone_keys = zone_keys if zone_keys is not None else {}
         self._build_services()
         self._published: Dict[str, PublishedObject] = {}
 
@@ -137,19 +152,37 @@ class Testbed:
     # ------------------------------------------------------------------
 
     def _build_services(self) -> None:
+        import os
+
         # Naming: root -> nl -> nl/vu zone chain, DNSsec-signed.
-        self.root_zone = SignedZone(Zone(""))
-        self.nl_zone = SignedZone(Zone("nl"))
-        self.vu_zone = SignedZone(Zone("nl/vu"))
+        self.root_zone = SignedZone(Zone(""), keys=self._zone_keys.get(""))
+        self.nl_zone = SignedZone(Zone("nl"), keys=self._zone_keys.get("nl"))
+        self.vu_zone = SignedZone(Zone("nl/vu"), keys=self._zone_keys.get("nl/vu"))
         self.naming = NameService(self.root_zone)
         self.naming.add_zone(self.nl_zone)
         self.naming.add_zone(self.vu_zone)
+        self.naming_store = None
+        if self.data_dir is not None:
+            from repro.naming.persistence import DurableNamingStore
+
+            self.naming_store = DurableNamingStore(
+                os.path.join(self.data_dir, "naming"), sync=self.storage_sync
+            )
+            self.naming_store.bind(self.naming)
 
         # Location: one domain tree with the three sites.
         tree = DomainTree()
         for site in sorted(set(HOST_SITE.values())):
             tree.add_site(site)
         self.location_service = LocationService(tree)
+        self.location_store = None
+        if self.data_dir is not None:
+            from repro.location.persistence import DurableLocationStore
+
+            self.location_store = DurableLocationStore(
+                os.path.join(self.data_dir, "location"), sync=self.storage_sync
+            )
+            self.location_store.bind(self.location_service)
 
         # GlobeDoc object server + baselines, all on ginger.
         services_host = self.network.host(SERVICES_HOST)
@@ -159,6 +192,12 @@ class Testbed:
             clock=self.clock,
             tracer=self.tracer,
             metrics=self.metrics,
+            data_dir=(
+                os.path.join(self.data_dir, "objectserver")
+                if self.data_dir is not None
+                else None
+            ),
+            storage_sync=self.storage_sync,
         )
         self.http_server = StaticHttpServer(host=SERVICES_HOST)
         self.ssl_server = SslServer(
@@ -182,6 +221,24 @@ class Testbed:
         self.network.register(
             Endpoint(SERVICES_HOST, "https"), self.ssl_server.rpc_server().handle_frame
         )
+
+    @property
+    def zone_keys(self) -> Dict[str, object]:
+        """The naming zone keys, for handing to a restarted testbed."""
+        return {
+            "": self.root_zone.keys,
+            "nl": self.nl_zone.keys,
+            "nl/vu": self.vu_zone.keys,
+        }
+
+    def close_stores(self) -> None:
+        """Flush and close every durable store (simulated crash or clean
+        shutdown — the stores are crash-consistent either way)."""
+        self.object_server.close()
+        if self.naming_store is not None:
+            self.naming_store.close()
+        if self.location_store is not None:
+            self.location_store.close()
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -233,7 +290,9 @@ class Testbed:
         address = ContactAddress.from_dict(result["address"])
 
         site = HOST_SITE[SERVICES_HOST]
-        self.location_service.tree.insert(owner.oid.hex, site, address)
+        # Through the service surface (not the raw tree) so a durable
+        # testbed journals the insert.
+        self.location_service.insert(owner.oid.hex, site, address.to_dict())
         self.naming.register(OidRecord(name=owner.name, oid=owner.oid, ttl=ttl))
 
         for name, element in document.elements.items():
@@ -272,6 +331,7 @@ class Testbed:
         tracer=None,
         revocation_max_staleness: Optional[float] = None,
         revocation_poll_interval: Optional[float] = None,
+        revocation_cursor_dir: Optional[str] = None,
         metrics=None,
         pipeline: Optional[PipelineConfig] = None,
     ) -> ClientStack:
@@ -292,7 +352,10 @@ class Testbed:
         paper's six-check pipeline for the figures) attaches a
         :class:`~repro.revocation.checker.RevocationChecker` pulling
         the ginger object server's feed, enabling the seventh check;
-        ``revocation_poll_interval`` overrides its refresh cadence.
+        ``revocation_poll_interval`` overrides its refresh cadence;
+        ``revocation_cursor_dir`` persists the checker's cursor (head +
+        verified statements) so a restarted client resumes with no
+        fail-open window.
         ``metrics`` (default: the testbed's registry, else disabled)
         threads one shared :class:`~repro.obs.metrics.MetricsRegistry`
         through every layer; per-client gauges are labeled with
@@ -330,6 +393,13 @@ class Testbed:
         binder = Binder(resolver, location, rpc, health=health, tracer=tracer)
         revocation = None
         if revocation_max_staleness is not None:
+            cursor_store = None
+            if revocation_cursor_dir is not None:
+                from repro.storage.store import DurableStore
+
+                cursor_store = DurableStore(
+                    revocation_cursor_dir, sync=self.storage_sync
+                )
             revocation = RevocationChecker(
                 rpc,
                 self.objectserver_endpoint,
@@ -340,6 +410,7 @@ class Testbed:
                 content_cache=content_cache,
                 metrics=metrics,
                 metrics_client=host_name,
+                store=cursor_store,
             )
         checker = SecurityChecker(
             self.clock,

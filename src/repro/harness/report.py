@@ -18,6 +18,7 @@ __all__ = [
     "render_bench_summary",
     "render_monitor_plane_section",
     "render_concurrency_section",
+    "render_recovery_section",
 ]
 
 
@@ -118,7 +119,66 @@ def render_bench_summary(reports: Dict[str, dict]) -> str:
     concurrency = render_concurrency_section(reports)
     if concurrency:
         summary += "\n\n" + concurrency
+    recovery = render_recovery_section(reports)
+    if recovery:
+        summary += "\n\n" + recovery
     return summary
+
+
+def render_recovery_section(reports: Dict[str, dict]) -> str:
+    """Digest of the crash-recovery bench: what a kill/restart cost and
+    whether the fail-closed gates held.
+
+    Returns an empty string when ``BENCH_recovery.json`` is absent (the
+    target has not run), so callers can append conditionally. Tolerant
+    of partial reports throughout.
+    """
+    report = reports.get("recovery")
+    if not isinstance(report, dict) or "error" in report:
+        return ""
+    lines: List[str] = []
+    replica = report.get("replica_recovery") or {}
+    if replica:
+        lines.append(
+            f"replicas: {replica.get('recovered_replicas', 0)} recovered, "
+            f"{replica.get('reverified_replicas', 0)} re-verified, over "
+            f"{replica.get('restart_cycles', 0)} restart cycle(s) "
+            f"({replica.get('recovery_wall_seconds', 0.0) * 1e3:.1f} ms last)"
+        )
+    revocation = report.get("revocation_resume") or {}
+    if revocation:
+        window = (
+            "zero fail-open window"
+            if revocation.get("revoked_rejected_from_disk")
+            and revocation.get("refreshes_at_rejection") == 0
+            else "FAIL-OPEN WINDOW OBSERVED"
+        )
+        lines.append(
+            f"revocation cursor: {revocation.get('cursor_statements_recovered', 0)} "
+            f"statement(s) recovered, head "
+            f"{revocation.get('feed_head_before', 0)} -> "
+            f"{revocation.get('feed_head_after', 0)} across restart — {window}"
+        )
+    torn = report.get("torn_tail") or {}
+    if torn:
+        lines.append(
+            f"torn tail: {torn.get('torn_bytes_dropped', 0)} B dropped, "
+            f"{torn.get('recovered_replicas', 0)}/{torn.get('expected_replicas', 0)} "
+            "replicas kept"
+        )
+    tamper = report.get("tamper_fail_closed") or {}
+    if tamper:
+        lines.append(
+            "tamper: "
+            + (
+                f"failed closed ({tamper.get('error_type', '?')})"
+                if tamper.get("failed_closed")
+                else "ACCEPTED TAMPERED BYTES"
+            )
+        )
+    if not lines:
+        return ""
+    return "Crash recovery\n" + "\n".join(f"  {line}" for line in lines)
 
 
 def render_concurrency_section(reports: Dict[str, dict]) -> str:

@@ -49,6 +49,9 @@ class LocationService:
 
     def __init__(self, tree: Optional[DomainTree] = None) -> None:
         self.tree = tree if tree is not None else DomainTree()
+        #: Durable-journal hook (set by DurableLocationStore.bind):
+        #: called with one dict per accepted mutation.
+        self.journal = None
 
     def add_site(self, path: str) -> None:
         self.tree.add_site(path)
@@ -84,19 +87,40 @@ class LocationService:
 
     @rpc_method("location.insert")
     def insert(self, oid: str, site: str, address: Mapping[str, Any]) -> int:
-        return self.tree.insert(oid, site, ContactAddress.from_dict(address))
+        result = self.tree.insert(oid, site, ContactAddress.from_dict(address))
+        if self.journal is not None:
+            self.journal(
+                {"op": "insert", "oid": oid, "site": site, "address": dict(address)}
+            )
+        return result
 
     @rpc_method("location.delete")
     def delete(self, oid: str, site: str, address: Mapping[str, Any]) -> int:
-        return self.tree.delete(oid, site, ContactAddress.from_dict(address))
+        result = self.tree.delete(oid, site, ContactAddress.from_dict(address))
+        if self.journal is not None:
+            self.journal(
+                {"op": "delete", "oid": oid, "site": site, "address": dict(address)}
+            )
+        return result
 
     @rpc_method("location.move")
     def move(
         self, oid: str, address: Mapping[str, Any], from_site: str, to_site: str
     ) -> int:
-        return self.tree.move(
+        result = self.tree.move(
             oid, ContactAddress.from_dict(address), from_site, to_site
         )
+        if self.journal is not None:
+            self.journal(
+                {
+                    "op": "move",
+                    "oid": oid,
+                    "address": dict(address),
+                    "from_site": from_site,
+                    "to_site": to_site,
+                }
+            )
+        return result
 
     def rpc_server(self) -> RpcServer:
         server = RpcServer(name="location")

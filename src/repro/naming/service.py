@@ -51,6 +51,9 @@ class NameService:
         self._zones: Dict[str, SignedZone] = {"": root_zone}
         #: OID forwarding records (re-keyed objects): old OID hex → record.
         self._forwardings: Dict[str, ForwardingRecord] = {}
+        #: Durable-journal hook (set by DurableNamingStore.bind): called
+        #: with one dict per accepted mutation, after it succeeded.
+        self.journal = None
 
     def add_zone(self, zone: SignedZone, parent: Optional[SignedZone] = None) -> None:
         """Attach *zone*, delegating from *parent* (default: its natural
@@ -80,6 +83,8 @@ class NameService:
         """Publish a record in the deepest attached zone covering it."""
         zone = self._authoritative_zone(record.name)
         zone.add_record(record)
+        if self.journal is not None:
+            self.journal({"op": "record", "record": record.to_dict()})
 
     def register_forwarding(self, record: ForwardingRecord) -> None:
         """Publish an old-OID → successor-OID forwarding record.
@@ -90,6 +95,8 @@ class NameService:
         """
         record.verify()
         self._forwardings[record.from_oid.hex] = record
+        if self.journal is not None:
+            self.journal({"op": "forward", "record": record.to_dict()})
 
     def _authoritative_zone(self, name: str) -> SignedZone:
         zone = self.root

@@ -34,7 +34,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import (
+    FeedRegressionError,
     NetworkError,
+    RecoveryIntegrityError,
     RevocationStalenessError,
     RevokedElementError,
     RevokedKeyError,
@@ -54,10 +56,12 @@ class RevocationCheckerStats:
     refreshes: int = 0
     refresh_failures: int = 0
     statements_ingested: int = 0
+    statements_recovered: int = 0
     invalid_dropped: int = 0
     verify_purged: int = 0
     content_purged: int = 0
     rejections: int = 0
+    head_regressions: int = 0
 
 
 class RevocationChecker:
@@ -79,6 +83,7 @@ class RevocationChecker:
         content_cache=None,
         metrics=None,
         metrics_client: str = "",
+        store=None,
     ) -> None:
         if max_staleness <= 0:
             raise ValueError(f"max_staleness must be positive, got {max_staleness}")
@@ -95,6 +100,13 @@ class RevocationChecker:
         self._head = 0
         self._synced_at: Optional[float] = None
         self._by_oid: Dict[str, List[RevocationStatement]] = {}
+        #: Durable cursor: the consumer's synced head plus its verified
+        #: statement view. Persisting the head alone would be a trap —
+        #: a cursor past statements the local view does not hold would
+        #: skip them forever — so head and statements travel together.
+        self.store = store
+        if store is not None:
+            self._recover()
         #: Monitor instruments. The staleness gauge is the input to the
         #: fail-closed-imminent alert rule; -1 marks "never synced" (a
         #: state the check itself already fails closed on). The head
@@ -116,6 +128,10 @@ class RevocationChecker:
             "revocation_statements_ingested_total",
             "Verified revocation statements accepted into the local view.",
         )
+        self._m_head_regressions = self.metrics.counter(
+            "revocation_head_regressions_total",
+            "Feed pulls rejected because the head moved backwards.",
+        )
         self._m_staleness = self.metrics.gauge(
             "revocation_view_staleness_seconds",
             "Age of the client's last good feed sync (-1: never synced).",
@@ -127,6 +143,66 @@ class RevocationChecker:
             labelnames=("client",),
         )
         self.metrics.register_collector(self._collect_metrics)
+
+    # ------------------------------------------------------------------
+    # Durable cursor recovery
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild the synced view from the cursor store, re-verifying.
+
+        Statements read back from disk are untrusted until their
+        signatures check (identical to fetched statements); a record
+        that no longer verifies fails recovery closed — it means the
+        cursor store was tampered with, and trusting the head it came
+        with would silently skip genuine revocations.
+        """
+        recovered = self.store.recover()
+        head = 0
+        dicts = []
+        if recovered.snapshot is not None:
+            head = int(recovered.snapshot.get("head", 0))
+            dicts.extend(recovered.snapshot.get("statements", []))
+        for record in recovered.records:
+            op = record.get("op")
+            if op == "ingest":
+                dicts.append(record["statement"])
+            elif op == "head":
+                head = max(head, int(record["head"]))
+        for data in dicts:
+            try:
+                statement = RevocationStatement.from_dict(data)
+                statement.verify(clock=self.clock)
+            except Exception as exc:
+                raise RecoveryIntegrityError(
+                    "revocation cursor store holds a statement that no "
+                    f"longer verifies — failing recovery closed: {exc}"
+                ) from exc
+            known = self._by_oid.setdefault(statement.oid_hex, [])
+            if any(s.serial == statement.serial for s in known):
+                continue
+            known.append(statement)
+            self.stats.statements_recovered += 1
+            self._purge_caches(statement)
+        self._head = head
+        # _synced_at stays None: a recovered view proves what *was*
+        # revoked, never that nothing new is — the first check still
+        # refreshes (or fails closed on staleness) before vouching.
+
+    def _journal(self, record: dict) -> None:
+        if self.store is None:
+            return
+        self.store.append(record)
+        self.store.maybe_compact(
+            lambda: {
+                "head": self._head,
+                "statements": [
+                    s.to_dict()
+                    for statements in self._by_oid.values()
+                    for s in statements
+                ],
+            }
+        )
 
     # ------------------------------------------------------------------
     # Feed synchronisation
@@ -149,9 +225,25 @@ class RevocationChecker:
 
         Propagates :class:`~repro.errors.NetworkError` — callers decide
         whether the stale view is still within the staleness window.
+
+        Raises :class:`~repro.errors.FeedRegressionError` — immediately,
+        regardless of the staleness window — when the feed's head is
+        *behind* this consumer's synced cursor: a feed that restarted
+        empty (losing its log) or a malicious rollback. Either way the
+        feed can no longer vouch for the statements this consumer has
+        already seen, so the consumer must not treat its answers as a
+        successful sync.
         """
         answer = self.rpc.call(self.feed_target, "revocation.fetch", since=self._head)
         head, statements = RevocationFeed.decode_delta(answer)
+        if head < self._head:
+            self.stats.head_regressions += 1
+            self._m_head_regressions.inc()
+            raise FeedRegressionError(
+                f"revocation feed head regressed from {self._head} to {head}: "
+                "the feed lost statements (restart without its log, or a "
+                "rollback attack) — failing closed"
+            )
         self.stats.refreshes += 1
         self._m_refreshes.inc()
         ingested = 0
@@ -160,7 +252,9 @@ class RevocationChecker:
                 ingested += 1
         # Advance past invalid entries too: they are the feed's garbage,
         # not ours, and re-fetching them forever helps nobody.
-        self._head = max(self._head, head)
+        if head > self._head:
+            self._head = head
+            self._journal({"op": "head", "head": head})
         self._synced_at = self.clock.now()
         return ingested
 
@@ -178,6 +272,7 @@ class RevocationChecker:
         known.append(statement)
         self.stats.statements_ingested += 1
         self._m_ingested.inc()
+        self._journal({"op": "ingest", "statement": statement.to_dict()})
         self._purge_caches(statement)
         return True
 
@@ -228,8 +323,26 @@ class RevocationChecker:
         cert_version: Optional[int] = None,
     ) -> None:
         """Raise iff the OID (or the named element) is revoked — or the
-        feed view is too stale to say otherwise."""
+        feed view is too stale to say otherwise.
+
+        Known revocations are consulted *before* the freshness gate: a
+        statement already verified condemns its target no matter how
+        stale the view is (rejection needs no proof of currency — only
+        vouching does). This is what makes a restart window-free: a
+        checker recovered from its durable cursor rejects a revoked OID
+        immediately, before it has managed to reach the feed at all.
+        """
+        self._reject_if_known_revoked(oid, element_name, cert_version)
         self._ensure_fresh(oid)
+        # The view may have grown during the refresh: re-check it.
+        self._reject_if_known_revoked(oid, element_name, cert_version)
+
+    def _reject_if_known_revoked(
+        self,
+        oid: ObjectId,
+        element_name: Optional[str],
+        cert_version: Optional[int],
+    ) -> None:
         for statement in self._by_oid.get(oid.hex, ()):  # newest need not win: any hit rejects
             if statement.scope == SCOPE_KEY:
                 self.stats.rejections += 1

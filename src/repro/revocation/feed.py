@@ -11,14 +11,29 @@ service: it verifies statements on publish only to keep garbage out of
 its own log, but consumers re-verify every statement themselves — a
 malicious feed can suppress revocations (a staleness/denial attack the
 client's max-staleness window bounds) but can never forge one.
+
+Durability
+----------
+With a :class:`~repro.storage.store.DurableStore` attached, every
+accepted statement is journaled before ``publish`` returns and the
+whole log recovers across restarts. This is security-critical, not a
+convenience: a feed that restarts *empty* silently re-opens the
+fail-open window revocation exists to close (consumers see ``head`` at
+zero and fetch nothing). Recovered statements are re-verified through
+the full publish discipline — signature, self-certification, serial
+monotonicity, payload identity — and recovery fails closed
+(:class:`~repro.errors.RecoveryIntegrityError`) on any record that no
+longer proves out: a CRC-valid but unverifiable statement means the
+store was tampered with at rest.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
-from repro.errors import ReproError
+from repro.errors import RecoveryIntegrityError, ReproError
 from repro.revocation.statement import RevocationStatement
+from repro.util.encoding import canonical_bytes
 
 __all__ = ["RevocationFeed"]
 
@@ -28,31 +43,77 @@ class RevocationFeed:
 
     ``head`` is the log length; ``fetch(since=head)`` returns only
     statements appended after a consumer's last sync. Publishing is
-    idempotent on (OID, serial) and rejects non-monotone serials per
-    OID, so replayed or reordered pushes cannot corrupt the log.
+    idempotent on (OID, serial) *with identical payload* and rejects
+    non-monotone serials per OID, so replayed or reordered pushes cannot
+    corrupt the log — and a re-publish that reuses an existing (OID,
+    serial) with *different* content is rejected as a poisoning attempt,
+    never absorbed as a benign duplicate.
     """
 
-    def __init__(self, clock=None) -> None:
+    def __init__(self, clock=None, store=None) -> None:
         self.clock = clock
+        self.store = store
         self._log: List[RevocationStatement] = []
-        self._seen: Set[Tuple[str, int]] = set()
+        self._by_key: Dict[Tuple[str, int], RevocationStatement] = {}
         self._max_serial: Dict[str, int] = {}
         self.rejected = 0
+        #: Statements reloaded (and re-verified) from the durable store.
+        self.recovered = 0
+        if store is not None:
+            self._recover()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay the persisted log through the full publish discipline."""
+        recovered = self.store.recover()
+        dicts: List[Mapping] = []
+        if recovered.snapshot is not None:
+            dicts.extend(recovered.snapshot.get("statements", []))
+        for record in recovered.records:
+            if record.get("op") == "publish":
+                dicts.append(record["statement"])
+        for data in dicts:
+            try:
+                statement = RevocationStatement.from_dict(data)
+                self._publish_in_memory(statement)
+            except ReproError as exc:
+                raise RecoveryIntegrityError(
+                    f"revocation feed store holds a statement that no longer "
+                    f"verifies — refusing to recover a poisoned log: {exc}"
+                ) from exc
+            self.recovered += 1
 
     # ------------------------------------------------------------------
     # Publishing
     # ------------------------------------------------------------------
 
-    def publish(self, statement: RevocationStatement) -> bool:
-        """Append a verified statement; False if already present.
+    def _publish_in_memory(self, statement: RevocationStatement) -> bool:
+        """The verification + append path, shared by publish and recovery.
 
-        Raises on an invalid statement (bad signature, key/OID mismatch)
-        or a serial at or below an already-published serial for the same
-        OID — both are feed-poisoning attempts, not revocations.
+        Raises on an invalid statement (bad signature, key/OID mismatch),
+        a non-monotone serial, or a payload-mismatched re-publish; False
+        for an exact duplicate.
         """
         statement.verify(clock=self.clock)
         key = (statement.oid_hex, statement.serial)
-        if key in self._seen:
+        existing = self._by_key.get(key)
+        if existing is not None:
+            # Idempotence covers *identical* statements only. A different
+            # payload under a published (OID, serial) is an attempt to
+            # shadow the genuine statement (and would corrupt WAL replay,
+            # which relies on publish being deterministic).
+            if canonical_bytes(existing.to_dict()) != canonical_bytes(
+                statement.to_dict()
+            ):
+                self.rejected += 1
+                raise ReproError(
+                    f"conflicting re-publish for {statement.oid_hex[:12]}… "
+                    f"serial {statement.serial}: payload differs from the "
+                    "statement already in the log (poisoning attempt)"
+                )
             return False
         last = self._max_serial.get(statement.oid_hex, 0)
         if statement.serial <= last:
@@ -62,9 +123,33 @@ class RevocationFeed:
                 f"{statement.oid_hex[:12]}… (last published: {last})"
             )
         self._log.append(statement)
-        self._seen.add(key)
+        self._by_key[key] = statement
         self._max_serial[statement.oid_hex] = statement.serial
         return True
+
+    def publish(self, statement: RevocationStatement) -> bool:
+        """Append a verified statement; False if already present.
+
+        Raises on an invalid statement (bad signature, key/OID mismatch),
+        a serial at or below an already-published serial for the same
+        OID, or a payload-mismatched re-use of a published (OID, serial)
+        — all are feed-poisoning attempts, not revocations. With a
+        durable store attached, the statement is journaled before this
+        returns.
+        """
+        added = self._publish_in_memory(statement)
+        if added and self.store is not None:
+            self.store.append({"op": "publish", "statement": statement.to_dict()})
+            self.store.maybe_compact(self._snapshot_state)
+        return added
+
+    def _snapshot_state(self) -> dict:
+        return {"statements": [s.to_dict() for s in self._log]}
+
+    def compact(self) -> None:
+        """Checkpoint the full log into a snapshot (explicit compaction)."""
+        if self.store is not None:
+            self.store.compact(self._snapshot_state())
 
     # ------------------------------------------------------------------
     # Consumption
@@ -73,6 +158,10 @@ class RevocationFeed:
     @property
     def head(self) -> int:
         return len(self._log)
+
+    def max_serial(self, oid_hex: str) -> int:
+        """Highest published serial for *oid_hex* (0 if none)."""
+        return self._max_serial.get(oid_hex, 0)
 
     def fetch(self, since: int = 0) -> dict:
         """Wire-format delta: statements appended after position *since*."""

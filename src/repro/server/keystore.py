@@ -28,6 +28,9 @@ __all__ = ["Keystore"]
 #: A revocation observer: ``(label, key)`` of the entity just removed.
 RevokeCallback = Callable[[str, PublicKey], None]
 
+#: An authorization observer: ``(label, key)`` of the entity just added.
+AuthorizeCallback = Callable[[str, PublicKey], None]
+
 
 class Keystore:
     """Administrator-maintained registry of authorised public keys."""
@@ -35,24 +38,52 @@ class Keystore:
     def __init__(self) -> None:
         self._by_key: Dict[bytes, str] = {}
         self._revoke_callbacks: List[RevokeCallback] = []
+        self._authorize_callbacks: List[AuthorizeCallback] = []
 
     def authorize(self, label: str, key: PublicKey) -> None:
         """Authorise *key* under administrative *label*."""
         self._by_key[key.der] = label
+        for callback in list(self._authorize_callbacks):
+            callback(label, key)
 
     def subscribe(self, callback: RevokeCallback) -> None:
         """Register an observer fired on every effective revocation."""
         self._revoke_callbacks.append(callback)
 
+    def subscribe_authorize(self, callback: AuthorizeCallback) -> None:
+        """Register an observer fired on every authorization (the durable
+        backend journals keystore mutations through this hook)."""
+        self._authorize_callbacks.append(callback)
+
     def revoke(self, key: PublicKey) -> bool:
         """Remove *key*; True if it was present (idempotent: a second
-        revoke is a no-op and fires no callbacks)."""
+        revoke is a no-op and fires no callbacks).
+
+        Callbacks are fired over a snapshot of the subscriber list: a
+        callback that subscribes or unsubscribes mid-notification must
+        not perturb this iteration (list mutation during iteration
+        skips or repeats entries).
+        """
         label = self._by_key.pop(key.der, None)
         if label is None:
             return False
-        for callback in self._revoke_callbacks:
+        for callback in list(self._revoke_callbacks):
             callback(label, key)
         return True
+
+    def unsubscribe(self, callback: RevokeCallback) -> None:
+        """Remove a revocation observer (no-op if absent)."""
+        try:
+            self._revoke_callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def entries(self) -> List[tuple]:
+        """``(label, key_der)`` pairs, deterministic order (persistence)."""
+        return sorted(
+            ((label, der) for der, label in self._by_key.items()),
+            key=lambda pair: (pair[0], pair[1]),
+        )
 
     def is_authorized(self, key: PublicKey) -> bool:
         return key.der in self._by_key

@@ -18,6 +18,7 @@ Two RPC surfaces:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional
 
@@ -62,6 +63,8 @@ class ObjectServer:
         limits: Optional["ResourceLimits"] = None,
         tracer=None,
         metrics=None,
+        data_dir: Optional[str] = None,
+        storage_sync: bool = True,
     ) -> None:
         from repro.obs import NOOP_METRICS
         from repro.server.resources import ResourceAccountant, ResourceLimits
@@ -80,14 +83,46 @@ class ObjectServer:
         self.resources = ResourceAccountant(
             limits if limits is not None else ResourceLimits(), self.clock
         )
-        #: This server's copy of the replicated revocation feed.
-        self.revocation_feed = RevocationFeed(clock=self.clock)
+        #: Durable backends (``data_dir`` set): the server journal holds
+        #: keystore + replica state, the feed store holds the revocation
+        #: log. ``storage_sync=False`` skips per-append fsync (tests).
+        self.data_dir = data_dir
+        self.state_store = None
+        feed_store = None
+        if data_dir is not None:
+            from repro.server.persistence import ServerStateStore
+            from repro.storage.store import DurableStore
+
+            self.state_store = ServerStateStore(
+                os.path.join(data_dir, "server"), sync=storage_sync
+            )
+            feed_store = DurableStore(
+                os.path.join(data_dir, "feed"), sync=storage_sync
+            )
+        #: This server's copy of the replicated revocation feed
+        #: (recovers its own log from the feed store when durable).
+        self.revocation_feed = RevocationFeed(clock=self.clock, store=feed_store)
         #: Operational events for the admin interface (entity
         #: revocations with the replicas they tore down).
         self.notices: List[Dict[str, Any]] = []
+        #: Recovery accounting for the recovery bench gates.
+        self.recovered_replicas = 0
+        self.reverified_replicas = 0
+        self._replaying = False
+        if self.state_store is not None:
+            self._recover_state()
         # A revoked keystore entity must stop serving, not just stop
         # creating: drop its hosted replicas the moment it is removed.
         self.keystore.subscribe(self._on_entity_revoked)
+        if self.state_store is not None:
+            # Journal hooks go in *after* recovery so the replay itself
+            # is not re-journaled.
+            self.keystore.subscribe_authorize(
+                lambda label, key: self._journal_keystore("authorize", label, key)
+            )
+            self.keystore.subscribe(
+                lambda label, key: self._journal_keystore("revoke", label, key)
+            )
         #: Server-side monitor instruments. Gauges are host-labeled (one
         #: registry watches many servers); the feed head lets the report
         #: derive client serial lag against ``revocation_head_serial``.
@@ -108,6 +143,67 @@ class ObjectServer:
             labelnames=("host",),
         )
         self.metrics.register_collector(self._collect_metrics)
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+
+    def _recover_state(self) -> None:
+        """Reload keystore + replicas from disk; every replica has been
+        re-verified by the store (signatures checked, fail closed) before
+        it is installed here."""
+        state = self.state_store.recover()
+        self._replaying = True
+        try:
+            for label, key_der in state.keystore_entries:
+                self.keystore.authorize(label, PublicKey(der=key_der))
+            for replica in state.replicas:
+                self.create_replica(
+                    replica.document,
+                    PublicKey(der=replica.creator_key_der),
+                    replica.creator_label,
+                )
+        finally:
+            self._replaying = False
+        self.recovered_replicas = len(state.replicas)
+        self.reverified_replicas = state.reverified
+
+    def _journal_keystore(self, op: str, label: str, key: PublicKey) -> None:
+        if self._replaying:
+            return
+        if op == "authorize":
+            self.state_store.journal_authorize(label, key.der)
+        else:
+            self.state_store.journal_revoke(key.der)
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        self.state_store.maybe_compact(self._durable_state)
+
+    def _durable_state(self) -> dict:
+        """Whole-state snapshot for compaction (rebuilt from live state,
+        re-validated by ``SignedDocument.from_state`` on the way out)."""
+        return {
+            "keystore": [
+                [label, key_der] for label, key_der in self.keystore.entries()
+            ],
+            "replicas": [
+                {
+                    "replica_id": hosted.replica_id,
+                    "document": SignedDocument.from_state(hosted.lr.state).to_dict(),
+                    "creator_label": hosted.creator_label,
+                    "creator_key_der": hosted.creator_key_der,
+                }
+                for _, hosted in sorted(self._replicas.items())
+            ],
+        }
+
+    def close(self) -> None:
+        """Flush and close the durable stores (no-op when in-memory)."""
+        if self.state_store is not None:
+            self.state_store.close()
+        if self.revocation_feed.store is not None:
+            self.revocation_feed.store.close()
 
     # ------------------------------------------------------------------
     # Addressing
@@ -151,6 +247,11 @@ class ObjectServer:
         )
         self._replicas[replica_id] = hosted
         self._by_oid[oid_hex] = replica_id
+        if self.state_store is not None and not self._replaying:
+            self.state_store.journal_replica_create(
+                replica_id, document, creator_label, creator_key.der
+            )
+            self._maybe_compact()
         return hosted
 
     def destroy_replica(self, replica_id: str, requester_key: PublicKey) -> None:
@@ -166,6 +267,9 @@ class ObjectServer:
         del self._replicas[replica_id]
         self._by_oid.pop(hosted.oid_hex, None)
         self.resources.release_replica(replica_id)
+        if self.state_store is not None and not self._replaying:
+            self.state_store.journal_replica_destroy(replica_id)
+            self._maybe_compact()
 
     def update_replica(
         self, document: SignedDocument, requester_key: PublicKey
@@ -180,6 +284,9 @@ class ObjectServer:
             raise AccessDenied("only the replica creator may update it")
         self.resources.resize_replica(replica_id, document.total_size)
         hosted.lr.update_state(document.state())
+        if self.state_store is not None and not self._replaying:
+            self.state_store.journal_replica_update(replica_id, document)
+            self._maybe_compact()
         return hosted
 
     # ------------------------------------------------------------------
@@ -201,6 +308,8 @@ class ObjectServer:
                 del self._replicas[replica_id]
                 self._by_oid.pop(hosted.oid_hex, None)
                 self.resources.release_replica(replica_id)
+                if self.state_store is not None and not self._replaying:
+                    self.state_store.journal_replica_destroy(replica_id)
                 dropped.append(replica_id)
         self.notices.append(
             {

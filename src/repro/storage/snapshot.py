@@ -1,0 +1,147 @@
+"""Checkpointed state snapshots, atomically written, checksummed.
+
+A snapshot is one whole-state checkpoint of a durable subsystem, taken
+at a known write-ahead-log sequence number so recovery can replay
+exactly the WAL suffix past it (UStore-style snapshot + log layout).
+
+On-disk format mirrors the WAL frame so one validator covers both::
+
+    [4-byte big-endian payload length]
+    [4-byte big-endian CRC32 of the payload]
+    [payload: canonical_bytes({"seq": <wal seq>, "state": <state>})]
+
+Atomicity: the snapshot is written to a temporary sibling, flushed and
+fsynced, then ``os.replace``\\ d onto its numbered name — a crash leaves
+either the old snapshot set or the new one, never a half-written file
+under a live name. The directory entry is fsynced after the rename.
+
+Recovery: :meth:`SnapshotStore.load_latest` walks snapshots newest
+first and returns the first one that validates; a torn or corrupt
+newest snapshot (crash during checkpoint) falls back to its predecessor
+instead of failing the whole store. Older snapshots are garbage
+collected after a successful write.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import zlib
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.storage.wal import FRAME_HEADER
+from repro.util.encoding import canonical_bytes, from_canonical_bytes
+
+__all__ = ["SnapshotStore"]
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{12})\.bin$")
+
+
+class SnapshotStore:
+    """Numbered, checksummed snapshots in one directory."""
+
+    def __init__(self, directory, keep: int = 2) -> None:
+        if keep < 1:
+            raise StorageError(f"must keep at least one snapshot, got {keep}")
+        self.directory = str(directory)
+        self.keep = keep
+        os.makedirs(self.directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def write(self, seq: int, state: Any) -> str:
+        """Checkpoint *state* as of WAL sequence *seq*; returns the path."""
+        if seq < 0:
+            raise StorageError(f"snapshot seq must be non-negative, got {seq}")
+        payload = canonical_bytes({"seq": int(seq), "state": state})
+        frame = FRAME_HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+        name = f"snapshot-{seq:012d}.bin"
+        final_path = os.path.join(self.directory, name)
+        tmp_path = final_path + ".tmp"
+        with open(tmp_path, "wb") as fh:
+            fh.write(frame)
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, final_path)
+        self._fsync_dir()
+        self._collect_garbage(keep_at_least=final_path)
+        return final_path
+
+    def _fsync_dir(self) -> None:
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir fds
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - best effort
+            pass
+        finally:
+            os.close(fd)
+
+    def _collect_garbage(self, keep_at_least: str) -> None:
+        """Drop all but the newest ``keep`` snapshots (and stray tmps)."""
+        paths = self._snapshot_paths()
+        for path in paths[: -self.keep]:
+            if path != keep_at_least:
+                try:
+                    os.remove(path)
+                except OSError:  # pragma: no cover - best effort
+                    pass
+        for entry in os.listdir(self.directory):
+            if entry.endswith(".tmp"):
+                try:
+                    os.remove(os.path.join(self.directory, entry))
+                except OSError:  # pragma: no cover - best effort
+                    pass
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def _snapshot_paths(self) -> List[str]:
+        """Valid-looking snapshot files, oldest first."""
+        entries = []
+        for entry in os.listdir(self.directory):
+            match = _SNAPSHOT_RE.match(entry)
+            if match:
+                entries.append((int(match.group(1)), entry))
+        return [os.path.join(self.directory, e) for _, e in sorted(entries)]
+
+    def load_latest(self) -> Optional[Tuple[int, Any]]:
+        """The newest valid ``(seq, state)``, or None if none exists.
+
+        A corrupt newer snapshot is skipped (crash mid-checkpoint), not
+        fatal — the WAL suffix since the older snapshot still replays.
+        """
+        for path in reversed(self._snapshot_paths()):
+            loaded = self._load_one(path)
+            if loaded is not None:
+                return loaded
+        return None
+
+    @staticmethod
+    def _load_one(path: str) -> Optional[Tuple[int, Any]]:
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except OSError:
+            return None
+        if len(data) < FRAME_HEADER.size:
+            return None
+        length, crc = FRAME_HEADER.unpack_from(data, 0)
+        payload = data[FRAME_HEADER.size:]
+        if len(payload) != length or zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            return None
+        try:
+            decoded = from_canonical_bytes(payload)
+            return int(decoded["seq"]), decoded["state"]
+        except Exception:
+            return None
+
+    def __len__(self) -> int:
+        return len(self._snapshot_paths())

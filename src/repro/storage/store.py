@@ -1,0 +1,171 @@
+"""Snapshot + WAL composition: the durable backend every service uses.
+
+One :class:`DurableStore` owns a directory::
+
+    <dir>/wal.log            the write-ahead log (mutation journal)
+    <dir>/snapshot-NNN.bin   whole-state checkpoints at WAL seq NNN
+
+Writes are journaled through :meth:`append` *before* the in-memory
+mutation is considered durable; :meth:`compact` checkpoints the current
+state and resets the journal. Sequence numbers are absolute (they count
+every record ever appended, across compactions), so a snapshot at seq
+*s* plus the journal suffix replays to exactly the live state.
+
+Recovery contract
+-----------------
+:meth:`recover` returns the latest valid snapshot state (or None) and
+the journal records appended after it. **The store validates framing
+and checksums only.** Recovered payloads are untrusted input — exactly
+as untrusted as bytes fetched from a replica — and each subsystem must
+re-verify signatures / self-certification on everything it loads before
+serving it, failing closed (:class:`~repro.errors.RecoveryIntegrityError`)
+on anything that does not check out.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.errors import StorageError
+from repro.storage.snapshot import SnapshotStore
+from repro.storage.wal import WriteAheadLog
+
+__all__ = ["DurableStore", "RecoveredState"]
+
+WAL_NAME = "wal.log"
+
+
+@dataclass
+class RecoveredState:
+    """What a subsystem gets back from :meth:`DurableStore.recover`."""
+
+    #: Latest valid snapshot state, or None (cold start / no snapshot).
+    snapshot: Optional[Any]
+    #: Journal records to replay on top of the snapshot, oldest first.
+    records: List[Any] = field(default_factory=list)
+    #: Bytes dropped from the journal's torn tail on open.
+    torn_bytes_dropped: int = 0
+
+    @property
+    def cold(self) -> bool:
+        """True when there was nothing on disk at all."""
+        return self.snapshot is None and not self.records
+
+
+class DurableStore:
+    """A directory-backed snapshot+journal store for one subsystem."""
+
+    def __init__(
+        self,
+        directory,
+        sync: bool = True,
+        compact_every: Optional[int] = 256,
+        keep_snapshots: int = 2,
+    ) -> None:
+        if compact_every is not None and compact_every < 1:
+            raise StorageError(
+                f"compact_every must be positive or None, got {compact_every}"
+            )
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.compact_every = compact_every
+        self.snapshots = SnapshotStore(self.directory, keep=keep_snapshots)
+        self.wal = WriteAheadLog(os.path.join(self.directory, WAL_NAME), sync=sync)
+        snapshot = self.snapshots.load_latest()
+        self._snapshot_seq = snapshot[0] if snapshot is not None else 0
+        self._snapshot_state = snapshot[1] if snapshot is not None else None
+        #: Absolute seq = snapshot seq + journal length. Journal records
+        #: carry their own seq so a stale journal (older than the
+        #: snapshot, e.g. after a crash between snapshot write and
+        #: journal truncate) is recognised and skipped on recover.
+        self._seq = self._snapshot_seq
+        for record in self.wal:
+            seq = self._record_seq(record)
+            if seq is not None and seq > self._seq:
+                self._seq = seq
+        self._recovered = False
+
+    @staticmethod
+    def _record_seq(record: Any) -> Optional[int]:
+        if isinstance(record, dict) and isinstance(record.get("__seq__"), int):
+            return record["__seq__"]
+        return None
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def recover(self) -> RecoveredState:
+        """Snapshot state + the journal suffix appended after it."""
+        records = []
+        for record in self.wal:
+            seq = self._record_seq(record)
+            if seq is None or seq > self._snapshot_seq:
+                records.append(
+                    record["__record__"] if seq is not None else record
+                )
+        self._recovered = True
+        return RecoveredState(
+            snapshot=self._snapshot_state,
+            records=records,
+            torn_bytes_dropped=self.wal.torn_bytes_dropped,
+        )
+
+    # ------------------------------------------------------------------
+    # Journaling
+    # ------------------------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        """Absolute sequence number of the last appended record."""
+        return self._seq
+
+    @property
+    def journal_length(self) -> int:
+        return len(self.wal)
+
+    def append(self, record: Any) -> int:
+        """Durably journal *record*; returns its absolute seq."""
+        seq = self._seq + 1
+        self.wal.append({"__seq__": seq, "__record__": record})
+        self._seq = seq
+        return seq
+
+    def compact(self, state: Any) -> None:
+        """Checkpoint *state* at the current seq, then reset the journal.
+
+        Order matters for crash consistency: the snapshot lands
+        atomically first; only then is the journal truncated. A crash
+        between the two leaves a journal whose records are all ≤ the
+        snapshot seq — recognised and skipped on the next recover.
+        """
+        self.snapshots.write(self._seq, state)
+        self._snapshot_seq = self._seq
+        self._snapshot_state = state
+        self.wal.truncate()
+
+    def maybe_compact(self, state_fn) -> bool:
+        """Compact via ``state_fn()`` when the journal hits the threshold."""
+        if self.compact_every is None:
+            return False
+        if len(self.wal) < self.compact_every:
+            return False
+        self.compact(state_fn())
+        return True
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def __enter__(self) -> "DurableStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DurableStore({self.directory!r}, seq={self._seq}, "
+            f"journal={len(self.wal)})"
+        )

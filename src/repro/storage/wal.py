@@ -1,0 +1,223 @@
+"""Write-ahead log: length-prefixed, checksummed, canonically encoded.
+
+Every durable subsystem (object server, revocation feed, naming and
+location services, revocation-checker cursors) journals its mutations
+through one :class:`WriteAheadLog`. The on-disk format is a sequence of
+self-delimiting frames::
+
+    [4-byte big-endian payload length]
+    [4-byte big-endian CRC32 of the payload]
+    [payload: canonical-encoded record]
+
+The payload is the repo's canonical JSON (the same deterministic
+encoding signatures are computed over), so a WAL record round-trips
+byte-identically across hosts and Python versions, and the CRC is
+computed over exactly the bytes that were meant to be written.
+
+Durability discipline
+---------------------
+``append`` writes the frame, flushes, and — unless the log was opened
+with ``sync=False`` (tests, throwaway stores) — ``fsync``\\ s the file
+descriptor before returning: a record handed back to the caller has
+reached the disk, not the page cache. Directory entries are fsynced on
+creation so a freshly created log survives a crash of its parent
+directory too.
+
+Torn-tail recovery
+------------------
+A crash mid-``append`` leaves a *torn tail*: a trailing frame that is
+truncated, or whose CRC does not match (a partially persisted payload).
+On open, the log scans frames from the start; the first frame that is
+incomplete or fails its CRC ends the scan, the file is physically
+truncated back to the last valid frame boundary, and the count of
+dropped bytes is reported in :attr:`WriteAheadLog.torn_bytes_dropped`.
+Only the *suffix* is ever dropped — a valid prefix record is never
+discarded — and nothing past the checksum is interpreted, so torn bytes
+are never surfaced to callers.
+
+Checksums guard against *accidents* (torn writes, bit rot), not
+adversaries: a CRC-valid record is still untrusted input, and
+subsystems re-verify signatures on everything they recover (see
+:mod:`repro.storage.store` and the per-subsystem recovery paths).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Any, Iterator, List, Optional
+
+from repro.errors import StorageError
+from repro.util.encoding import canonical_bytes, from_canonical_bytes
+
+__all__ = ["WriteAheadLog", "FRAME_HEADER"]
+
+#: Frame header: payload length + CRC32, both unsigned 32-bit big-endian.
+FRAME_HEADER = struct.Struct(">II")
+
+#: Refuse absurd lengths outright: a corrupted length prefix must not
+#: make the scanner try to allocate gigabytes before concluding "torn".
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+
+def _fsync_dir(path: str) -> None:
+    """Flush the directory entry so a fresh file survives a crash."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # platform without directory fds — best effort
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class WriteAheadLog:
+    """An append-only record log with crash-consistent open semantics.
+
+    Opening a log reads and validates every frame (truncating a torn
+    tail, see module docstring); the decoded records are available via
+    :meth:`records` and the log is then positioned for appends.
+    """
+
+    def __init__(self, path, sync: bool = True) -> None:
+        self.path = str(path)
+        self.sync = sync
+        self._records: List[Any] = []
+        self.torn_bytes_dropped = 0
+        self._closed = False
+        directory = os.path.dirname(self.path) or "."
+        os.makedirs(directory, exist_ok=True)
+        created = not os.path.exists(self.path)
+        valid_end = self._scan_and_truncate()
+        self._fh = open(self.path, "ab")
+        if self._fh.tell() != valid_end:  # pragma: no cover - defensive
+            raise StorageError(
+                f"WAL {self.path} moved under us: expected offset {valid_end}, "
+                f"found {self._fh.tell()}"
+            )
+        if created:
+            _fsync_dir(directory)
+
+    # ------------------------------------------------------------------
+    # Open-time scan
+    # ------------------------------------------------------------------
+
+    def _scan_and_truncate(self) -> int:
+        """Load valid frames; truncate the torn tail; return valid size."""
+        if not os.path.exists(self.path):
+            return 0
+        with open(self.path, "rb") as fh:
+            data = fh.read()
+        offset = 0
+        records: List[Any] = []
+        while offset < len(data):
+            frame_end = self._try_frame(data, offset, records)
+            if frame_end is None:
+                break
+            offset = frame_end
+        if offset < len(data):
+            self.torn_bytes_dropped = len(data) - offset
+            with open(self.path, "r+b") as fh:
+                fh.truncate(offset)
+                fh.flush()
+                os.fsync(fh.fileno())
+        self._records = records
+        return offset
+
+    @staticmethod
+    def _try_frame(data: bytes, offset: int, records: List[Any]) -> Optional[int]:
+        """Decode one frame at *offset*; None if torn/corrupt (scan stops)."""
+        header_end = offset + FRAME_HEADER.size
+        if header_end > len(data):
+            return None
+        length, crc = FRAME_HEADER.unpack_from(data, offset)
+        if length > MAX_RECORD_BYTES:
+            return None
+        payload_end = header_end + length
+        if payload_end > len(data):
+            return None
+        payload = data[header_end:payload_end]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            return None
+        try:
+            records.append(from_canonical_bytes(payload))
+        except Exception:
+            # CRC-valid but undecodable: written by something that is
+            # not this WAL. Treat as corruption starting here.
+            return None
+        return payload_end
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def append(self, record: Any) -> int:
+        """Durably append *record*; returns its index in the log."""
+        if self._closed:
+            raise StorageError(f"WAL {self.path} is closed")
+        payload = canonical_bytes(record)
+        if len(payload) > MAX_RECORD_BYTES:
+            raise StorageError(
+                f"WAL record of {len(payload)} bytes exceeds the "
+                f"{MAX_RECORD_BYTES}-byte frame limit"
+            )
+        frame = FRAME_HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+        self._fh.write(frame)
+        self._fh.write(payload)
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+        self._records.append(record)
+        return len(self._records) - 1
+
+    def flush(self) -> None:
+        """Force buffered appends to disk (no-op when ``sync=True``)."""
+        if self._closed:
+            return
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    # ------------------------------------------------------------------
+    # Reading and lifecycle
+    # ------------------------------------------------------------------
+
+    def records(self) -> List[Any]:
+        """Every valid record, in append order (decoded copies)."""
+        return list(self._records)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(list(self._records))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def truncate(self) -> None:
+        """Drop every record (post-compaction reset), durably."""
+        if self._closed:
+            raise StorageError(f"WAL {self.path} is closed")
+        self._fh.truncate(0)
+        self._fh.seek(0)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._records = []
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        self._closed = True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WriteAheadLog({self.path!r}, records={len(self._records)})"

@@ -41,3 +41,11 @@ class TestCli:
         assert "Chaos sweep" in out
         assert "all resilience gates passed" in out
         assert out_path.exists()
+
+    def test_recovery_quick_passes_gates(self, capsys, tmp_path):
+        out_path = tmp_path / "recovery.json"
+        assert main(["recovery", "--quick", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Recovery bench" in out
+        assert "all recovery gates passed" in out
+        assert out_path.exists()

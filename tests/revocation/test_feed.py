@@ -29,14 +29,25 @@ class TestPublish:
         assert feed.publish(revoke(shared_keys, oid, 1)) is True
         assert feed.head == 1 and len(feed) == 1
 
-    def test_duplicate_serial_is_idempotent(self, shared_keys, oid):
-        """Dedup keys on (OID, serial), not statement identity: a
-        replayed push — even a re-signed one — is a no-op, not an error."""
+    def test_identical_republish_is_idempotent(self, shared_keys, oid):
+        """An exact replay of a published statement is a no-op."""
         feed = RevocationFeed()
-        feed.publish(revoke(shared_keys, oid, 1))
-        assert feed.publish(revoke(shared_keys, oid, 1, reason="replayed")) is False
+        statement = revoke(shared_keys, oid, 1)
+        feed.publish(statement)
+        assert feed.publish(statement) is False
         assert feed.head == 1
         assert feed.rejected == 0
+
+    def test_payload_mismatched_republish_rejected(self, shared_keys, oid):
+        """Reusing a published (OID, serial) with *different* content is
+        a poisoning attempt (it would shadow the genuine statement and
+        desynchronise WAL replay), never a benign duplicate."""
+        feed = RevocationFeed()
+        feed.publish(revoke(shared_keys, oid, 1))
+        with pytest.raises(ReproError, match="payload differs"):
+            feed.publish(revoke(shared_keys, oid, 1, reason="replayed"))
+        assert feed.head == 1
+        assert feed.rejected == 1
 
     def test_non_monotone_serial_rejected(self, shared_keys, oid):
         feed = RevocationFeed()

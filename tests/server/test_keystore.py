@@ -78,6 +78,54 @@ class TestRevocationHooks:
         ks.revoke(shared_keys.public)
         assert first == ["owner-a"] and second == ["owner-a"]
 
+    def test_callback_unsubscribing_itself_does_not_skip_others(self, shared_keys):
+        """Regression: revoke used to iterate ``_revoke_callbacks``
+        directly, so a callback that unsubscribed itself shifted the
+        list mid-iteration and silently skipped the next subscriber —
+        whose replica teardown then never ran."""
+        ks = Keystore()
+        fired = []
+
+        def one_shot(label, key):
+            fired.append("one_shot")
+            ks.unsubscribe(one_shot)
+
+        ks.subscribe(one_shot)
+        ks.subscribe(lambda label, key: fired.append("second"))
+        ks.authorize("owner-a", shared_keys.public)
+        ks.revoke(shared_keys.public)
+        assert fired == ["one_shot", "second"]
+
+    def test_callback_subscribing_does_not_notify_newcomer(self, shared_keys):
+        """A subscriber added during notification sees *future* revokes,
+        not the one in flight (snapshot semantics, no infinite growth)."""
+        ks = Keystore()
+        fired = []
+
+        def recruiter(label, key):
+            fired.append("recruiter")
+            ks.subscribe(lambda lbl, k: fired.append("newcomer"))
+
+        ks.subscribe(recruiter)
+        ks.authorize("owner-a", shared_keys.public)
+        ks.revoke(shared_keys.public)
+        assert fired == ["recruiter"]
+
+    def test_authorize_subscribers_fire(self, shared_keys):
+        ks = Keystore()
+        events = []
+        ks.subscribe_authorize(lambda label, key: events.append((label, key.der)))
+        ks.authorize("owner-a", shared_keys.public)
+        assert events == [("owner-a", shared_keys.public.der)]
+
+    def test_entries_deterministic(self, shared_keys, other_keys):
+        ks = Keystore()
+        ks.authorize("b-label", other_keys.public)
+        ks.authorize("a-label", shared_keys.public)
+        assert ks.entries() == sorted(
+            [("a-label", shared_keys.public.der), ("b-label", other_keys.public.der)]
+        )
+
     def test_require_returns_label_or_denies(self, shared_keys, other_keys):
         ks = Keystore()
         ks.authorize("owner-a", shared_keys.public)

@@ -1,0 +1,1 @@
+"""Durable storage layer: WAL, snapshots, and their composition."""

@@ -1,0 +1,92 @@
+"""Snapshot store: atomic checkpoints, fallback on corruption, GC."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.snapshot import SnapshotStore
+
+STATE_A = {"counter": 1, "blob": b"alpha"}
+STATE_B = {"counter": 2, "blob": b"beta", "extra": [1, 2]}
+
+
+class TestWriteAndLoad:
+    def test_round_trip(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        store.write(7, STATE_A)
+        assert store.load_latest() == (7, STATE_A)
+
+    def test_empty_directory_loads_none(self, tmp_path):
+        assert SnapshotStore(str(tmp_path)).load_latest() is None
+
+    def test_newest_snapshot_wins(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        store.write(3, STATE_A)
+        store.write(9, STATE_B)
+        assert store.load_latest() == (9, STATE_B)
+
+    def test_negative_seq_rejected(self, tmp_path):
+        with pytest.raises(StorageError, match="non-negative"):
+            SnapshotStore(str(tmp_path)).write(-1, STATE_A)
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(StorageError, match="at least one"):
+            SnapshotStore(str(tmp_path), keep=0)
+
+
+class TestCorruptionFallback:
+    def test_corrupt_newest_falls_back_to_predecessor(self, tmp_path):
+        """A crash mid-checkpoint must cost the checkpoint, not the store."""
+        store = SnapshotStore(str(tmp_path))
+        store.write(3, STATE_A)
+        path = store.write(9, STATE_B)
+        with open(path, "r+b") as fh:
+            fh.seek(12)
+            byte = fh.read(1)
+            fh.seek(12)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        assert store.load_latest() == (3, STATE_A)
+
+    def test_truncated_newest_falls_back(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        store.write(3, STATE_A)
+        path = store.write(9, STATE_B)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 2)
+        assert store.load_latest() == (3, STATE_A)
+
+    def test_all_corrupt_loads_none(self, tmp_path):
+        store = SnapshotStore(str(tmp_path), keep=1)
+        path = store.write(5, STATE_A)
+        with open(path, "wb") as fh:
+            fh.write(b"shredded")
+        assert store.load_latest() is None
+
+
+class TestGarbageCollection:
+    def test_keeps_newest_n(self, tmp_path):
+        store = SnapshotStore(str(tmp_path), keep=2)
+        for seq in (1, 2, 3, 4):
+            store.write(seq, {"seq": seq})
+        assert len(store) == 2
+        assert store.load_latest() == (4, {"seq": 4})
+
+    def test_stray_tmp_files_removed(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        stray = os.path.join(str(tmp_path), "snapshot-000000000099.bin.tmp")
+        with open(stray, "wb") as fh:
+            fh.write(b"half-written")
+        store.write(1, STATE_A)
+        assert not os.path.exists(stray)
+
+    def test_foreign_files_ignored(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        with open(os.path.join(str(tmp_path), "wal.log"), "wb") as fh:
+            fh.write(b"not a snapshot")
+        store.write(2, STATE_A)
+        assert store.load_latest() == (2, STATE_A)
+        assert os.path.exists(os.path.join(str(tmp_path), "wal.log"))

@@ -1,0 +1,133 @@
+"""DurableStore: absolute sequencing, compaction, crash-ordering safety."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.store import DurableStore
+
+
+def make_store(tmp_path, **kwargs):
+    kwargs.setdefault("sync", False)
+    return DurableStore(str(tmp_path), **kwargs)
+
+
+class TestJournal:
+    def test_cold_start(self, tmp_path):
+        store = make_store(tmp_path)
+        recovered = store.recover()
+        assert recovered.cold
+        assert recovered.snapshot is None
+        assert recovered.records == []
+        assert store.seq == 0
+
+    def test_append_assigns_absolute_seqs(self, tmp_path):
+        store = make_store(tmp_path)
+        assert store.append({"op": "a"}) == 1
+        assert store.append({"op": "b"}) == 2
+        assert store.seq == 2
+        assert store.journal_length == 2
+
+    def test_recover_replays_journal(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append({"op": "a"})
+        store.append({"op": "b"})
+        store.close()
+        recovered = make_store(tmp_path).recover()
+        assert recovered.snapshot is None
+        assert recovered.records == [{"op": "a"}, {"op": "b"}]
+        assert not recovered.cold
+
+
+class TestCompaction:
+    def test_compact_checkpoints_and_resets_journal(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append({"op": "a"})
+        store.append({"op": "b"})
+        store.compact({"state": "ab"})
+        assert store.journal_length == 0
+        store.append({"op": "c"})
+        assert store.seq == 3  # seqs are absolute, surviving compaction
+        store.close()
+        recovered = make_store(tmp_path).recover()
+        assert recovered.snapshot == {"state": "ab"}
+        assert recovered.records == [{"op": "c"}]
+
+    def test_maybe_compact_threshold(self, tmp_path):
+        store = make_store(tmp_path, compact_every=3)
+        states = []
+
+        def state_fn():
+            states.append(store.seq)
+            return {"at": store.seq}
+
+        for i in range(2):
+            store.append({"i": i})
+            assert store.maybe_compact(state_fn) is False
+        store.append({"i": 2})
+        assert store.maybe_compact(state_fn) is True
+        assert states == [3]
+        assert store.journal_length == 0
+
+    def test_maybe_compact_disabled(self, tmp_path):
+        store = make_store(tmp_path, compact_every=None)
+        for i in range(10):
+            store.append({"i": i})
+        assert store.maybe_compact(lambda: {}) is False
+        assert store.journal_length == 10
+
+    def test_compact_every_validated(self, tmp_path):
+        with pytest.raises(StorageError, match="positive"):
+            make_store(tmp_path, compact_every=0)
+
+
+class TestCrashOrdering:
+    def test_stale_journal_after_snapshot_skipped(self, tmp_path):
+        """Crash between snapshot write and journal truncate: the journal
+        still holds records at seqs ≤ the snapshot — they must not be
+        replayed on top of the state that already includes them."""
+        store = make_store(tmp_path)
+        store.append({"op": "a"})
+        store.append({"op": "b"})
+        # Simulate the crash: snapshot lands, journal truncate never runs.
+        store.snapshots.write(store.seq, {"state": "ab"})
+        store.close()
+        recovered = make_store(tmp_path).recover()
+        assert recovered.snapshot == {"state": "ab"}
+        assert recovered.records == []
+
+    def test_journal_suffix_past_snapshot_replays(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append({"op": "a"})
+        store.snapshots.write(1, {"state": "a"})
+        store.append({"op": "b"})  # seq 2, past the snapshot
+        store.close()
+        recovered = make_store(tmp_path).recover()
+        assert recovered.snapshot == {"state": "a"}
+        assert recovered.records == [{"op": "b"}]
+
+    def test_seq_resumes_past_stale_journal(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append({"op": "a"})
+        store.append({"op": "b"})
+        store.snapshots.write(store.seq, {"state": "ab"})
+        store.close()
+        reopened = make_store(tmp_path)
+        assert reopened.seq == 2
+        assert reopened.append({"op": "c"}) == 3
+
+    def test_torn_tail_reported_through_recover(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append({"op": "a"})
+        store.append({"op": "b"})
+        store.close()
+        import os
+
+        wal_path = os.path.join(str(tmp_path), "wal.log")
+        size = os.path.getsize(wal_path)
+        with open(wal_path, "r+b") as fh:
+            fh.truncate(size - 3)
+        recovered = make_store(tmp_path).recover()
+        assert recovered.records == [{"op": "a"}]
+        assert recovered.torn_bytes_dropped > 0

@@ -1,0 +1,142 @@
+"""The write-ahead log: framing, durability discipline, reopen semantics."""
+
+from __future__ import annotations
+
+import os
+import zlib
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.wal import FRAME_HEADER, MAX_RECORD_BYTES, WriteAheadLog
+from repro.util.encoding import canonical_bytes
+
+RECORDS = [
+    {"op": "a", "n": 1},
+    {"op": "b", "payload": b"\x00\xffbinary"},
+    {"op": "c", "nested": {"list": [1, 2, 3], "s": "text"}},
+]
+
+
+def wal_path(tmp_path):
+    return os.path.join(str(tmp_path), "wal.log")
+
+
+class TestAppendAndReopen:
+    def test_round_trip(self, tmp_path):
+        with WriteAheadLog(wal_path(tmp_path), sync=False) as wal:
+            for i, record in enumerate(RECORDS):
+                assert wal.append(record) == i
+            assert wal.records() == RECORDS
+        reopened = WriteAheadLog(wal_path(tmp_path), sync=False)
+        assert reopened.records() == RECORDS
+        assert reopened.torn_bytes_dropped == 0
+        reopened.close()
+
+    def test_append_after_reopen_continues(self, tmp_path):
+        with WriteAheadLog(wal_path(tmp_path), sync=False) as wal:
+            wal.append(RECORDS[0])
+        with WriteAheadLog(wal_path(tmp_path), sync=False) as wal:
+            assert wal.append(RECORDS[1]) == 1
+            assert wal.records() == RECORDS[:2]
+
+    def test_iteration_and_len(self, tmp_path):
+        with WriteAheadLog(wal_path(tmp_path), sync=False) as wal:
+            for record in RECORDS:
+                wal.append(record)
+            assert list(wal) == RECORDS
+            assert len(wal) == len(RECORDS)
+
+    def test_records_returns_copy(self, tmp_path):
+        with WriteAheadLog(wal_path(tmp_path), sync=False) as wal:
+            wal.append(RECORDS[0])
+            wal.records().append("intruder")
+            assert wal.records() == [RECORDS[0]]
+
+    def test_creates_parent_directory(self, tmp_path):
+        path = os.path.join(str(tmp_path), "deep", "nested", "wal.log")
+        with WriteAheadLog(path, sync=False) as wal:
+            wal.append(RECORDS[0])
+        assert os.path.exists(path)
+
+    def test_empty_file_is_empty_log(self, tmp_path):
+        open(wal_path(tmp_path), "wb").close()
+        with WriteAheadLog(wal_path(tmp_path), sync=False) as wal:
+            assert wal.records() == []
+            assert wal.torn_bytes_dropped == 0
+
+
+class TestDurabilityDiscipline:
+    def test_sync_append_reaches_disk_bytes(self, tmp_path):
+        with WriteAheadLog(wal_path(tmp_path), sync=True) as wal:
+            wal.append(RECORDS[0])
+            payload = canonical_bytes(RECORDS[0])
+            expected = FRAME_HEADER.size + len(payload)
+            assert os.path.getsize(wal_path(tmp_path)) == expected
+
+    def test_flush_forces_buffered_appends(self, tmp_path):
+        wal = WriteAheadLog(wal_path(tmp_path), sync=False)
+        wal.append(RECORDS[0])
+        wal.flush()
+        assert os.path.getsize(wal_path(tmp_path)) > 0
+        wal.close()
+
+    def test_truncate_drops_everything_durably(self, tmp_path):
+        with WriteAheadLog(wal_path(tmp_path), sync=False) as wal:
+            for record in RECORDS:
+                wal.append(record)
+            wal.truncate()
+            assert wal.records() == []
+            assert os.path.getsize(wal_path(tmp_path)) == 0
+            wal.append(RECORDS[2])
+        reopened = WriteAheadLog(wal_path(tmp_path), sync=False)
+        assert reopened.records() == [RECORDS[2]]
+        reopened.close()
+
+
+class TestLimitsAndLifecycle:
+    def test_oversized_record_rejected(self, tmp_path):
+        with WriteAheadLog(wal_path(tmp_path), sync=False) as wal:
+            with pytest.raises(StorageError, match="frame limit"):
+                wal.append({"blob": b"x" * (MAX_RECORD_BYTES + 1)})
+            # The refused append left no partial frame behind.
+            assert os.path.getsize(wal_path(tmp_path)) == 0
+
+    def test_closed_log_refuses_appends(self, tmp_path):
+        wal = WriteAheadLog(wal_path(tmp_path), sync=False)
+        wal.close()
+        with pytest.raises(StorageError, match="closed"):
+            wal.append(RECORDS[0])
+        with pytest.raises(StorageError, match="closed"):
+            wal.truncate()
+
+    def test_double_close_is_noop(self, tmp_path):
+        wal = WriteAheadLog(wal_path(tmp_path), sync=False)
+        wal.close()
+        wal.close()
+
+
+class TestForeignBytes:
+    def test_crc_valid_but_undecodable_frame_stops_scan(self, tmp_path):
+        """A frame whose payload passes its CRC but is not canonical
+        encoding was not written by this WAL — corruption starts there."""
+        with WriteAheadLog(wal_path(tmp_path), sync=False) as wal:
+            wal.append(RECORDS[0])
+        garbage = b"\xde\xad\xbe\xef not canonical"
+        frame = FRAME_HEADER.pack(len(garbage), zlib.crc32(garbage) & 0xFFFFFFFF)
+        with open(wal_path(tmp_path), "ab") as fh:
+            fh.write(frame + garbage)
+        reopened = WriteAheadLog(wal_path(tmp_path), sync=False)
+        assert reopened.records() == [RECORDS[0]]
+        assert reopened.torn_bytes_dropped == FRAME_HEADER.size + len(garbage)
+        reopened.close()
+
+    def test_absurd_length_prefix_is_torn_not_allocated(self, tmp_path):
+        with WriteAheadLog(wal_path(tmp_path), sync=False) as wal:
+            wal.append(RECORDS[0])
+        with open(wal_path(tmp_path), "ab") as fh:
+            fh.write(FRAME_HEADER.pack(0xFFFFFFFF, 0) + b"tiny")
+        reopened = WriteAheadLog(wal_path(tmp_path), sync=False)
+        assert reopened.records() == [RECORDS[0]]
+        assert reopened.torn_bytes_dropped == FRAME_HEADER.size + 4
+        reopened.close()
