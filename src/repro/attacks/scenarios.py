@@ -53,6 +53,13 @@ __all__ = [
     "build_world",
     "run_scenario",
     "run_matrix",
+    "VERSIONING_ELEMENTS",
+    "VersioningScenario",
+    "VERSIONING_SCENARIOS",
+    "VersioningWorld",
+    "build_versioning_world",
+    "run_versioning_scenario",
+    "run_versioning_matrix",
 ]
 
 ELEMENTS = {
@@ -354,4 +361,325 @@ def run_matrix(
         run_scenario(scenario, warm, key_factory=key_factory, pipeline=pipeline)
         for scenario in scenarios
         for warm in warm_states
+    ]
+
+
+# ----------------------------------------------------------------------
+# The multi-writer (versioning) attack matrix
+# ----------------------------------------------------------------------
+#
+# Same contract as the element matrix above, against the delta-DAG
+# surface: every tamper mode of the multi-writer taxonomy — a forged
+# delta, a writer the owner never granted, a writer the owner revoked,
+# a withheld branch, a genuine delta replayed across objects — paired
+# with the exact ``SecurityError`` subclass and the ``check.frontier``
+# span that must reject it. The attacker sits between the reader and an
+# honest server, rewriting ``versioning.fetch`` answers (the versioning
+# analogue of ``MitmTransport``); the revoked-writer scenario instead
+# attacks with *valid* artifacts that only the feed can condemn.
+
+VERSIONING_ELEMENTS = {
+    "body": b"<html>genuine multi-writer body</html>",
+    "title": b"genuine title",
+}
+
+
+class RewritingRpc:
+    """An RPC wrapper that rewrites ``versioning.fetch`` answers.
+
+    Disarmed (``rewrite is None``) it is a transparent proxy, so the
+    honest warm-up read and the revocation feed traffic pass untouched.
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.rewrite: Optional[Callable[[dict], dict]] = None
+
+    def call(self, target, op: str, **args):
+        answer = self.inner.call(target, op, **args)
+        if self.rewrite is not None and op == "versioning.fetch":
+            answer = self.rewrite(answer)
+        return answer
+
+
+@dataclass
+class VersioningWorld:
+    """One versioning scenario's universe: server, writers, reader."""
+
+    clock: object
+    server: object
+    rpc: RewritingRpc
+    reader: object
+    cache: object
+    ring: RingBufferSink
+    owner_keys: KeyPair
+    oid: object
+    writers: dict
+    writer_keys: dict
+    keys: Callable[[], KeyPair]
+
+    def bundle_now(self) -> dict:
+        """The honest server's current wire bundle (attacker's copy)."""
+        bundle = self.server.versioning.fetch(self.oid.hex)
+        bundle["peer_delta_ids"] = self.server.versioning.delta_ids(self.oid.hex)
+        return bundle
+
+
+@dataclass(frozen=True)
+class VersioningScenario:
+    """One multi-writer tamper mode and the check that must reject it."""
+
+    id: str
+    expected_error: str
+    deploy: Callable[[VersioningWorld], None]
+    expected_span: str = "check.frontier"
+
+
+def build_versioning_world(
+    key_factory: Optional[Callable[[], KeyPair]] = None,
+) -> VersioningWorld:
+    from repro.globedoc.oid import ObjectId
+    from repro.net.rpc import RpcClient
+    from repro.net.transport import LoopbackTransport
+    from repro.obs import Tracer
+    from repro.proxy.checks import SecurityChecker
+    from repro.proxy.contentcache import ContentCache
+    from repro.revocation.checker import RevocationChecker
+    from repro.server.objectserver import ObjectServer
+    from repro.sim.clock import SimClock
+    from repro.versioning import DeltaDag, DocumentWriter, WriterGrant, merge_deltas
+    from repro.versioning.client import VersionedReader
+
+    keys = key_factory if key_factory is not None else _default_keys
+    clock = SimClock()
+    clock.advance(100.0)
+    transport = LoopbackTransport()
+    rpc = RewritingRpc(RpcClient(transport))
+    server = ObjectServer(host="ginger.cs.vu.nl", site="root/europe/vu", clock=clock)
+    transport.register(server.endpoint, server.rpc_server().handle_frame)
+
+    owner_keys = keys()
+    oid = ObjectId.from_public_key(owner_keys.public)
+    server.versioning.register_object(owner_keys.public)
+
+    writers, writer_keys = {}, {}
+    shared = DeltaDag()
+    for writer_id in ("alice", "bob"):
+        writer_keys[writer_id] = keys()
+        grant = WriterGrant.issue(
+            owner_keys, oid, writer_id, writer_keys[writer_id].public,
+            granted_at=clock.now(),
+        )
+        server.versioning.put_grant(oid.hex, grant)
+        writers[writer_id] = DocumentWriter(writer_keys[writer_id], writer_id, oid, clock)
+    # Two causally chained genuine deltas; bob's is the withholding target.
+    d_alice = writers["alice"].put(shared, "body", VERSIONING_ELEMENTS["body"])
+    d_bob = writers["bob"].put(shared, "title", VERSIONING_ELEMENTS["title"], "text/plain")
+    for delta in (d_alice, d_bob):
+        server.versioning.put_delta(oid.hex, delta)
+    merged = merge_deltas(shared.deltas, oid_hex=oid.hex)
+    server.versioning.put_frontier_cert(
+        oid.hex, writers["alice"].certify_frontier(merged)
+    )
+
+    ring = RingBufferSink()
+    tracer = Tracer(clock=clock, sinks=(ring,))
+    cache = ContentCache(clock=clock, ttl=300.0)
+    revocation = RevocationChecker(
+        rpc, server.endpoint, clock,
+        max_staleness=REVOCATION_STALENESS,
+        content_cache=cache,
+    )
+    checker = SecurityChecker(
+        clock,
+        verification_cache=VerificationCache(),
+        revocation_checker=revocation,
+        tracer=tracer,
+    )
+    reader = VersionedReader(rpc, checker, content_cache=cache)
+    return VersioningWorld(
+        clock=clock, server=server, rpc=rpc, reader=reader, cache=cache,
+        ring=ring, owner_keys=owner_keys, oid=oid,
+        writers=writers, writer_keys=writer_keys, keys=keys,
+    )
+
+
+def deploy_forged_delta(world: VersioningWorld) -> None:
+    """Rewrite a genuine delta's content in flight: signature must break."""
+    from repro.util.encoding import canonical_bytes  # noqa: F401  (idiom anchor)
+
+    template = world.bundle_now()
+
+    def rewrite(answer: dict) -> dict:
+        forged = dict(template["deltas"][0])
+        # Tamper the signed payload's ops (both body copies, so whichever
+        # the decoder trusts carries the attacker bytes).
+        import copy
+
+        forged = copy.deepcopy(forged)
+        for body in (forged["body"], forged["envelope"]["payload"]["body"]):
+            body["ops"][0]["content"] = EVIL_MARKER
+        answer = dict(answer)
+        answer["deltas"] = list(answer.get("deltas", [])) + [forged]
+        return answer
+
+    world.rpc.rewrite = rewrite
+
+
+def deploy_unauthorized_writer(world: VersioningWorld) -> None:
+    """Splice in a delta self-signed by a writer the owner never granted."""
+    from repro.versioning import DeltaOp, SignedDelta
+    from repro.versioning.delta import OP_PUT
+
+    eve = world.keys()
+    rogue = SignedDelta.build(
+        eve, world.oid, "eve", lamport=99, parents=[],
+        ops=[DeltaOp(OP_PUT, "body", EVIL_MARKER)],
+        issued_at=world.clock.now(),
+    )
+
+    def rewrite(answer: dict) -> dict:
+        answer = dict(answer)
+        answer["deltas"] = list(answer.get("deltas", [])) + [rogue.to_dict()]
+        return answer
+
+    world.rpc.rewrite = rewrite
+
+
+def deploy_revoked_writer(world: VersioningWorld) -> None:
+    """Owner revokes bob through the feed; bob's (valid) deltas must die."""
+    statement = RevocationStatement.revoke_writer(
+        world.owner_keys, world.oid, "bob",
+        serial=1, issued_at=world.clock.now(),
+    )
+    world.rpc.call(
+        world.server.endpoint, "revocation.publish", statement=statement.to_dict()
+    )
+    # Past the staleness window: the next check must refresh and see it.
+    world.clock.advance(REVOCATION_STALENESS + 1.0)
+
+
+def deploy_withheld_branch(world: VersioningWorld) -> None:
+    """Serve the DAG minus bob's branch — hide a verified head."""
+    bob_ids = {
+        delta.delta_id
+        for delta in world.server.versioning._require(world.oid.hex).dag.deltas
+        if delta.writer_id == "bob"
+    }
+
+    def rewrite(answer: dict) -> dict:
+        answer = dict(answer)
+        answer["deltas"] = [
+            d for d in answer.get("deltas", [])
+            if d["body"]["writer_id"] != "bob"
+        ]
+        answer["peer_delta_ids"] = [
+            i for i in answer.get("peer_delta_ids", []) if i not in bob_ids
+        ]
+        answer["heads"] = [h for h in answer.get("heads", []) if h not in bob_ids]
+        answer["frontier_cert"] = None  # the cert would name the hidden head
+        return answer
+
+    world.rpc.rewrite = rewrite
+
+
+def deploy_replayed_delta(world: VersioningWorld) -> None:
+    """Replay a genuine delta from a *different* object into this one."""
+    from repro.globedoc.oid import ObjectId
+    from repro.versioning import DeltaDag, DocumentWriter
+
+    other_owner = world.keys()
+    other_oid = ObjectId.from_public_key(other_owner.public)
+    mallory = DocumentWriter(world.keys(), "mallory", other_oid, world.clock)
+    foreign = mallory.put(DeltaDag(), "body", EVIL_MARKER)
+
+    def rewrite(answer: dict) -> dict:
+        answer = dict(answer)
+        answer["deltas"] = list(answer.get("deltas", [])) + [foreign.to_dict()]
+        return answer
+
+    world.rpc.rewrite = rewrite
+
+
+VERSIONING_SCENARIOS = [
+    VersioningScenario("forged_delta", "DeltaForgeryError", deploy_forged_delta),
+    VersioningScenario(
+        "unauthorized_writer", "UnauthorizedWriterError", deploy_unauthorized_writer
+    ),
+    VersioningScenario("revoked_writer", "RevokedWriterError", deploy_revoked_writer),
+    VersioningScenario(
+        "withheld_branch", "BranchWithholdingError", deploy_withheld_branch
+    ),
+    VersioningScenario("replayed_delta", "DeltaReplayError", deploy_replayed_delta),
+]
+
+
+def run_versioning_scenario(
+    scenario: VersioningScenario,
+    key_factory: Optional[Callable[[], KeyPair]] = None,
+) -> dict:
+    """One versioning matrix cell; same verdict contract as the element
+    matrix: detected, by the exact error class, zero attacker bytes
+    served or cached, and the ``check.frontier`` span closed with that
+    error type."""
+    from repro.errors import SecurityError
+
+    world = build_versioning_world(key_factory=key_factory)
+    # Honest warm-up: the reader verifies and binds the genuine frontier
+    # (the withholding scenario needs this baseline, and a prior bind
+    # makes "the attack changed nothing served" checkable for the rest).
+    warmup = world.reader.read(world.server.endpoint, world.oid)
+    warmup_ok = (
+        warmup.merged.element("body").content == VERSIONING_ELEMENTS["body"]
+        and warmup.merged.element("title").content == VERSIONING_ELEMENTS["title"]
+    )
+    scenario.deploy(world)
+    world.ring.clear()
+
+    detected, failure_type, served = False, "", None
+    try:
+        served = world.reader.read(world.server.endpoint, world.oid)
+    except SecurityError as exc:
+        detected = True
+        failure_type = type(exc).__name__
+
+    leaked = False
+    if served is not None:
+        leaked = any(
+            EVIL_MARKER in element.content
+            for element in served.merged.elements.values()
+        )
+    for name in VERSIONING_ELEMENTS:
+        cached = world.cache.get(world.oid.hex, name)
+        if cached is not None and EVIL_MARKER in cached.content:
+            leaked = True
+    exact_error = failure_type == scenario.expected_error
+    error_spans = [
+        span for span in world.ring.errors() if span.name == scenario.expected_span
+    ]
+    span_ok = bool(error_spans) and (
+        error_spans[-1].error_type == scenario.expected_error
+    )
+    return {
+        "scenario": scenario.id,
+        "expected_error": scenario.expected_error,
+        "failure_type": failure_type,
+        "detected": detected,
+        "exact_error": exact_error,
+        "unverified_bytes_leaked": leaked,
+        "span_ok": span_ok,
+        "ok": warmup_ok and detected and exact_error and not leaked and span_ok,
+    }
+
+
+def run_versioning_matrix(
+    key_factory: Optional[Callable[[], KeyPair]] = None,
+    scenarios: Sequence[VersioningScenario] = None,
+) -> List[dict]:
+    """The whole multi-writer tamper matrix; one verdict per scenario."""
+    if scenarios is None:
+        scenarios = VERSIONING_SCENARIOS
+    return [
+        run_versioning_scenario(scenario, key_factory=key_factory)
+        for scenario in scenarios
     ]

@@ -24,6 +24,12 @@ __all__ = [
     "RevokedElementError",
     "RevocationStalenessError",
     "FeedRegressionError",
+    "VersioningError",
+    "DeltaForgeryError",
+    "UnauthorizedWriterError",
+    "RevokedWriterError",
+    "BranchWithholdingError",
+    "DeltaReplayError",
     "StorageError",
     "RecoveryIntegrityError",
     "NamingError",
@@ -116,6 +122,43 @@ class FeedRegressionError(RevocationError):
     statements) or a malicious rollback. Either way the consumer can no
     longer prove anything unrevoked and must fail closed immediately,
     not wait out the staleness window."""
+
+
+class VersioningError(SecurityError):
+    """Base class for multi-writer versioning security violations.
+
+    Raised by the eighth security check (``check_frontier``): the
+    delta DAG a replica served must be made of signed deltas from
+    authorized, unrevoked writers, and must extend — never hide — the
+    causal frontier the client already verified.
+    """
+
+
+class DeltaForgeryError(VersioningError):
+    """A delta's certificate does not verify under its stated writer
+    key, or its content-addressed structure (ops root, parent links)
+    does not match the signed body — the delta was forged or tampered."""
+
+
+class UnauthorizedWriterError(VersioningError):
+    """A delta was signed by a key the object owner never granted write
+    authority to (no owner-signed writer grant covers it)."""
+
+
+class RevokedWriterError(VersioningError):
+    """The delta's writer grant was revoked through the revocation feed;
+    nothing that writer signed may merge into the document anymore."""
+
+
+class BranchWithholdingError(VersioningError):
+    """A replica served a causal frontier that hides a branch below the
+    client's known frontier — the multi-writer variant of stale replay.
+    Every head the client has already verified must stay reachable."""
+
+
+class DeltaReplayError(VersioningError):
+    """A genuine delta was replayed into a different object's DAG (the
+    signed body names another OID)."""
 
 
 class StorageError(ReproError):

@@ -10,6 +10,7 @@ Usage::
     python -m repro.harness trace [--quick] [--out PATH]
     python -m repro.harness revocation [--quick] [--out PATH]
     python -m repro.harness recovery [--quick] [--out PATH]
+    python -m repro.harness convergence [--quick] [--out PATH]
     python -m repro.harness monitor [--quick] [--out PATH]
     python -m repro.harness bench-report
     python -m repro.harness all
@@ -39,7 +40,7 @@ def main(argv=None) -> int:
         choices=[
             "table1", "fig4", "fig5", "fig6", "fig7", "loadtest",
             "bench-security", "chaos", "trace", "revocation", "recovery",
-            "monitor", "bench-report", "all",
+            "convergence", "monitor", "bench-report", "all",
         ],
         help="which artifact to regenerate",
     )
@@ -86,6 +87,10 @@ def main(argv=None) -> int:
                 return code
         elif target == "recovery":
             code = _run_recovery(quick=args.quick, seed=args.seed, out=args.out)
+            if code:
+                return code
+        elif target == "convergence":
+            code = _run_convergence(quick=args.quick, seed=args.seed, out=args.out)
             if code:
                 return code
         elif target == "monitor":
@@ -225,6 +230,30 @@ def _run_recovery(quick: bool, seed: int, out=None) -> int:
             print(f"FAIL: {problem}")
         return 1
     print(f"\nall recovery gates passed; report written to {out}")
+    return 0
+
+
+def _run_convergence(quick: bool, seed: int, out=None) -> int:
+    """Multi-writer convergence: partition/heal, tamper matrix, recovery."""
+    from repro.harness.convergence import (
+        REPORT_NAME,
+        check_report,
+        render_convergence,
+        run_convergence,
+        write_report,
+    )
+
+    report = run_convergence(quick=quick, seed=seed)
+    if out is None:
+        out = pathlib.Path(__file__).resolve().parents[3] / REPORT_NAME
+    write_report(report, out)
+    print(render_convergence(report))
+    problems = check_report(report)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print(f"\nall convergence gates passed; report written to {out}")
     return 0
 
 

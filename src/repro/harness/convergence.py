@@ -1,0 +1,507 @@
+"""Convergence bench: N partitioned writers, one byte-identical document.
+
+The multi-writer gate for CI (``python -m repro.harness convergence
+[--quick]``), in four scenarios:
+
+* **Partitioned convergence** — N granted writers update the same
+  object against two object servers that cannot see each other; after
+  the partition heals (one anti-entropy round), both servers and an
+  independent verified reader must hold *byte-identical* merged
+  documents, proven by comparing state digests.
+* **Merge cost** — wall-clock latency of the deterministic merge over
+  the full delta set, p50/p99 across repeated runs.
+* **Adversarial matrix** — every multi-writer tamper mode (forged
+  delta, unauthorized writer, revoked writer, withheld branch, replayed
+  delta) rejected with its exact ``SecurityError`` subclass, zero
+  attacker bytes served or cached (reuses
+  :mod:`repro.attacks.scenarios`).
+* **Crash recovery** — an object server killed mid-stream recovers its
+  delta DAG from the durable journal with every signature re-verified;
+  a CRC-valid rewrite of a stored delta aborts recovery with
+  :class:`~repro.errors.RecoveryIntegrityError` (fail closed).
+
+Writes ``BENCH_convergence.json``; ``check_report`` returns the gate
+violations (empty = pass).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import shutil
+import tempfile
+import time
+import zlib
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List
+
+from repro.crypto.keys import KeyPair
+from repro.errors import RecoveryIntegrityError
+from repro.globedoc.oid import ObjectId
+from repro.net.rpc import RpcClient
+from repro.net.transport import LoopbackTransport
+from repro.proxy.checks import SecurityChecker
+from repro.server.objectserver import ObjectServer
+from repro.sim.clock import SimClock
+from repro.storage.wal import FRAME_HEADER
+from repro.util.encoding import canonical_bytes, from_canonical_bytes
+from repro.util.stats import percentile
+from repro.versioning import (
+    DeltaDag,
+    DocumentWriter,
+    SignedDelta,
+    WriterGrant,
+    merge_deltas,
+)
+from repro.versioning.client import VersionedReader
+
+__all__ = [
+    "PartitionedConvergence",
+    "MergeCost",
+    "RecoveryGate",
+    "ConvergenceReport",
+    "run_convergence",
+    "render_convergence",
+    "write_report",
+    "check_report",
+    "REPORT_NAME",
+]
+
+REPORT_NAME = "BENCH_convergence.json"
+
+SERVER_HOSTS = ("ginger.cs.vu.nl", "canardo.inria.fr")
+
+
+@dataclass
+class PartitionedConvergence:
+    """Partition, write, heal, compare digests everywhere."""
+
+    writers: int = 0
+    rounds: int = 0
+    deltas: int = 0
+    gossip_pulled: int = 0
+    gossip_pushed: int = 0
+    server_digests: Dict[str, str] = field(default_factory=dict)
+    reader_digests: Dict[str, str] = field(default_factory=dict)
+    byte_identical: bool = False
+    elements: int = 0
+
+
+@dataclass
+class MergeCost:
+    """Deterministic merge latency over the full delta set."""
+
+    deltas: int = 0
+    samples: int = 0
+    p50_us: float = 0.0
+    p99_us: float = 0.0
+
+
+@dataclass
+class RecoveryGate:
+    """Durable delta DAG across a crash; tampered bytes never serve."""
+
+    deltas_published: int = 0
+    recovered_deltas: int = 0
+    reverified_deltas: int = 0
+    recovered_grants: int = 0
+    digest_intact: bool = False
+    frontier_cert_recovered: bool = False
+    tamper_failed_closed: bool = False
+    tamper_error: str = ""
+
+
+@dataclass
+class ConvergenceReport:
+    """Everything the CI gate and the bench-report digest consume."""
+
+    seed: int
+    quick: bool
+    partitioned: PartitionedConvergence = field(
+        default_factory=PartitionedConvergence
+    )
+    merge: MergeCost = field(default_factory=MergeCost)
+    adversarial: List[dict] = field(default_factory=list)
+    recovery: RecoveryGate = field(default_factory=RecoveryGate)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "quick": self.quick,
+            "partitioned_convergence": asdict(self.partitioned),
+            "merge_cost": asdict(self.merge),
+            "adversarial": list(self.adversarial),
+            "recovery": asdict(self.recovery),
+        }
+
+
+# ----------------------------------------------------------------------
+# World construction
+# ----------------------------------------------------------------------
+
+
+def _keys() -> KeyPair:
+    # RSA-1024 keeps the bench fast; the gates exercise logic, not RSA.
+    return KeyPair.generate(1024)
+
+
+class _Universe:
+    """Two object servers on one loopback wire, plus the owner."""
+
+    def __init__(self, data_dirs=(None, None), clock=None):
+        self.clock = clock if clock is not None else SimClock()
+        if self.clock.now() == 0.0:
+            self.clock.advance(100.0)
+        self.transport = LoopbackTransport()
+        self.rpc = RpcClient(self.transport)
+        self.servers = []
+        for host, data_dir in zip(SERVER_HOSTS, data_dirs):
+            server = ObjectServer(
+                host=host,
+                site="root/site/" + host.split(".")[0],
+                clock=self.clock,
+                data_dir=data_dir,
+                storage_sync=False,
+            )
+            self.transport.register(server.endpoint, server.rpc_server().handle_frame)
+            self.servers.append(server)
+        self.owner_keys = _keys()
+        self.oid = ObjectId.from_public_key(self.owner_keys.public)
+
+    def grant_writers(self, count: int):
+        """Register the object and grant *count* writers on every server."""
+        writers = {}
+        for index in range(count):
+            writer_id = f"writer{index:02d}"
+            keys = _keys()
+            grant = WriterGrant.issue(
+                self.owner_keys, self.oid, writer_id, keys.public,
+                granted_at=self.clock.now(),
+            )
+            for server in self.servers:
+                server.versioning.register_object(self.owner_keys.public)
+                server.versioning.put_grant(self.oid.hex, grant)
+            writers[writer_id] = DocumentWriter(keys, writer_id, self.oid, self.clock)
+        return writers
+
+    def reader(self) -> VersionedReader:
+        checker = SecurityChecker(self.clock)
+        return VersionedReader(self.rpc, checker)
+
+    def close(self) -> None:
+        for server in self.servers:
+            server.close()
+
+
+# ----------------------------------------------------------------------
+# Scenario 1 + 2: partitioned convergence and merge cost
+# ----------------------------------------------------------------------
+
+
+def _run_partitioned(quick: bool, seed: int):
+    writer_count = 3 if quick else 5
+    rounds = 2 if quick else 4
+    rng = random.Random(seed)
+    universe = _Universe()
+    writers = universe.grant_writers(writer_count)
+
+    # Partition: each writer publishes only to its home server and sees
+    # only that server's branch; the two halves diverge causally.
+    views = {}
+    homes = {}
+    for index, (writer_id, writer) in enumerate(sorted(writers.items())):
+        homes[writer_id] = universe.servers[index % len(universe.servers)]
+        views[writer_id] = DeltaDag()
+    deltas = 0
+    for round_index in range(rounds):
+        for writer_id, writer in sorted(writers.items()):
+            home = homes[writer_id]
+            # Sync the writer's view with its home server's branch.
+            bundle = home.versioning.fetch(
+                universe.oid.hex, have_ids=views[writer_id].delta_ids
+            )
+            views[writer_id].add_all(
+                SignedDelta.from_dict(d) for d in bundle["deltas"]
+            )
+            content = bytes(
+                f"round {round_index} by {writer_id}: {rng.random():.12f}",
+                "ascii",
+            )
+            delta = writer.put(
+                views[writer_id], f"element-{rng.randrange(writer_count)}", content
+            )
+            home.versioning.put_delta(universe.oid.hex, delta)
+            deltas += 1
+            universe.clock.advance(0.25)
+
+    # Heal: one pull+push anti-entropy round equalises the two DAGs.
+    gossip = universe.servers[0].gossip_versioned(
+        universe.rpc, universe.servers[1].endpoint, universe.oid.hex
+    )
+
+    result = PartitionedConvergence(
+        writers=writer_count, rounds=rounds, deltas=deltas,
+        gossip_pulled=gossip["pulled"], gossip_pushed=gossip["pushed"],
+    )
+    all_deltas = None
+    for server in universe.servers:
+        served = [
+            SignedDelta.from_dict(d)
+            for d in server.versioning.fetch(universe.oid.hex)["deltas"]
+        ]
+        merged = merge_deltas(served, oid_hex=universe.oid.hex)
+        result.server_digests[server.host] = merged.digest_hex
+        result.elements = len(merged.elements)
+        all_deltas = served
+    for server in universe.servers:
+        # Independent verified readers, one per replica: the digest each
+        # one *proves* must match, not just the servers' own claims.
+        access = universe.reader().read(server.endpoint, universe.oid)
+        result.reader_digests[server.host] = access.merged.digest_hex
+    digests = set(result.server_digests.values()) | set(result.reader_digests.values())
+    result.byte_identical = len(digests) == 1
+    universe.close()
+    return result, all_deltas
+
+
+def _run_merge_cost(quick: bool, deltas: List[SignedDelta]) -> MergeCost:
+    samples = 20 if quick else 100
+    times = []
+    for _ in range(samples):
+        start = time.perf_counter()
+        merge_deltas(deltas)
+        times.append((time.perf_counter() - start) * 1e6)
+    return MergeCost(
+        deltas=len(deltas),
+        samples=samples,
+        p50_us=percentile(times, 50.0),
+        p99_us=percentile(times, 99.0),
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario 4: crash recovery + tamper fail-closed
+# ----------------------------------------------------------------------
+
+
+def _deface_delta_records(wal_path: str) -> int:
+    """CRC-valid rewrite of stored delta content (the attacker's edit)."""
+    with open(wal_path, "rb") as fh:
+        data = fh.read()
+    out = bytearray()
+    offset = 0
+    defaced = 0
+
+    def deface(obj):
+        nonlocal defaced
+        if isinstance(obj, dict):
+            for key, value in obj.items():
+                if key == "content" and isinstance(value, (bytes, bytearray)) and value:
+                    obj[key] = b"\x00defaced\x00" + bytes(value)[10:]
+                    defaced += 1
+                else:
+                    deface(value)
+        elif isinstance(obj, list):
+            for value in obj:
+                deface(value)
+
+    while offset < len(data):
+        length, _ = FRAME_HEADER.unpack_from(data, offset)
+        start = offset + FRAME_HEADER.size
+        record = from_canonical_bytes(data[start:start + length])
+        inner = record.get("__record__") if isinstance(record, dict) else None
+        if isinstance(inner, dict) and inner.get("op") == "delta":
+            deface(inner)
+        payload = canonical_bytes(record)
+        out += FRAME_HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+        out += payload
+        offset = start + length
+    with open(wal_path, "wb") as fh:
+        fh.write(bytes(out))
+    return defaced
+
+
+def _run_recovery_gate(quick: bool, seed: int, scratch: str) -> RecoveryGate:
+    result = RecoveryGate()
+    data_dir = os.path.join(scratch, "primary")
+    clock = SimClock()
+    clock.advance(100.0)
+    universe = _Universe(data_dirs=(data_dir, None), clock=clock)
+    writers = universe.grant_writers(3 if quick else 5)
+    view = DeltaDag()
+    durable = universe.servers[0]
+    for index, (writer_id, writer) in enumerate(sorted(writers.items())):
+        delta = writer.put(view, "body", bytes(f"write {index}", "ascii"))
+        durable.versioning.put_delta(universe.oid.hex, delta)
+        result.deltas_published += 1
+    merged = merge_deltas(view.deltas, oid_hex=universe.oid.hex)
+    first_writer = writers[sorted(writers)[0]]
+    durable.versioning.put_frontier_cert(
+        universe.oid.hex, first_writer.certify_frontier(merged)
+    )
+    expected_digest = merged.digest_hex
+    universe.close()
+
+    # Crash/restart over the same directory: the DAG must come back with
+    # every delta signature re-verified, and merge to the same bytes.
+    revived = ObjectServer(
+        host=SERVER_HOSTS[0], site="root/site/ginger", clock=clock,
+        data_dir=data_dir, storage_sync=False,
+    )
+    result.recovered_deltas = revived.versioning.recovered_deltas
+    result.reverified_deltas = revived.versioning.reverified_deltas
+    result.recovered_grants = revived.versioning.recovered_grants
+    bundle = revived.versioning.fetch(universe.oid.hex)
+    recovered_merge = merge_deltas(
+        [SignedDelta.from_dict(d) for d in bundle["deltas"]],
+        oid_hex=universe.oid.hex,
+    )
+    result.digest_intact = recovered_merge.digest_hex == expected_digest
+    result.frontier_cert_recovered = bundle["frontier_cert"] is not None
+    revived.close()
+
+    # Tamper at rest (CRC recomputed, so checksums cannot see it): the
+    # next recovery must abort, never serve.
+    defaced = _deface_delta_records(
+        os.path.join(data_dir, "versioning", "wal.log")
+    )
+    if defaced:
+        try:
+            tampered = ObjectServer(
+                host=SERVER_HOSTS[0], site="root/site/ginger", clock=clock,
+                data_dir=data_dir, storage_sync=False,
+            )
+            tampered.close()  # recovery was (wrongly) accepted
+        except RecoveryIntegrityError as exc:
+            result.tamper_failed_closed = True
+            result.tamper_error = type(exc).__name__
+    return result
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
+def run_convergence(quick: bool = False, seed: int = 0) -> ConvergenceReport:
+    from repro.attacks.scenarios import run_versioning_matrix
+
+    report = ConvergenceReport(seed=seed, quick=quick)
+    scratch = tempfile.mkdtemp(prefix="repro-convergence-")
+    try:
+        report.partitioned, all_deltas = _run_partitioned(quick, seed)
+        report.merge = _run_merge_cost(quick, all_deltas or [])
+        report.adversarial = run_versioning_matrix(key_factory=_keys)
+        report.recovery = _run_recovery_gate(quick, seed, scratch)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return report
+
+
+def render_convergence(report: ConvergenceReport) -> str:
+    from repro.harness.report import render_table
+
+    part = report.partitioned
+    merge = report.merge
+    recovery = report.recovery
+    adversarial_ok = bool(report.adversarial) and all(
+        verdict["ok"] for verdict in report.adversarial
+    )
+    rejected = ", ".join(
+        f"{verdict['scenario']}:{verdict['failure_type'] or 'MISSED'}"
+        for verdict in report.adversarial
+    )
+    rows = [
+        [
+            "partitioned convergence",
+            f"{part.writers} writers x {part.rounds} rounds = {part.deltas} deltas, "
+            f"gossip {part.gossip_pulled}p/{part.gossip_pushed}q, "
+            f"{part.elements} elements, "
+            + ("byte-identical" if part.byte_identical else "DIVERGED"),
+            "PASS" if part.byte_identical else "FAIL",
+        ],
+        [
+            "merge cost",
+            f"{merge.deltas} deltas: p50 {merge.p50_us:.0f} us, "
+            f"p99 {merge.p99_us:.0f} us over {merge.samples} runs",
+            "PASS" if merge.samples > 0 else "FAIL",
+        ],
+        [
+            "adversarial matrix",
+            rejected or "no verdicts",
+            "PASS" if adversarial_ok else "FAIL",
+        ],
+        [
+            "crash recovery",
+            f"{recovery.recovered_deltas}/{recovery.deltas_published} deltas "
+            f"({recovery.reverified_deltas} re-verified), "
+            f"tamper: {recovery.tamper_error or 'NOT REJECTED'}",
+            "PASS"
+            if recovery.digest_intact and recovery.tamper_failed_closed
+            else "FAIL",
+        ],
+    ]
+    lines = [
+        f"Convergence bench — seed {report.seed}"
+        + (" (quick)" if report.quick else ""),
+        render_table(["scenario", "outcome", "gate"], rows),
+    ]
+    return "\n".join(lines)
+
+
+def write_report(report: ConvergenceReport, path: pathlib.Path) -> None:
+    path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+
+
+def check_report(report: ConvergenceReport) -> List[str]:
+    """CI-gate violations (empty = pass)."""
+    problems: List[str] = []
+    part = report.partitioned
+    if not part.byte_identical:
+        problems.append(
+            "replicas/readers diverged after healing: "
+            f"servers {part.server_digests}, readers {part.reader_digests}"
+        )
+    if part.deltas < part.writers:
+        problems.append("fewer deltas published than writers — bench under-ran")
+    if part.gossip_pulled + part.gossip_pushed == 0:
+        problems.append("partition never exchanged deltas — gossip did not run")
+
+    if report.merge.samples <= 0:
+        problems.append("merge cost was never sampled")
+
+    if not report.adversarial:
+        problems.append("adversarial matrix did not run")
+    for verdict in report.adversarial:
+        if verdict.get("unverified_bytes_leaked"):
+            problems.append(
+                f"scenario {verdict['scenario']}: attacker bytes reached the "
+                "caller or the cache"
+            )
+        if not verdict.get("ok"):
+            problems.append(
+                f"scenario {verdict['scenario']}: expected "
+                f"{verdict['expected_error']}, got "
+                f"{verdict['failure_type'] or 'no rejection'}"
+            )
+
+    recovery = report.recovery
+    if recovery.recovered_deltas != recovery.deltas_published:
+        problems.append(
+            f"recovery lost deltas: {recovery.recovered_deltas}/"
+            f"{recovery.deltas_published}"
+        )
+    if recovery.reverified_deltas != recovery.recovered_deltas:
+        problems.append("recovered deltas were not all re-verified")
+    if not recovery.digest_intact:
+        problems.append("recovered DAG merges to different bytes than before crash")
+    if not recovery.frontier_cert_recovered:
+        problems.append("frontier certificate did not survive the restart")
+    if not recovery.tamper_failed_closed:
+        problems.append(
+            "tampered (CRC-valid) delta store was accepted — recovery served "
+            "unproven bytes"
+        )
+    return problems

@@ -19,6 +19,7 @@ __all__ = [
     "render_monitor_plane_section",
     "render_concurrency_section",
     "render_recovery_section",
+    "render_convergence_section",
 ]
 
 
@@ -122,7 +123,69 @@ def render_bench_summary(reports: Dict[str, dict]) -> str:
     recovery = render_recovery_section(reports)
     if recovery:
         summary += "\n\n" + recovery
+    convergence = render_convergence_section(reports)
+    if convergence:
+        summary += "\n\n" + convergence
     return summary
+
+
+def render_convergence_section(reports: Dict[str, dict]) -> str:
+    """Digest of the multi-writer convergence bench: writer/delta scale,
+    merge latency, and the convergence + fail-closed verdicts.
+
+    Returns an empty string when ``BENCH_convergence.json`` is absent
+    (the target has not run), so callers can append conditionally.
+    Tolerant of partial reports throughout.
+    """
+    report = reports.get("convergence")
+    if not isinstance(report, dict) or "error" in report:
+        return ""
+    lines: List[str] = []
+    part = report.get("partitioned_convergence") or {}
+    if part:
+        digests = set(part.get("server_digests", {}).values()) | set(
+            part.get("reader_digests", {}).values()
+        )
+        verdict = (
+            "byte-identical"
+            if part.get("byte_identical")
+            else f"DIVERGED ({len(digests)} distinct digests)"
+        )
+        lines.append(
+            f"writers: {part.get('writers', 0)} over "
+            f"{part.get('rounds', 0)} partitioned round(s), "
+            f"{part.get('deltas', 0)} deltas "
+            f"(gossip {part.get('gossip_pulled', 0)} pulled / "
+            f"{part.get('gossip_pushed', 0)} pushed) — {verdict}"
+        )
+    merge = report.get("merge_cost") or {}
+    if merge:
+        lines.append(
+            f"merge: p50 {merge.get('p50_us', 0.0):.0f} us, "
+            f"p99 {merge.get('p99_us', 0.0):.0f} us over "
+            f"{merge.get('deltas', 0)} deltas x {merge.get('samples', 0)} runs"
+        )
+    adversarial = report.get("adversarial") or []
+    if adversarial:
+        rejected = sum(1 for v in adversarial if v.get("ok"))
+        lines.append(
+            f"adversarial matrix: {rejected}/{len(adversarial)} scenarios "
+            + ("rejected fail-closed" if rejected == len(adversarial) else "REJECTED")
+        )
+    recovery = report.get("recovery") or {}
+    if recovery:
+        lines.append(
+            f"recovery: {recovery.get('recovered_deltas', 0)}/"
+            f"{recovery.get('deltas_published', 0)} deltas re-verified, tamper "
+            + (
+                f"failed closed ({recovery.get('tamper_error', '?')})"
+                if recovery.get("tamper_failed_closed")
+                else "ACCEPTED TAMPERED BYTES"
+            )
+        )
+    if not lines:
+        return ""
+    return "Multi-writer convergence\n" + "\n".join(f"  {line}" for line in lines)
 
 
 def render_recovery_section(reports: Dict[str, dict]) -> str:

@@ -16,6 +16,14 @@ consistent response is still rejected when the issuing key or element
 certificate has been revoked, or when the client's feed view is too
 stale to prove it has not been (fail closed).
 
+An eighth check — ``check_frontier`` — verifies a *multi-writer* served
+state (see :mod:`repro.versioning`): every delta signature under a
+writer key the owner granted and has not revoked, the hash-linked DAG
+complete down to its roots, the served frontier no older than what this
+client has already verified (branch withholding), and the deterministic
+merge reproducible locally. What it returns is computed from verified
+deltas only — no server-supplied merge result is ever trusted.
+
 ``SecurityChecker`` is transport-agnostic and side-effect free; all
 verification CPU is charged through an optional *compute context* so
 the simulated host pays for it (see :meth:`SimHost.compute`).
@@ -41,7 +49,15 @@ from repro.crypto.batch import BatchItem, verify_batch
 from repro.crypto.identity import IdentityCertificate, TrustStore
 from repro.crypto.keys import PublicKey
 from repro.crypto.verifycache import VerificationCache
-from repro.errors import AuthenticityError, ConsistencyError, FreshnessError
+from repro.errors import (
+    AuthenticityError,
+    BranchWithholdingError,
+    ConsistencyError,
+    FreshnessError,
+    RevokedWriterError,
+    UnauthorizedWriterError,
+    VersioningError,
+)
 from repro.globedoc.element import PageElement
 from repro.globedoc.integrity import ElementEntry, IntegrityCertificate
 from repro.globedoc.oid import ObjectId
@@ -49,8 +65,13 @@ from repro.obs import NOOP_METRICS, NOOP_TRACER
 from repro.proxy.metrics import AccessTimer, FastPathStats
 from repro.sim.clock import Clock
 from repro.util.encoding import ENCODE_COUNTERS
+from repro.versioning.dag import DeltaDag, Frontier
+from repro.versioning.delta import SignedDelta
+from repro.versioning.frontier import FrontierCertificate
+from repro.versioning.grant import WriterGrant
+from repro.versioning.merge import MergedDocument, merge_deltas
 
-__all__ = ["SecurityChecker", "VerifiedBinding"]
+__all__ = ["SecurityChecker", "VerifiedBinding", "VerifiedFrontier"]
 
 ComputeContext = Callable[[], ContextManager[None]]
 
@@ -63,6 +84,21 @@ class VerifiedBinding:
     public_key: PublicKey
     integrity: IntegrityCertificate
     certified_as: Optional[str] = None
+
+
+@dataclass
+class VerifiedFrontier:
+    """The outcome of a successful frontier check on one object.
+
+    Everything here was recomputed client-side from verified deltas:
+    the merged document, the DAG it came from (retained by the reader as
+    its withholding baseline for the next access), and the frontier
+    certificate if the server presented a valid one.
+    """
+
+    merged: MergedDocument
+    dag: DeltaDag
+    frontier_cert: Optional[FrontierCertificate] = None
 
 
 class SecurityChecker:
@@ -194,6 +230,149 @@ class SecurityChecker:
             staleness = self.revocation_checker.staleness
             if staleness is not None:
                 span.set_attribute("feed_staleness", round(staleness, 3))
+
+    def check_frontier(
+        self,
+        oid: ObjectId,
+        object_key: PublicKey,
+        grants: List[WriterGrant],
+        deltas: List[SignedDelta],
+        timer: AccessTimer,
+        known_frontier: Optional[Frontier] = None,
+        frontier_cert: Optional[FrontierCertificate] = None,
+        served_ids: Optional[set] = None,
+    ) -> VerifiedFrontier:
+        """The eighth check: a multi-writer served state proves itself.
+
+        In order, failing closed at the first violation:
+
+        * every grant verifies under the object key (which the caller
+          already checked hashes to the OID) — else
+          :class:`~repro.errors.UnauthorizedWriterError`;
+        * every delta signature verifies under its writer key, which a
+          grant must cover — forged bytes are
+          :class:`~repro.errors.DeltaForgeryError`, a genuine delta for
+          another object :class:`~repro.errors.DeltaReplayError`, an
+          ungranted writer :class:`~repro.errors.UnauthorizedWriterError`;
+        * no delta is signed by a writer the owner has revoked through
+          the feed — :class:`~repro.errors.RevokedWriterError`;
+        * the hash-linked DAG closes (every parent present) and the
+          server still carries every head this client verified before:
+          each *known_frontier* head must appear in *served_ids* (the
+          id set the server claims to serve — pass the wire bundle's
+          id list, NOT the union with local state, or a rolled-back
+          server hides behind the client's own retained copy) — else
+          :class:`~repro.errors.BranchWithholdingError`;
+        * the merge is recomputed locally, deterministically; when the
+          server presents a frontier certificate, its signer must hold a
+          grant (or be the owner) and its claim must match a local
+          re-merge of exactly the heads it names.
+
+        Returns the locally computed :class:`VerifiedFrontier` — the
+        server's own merge result, if any, is never used.
+        """
+        with self.tracer.span(
+            "check.frontier", oid=oid.hex[:16], deltas=len(deltas)
+        ) as span:
+            with self._count("frontier"):
+                with timer.phase("verify_frontier"), self._compute():
+                    result = self._check_frontier(
+                        oid, object_key, grants, deltas,
+                        known_frontier, frontier_cert, served_ids,
+                    )
+            span.set_attribute("heads", len(result.merged.frontier.heads))
+            span.set_attribute("lamport", result.merged.lamport)
+            return result
+
+    def _check_frontier(
+        self,
+        oid: ObjectId,
+        object_key: PublicKey,
+        grants: List[WriterGrant],
+        deltas: List[SignedDelta],
+        known_frontier: Optional[Frontier],
+        frontier_cert: Optional[FrontierCertificate],
+        served_ids: Optional[set],
+    ) -> VerifiedFrontier:
+        cache = self.verification_cache
+        granted: dict = {}
+        for grant in grants:
+            grant.verify(object_key, oid, clock=self.clock, cache=cache)
+            granted[grant.writer_id] = grant
+        revoked = (
+            self.revocation_checker.revoked_writers(oid)
+            if self.revocation_checker is not None
+            else set()
+        )
+        for delta in deltas:
+            delta.verify(oid, cache=cache)
+            grant = granted.get(delta.writer_id)
+            if grant is None or grant.writer_key.der != delta.writer_key.der:
+                raise UnauthorizedWriterError(
+                    f"delta {delta.delta_id[:12]}… is signed by writer "
+                    f"{delta.writer_id!r} without a grant from the owner"
+                )
+            if delta.writer_id in revoked:
+                raise RevokedWriterError(
+                    f"delta {delta.delta_id[:12]}… is signed by writer "
+                    f"{delta.writer_id!r}, whose grant the owner revoked"
+                )
+        dag = DeltaDag()
+        try:
+            dag.add_all(deltas)
+        except VersioningError as exc:
+            # An unclosed DAG *is* withholding: the server shipped
+            # children while hiding their ancestry.
+            raise BranchWithholdingError(
+                f"served delta set does not close: {exc}"
+            ) from exc
+        if known_frontier is not None:
+            for head in known_frontier.heads:
+                served = head in served_ids if served_ids is not None else head in dag
+                if not served:
+                    raise BranchWithholdingError(
+                        f"server no longer serves verified head "
+                        f"{head[:12]}… — a previously seen branch is "
+                        "being withheld"
+                    )
+        merged = merge_deltas(dag.deltas, oid_hex=oid.hex)
+        if frontier_cert is not None:
+            frontier_cert.verify(oid, cache=cache)
+            signer = frontier_cert.signer_key.der
+            signer_writer = next(
+                (g for g in granted.values() if g.writer_key.der == signer), None
+            )
+            if signer != object_key.der:
+                if signer_writer is None:
+                    raise UnauthorizedWriterError(
+                        "frontier certificate is signed by a key the owner "
+                        "never granted"
+                    )
+                if signer_writer.writer_id in revoked:
+                    raise RevokedWriterError(
+                        f"frontier certificate signer {signer_writer.writer_id!r} "
+                        "has been revoked by the owner"
+                    )
+            cert_heads = frontier_cert.frontier.heads
+            missing = [h for h in cert_heads if h not in dag]
+            if missing:
+                raise BranchWithholdingError(
+                    f"frontier certificate names head {missing[0][:12]}… "
+                    "but the server did not serve that branch"
+                )
+            # Re-merge exactly the certified heads (they may be a stale
+            # but genuine prefix of the served DAG after gossip).
+            cert_merge = merge_deltas(
+                [dag.get(i) for i in sorted(dag.ancestors(cert_heads))],
+                oid_hex=oid.hex,
+            )
+            if cert_merge.digest != frontier_cert.state_digest:
+                raise BranchWithholdingError(
+                    "frontier certificate digest does not match the merge "
+                    "of the heads it names — the served DAG and the "
+                    "certified state diverge"
+                )
+        return VerifiedFrontier(merged=merged, dag=dag, frontier_cert=frontier_cert)
 
     def check_identity(
         self,

@@ -44,7 +44,7 @@ from repro.errors import (
 from repro.globedoc.oid import ObjectId
 from repro.obs import NOOP_METRICS
 from repro.revocation.feed import RevocationFeed
-from repro.revocation.statement import SCOPE_KEY, RevocationStatement
+from repro.revocation.statement import SCOPE_KEY, SCOPE_WRITER, RevocationStatement
 
 __all__ = ["RevocationChecker", "RevocationCheckerStats"]
 
@@ -284,7 +284,9 @@ class RevocationChecker:
                 statement.issuer_key
             )
         if self.content_cache is not None:
-            if statement.scope == SCOPE_KEY:
+            if statement.scope in (SCOPE_KEY, SCOPE_WRITER):
+                # Writer scope also purges the whole object: a revoked
+                # writer's deltas may be merged into any cached element.
                 self.stats.content_purged += self.content_cache.invalidate_object(
                     statement.oid_hex
                 )
@@ -364,6 +366,19 @@ class RevocationChecker:
 
     def known_statements(self, oid: ObjectId) -> List[RevocationStatement]:
         return list(self._by_oid.get(oid.hex, ()))
+
+    def revoked_writers(self, oid: ObjectId) -> set:
+        """Writer ids condemned for *oid* in the current verified view.
+
+        Pure lookup — freshness is the caller's concern: the frontier
+        check runs :meth:`check` (which enforces the staleness window)
+        before consulting this set, so a stale view can never vouch.
+        """
+        return {
+            statement.writer
+            for statement in self._by_oid.get(oid.hex, ())
+            if statement.scope == SCOPE_WRITER and statement.writer
+        }
 
     # ------------------------------------------------------------------
     # Monitor-plane collector

@@ -38,6 +38,7 @@ __all__ = [
     "REVOCATION_CERT_TYPE",
     "SCOPE_KEY",
     "SCOPE_ELEMENT",
+    "SCOPE_WRITER",
 ]
 
 REVOCATION_CERT_TYPE = "globedoc/revocation"
@@ -46,6 +47,10 @@ REVOCATION_CERT_TYPE = "globedoc/revocation"
 SCOPE_KEY = "key"
 #: Per-element revocation: one certificate row, up to a stated version.
 SCOPE_ELEMENT = "element"
+#: Writer-grant revocation: one writer's delta-signing authority ends.
+#: The object key and the document's served state stay valid — only the
+#: named writer's deltas stop merging (multi-writer subsystem).
+SCOPE_WRITER = "writer"
 
 
 @dataclass(frozen=True)
@@ -100,6 +105,31 @@ class RevocationStatement:
         )
 
     @classmethod
+    def revoke_writer(
+        cls,
+        owner_keys: KeyPair,
+        oid: ObjectId,
+        writer_id: str,
+        serial: int,
+        issued_at: float,
+        reason: str = "writer grant revoked",
+        suite: Optional[HashSuite] = None,
+    ) -> "RevocationStatement":
+        """Revoke one writer's grant (scope ``writer``).
+
+        Signed with the object key like every statement for this OID;
+        the condemned writer id rides in the statement body. Document
+        content already served stays valid — the frontier check simply
+        stops merging this writer's deltas from first sight onward.
+        """
+        if not writer_id:
+            raise CertificateError("writer revocation needs a writer id")
+        return cls._issue(
+            owner_keys, oid, SCOPE_WRITER, serial, issued_at, reason,
+            element=None, cert_version=None, writer=str(writer_id), suite=suite,
+        )
+
+    @classmethod
     def _issue(
         cls,
         owner_keys: KeyPair,
@@ -111,6 +141,7 @@ class RevocationStatement:
         element: Optional[str],
         cert_version: Optional[int],
         suite: Optional[HashSuite],
+        writer: Optional[str] = None,
     ) -> "RevocationStatement":
         if serial < 1:
             raise CertificateError(f"serial must be positive, got {serial}")
@@ -128,6 +159,7 @@ class RevocationStatement:
             "issuer_key_der": owner_keys.public.der,
             "element": element,
             "cert_version": cert_version,
+            "writer": writer,
         }
         # No not_after: a revocation never expires.
         certificate = Certificate.issue(
@@ -181,6 +213,16 @@ class RevocationStatement:
         value = self.certificate.body.get("cert_version")
         return None if value is None else int(value)
 
+    @property
+    def writer(self) -> Optional[str]:
+        """The condemned writer id (``writer`` scope only).
+
+        ``.get``: statements minted before the multi-writer subsystem
+        have no ``writer`` body key at all, and must keep verifying.
+        """
+        value = self.certificate.body.get("writer")
+        return None if value is None else str(value)
+
     # ------------------------------------------------------------------
     # Verification
     # ------------------------------------------------------------------
@@ -210,12 +252,14 @@ class RevocationStatement:
             issuer_key, clock=None, expected_type=REVOCATION_CERT_TYPE, cache=cache
         )
         scope = self.scope
-        if scope not in (SCOPE_KEY, SCOPE_ELEMENT):
+        if scope not in (SCOPE_KEY, SCOPE_ELEMENT, SCOPE_WRITER):
             raise CertificateError(f"unknown revocation scope {scope!r}")
         if scope == SCOPE_ELEMENT and (self.element is None or self.cert_version is None):
             raise CertificateError(
                 "element revocation must name an element and a cert version"
             )
+        if scope == SCOPE_WRITER and not self.writer:
+            raise CertificateError("writer revocation must name a writer id")
         if self.serial < 1:
             raise CertificateError(f"revocation serial must be positive: {self.serial}")
         return self
@@ -231,6 +275,10 @@ class RevocationStatement:
         """
         if self.scope == SCOPE_KEY:
             return True
+        if self.scope == SCOPE_WRITER:
+            # Writer revocations condemn delta-signing authority, never
+            # the owner-signed document content this method guards.
+            return False
         if element is None or element != self.element:
             return False
         if cert_version is None:
@@ -253,4 +301,6 @@ class RevocationStatement:
         target = self.oid_hex[:12]
         if self.scope == SCOPE_ELEMENT:
             target += f"/{self.element}@v{self.cert_version}"
+        elif self.scope == SCOPE_WRITER:
+            target += f"/writer:{self.writer}"
         return f"RevocationStatement({self.scope}, {target}…, serial={self.serial})"

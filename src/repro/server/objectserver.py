@@ -33,6 +33,10 @@ from repro.server.admin import AdminCommand, AdminVerifier
 from repro.server.keystore import Keystore
 from repro.server.localrep import ReplicaLR
 from repro.sim.clock import Clock, RealClock
+from repro.versioning.delta import SignedDelta
+from repro.versioning.frontier import FrontierCertificate
+from repro.versioning.grant import WriterGrant
+from repro.versioning.store import VersionedObjectStore, gossip_once
 
 __all__ = ["ObjectServer", "HostedReplica"]
 
@@ -102,6 +106,18 @@ class ObjectServer:
         #: This server's copy of the replicated revocation feed
         #: (recovers its own log from the feed store when durable).
         self.revocation_feed = RevocationFeed(clock=self.clock, store=feed_store)
+        #: Multi-writer surface: per-OID signed delta DAGs, durably
+        #: journaled and re-verified on recovery (fail closed).
+        versioning_store = None
+        if data_dir is not None:
+            from repro.storage.store import DurableStore
+
+            versioning_store = DurableStore(
+                os.path.join(data_dir, "versioning"), sync=storage_sync
+            )
+        self.versioning = VersionedObjectStore(
+            clock=self.clock, store=versioning_store
+        )
         #: Operational events for the admin interface (entity
         #: revocations with the replicas they tore down).
         self.notices: List[Dict[str, Any]] = []
@@ -204,6 +220,7 @@ class ObjectServer:
             self.state_store.close()
         if self.revocation_feed.store is not None:
             self.revocation_feed.store.close()
+        self.versioning.close()
 
     # ------------------------------------------------------------------
     # Addressing
@@ -417,6 +434,67 @@ class ObjectServer:
             # the clients' next revocation check.
             self.revoke_entity(stmt.issuer_key)
         return {"added": added, "head": self.revocation_feed.head}
+
+    # ------------------------------------------------------------------
+    # RPC versioning interface (untrusted multi-writer surface)
+    # ------------------------------------------------------------------
+    #
+    # Like the data interface, none of this needs the admin channel:
+    # grants and deltas carry their own proof (owner / granted-writer
+    # signatures over self-certifying OIDs), the store verifies each
+    # artifact on admission, and clients re-verify everything through
+    # the frontier check. The server is plumbing, never authority.
+
+    @rpc_method("versioning.register")
+    def rpc_versioning_register(self, object_key_der: bytes) -> dict:
+        oid_hex = self.versioning.register_object(
+            PublicKey(der=bytes(object_key_der))
+        )
+        return {"oid": oid_hex}
+
+    @rpc_method("versioning.put_grant")
+    def rpc_versioning_put_grant(
+        self, oid_hex: str, grant: Mapping[str, Any]
+    ) -> dict:
+        added = self.versioning.put_grant(oid_hex, WriterGrant.from_dict(grant))
+        return {"added": added}
+
+    @rpc_method("versioning.publish_delta")
+    def rpc_versioning_publish_delta(
+        self, oid_hex: str, delta: Mapping[str, Any]
+    ) -> dict:
+        added = self.versioning.put_delta(oid_hex, SignedDelta.from_dict(delta))
+        return {
+            "added": added,
+            "heads": self.versioning.heads(oid_hex),
+            "delta_count": self.versioning.delta_count(oid_hex),
+        }
+
+    @rpc_method("versioning.publish_frontier")
+    def rpc_versioning_publish_frontier(
+        self, oid_hex: str, cert: Mapping[str, Any]
+    ) -> dict:
+        added = self.versioning.put_frontier_cert(
+            oid_hex, FrontierCertificate.from_dict(cert)
+        )
+        return {"added": added}
+
+    @rpc_method("versioning.fetch")
+    def rpc_versioning_fetch(
+        self, oid_hex: str, have_ids: Optional[list] = None
+    ) -> dict:
+        bundle = self.versioning.fetch(oid_hex, have_ids=have_ids)
+        # Saves gossiping peers a second round-trip for the push half.
+        bundle["peer_delta_ids"] = self.versioning.delta_ids(oid_hex)
+        return bundle
+
+    @rpc_method("versioning.delta_ids")
+    def rpc_versioning_delta_ids(self, oid_hex: str) -> list:
+        return self.versioning.delta_ids(oid_hex)
+
+    def gossip_versioned(self, rpc, peer_endpoint, oid_hex: str) -> dict:
+        """One anti-entropy round for *oid_hex* against a peer server."""
+        return gossip_once(self.versioning, rpc, peer_endpoint, oid_hex)
 
     # ------------------------------------------------------------------
     # RPC admin interface (authenticated surface)

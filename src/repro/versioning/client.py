@@ -1,0 +1,172 @@
+"""The verified multi-writer reader.
+
+:class:`VersionedReader` is the client half of the versioning
+subsystem: it fetches an object's delta bundle from an (untrusted)
+server, runs the full check pipeline — self-certifying key, revocation
+freshness, then the eighth check
+(:meth:`~repro.proxy.checks.SecurityChecker.check_frontier`) — and only
+then *binds* the result: the verified DAG becomes the reader's
+withholding baseline and the merged elements become servable.
+
+Two fail-closed properties fall out of the binding discipline:
+
+* state is updated **only after** every check passes — a rejected
+  response leaves the previously verified frontier (and the cache)
+  untouched, so an attacker gains nothing by serving garbage;
+* when a *strictly newer* frontier is bound, every
+  :class:`~repro.proxy.contentcache.ContentCache` entry for the object
+  is purged before the new merge is cached — a reader can never serve a
+  stale pre-merge element alongside a newer verified state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.crypto.keys import PublicKey
+from repro.globedoc.oid import ObjectId
+from repro.proxy.checks import SecurityChecker, VerifiedFrontier
+from repro.proxy.contentcache import ContentCache
+from repro.proxy.metrics import AccessTimer
+from repro.versioning.dag import DeltaDag, Frontier
+from repro.versioning.delta import SignedDelta
+from repro.versioning.frontier import FrontierCertificate
+from repro.versioning.grant import WriterGrant
+from repro.versioning.merge import MergedDocument
+
+__all__ = ["VersionedReader", "VersionedAccess"]
+
+
+@dataclass
+class VersionedAccess:
+    """One verified read: the merged document plus access accounting."""
+
+    merged: MergedDocument
+    timer: AccessTimer
+    #: Deltas fetched over the wire this access (0 on a no-news read).
+    deltas_fetched: int = 0
+    #: Cache entries purged because a strictly newer frontier bound.
+    cache_purged: int = 0
+
+
+class VersionedReader:
+    """Reads multi-writer objects, trusting only what it verified."""
+
+    def __init__(
+        self,
+        rpc,
+        checker: SecurityChecker,
+        content_cache: Optional[ContentCache] = None,
+    ) -> None:
+        self.rpc = rpc
+        self.checker = checker
+        self.content_cache = content_cache
+        #: Per-OID verified baseline: the DAG and frontier this reader
+        #: has proven once and will not let a server roll back.
+        self._dags: Dict[str, DeltaDag] = {}
+        self._frontiers: Dict[str, Frontier] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, withholding baseline)
+    # ------------------------------------------------------------------
+
+    def known_frontier(self, oid_hex: str) -> Optional[Frontier]:
+        return self._frontiers.get(oid_hex)
+
+    def known_dag(self, oid_hex: str) -> Optional[DeltaDag]:
+        return self._dags.get(oid_hex)
+
+    # ------------------------------------------------------------------
+    # The verified read
+    # ------------------------------------------------------------------
+
+    def read(self, endpoint, oid: ObjectId) -> VersionedAccess:
+        """Fetch, verify, and bind one object's multi-writer state.
+
+        Raises the exact :class:`~repro.errors.SecurityError` subclass
+        for whatever is wrong with the response; on any raise the
+        reader's verified baseline is untouched.
+        """
+        timer = AccessTimer(self.checker.clock)
+        known_dag = self._dags.get(oid.hex)
+        have_ids = known_dag.delta_ids if known_dag is not None else None
+
+        with timer.phase("fetch_bundle"):
+            bundle = self.rpc.call(
+                endpoint, "versioning.fetch", oid_hex=oid.hex, have_ids=have_ids
+            )
+        object_key = PublicKey(der=bytes(bundle["object_key_der"]))
+        grants = [WriterGrant.from_dict(g) for g in bundle.get("grants", [])]
+        new_deltas = [SignedDelta.from_dict(d) for d in bundle.get("deltas", [])]
+        cert_dict = bundle.get("frontier_cert")
+        frontier_cert = (
+            FrontierCertificate.from_dict(cert_dict)
+            if cert_dict is not None
+            else None
+        )
+
+        # Checks 1 and 7 first: a key that is not this object's, or an
+        # OID the feed condemns (or cannot prove fresh), fails before
+        # any delta verification CPU is spent.
+        self.checker.check_public_key(oid, object_key, timer)
+        self.checker.check_revocation(oid, timer)
+
+        # The eighth check runs over the union of the retained verified
+        # DAG and the newly fetched deltas: incremental fetches stay
+        # cheap while withholding is still judged against everything
+        # this reader has ever proven.
+        deltas = list(known_dag.deltas) if known_dag is not None else []
+        deltas.extend(new_deltas)
+        # What the server claims to serve — judged as such for the
+        # withholding comparison. The union with retained local state
+        # must NOT be used here, or a rolled-back server hides behind
+        # this reader's own copy of the branch it dropped.
+        served_ids = set(bundle.get("peer_delta_ids", []))
+        served_ids.update(d.delta_id for d in new_deltas)
+        verified: VerifiedFrontier = self.checker.check_frontier(
+            oid,
+            object_key,
+            grants,
+            deltas,
+            timer,
+            known_frontier=self._frontiers.get(oid.hex),
+            frontier_cert=frontier_cert,
+            served_ids=served_ids,
+        )
+
+        purged = self._bind(oid.hex, verified)
+        return VersionedAccess(
+            merged=verified.merged,
+            timer=timer,
+            deltas_fetched=len(new_deltas),
+            cache_purged=purged,
+        )
+
+    def _bind(self, oid_hex: str, verified: VerifiedFrontier) -> int:
+        """Adopt a verified frontier; purge the cache if strictly newer."""
+        previous = self._frontiers.get(oid_hex)
+        current = verified.merged.frontier
+        self._dags[oid_hex] = verified.dag
+        self._frontiers[oid_hex] = current
+        purged = 0
+        if (
+            self.content_cache is not None
+            and previous is not None
+            and current != previous
+        ):
+            # check_frontier proved `current` contains every head of
+            # `previous`, so a differing frontier is strictly newer —
+            # everything cached under the old merge is now stale.
+            purged = self.content_cache.invalidate_object(oid_hex)
+        if self.content_cache is not None:
+            expiry = self.checker.clock.now() + self.content_cache.ttl
+            for element in verified.merged.elements.values():
+                self.content_cache.put(oid_hex, element, expiry)
+        return purged
+
+    def cached_element(self, oid_hex: str, name: str):
+        """A still-valid verified element from the cache, or None."""
+        if self.content_cache is None:
+            return None
+        return self.content_cache.get(oid_hex, name)

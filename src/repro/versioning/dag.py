@@ -1,0 +1,207 @@
+"""The content-addressed version DAG and its causal frontier.
+
+Deltas hash-link their parents (UStore-style), so holding a delta id
+commits to the exact bytes of its whole ancestry. A :class:`DeltaDag`
+only ever admits a delta whose parents are already present — insertion
+order is therefore a topological order, and *membership of a head
+implies membership of its entire branch*. That closure property is what
+makes branch-withholding detection a set-membership test: a replica that
+serves a frontier lacking any head the client already verified is hiding
+a branch (:class:`~repro.errors.BranchWithholdingError` at the check).
+
+The :class:`Frontier` (the set of heads — deltas no other delta names as
+a parent) replaces the single version counter of the one-writer design:
+two frontiers are comparable by DAG containment rather than integer
+order, which is exactly the partial order of causal histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import VersioningError
+from repro.versioning.delta import SignedDelta
+
+__all__ = ["DeltaDag", "Frontier"]
+
+
+@dataclass(frozen=True)
+class Frontier:
+    """A causal frontier: the sorted tuple of head delta ids."""
+
+    heads: Tuple[str, ...]
+
+    @classmethod
+    def of(cls, heads: Iterable[str]) -> "Frontier":
+        return cls(heads=tuple(sorted(set(heads))))
+
+    @classmethod
+    def empty(cls) -> "Frontier":
+        return cls(heads=())
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.heads
+
+    def to_list(self) -> List[str]:
+        return list(self.heads)
+
+    @classmethod
+    def from_list(cls, data: Iterable[str]) -> "Frontier":
+        return cls.of(str(h) for h in data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Frontier({[h[:8] for h in self.heads]})"
+
+
+class DeltaDag:
+    """Hash-linked delta DAG for one object.
+
+    Admission is parents-first (:meth:`add` refuses a dangling parent),
+    so the internal insertion order doubles as a topological order for
+    serving and journaling. Verification is the *caller's* job — the
+    DAG stores what it is given and maintains structure only.
+    """
+
+    def __init__(self) -> None:
+        self._deltas: Dict[str, SignedDelta] = {}
+        self._children: Dict[str, Set[str]] = {}
+        self._order: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add(self, delta: SignedDelta) -> bool:
+        """Admit *delta*; False if already present (idempotent).
+
+        Raises :class:`~repro.errors.VersioningError` when a parent is
+        missing — callers with out-of-order batches use :meth:`add_all`,
+        which resolves ordering and reports genuinely dangling parents.
+        """
+        delta_id = delta.delta_id
+        if delta_id in self._deltas:
+            return False
+        missing = [p for p in delta.parents if p not in self._deltas]
+        if missing:
+            raise VersioningError(
+                f"delta {delta_id[:12]}… names missing parent(s) "
+                f"{[p[:12] for p in missing]} — ancestry must be admitted first"
+            )
+        self._deltas[delta_id] = delta
+        self._order.append(delta_id)
+        for parent in delta.parents:
+            self._children.setdefault(parent, set()).add(delta_id)
+        return True
+
+    def add_all(self, deltas: Iterable[SignedDelta]) -> int:
+        """Admit a batch in any order; returns the number newly added.
+
+        Iterates to a fixpoint so children may precede parents in the
+        input. Deltas whose ancestry never materializes raise
+        :class:`~repro.errors.VersioningError` — a served batch with
+        dangling parents is a withheld ancestor.
+        """
+        pending = list(deltas)
+        added = 0
+        while pending:
+            progressed = False
+            still: List[SignedDelta] = []
+            for delta in pending:
+                if delta.delta_id in self._deltas:
+                    continue
+                if all(p in self._deltas for p in delta.parents):
+                    if self.add(delta):
+                        added += 1
+                    progressed = True
+                else:
+                    still.append(delta)
+            if not still:
+                return added
+            if not progressed:
+                missing = sorted(
+                    {
+                        p
+                        for delta in still
+                        for p in delta.parents
+                        if p not in self._deltas
+                    }
+                )
+                raise VersioningError(
+                    f"{len(still)} delta(s) reference parent(s) absent from "
+                    f"the batch and the DAG: {[p[:12] for p in missing]}"
+                )
+            pending = still
+        return added
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._deltas)
+
+    def __contains__(self, delta_id: str) -> bool:
+        return delta_id in self._deltas
+
+    def get(self, delta_id: str) -> SignedDelta:
+        return self._deltas[delta_id]
+
+    @property
+    def delta_ids(self) -> List[str]:
+        """All delta ids in admission (= topological) order."""
+        return list(self._order)
+
+    @property
+    def deltas(self) -> List[SignedDelta]:
+        """All deltas in admission (= topological) order."""
+        return [self._deltas[delta_id] for delta_id in self._order]
+
+    def heads(self) -> List[str]:
+        """Delta ids no admitted delta names as a parent (sorted)."""
+        return sorted(
+            delta_id
+            for delta_id in self._deltas
+            if not self._children.get(delta_id)
+        )
+
+    def frontier(self) -> Frontier:
+        return Frontier.of(self.heads())
+
+    def lamport_max(self) -> int:
+        return max((d.lamport for d in self._deltas.values()), default=0)
+
+    def ancestors(self, delta_ids: Sequence[str]) -> Set[str]:
+        """The ancestor closure of *delta_ids* (inclusive)."""
+        seen: Set[str] = set()
+        stack = [d for d in delta_ids if d in self._deltas]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._deltas[current].parents)
+        return seen
+
+    def missing_from(self, known_ids: Iterable[str]) -> List[SignedDelta]:
+        """Deltas absent from *known_ids*, topologically ordered — the
+        anti-entropy payload one replica ships another."""
+        known = set(known_ids)
+        return [
+            self._deltas[delta_id]
+            for delta_id in self._order
+            if delta_id not in known
+        ]
+
+    def dominates(self, frontier: Frontier) -> bool:
+        """Does this DAG contain everything below *frontier*?
+
+        Because admission is parents-first, holding a head implies
+        holding its whole branch, so containment of the heads is
+        containment of the history.
+        """
+        return all(head in self._deltas for head in frontier.heads)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DeltaDag({len(self._deltas)} deltas, heads={len(self.heads())})"

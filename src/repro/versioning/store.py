@@ -1,0 +1,360 @@
+"""Server-side versioned-object store: accept, persist, gossip deltas.
+
+The store is the object server's multi-writer surface. Like every other
+GlobeDoc server component it is *untrusted infrastructure*: it verifies
+grants and deltas on admission only to keep garbage out of its own log
+(clients re-verify everything through the frontier check), and it
+journals every accepted artifact through a
+:class:`~repro.storage.store.DurableStore` before acknowledging it.
+
+Recovery follows the storage contract: bytes read back from disk are as
+untrusted as bytes from the network, so every recovered grant and delta
+goes through the full admission discipline — owner-signature check on
+grants, writer-signature + structure check on deltas, parents-first DAG
+admission — and any record that no longer proves out aborts recovery
+with :class:`~repro.errors.RecoveryIntegrityError` (fail closed).
+
+Anti-entropy (:func:`gossip_once`) is pull+push over the ``versioning.*``
+RPCs: each side ships the deltas the other lacks, receiving ends
+re-verify on admission, and both converge to the same DAG — the server
+half of the convergence story the harness gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.crypto.keys import PublicKey
+from repro.errors import (
+    RecoveryIntegrityError,
+    ReplicaError,
+    ReproError,
+    UnauthorizedWriterError,
+)
+from repro.globedoc.oid import ObjectId
+from repro.versioning.dag import DeltaDag
+from repro.versioning.delta import SignedDelta
+from repro.versioning.frontier import FrontierCertificate
+from repro.versioning.grant import WriterGrant
+
+__all__ = ["VersionedObjectStore", "gossip_once"]
+
+
+@dataclass
+class _ObjectState:
+    """One object's multi-writer state on this server."""
+
+    oid: ObjectId
+    object_key: PublicKey
+    dag: DeltaDag = field(default_factory=DeltaDag)
+    grants: Dict[str, WriterGrant] = field(default_factory=dict)
+    frontier_cert: Optional[FrontierCertificate] = None
+
+
+class VersionedObjectStore:
+    """Per-OID delta DAGs with admission checks and durable journaling."""
+
+    def __init__(self, clock=None, store=None) -> None:
+        self.clock = clock
+        self.store = store
+        self._objects: Dict[str, _ObjectState] = {}
+        #: Recovery accounting for the convergence bench gates.
+        self.recovered_deltas = 0
+        self.reverified_deltas = 0
+        self.recovered_grants = 0
+        if store is not None:
+            self._recover()
+
+    # ------------------------------------------------------------------
+    # Recovery (fail closed)
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay the journal through the full admission discipline."""
+        recovered = self.store.recover()
+        records: List[dict] = []
+        if recovered.snapshot is not None:
+            for obj in recovered.snapshot.get("objects", []):
+                records.append({"op": "register", "key_der": obj["key_der"]})
+                for grant in obj.get("grants", []):
+                    records.append(
+                        {"op": "grant", "oid": obj["oid"], "grant": grant}
+                    )
+                for delta in obj.get("deltas", []):
+                    records.append(
+                        {"op": "delta", "oid": obj["oid"], "delta": delta}
+                    )
+                if obj.get("frontier") is not None:
+                    records.append(
+                        {"op": "frontier", "oid": obj["oid"], "cert": obj["frontier"]}
+                    )
+        records.extend(recovered.records)
+        replaying, self._replaying = getattr(self, "_replaying", False), True
+        try:
+            for record in records:
+                try:
+                    op = record.get("op")
+                    if op == "register":
+                        self.register_object(PublicKey(der=bytes(record["key_der"])))
+                    elif op == "grant":
+                        added = self.put_grant(
+                            str(record["oid"]), WriterGrant.from_dict(record["grant"])
+                        )
+                        if added:
+                            self.recovered_grants += 1
+                    elif op == "delta":
+                        added = self.put_delta(
+                            str(record["oid"]), SignedDelta.from_dict(record["delta"])
+                        )
+                        if added:
+                            self.recovered_deltas += 1
+                            self.reverified_deltas += 1
+                    elif op == "frontier":
+                        self.put_frontier_cert(
+                            str(record["oid"]),
+                            FrontierCertificate.from_dict(record["cert"]),
+                        )
+                except ReproError as exc:
+                    raise RecoveryIntegrityError(
+                        "versioning store holds a record that no longer "
+                        f"verifies — failing recovery closed: {exc}"
+                    ) from exc
+        finally:
+            self._replaying = replaying
+
+    def _journal(self, record: dict) -> None:
+        if self.store is None or getattr(self, "_replaying", False):
+            return
+        self.store.append(record)
+        self.store.maybe_compact(self._snapshot_state)
+
+    def _snapshot_state(self) -> dict:
+        return {
+            "objects": [
+                {
+                    "oid": oid_hex,
+                    "key_der": state.object_key.der,
+                    "grants": [
+                        g.to_dict() for _, g in sorted(state.grants.items())
+                    ],
+                    "deltas": [d.to_dict() for d in state.dag.deltas],
+                    "frontier": (
+                        state.frontier_cert.to_dict()
+                        if state.frontier_cert is not None
+                        else None
+                    ),
+                }
+                for oid_hex, state in sorted(self._objects.items())
+            ]
+        }
+
+    # ------------------------------------------------------------------
+    # Admission (the untrusted write surface)
+    # ------------------------------------------------------------------
+
+    def _require(self, oid_hex: str) -> _ObjectState:
+        state = self._objects.get(oid_hex)
+        if state is None:
+            raise ReplicaError(
+                f"no versioned object {oid_hex[:12]}… registered on this server"
+            )
+        return state
+
+    def register_object(self, object_key: PublicKey) -> str:
+        """Open a versioning namespace for the object *object_key* owns.
+
+        Unauthenticated by design, like replica content serving: the OID
+        is derived from the key (self-certifying), so registering a
+        namespace grants no authority — only grants signed by this very
+        key admit writers. Idempotent; returns the OID hex.
+        """
+        oid = ObjectId.from_public_key(object_key)
+        if oid.hex not in self._objects:
+            self._objects[oid.hex] = _ObjectState(oid=oid, object_key=object_key)
+            self._journal({"op": "register", "key_der": object_key.der})
+        return oid.hex
+
+    def put_grant(self, oid_hex: str, grant: WriterGrant) -> bool:
+        """Admit an owner-signed writer grant; False if already held."""
+        state = self._require(oid_hex)
+        grant.verify(state.object_key, state.oid, clock=self.clock)
+        existing = state.grants.get(grant.writer_id)
+        if (
+            existing is not None
+            and existing.certificate.envelope.signature
+            == grant.certificate.envelope.signature
+        ):
+            return False
+        # A differing grant for the same writer id verified under the
+        # object key is an owner action (writer re-key): replace.
+        state.grants[grant.writer_id] = grant
+        self._journal({"op": "grant", "oid": oid_hex, "grant": grant.to_dict()})
+        return True
+
+    def put_delta(self, oid_hex: str, delta: SignedDelta) -> bool:
+        """Admit one signed delta; False if already in the DAG.
+
+        Full admission: structure + signature (``delta.verify``), then a
+        grant must cover the writer key, then parents-first DAG
+        admission (a delta with absent ancestry is refused — gossip
+        ships ancestries in order).
+        """
+        state = self._require(oid_hex)
+        if delta.delta_id in state.dag:
+            return False
+        delta.verify(state.oid)
+        grant = state.grants.get(delta.writer_id)
+        if grant is None or grant.writer_key.der != delta.writer_key.der:
+            raise UnauthorizedWriterError(
+                f"delta {delta.delta_id[:12]}… from writer "
+                f"{delta.writer_id!r} has no covering grant on this server"
+            )
+        added = state.dag.add(delta)
+        if added:
+            self._journal({"op": "delta", "oid": oid_hex, "delta": delta.to_dict()})
+        return added
+
+    def put_frontier_cert(self, oid_hex: str, cert: FrontierCertificate) -> bool:
+        """Admit a frontier certificate for the object; keeps the newest.
+
+        The signer must be the object key or a granted writer key, and
+        every claimed head must be in the local DAG (a server never
+        vouches for heads it does not hold). Certificates with a lower
+        Lamport bound than the held one are dropped (stale), not errors.
+        """
+        state = self._require(oid_hex)
+        cert.verify(state.oid)
+        signer = cert.signer_key.der
+        authorized = signer == state.object_key.der or any(
+            g.writer_key.der == signer for g in state.grants.values()
+        )
+        if not authorized:
+            raise UnauthorizedWriterError(
+                f"frontier certificate for {oid_hex[:12]}… signed by a key "
+                "with no grant on this server"
+            )
+        if not state.dag.dominates(cert.frontier):
+            raise ReplicaError(
+                f"frontier certificate names heads this server does not "
+                f"hold for {oid_hex[:12]}… (publish the deltas first)"
+            )
+        if (
+            state.frontier_cert is not None
+            and cert.lamport < state.frontier_cert.lamport
+        ):
+            return False
+        state.frontier_cert = cert
+        self._journal({"op": "frontier", "oid": oid_hex, "cert": cert.to_dict()})
+        return True
+
+    # ------------------------------------------------------------------
+    # Serving (wire bundles)
+    # ------------------------------------------------------------------
+
+    def has_object(self, oid_hex: str) -> bool:
+        return oid_hex in self._objects
+
+    def delta_ids(self, oid_hex: str) -> List[str]:
+        return self._require(oid_hex).dag.delta_ids
+
+    def delta_count(self, oid_hex: str) -> int:
+        return len(self._require(oid_hex).dag)
+
+    def heads(self, oid_hex: str) -> List[str]:
+        return self._require(oid_hex).dag.heads()
+
+    def fetch(self, oid_hex: str, have_ids: Optional[List[str]] = None) -> dict:
+        """The wire bundle the reader (or a gossiping peer) verifies.
+
+        ``have_ids`` turns the response into a delta sync: only DAG
+        entries the caller lacks are shipped (topological order), while
+        grants and the frontier certificate always travel whole.
+        """
+        state = self._require(oid_hex)
+        deltas = (
+            state.dag.deltas
+            if have_ids is None
+            else state.dag.missing_from(have_ids)
+        )
+        return {
+            "oid": oid_hex,
+            "object_key_der": state.object_key.der,
+            "grants": [g.to_dict() for _, g in sorted(state.grants.items())],
+            "deltas": [d.to_dict() for d in deltas],
+            "heads": state.dag.heads(),
+            "frontier_cert": (
+                state.frontier_cert.to_dict()
+                if state.frontier_cert is not None
+                else None
+            ),
+        }
+
+    def close(self) -> None:
+        if self.store is not None:
+            self.store.close()
+
+
+def gossip_once(store: VersionedObjectStore, rpc, peer_endpoint, oid_hex: str) -> dict:
+    """One anti-entropy round against a peer server: pull, then push.
+
+    Pulls the peer's grants and the deltas this store lacks (re-verified
+    on admission — the peer is as untrusted as any replica), then pushes
+    back everything the peer reported missing. After one round with a
+    reachable, honest peer both DAGs are equal; the convergence bench
+    asserts exactly that. Returns {pulled, pushed} counts.
+    """
+    answer = rpc.call(
+        peer_endpoint,
+        "versioning.fetch",
+        oid_hex=oid_hex,
+        have_ids=store.delta_ids(oid_hex),
+    )
+    pulled = 0
+    for grant_dict in answer.get("grants", []):
+        store.put_grant(oid_hex, WriterGrant.from_dict(grant_dict))
+    for delta_dict in answer.get("deltas", []):
+        if store.put_delta(oid_hex, SignedDelta.from_dict(delta_dict)):
+            pulled += 1
+    cert_dict = answer.get("frontier_cert")
+    if cert_dict is not None:
+        try:
+            store.put_frontier_cert(
+                oid_hex, FrontierCertificate.from_dict(cert_dict)
+            )
+        except ReproError:
+            # A stale or unverifiable peer certificate never blocks the
+            # delta exchange itself; readers verify certs end to end.
+            pass
+
+    their_ids = set(answer.get("peer_delta_ids", []))
+    if not their_ids:
+        their_ids = set(
+            rpc.call(peer_endpoint, "versioning.delta_ids", oid_hex=oid_hex)
+        )
+    # Push grants first: a pushed delta from a writer the peer has never
+    # heard of would otherwise be refused as unauthorized. The peer
+    # re-verifies each grant under the object key, so this confers no
+    # authority the owner did not sign.
+    their_writers = {
+        WriterGrant.from_dict(g).writer_id for g in answer.get("grants", [])
+    }
+    for writer_id, grant in sorted(store._require(oid_hex).grants.items()):
+        if writer_id not in their_writers:
+            rpc.call(
+                peer_endpoint,
+                "versioning.put_grant",
+                oid_hex=oid_hex,
+                grant=grant.to_dict(),
+            )
+    pushed = 0
+    for delta in store._require(oid_hex).dag.missing_from(their_ids):
+        result = rpc.call(
+            peer_endpoint,
+            "versioning.publish_delta",
+            oid_hex=oid_hex,
+            delta=delta.to_dict(),
+        )
+        if result.get("added"):
+            pushed += 1
+    return {"pulled": pulled, "pushed": pushed}

@@ -1,0 +1,55 @@
+"""Multi-writer attack matrix: every tamper mode rejected fail-closed.
+
+One scenario per multi-writer failure mode — forged delta content,
+self-appointed writer, revoked writer, withheld branch, cross-object
+replay — each asserting the *exact* ``SecurityError`` subclass, zero
+attacker bytes reaching the caller or the cache, and the rejection
+attributed to the ``check.frontier`` span in the trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.scenarios import (
+    VERSIONING_SCENARIOS,
+    build_versioning_world,
+    run_versioning_matrix,
+    run_versioning_scenario,
+)
+from tests.conftest import fast_keys
+
+
+@pytest.mark.parametrize(
+    "scenario", VERSIONING_SCENARIOS, ids=[s.id for s in VERSIONING_SCENARIOS]
+)
+def test_scenario_rejected_fail_closed(scenario):
+    verdict = run_versioning_scenario(scenario, key_factory=fast_keys)
+    assert verdict["detected"], f"{scenario.id}: attack was not detected"
+    assert verdict["exact_error"], (
+        f"{scenario.id}: expected {verdict['expected_error']}, "
+        f"got {verdict['failure_type']}"
+    )
+    assert not verdict["unverified_bytes_leaked"], (
+        f"{scenario.id}: attacker bytes reached the caller or the cache"
+    )
+    assert verdict["span_ok"], (
+        f"{scenario.id}: rejection not attributed to the expected span"
+    )
+    assert verdict["ok"]
+
+
+def test_matrix_covers_every_scenario():
+    verdicts = run_versioning_matrix(key_factory=fast_keys)
+    assert [v["scenario"] for v in verdicts] == [s.id for s in VERSIONING_SCENARIOS]
+
+
+def test_honest_world_reads_clean():
+    """The matrix baseline itself: with no deploy, the read verifies and
+    serves the genuine merged elements."""
+    from repro.attacks.scenarios import VERSIONING_ELEMENTS
+
+    world = build_versioning_world(key_factory=fast_keys)
+    access = world.reader.read(world.server.endpoint, world.oid)
+    for name, content in VERSIONING_ELEMENTS.items():
+        assert access.merged.elements[name].content == content

@@ -49,3 +49,29 @@ class TestCli:
         assert "Recovery bench" in out
         assert "all recovery gates passed" in out
         assert out_path.exists()
+
+    def test_convergence_quick_passes_gates(self, capsys, tmp_path):
+        out_path = tmp_path / "convergence.json"
+        assert main(["convergence", "--quick", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Convergence bench" in out
+        assert "all convergence gates passed" in out
+        assert out_path.exists()
+
+    def test_convergence_gate_failure_exits_nonzero(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """A red gate must fail the process (that is what CI keys on)."""
+        import repro.harness.convergence as convergence
+
+        def diverged(quick=False, seed=0):
+            report = convergence.ConvergenceReport(seed=seed, quick=quick)
+            report.partitioned.byte_identical = False
+            return report
+
+        monkeypatch.setattr(convergence, "run_convergence", diverged)
+        out_path = tmp_path / "convergence.json"
+        assert main(["convergence", "--quick", "--out", str(out_path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL:" in out and "diverged" in out
+        assert out_path.exists()  # the report is written even on failure

@@ -1,0 +1,150 @@
+"""Unit tests for the convergence bench internals.
+
+The partition/heal sweep itself runs in CI (``repro.harness convergence
+--quick``); here the gate logic and report shape are pinned down with
+synthetic data, so a regression names the exact rule it broke.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.harness.convergence import (
+    ConvergenceReport,
+    MergeCost,
+    PartitionedConvergence,
+    RecoveryGate,
+    check_report,
+    render_convergence,
+    write_report,
+)
+
+
+def clean_verdict(scenario="forged_delta", **overrides) -> dict:
+    verdict = {
+        "scenario": scenario,
+        "expected_error": "DeltaForgeryError",
+        "failure_type": "DeltaForgeryError",
+        "detected": True,
+        "exact_error": True,
+        "unverified_bytes_leaked": False,
+        "span_ok": True,
+        "ok": True,
+    }
+    verdict.update(overrides)
+    return verdict
+
+
+def clean_report(**overrides) -> ConvergenceReport:
+    report = ConvergenceReport(
+        seed=0,
+        quick=True,
+        partitioned=PartitionedConvergence(
+            writers=3,
+            rounds=2,
+            deltas=6,
+            gossip_pulled=2,
+            gossip_pushed=4,
+            server_digests={"a": "d1", "b": "d1"},
+            reader_digests={"a": "d1", "b": "d1"},
+            byte_identical=True,
+            elements=3,
+        ),
+        merge=MergeCost(deltas=6, samples=20, p50_us=100.0, p99_us=150.0),
+        adversarial=[clean_verdict()],
+        recovery=RecoveryGate(
+            deltas_published=3,
+            recovered_deltas=3,
+            reverified_deltas=3,
+            recovered_grants=3,
+            digest_intact=True,
+            frontier_cert_recovered=True,
+            tamper_failed_closed=True,
+            tamper_error="RecoveryIntegrityError",
+        ),
+    )
+    for key, value in overrides.items():
+        setattr(report, key, value)
+    return report
+
+
+class TestGates:
+    def test_clean_report_passes(self):
+        assert check_report(clean_report()) == []
+
+    def test_divergence_fails(self):
+        report = clean_report()
+        report.partitioned.byte_identical = False
+        assert any("diverged" in p.lower() for p in check_report(report))
+
+    def test_missing_gossip_fails(self):
+        report = clean_report()
+        report.partitioned.gossip_pulled = 0
+        report.partitioned.gossip_pushed = 0
+        assert any("gossip" in p for p in check_report(report))
+
+    def test_empty_adversarial_matrix_fails(self):
+        assert any(
+            "adversarial" in p for p in check_report(clean_report(adversarial=[]))
+        )
+
+    def test_leaked_bytes_fail(self):
+        report = clean_report(
+            adversarial=[clean_verdict(unverified_bytes_leaked=True)]
+        )
+        assert any("attacker bytes" in p for p in check_report(report))
+
+    def test_wrong_error_class_fails(self):
+        report = clean_report(
+            adversarial=[
+                clean_verdict(
+                    failure_type="SecurityError", exact_error=False, ok=False
+                )
+            ]
+        )
+        assert any("forged_delta" in p for p in check_report(report))
+
+    def test_lost_delta_fails(self):
+        report = clean_report()
+        report.recovery.recovered_deltas = 2
+        assert any("lost deltas" in p for p in check_report(report))
+
+    def test_unreverified_recovery_fails(self):
+        report = clean_report()
+        report.recovery.reverified_deltas = 0
+        assert any("re-verified" in p for p in check_report(report))
+
+    def test_accepted_tamper_fails(self):
+        report = clean_report()
+        report.recovery.tamper_failed_closed = False
+        assert any("tamper" in p.lower() for p in check_report(report))
+
+    def test_changed_digest_fails(self):
+        report = clean_report()
+        report.recovery.digest_intact = False
+        assert any("different bytes" in p for p in check_report(report))
+
+
+class TestRendering:
+    def test_render_shows_all_scenarios(self):
+        out = render_convergence(clean_report())
+        for label in (
+            "partitioned convergence", "merge cost", "adversarial matrix",
+            "crash recovery", "PASS",
+        ):
+            assert label in out
+
+    def test_render_marks_failures(self):
+        report = clean_report()
+        report.partitioned.byte_identical = False
+        report.recovery.tamper_failed_closed = False
+        out = render_convergence(report)
+        assert "DIVERGED" in out and "FAIL" in out
+
+    def test_report_roundtrips_as_json(self, tmp_path):
+        path = tmp_path / "BENCH_convergence.json"
+        write_report(clean_report(), path)
+        data = json.loads(path.read_text())
+        assert data["partitioned_convergence"]["byte_identical"] is True
+        assert data["recovery"]["tamper_error"] == "RecoveryIntegrityError"
+        assert data["adversarial"][0]["scenario"] == "forged_delta"

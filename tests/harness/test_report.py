@@ -106,3 +106,59 @@ class TestBenchAggregation:
         assert "revocation" in out and "ok" in out
         assert "broken" in out and "unreadable" in out
         assert "containment" in out  # section listing
+
+
+class TestConvergenceSection:
+    """The bench-report digest of BENCH_convergence.json."""
+
+    def section(self, report: dict) -> str:
+        from repro.harness.report import render_convergence_section
+
+        return render_convergence_section({"convergence": report})
+
+    def test_absent_report_renders_nothing(self):
+        from repro.harness.report import render_convergence_section
+
+        assert render_convergence_section({}) == ""
+        assert render_convergence_section({"convergence": {"error": "x"}}) == ""
+
+    def test_full_report_digest(self):
+        out = self.section(
+            {
+                "partitioned_convergence": {
+                    "writers": 5, "rounds": 4, "deltas": 20,
+                    "gossip_pulled": 8, "gossip_pushed": 12,
+                    "server_digests": {"a": "d1", "b": "d1"},
+                    "reader_digests": {"a": "d1", "b": "d1"},
+                    "byte_identical": True,
+                },
+                "merge_cost": {"deltas": 20, "samples": 100,
+                               "p50_us": 129.0, "p99_us": 197.0},
+                "adversarial": [{"ok": True}, {"ok": True}],
+                "recovery": {"deltas_published": 5, "recovered_deltas": 5,
+                             "tamper_failed_closed": True,
+                             "tamper_error": "RecoveryIntegrityError"},
+            }
+        )
+        assert "byte-identical" in out
+        assert "p50 129 us" in out
+        assert "2/2 scenarios rejected fail-closed" in out
+        assert "RecoveryIntegrityError" in out
+
+    def test_divergence_and_tamper_acceptance_shout(self):
+        out = self.section(
+            {
+                "partitioned_convergence": {
+                    "byte_identical": False,
+                    "server_digests": {"a": "d1", "b": "d2"},
+                    "reader_digests": {},
+                },
+                "recovery": {"tamper_failed_closed": False},
+            }
+        )
+        assert "DIVERGED" in out
+        assert "ACCEPTED TAMPERED BYTES" in out
+
+    def test_partial_report_tolerated(self):
+        assert self.section({"merge_cost": {"p50_us": 1.0}}) != ""
+        assert self.section({}) == ""

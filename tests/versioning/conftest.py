@@ -1,0 +1,35 @@
+"""Shared multi-writer fixtures: an owner, its OID, and granted writers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.globedoc.oid import ObjectId
+from repro.versioning import DocumentWriter, WriterGrant
+
+from tests.conftest import fast_keys
+
+
+@pytest.fixture(scope="module")
+def owner_keys() -> KeyPair:
+    return fast_keys()
+
+
+@pytest.fixture(scope="module")
+def oid(owner_keys) -> ObjectId:
+    return ObjectId.from_public_key(owner_keys.public)
+
+
+@pytest.fixture
+def make_writer(owner_keys, oid, clock):
+    """Factory: ``make_writer("alice")`` → (DocumentWriter, WriterGrant)."""
+
+    def build(writer_id: str):
+        keys = fast_keys()
+        grant = WriterGrant.issue(
+            owner_keys, oid, writer_id, keys.public, granted_at=clock.now()
+        )
+        return DocumentWriter(keys, writer_id, oid, clock), grant
+
+    return build

@@ -1,0 +1,132 @@
+"""The verified reader: binding discipline, cache purge, withholding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import PublicKey
+from repro.errors import BranchWithholdingError
+from repro.net.rpc import RpcClient
+from repro.net.transport import LoopbackTransport
+from repro.proxy.checks import SecurityChecker
+from repro.proxy.contentcache import ContentCache
+from repro.server.objectserver import ObjectServer
+from repro.versioning import DeltaDag
+from repro.versioning.client import VersionedReader
+
+
+@pytest.fixture
+def world(clock, owner_keys, oid, make_writer):
+    transport = LoopbackTransport()
+    rpc = RpcClient(transport)
+    server = ObjectServer(host="ginger.cs.vu.nl", site="root/site/vu", clock=clock)
+    transport.register(server.endpoint, server.rpc_server().handle_frame)
+    server.versioning.register_object(owner_keys.public)
+    writer, grant = make_writer("alice")
+    server.versioning.put_grant(oid.hex, grant)
+    view = DeltaDag()
+    server.versioning.put_delta(oid.hex, writer.put(view, "body", b"version-one"))
+    cache = ContentCache(clock=clock, ttl=300.0)
+    reader = VersionedReader(rpc, SecurityChecker(clock), content_cache=cache)
+    return {
+        "server": server, "rpc": rpc, "transport": transport, "writer": writer,
+        "view": view, "cache": cache, "reader": reader, "oid": oid,
+    }
+
+
+class TestBinding:
+    def test_read_merges_and_binds(self, world):
+        access = world["reader"].read(world["server"].endpoint, world["oid"])
+        assert access.merged.elements["body"].content == b"version-one"
+        assert access.deltas_fetched == 1
+        assert world["reader"].known_frontier(world["oid"].hex) is not None
+
+    def test_incremental_reread_fetches_nothing(self, world):
+        reader, server, oid = world["reader"], world["server"], world["oid"]
+        reader.read(server.endpoint, oid)
+        again = reader.read(server.endpoint, oid)
+        assert again.deltas_fetched == 0
+        assert again.merged.elements["body"].content == b"version-one"
+
+
+class TestCachePurge:
+    def test_newer_frontier_purges_stale_entries(self, world):
+        """Regression: a strictly newer verified frontier must evict
+        every cached element of the object before re-caching the new
+        merge — a reader may never serve pre-merge bytes as current."""
+        reader, server, oid = world["reader"], world["server"], world["oid"]
+        reader.read(server.endpoint, oid)
+        cached = reader.cached_element(oid.hex, "body")
+        assert cached is not None and cached.content == b"version-one"
+
+        server.versioning.put_delta(
+            oid.hex, world["writer"].put(world["view"], "body", b"version-two")
+        )
+        access = reader.read(server.endpoint, oid)
+        assert access.cache_purged >= 1
+        assert reader.cached_element(oid.hex, "body").content == b"version-two"
+
+    def test_unchanged_frontier_purges_nothing(self, world):
+        reader, server, oid = world["reader"], world["server"], world["oid"]
+        reader.read(server.endpoint, oid)
+        again = reader.read(server.endpoint, oid)
+        assert again.cache_purged == 0
+        assert reader.cached_element(oid.hex, "body").content == b"version-one"
+
+    def test_deleted_element_leaves_no_cache_ghost(self, world):
+        reader, server, oid = world["reader"], world["server"], world["oid"]
+        server.versioning.put_delta(
+            oid.hex, world["writer"].put(world["view"], "extra", b"short-lived")
+        )
+        reader.read(server.endpoint, oid)
+        assert reader.cached_element(oid.hex, "extra") is not None
+        server.versioning.put_delta(
+            oid.hex, world["writer"].delete(world["view"], "extra")
+        )
+        reader.read(server.endpoint, oid)
+        assert reader.cached_element(oid.hex, "extra") is None
+
+
+class TestWithholding:
+    def rolled_back_server(self, world):
+        """A second server holding only the first delta — the state a
+        rolled-back (or branch-withholding) replica would serve."""
+        server, oid = world["server"], world["oid"]
+        old = ObjectServer(
+            host="canardo.inria.fr", site="root/site/inria", clock=server.clock
+        )
+        world["transport"].register(old.endpoint, old.rpc_server().handle_frame)
+        full = server.versioning.fetch(oid.hex)
+        from repro.versioning import SignedDelta, WriterGrant
+
+        old.versioning.register_object(
+            PublicKey(der=bytes(full["object_key_der"]))
+        )
+        for grant in full["grants"]:
+            old.versioning.put_grant(oid.hex, WriterGrant.from_dict(grant))
+        first = full["deltas"][0]
+        old.versioning.put_delta(oid.hex, SignedDelta.from_dict(first))
+        return old
+
+    def test_rollback_after_bind_rejected(self, world):
+        reader, server, oid = world["reader"], world["server"], world["oid"]
+        server.versioning.put_delta(
+            oid.hex, world["writer"].put(world["view"], "body", b"version-two")
+        )
+        reader.read(server.endpoint, oid)
+        stale = self.rolled_back_server(world)
+        with pytest.raises(BranchWithholdingError):
+            reader.read(stale.endpoint, oid)
+
+    def test_rejected_read_leaves_baseline_untouched(self, world):
+        reader, server, oid = world["reader"], world["server"], world["oid"]
+        server.versioning.put_delta(
+            oid.hex, world["writer"].put(world["view"], "body", b"version-two")
+        )
+        reader.read(server.endpoint, oid)
+        frontier = reader.known_frontier(oid.hex)
+        stale = self.rolled_back_server(world)
+        with pytest.raises(BranchWithholdingError):
+            reader.read(stale.endpoint, oid)
+        assert reader.known_frontier(oid.hex) == frontier
+        assert reader.cached_element(oid.hex, "body").content == b"version-two"

@@ -1,0 +1,223 @@
+"""The server-side delta store: admission, durability, fail-closed recovery."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.errors import (
+    RecoveryIntegrityError,
+    ReplicaError,
+    SecurityError,
+    UnauthorizedWriterError,
+)
+from repro.storage.store import DurableStore
+from repro.storage.wal import FRAME_HEADER
+from repro.util.encoding import canonical_bytes, from_canonical_bytes
+from repro.versioning import (
+    DeltaDag,
+    VersionedObjectStore,
+    WriterGrant,
+    merge_deltas,
+)
+from repro.versioning.store import gossip_once
+
+from tests.conftest import fast_keys
+
+
+@pytest.fixture
+def store(clock):
+    return VersionedObjectStore(clock=clock)
+
+
+def registered(store, owner_keys, oid, make_writer, writer_id="alice"):
+    store.register_object(owner_keys.public)
+    writer, grant = make_writer(writer_id)
+    store.put_grant(oid.hex, grant)
+    return writer
+
+
+class TestAdmission:
+    def test_register_is_idempotent(self, store, owner_keys, oid):
+        assert store.register_object(owner_keys.public) == oid.hex
+        assert store.register_object(owner_keys.public) == oid.hex
+
+    def test_grant_for_unregistered_object_refused(
+        self, store, owner_keys, oid, make_writer
+    ):
+        _, grant = make_writer("alice")
+        with pytest.raises(ReplicaError):
+            store.put_grant(oid.hex, grant)
+
+    def test_forged_grant_refused(self, store, owner_keys, oid, clock):
+        store.register_object(owner_keys.public)
+        mallory = fast_keys()
+        forged = WriterGrant.issue(
+            mallory,
+            type(oid).from_public_key(mallory.public),
+            "alice",
+            fast_keys().public,
+            granted_at=clock.now(),
+        )
+        with pytest.raises(SecurityError):
+            store.put_grant(oid.hex, forged)
+
+    def test_delta_dedup_and_serving(self, store, owner_keys, oid, make_writer):
+        writer = registered(store, owner_keys, oid, make_writer)
+        dag = DeltaDag()
+        delta = writer.put(dag, "body", b"first")
+        assert store.put_delta(oid.hex, delta) is True
+        assert store.put_delta(oid.hex, delta) is False
+        bundle = store.fetch(oid.hex)
+        assert [d["body"]["writer_id"] for d in bundle["deltas"]] == ["alice"]
+
+    def test_ungranted_writer_refused(self, store, owner_keys, oid, clock):
+        store.register_object(owner_keys.public)
+        from repro.versioning import DocumentWriter
+
+        eve = DocumentWriter(fast_keys(), "eve", oid, clock)
+        with pytest.raises(UnauthorizedWriterError):
+            store.put_delta(oid.hex, eve.put(DeltaDag(), "body", b"evil"))
+
+    def test_fetch_have_ids_ships_only_the_difference(
+        self, store, owner_keys, oid, make_writer
+    ):
+        writer = registered(store, owner_keys, oid, make_writer)
+        dag = DeltaDag()
+        first = writer.put(dag, "body", b"one")
+        second = writer.put(dag, "body", b"two")
+        store.put_delta(oid.hex, first)
+        store.put_delta(oid.hex, second)
+        bundle = store.fetch(oid.hex, have_ids=[first.delta_id])
+        assert [d["body"]["lamport"] for d in bundle["deltas"]] == [2]
+
+
+class TestFrontierCert:
+    def test_granted_writer_cert_accepted(self, store, owner_keys, oid, make_writer):
+        writer = registered(store, owner_keys, oid, make_writer)
+        dag = DeltaDag()
+        store.put_delta(oid.hex, writer.put(dag, "body", b"x"))
+        merged = merge_deltas(dag.deltas, oid_hex=oid.hex)
+        assert store.put_frontier_cert(oid.hex, writer.certify_frontier(merged))
+        assert store.fetch(oid.hex)["frontier_cert"] is not None
+
+    def test_cert_over_unknown_heads_refused(
+        self, store, owner_keys, oid, make_writer
+    ):
+        writer = registered(store, owner_keys, oid, make_writer)
+        dag = DeltaDag()
+        delta = writer.put(dag, "body", b"never published")
+        merged = merge_deltas(dag.deltas, oid_hex=oid.hex)
+        cert = writer.certify_frontier(merged)
+        with pytest.raises(ReplicaError):
+            store.put_frontier_cert(oid.hex, cert)
+        assert delta.delta_id not in store.delta_ids(oid.hex)
+
+    def test_stale_lower_lamport_cert_dropped(
+        self, store, owner_keys, oid, make_writer
+    ):
+        writer = registered(store, owner_keys, oid, make_writer)
+        dag = DeltaDag()
+        store.put_delta(oid.hex, writer.put(dag, "body", b"one"))
+        old = writer.certify_frontier(merge_deltas(dag.deltas, oid_hex=oid.hex))
+        store.put_delta(oid.hex, writer.put(dag, "body", b"two"))
+        new = writer.certify_frontier(merge_deltas(dag.deltas, oid_hex=oid.hex))
+        assert store.put_frontier_cert(oid.hex, new) is True
+        assert store.put_frontier_cert(oid.hex, old) is False
+
+
+class TestGossip:
+    def test_one_round_converges_two_stores(
+        self, clock, owner_keys, oid, make_writer
+    ):
+        left = VersionedObjectStore(clock=clock)
+        right = VersionedObjectStore(clock=clock)
+        alice, alice_grant = make_writer("alice")
+        bob, bob_grant = make_writer("bob")
+        for store in (left, right):
+            store.register_object(owner_keys.public)
+        left.put_grant(oid.hex, alice_grant)
+        right.put_grant(oid.hex, bob_grant)
+        left.put_delta(oid.hex, alice.put(DeltaDag(), "a", b"from-alice"))
+        right.put_delta(oid.hex, bob.put(DeltaDag(), "b", b"from-bob"))
+
+        from repro.net.rpc import RpcClient
+        from repro.net.transport import LoopbackTransport
+        from repro.server.objectserver import ObjectServer
+
+        transport = LoopbackTransport()
+        rpc = RpcClient(transport)
+        peer = ObjectServer(host="peer.example", site="root/site/peer", clock=clock)
+        peer.versioning = right
+        transport.register(peer.endpoint, peer.rpc_server().handle_frame)
+
+        stats = gossip_once(left, rpc, peer.endpoint, oid.hex)
+        assert stats["pulled"] == 1 and stats["pushed"] == 1
+        assert sorted(left.delta_ids(oid.hex)) == sorted(right.delta_ids(oid.hex))
+
+
+class TestDurability:
+    def publish(self, clock, owner_keys, oid, make_writer, data_dir):
+        store = VersionedObjectStore(
+            clock=clock, store=DurableStore(str(data_dir), sync=False)
+        )
+        writer = registered(store, owner_keys, oid, make_writer)
+        dag = DeltaDag()
+        store.put_delta(oid.hex, writer.put(dag, "body", b"durable-one"))
+        store.put_delta(oid.hex, writer.put(dag, "body", b"durable-two"))
+        merged = merge_deltas(dag.deltas, oid_hex=oid.hex)
+        store.put_frontier_cert(oid.hex, writer.certify_frontier(merged))
+        store.close()
+        return merged.digest_hex
+
+    def test_restart_recovers_and_reverifies(
+        self, clock, owner_keys, oid, make_writer, tmp_path
+    ):
+        digest = self.publish(clock, owner_keys, oid, make_writer, tmp_path)
+        revived = VersionedObjectStore(
+            clock=clock, store=DurableStore(str(tmp_path), sync=False)
+        )
+        assert revived.recovered_deltas == 2
+        assert revived.reverified_deltas == 2
+        assert revived.recovered_grants == 1
+        bundle = revived.fetch(oid.hex)
+        from repro.versioning import SignedDelta
+
+        merged = merge_deltas(
+            [SignedDelta.from_dict(d) for d in bundle["deltas"]], oid_hex=oid.hex
+        )
+        assert merged.digest_hex == digest
+        assert bundle["frontier_cert"] is not None
+        revived.close()
+
+    def test_crc_valid_tamper_fails_closed(
+        self, clock, owner_keys, oid, make_writer, tmp_path
+    ):
+        """An at-rest rewrite with a recomputed checksum must still be
+        caught: recovery re-verifies signatures, not just CRCs."""
+        self.publish(clock, owner_keys, oid, make_writer, tmp_path)
+        wal_path = tmp_path / "wal.log"
+        data = wal_path.read_bytes()
+        out = bytearray()
+        offset = 0
+        while offset < len(data):
+            length, _ = FRAME_HEADER.unpack_from(data, offset)
+            start = offset + FRAME_HEADER.size
+            record = from_canonical_bytes(data[start:start + length])
+            inner = record.get("__record__") or {}
+            if inner.get("op") == "delta":
+                inner["delta"]["body"]["ops"][0]["content"] = b"EVIL"
+                inner["delta"]["envelope"]["payload"]["body"]["ops"][0][
+                    "content"
+                ] = b"EVIL"
+            payload = canonical_bytes(record)
+            out += FRAME_HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+            out += payload
+            offset = start + length
+        assert bytes(out) != data
+        wal_path.write_bytes(bytes(out))
+        with pytest.raises(RecoveryIntegrityError):
+            VersionedObjectStore(
+                clock=clock, store=DurableStore(str(tmp_path), sync=False)
+            )
