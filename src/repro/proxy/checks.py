@@ -246,16 +246,25 @@ class SecurityChecker:
 
         In order, failing closed at the first violation:
 
-        * every grant verifies under the object key (which the caller
-          already checked hashes to the OID) — else
-          :class:`~repro.errors.UnauthorizedWriterError`;
+        * each served grant is verified under the object key (which the
+          caller already checked hashes to the OID); a grant that fails
+          — lapsed ``not_after``, malformed body, wrong signer — simply
+          grants nothing and is skipped, which is strictly fail-safe:
+          authority only ever shrinks, and one dead grant in the bundle
+          cannot condemn other writers' deltas. A writer may hold
+          several verified grants (re-key history); any one of them
+          covering a delta's embedded key authorizes that delta;
         * every delta signature verifies under its writer key, which a
-          grant must cover — forged bytes are
+          verified grant must cover — forged bytes are
           :class:`~repro.errors.DeltaForgeryError`, a genuine delta for
-          another object :class:`~repro.errors.DeltaReplayError`, an
-          ungranted writer :class:`~repro.errors.UnauthorizedWriterError`;
+          another object :class:`~repro.errors.DeltaReplayError`, a
+          writer with no verified covering grant
+          :class:`~repro.errors.UnauthorizedWriterError`;
         * no delta is signed by a writer the owner has revoked through
-          the feed — :class:`~repro.errors.RevokedWriterError`;
+          the feed — :class:`~repro.errors.RevokedWriterError`.
+          Revocation is retroactive: the writer's pre-revocation deltas
+          condemn the served state too (see
+          :meth:`~repro.revocation.statement.RevocationStatement.revoke_writer`);
         * the hash-linked DAG closes (every parent present) and the
           server still carries every head this client verified before:
           each *known_frontier* head must appear in *served_ids* (the
@@ -295,10 +304,20 @@ class SecurityChecker:
         served_ids: Optional[set],
     ) -> VerifiedFrontier:
         cache = self.verification_cache
+        #: writer_id -> {writer key DER -> grant}: a writer may hold
+        #: several live grants after an owner re-key, and each key's
+        #: deltas stay verifiable under its own grant.
         granted: dict = {}
         for grant in grants:
-            grant.verify(object_key, oid, clock=self.clock, cache=cache)
-            granted[grant.writer_id] = grant
+            try:
+                grant.verify(object_key, oid, clock=self.clock, cache=cache)
+            except UnauthorizedWriterError:
+                # A grant that no longer verifies grants nothing —
+                # skipping it confers no authority (fail-safe), and only
+                # deltas that depended on it will fail below, instead of
+                # one lapsed grant condemning the whole read.
+                continue
+            granted.setdefault(grant.writer_id, {})[grant.writer_key.der] = grant
         revoked = (
             self.revocation_checker.revoked_writers(oid)
             if self.revocation_checker is not None
@@ -306,11 +325,11 @@ class SecurityChecker:
         )
         for delta in deltas:
             delta.verify(oid, cache=cache)
-            grant = granted.get(delta.writer_id)
-            if grant is None or grant.writer_key.der != delta.writer_key.der:
+            if delta.writer_key.der not in granted.get(delta.writer_id, {}):
                 raise UnauthorizedWriterError(
                     f"delta {delta.delta_id[:12]}… is signed by writer "
-                    f"{delta.writer_id!r} without a grant from the owner"
+                    f"{delta.writer_id!r} without a verified grant from "
+                    "the owner covering its key"
                 )
             if delta.writer_id in revoked:
                 raise RevokedWriterError(
@@ -340,7 +359,13 @@ class SecurityChecker:
             frontier_cert.verify(oid, cache=cache)
             signer = frontier_cert.signer_key.der
             signer_writer = next(
-                (g for g in granted.values() if g.writer_key.der == signer), None
+                (
+                    grant
+                    for by_key in granted.values()
+                    for grant in by_key.values()
+                    if grant.writer_key.der == signer
+                ),
+                None,
             )
             if signer != object_key.der:
                 if signer_writer is None:

@@ -118,9 +118,18 @@ class RevocationStatement:
         """Revoke one writer's grant (scope ``writer``).
 
         Signed with the object key like every statement for this OID;
-        the condemned writer id rides in the statement body. Document
-        content already served stays valid — the frontier check simply
-        stops merging this writer's deltas from first sight onward.
+        the condemned writer id rides in the statement body. The
+        semantics are fail-closed and **retroactive**: once a reader's
+        verified feed view contains this statement, the frontier check
+        rejects any served state containing the writer's deltas with
+        :class:`~repro.errors.RevokedWriterError` — pre-revocation
+        history included, even where other writers' deltas build on it.
+        Revocation is the owner's kill switch, not a selective mute:
+        condemning a writer condemns every object state that merged
+        their contribution, and the owner re-publishes surviving
+        content under untainted deltas if the object is to stay
+        readable. Readers whose feed view predates the statement keep
+        serving only what they verified before it reached them.
         """
         if not writer_id:
             raise CertificateError("writer revocation needs a writer id")

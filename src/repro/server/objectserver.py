@@ -483,10 +483,9 @@ class ObjectServer:
     def rpc_versioning_fetch(
         self, oid_hex: str, have_ids: Optional[list] = None
     ) -> dict:
-        bundle = self.versioning.fetch(oid_hex, have_ids=have_ids)
-        # Saves gossiping peers a second round-trip for the push half.
-        bundle["peer_delta_ids"] = self.versioning.delta_ids(oid_hex)
-        return bundle
+        # fetch() already carries peer_delta_ids — the claimed-id list
+        # readers need for withholding detection and gossip's push half.
+        return self.versioning.fetch(oid_hex, have_ids=have_ids)
 
     @rpc_method("versioning.delta_ids")
     def rpc_versioning_delta_ids(self, oid_hex: str) -> list:

@@ -121,9 +121,17 @@ class VersionedReader:
         # What the server claims to serve — judged as such for the
         # withholding comparison. The union with retained local state
         # must NOT be used here, or a rolled-back server hides behind
-        # this reader's own copy of the branch it dropped.
-        served_ids = set(bundle.get("peer_delta_ids", []))
-        served_ids.update(d.delta_id for d in new_deltas)
+        # this reader's own copy of the branch it dropped. A bundle
+        # without the claimed-id list (a bare store, not the RPC
+        # surface) falls back to served_ids=None — DAG membership —
+        # rather than an empty claim, which would condemn every
+        # incremental no-news read as withholding.
+        peer_ids = bundle.get("peer_delta_ids")
+        if peer_ids is None:
+            served_ids = None
+        else:
+            served_ids = set(peer_ids)
+            served_ids.update(d.delta_id for d in new_deltas)
         verified: VerifiedFrontier = self.checker.check_frontier(
             oid,
             object_key,

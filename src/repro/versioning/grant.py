@@ -9,8 +9,17 @@ names — the grant chain replaces per-delta owner countersignatures.
 
 Grants are revocable through the existing revocation feed: a
 ``writer``-scope :class:`~repro.revocation.statement.RevocationStatement`
-names the writer id, and the frontier check rejects that writer's deltas
-from then on (:class:`~repro.errors.RevokedWriterError`).
+names the writer id, and the frontier check then fails closed on any
+served state containing that writer's deltas — past or future
+(:class:`~repro.errors.RevokedWriterError`). Revocation is retroactive
+by design; see
+:meth:`~repro.revocation.statement.RevocationStatement.revoke_writer`.
+
+Grants also accumulate: the owner may re-key a writer by issuing a new
+grant binding the same writer id to a new key. Earlier grants stay
+valid for the deltas published under them — verifiers accept a delta
+covered by *any* verified grant for its writer id — so a re-key never
+orphans history.
 """
 
 from __future__ import annotations

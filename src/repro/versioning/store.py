@@ -23,7 +23,7 @@ half of the convergence story the harness gates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.crypto.keys import PublicKey
 from repro.errors import (
@@ -48,7 +48,10 @@ class _ObjectState:
     oid: ObjectId
     object_key: PublicKey
     dag: DeltaDag = field(default_factory=DeltaDag)
-    grants: Dict[str, WriterGrant] = field(default_factory=dict)
+    #: Every grant ever admitted, keyed by (writer_id, writer_key DER).
+    #: Historical grants are retained on writer re-key so deltas signed
+    #: under a writer's earlier key stay verifiable forever.
+    grants: Dict[Tuple[str, bytes], WriterGrant] = field(default_factory=dict)
     frontier_cert: Optional[FrontierCertificate] = None
 
 
@@ -176,19 +179,34 @@ class VersionedObjectStore:
         return oid.hex
 
     def put_grant(self, oid_hex: str, grant: WriterGrant) -> bool:
-        """Admit an owner-signed writer grant; False if already held."""
+        """Admit an owner-signed writer grant; False if already held.
+
+        Grants accumulate per (writer id, writer key): a grant naming a
+        new key for an existing writer id is an owner re-key and is
+        *added alongside* the earlier grant, never in its place.
+        Retaining the history keeps every delta the writer published
+        under an earlier key verifiable — by clients reading the fetch
+        bundle and by recovery replaying the journal.
+        """
         state = self._require(oid_hex)
-        grant.verify(state.object_key, state.oid, clock=self.clock)
-        existing = state.grants.get(grant.writer_id)
+        # During journal replay, freshness is not re-judged: a genuine
+        # grant whose not_after lapsed since admission must not brick
+        # recovery (the signature is still proven; clients decide what
+        # a lapsed grant authorizes). Live admission keeps the clock.
+        grant.verify(
+            state.object_key,
+            state.oid,
+            clock=None if getattr(self, "_replaying", False) else self.clock,
+        )
+        slot = (grant.writer_id, grant.writer_key.der)
+        existing = state.grants.get(slot)
         if (
             existing is not None
             and existing.certificate.envelope.signature
             == grant.certificate.envelope.signature
         ):
             return False
-        # A differing grant for the same writer id verified under the
-        # object key is an owner action (writer re-key): replace.
-        state.grants[grant.writer_id] = grant
+        state.grants[slot] = grant
         self._journal({"op": "grant", "oid": oid_hex, "grant": grant.to_dict()})
         return True
 
@@ -204,8 +222,7 @@ class VersionedObjectStore:
         if delta.delta_id in state.dag:
             return False
         delta.verify(state.oid)
-        grant = state.grants.get(delta.writer_id)
-        if grant is None or grant.writer_key.der != delta.writer_key.der:
+        if (delta.writer_id, delta.writer_key.der) not in state.grants:
             raise UnauthorizedWriterError(
                 f"delta {delta.delta_id[:12]}… from writer "
                 f"{delta.writer_id!r} has no covering grant on this server"
@@ -221,7 +238,10 @@ class VersionedObjectStore:
         The signer must be the object key or a granted writer key, and
         every claimed head must be in the local DAG (a server never
         vouches for heads it does not hold). Certificates with a lower
-        Lamport bound than the held one are dropped (stale), not errors.
+        Lamport bound than the held one are dropped (stale), not
+        errors. Equal-Lamport ties break deterministically (see
+        :meth:`_cert_supersedes`), so which certificate a server holds
+        never depends on arrival order.
         """
         state = self._require(oid_hex)
         cert.verify(state.oid)
@@ -239,14 +259,41 @@ class VersionedObjectStore:
                 f"frontier certificate names heads this server does not "
                 f"hold for {oid_hex[:12]}… (publish the deltas first)"
             )
-        if (
-            state.frontier_cert is not None
-            and cert.lamport < state.frontier_cert.lamport
-        ):
-            return False
+        held = state.frontier_cert
+        if held is not None:
+            if cert.lamport < held.lamport:
+                return False
+            if cert.lamport == held.lamport and not self._cert_supersedes(
+                state.dag, cert, held
+            ):
+                return False
         state.frontier_cert = cert
         self._journal({"op": "frontier", "oid": oid_hex, "cert": cert.to_dict()})
         return True
+
+    @staticmethod
+    def _cert_supersedes(
+        dag: DeltaDag, cert: FrontierCertificate, held: FrontierCertificate
+    ) -> bool:
+        """Equal-Lamport tie-break: does *cert* replace *held*?
+
+        A certificate wins a tie only when its frontier dominates the
+        held one (every held head sits in the new heads' ancestor
+        closure — strictly more history); a dominated (stale, pre-
+        gossip) frontier never displaces the held one; and two
+        genuinely concurrent frontiers compare by their sorted head
+        tuples, so every server holding the same DAG settles on the
+        same certificate regardless of arrival order.
+        """
+        if cert.frontier == held.frontier:
+            return False
+        new_closure = dag.ancestors(cert.frontier.heads)
+        if all(head in new_closure for head in held.frontier.heads):
+            return True
+        held_closure = dag.ancestors(held.frontier.heads)
+        if all(head in held_closure for head in cert.frontier.heads):
+            return False
+        return cert.frontier.heads > held.frontier.heads
 
     # ------------------------------------------------------------------
     # Serving (wire bundles)
@@ -270,6 +317,10 @@ class VersionedObjectStore:
         ``have_ids`` turns the response into a delta sync: only DAG
         entries the caller lacks are shipped (topological order), while
         grants and the frontier certificate always travel whole.
+        ``peer_delta_ids`` is the full id list this server claims to
+        serve — always present, because readers judge branch
+        withholding against the claim, never against their own retained
+        copy of a branch the server may have dropped.
         """
         state = self._require(oid_hex)
         deltas = (
@@ -283,6 +334,7 @@ class VersionedObjectStore:
             "grants": [g.to_dict() for _, g in sorted(state.grants.items())],
             "deltas": [d.to_dict() for d in deltas],
             "heads": state.dag.heads(),
+            "peer_delta_ids": state.dag.delta_ids,
             "frontier_cert": (
                 state.frontier_cert.to_dict()
                 if state.frontier_cert is not None
@@ -336,11 +388,12 @@ def gossip_once(store: VersionedObjectStore, rpc, peer_endpoint, oid_hex: str) -
     # heard of would otherwise be refused as unauthorized. The peer
     # re-verifies each grant under the object key, so this confers no
     # authority the owner did not sign.
-    their_writers = {
-        WriterGrant.from_dict(g).writer_id for g in answer.get("grants", [])
-    }
-    for writer_id, grant in sorted(store._require(oid_hex).grants.items()):
-        if writer_id not in their_writers:
+    their_grants = set()
+    for grant_dict in answer.get("grants", []):
+        grant = WriterGrant.from_dict(grant_dict)
+        their_grants.add((grant.writer_id, grant.writer_key.der))
+    for slot, grant in sorted(store._require(oid_hex).grants.items()):
+        if slot not in their_grants:
             rpc.call(
                 peer_endpoint,
                 "versioning.put_grant",

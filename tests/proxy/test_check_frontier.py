@@ -133,3 +133,52 @@ class TestCheckFrontier:
         cert = mallory.certify_frontier(merged)
         with pytest.raises(UnauthorizedWriterError):
             run_check(world, frontier_cert=cert)
+
+
+class TestGrantLifecycles:
+    """Lapsed grants are skipped (fail-safe); re-key grants accumulate."""
+
+    def lapsed_grant(self, owner_keys, oid, clock, keys=None):
+        keys = keys if keys is not None else fast_keys()
+        return keys, WriterGrant.issue(
+            owner_keys, oid, "carol", keys.public,
+            granted_at=clock.now() - 100.0, not_after=clock.now() - 50.0,
+        )
+
+    def test_lapsed_grant_is_skipped_not_fatal(self, world, owner_keys, clock):
+        """Regression: one expired grant in the served bundle must not
+        condemn the whole read — it simply grants nothing."""
+        _, lapsed = self.lapsed_grant(owner_keys, world["oid"], clock)
+        verified = run_check(world, grants=[world["grant"], lapsed])
+        assert verified.merged.elements["body"].content == b"unit-test body"
+
+    def test_delta_under_lapsed_grant_rejected_as_unauthorized(
+        self, world, owner_keys, oid, clock
+    ):
+        keys, lapsed = self.lapsed_grant(owner_keys, oid, clock)
+        carol = DocumentWriter(keys, "carol", oid, clock)
+        carol.put(world["dag"], "extra", b"too-late")
+        with pytest.raises(UnauthorizedWriterError):
+            run_check(
+                world,
+                grants=[world["grant"], lapsed],
+                deltas=world["dag"].deltas,
+            )
+
+    def test_rekeyed_writer_any_grant_covers_its_deltas(
+        self, world, owner_keys, oid, clock
+    ):
+        """Regression: after an owner re-key, deltas under the old key
+        and the new key both verify — each against its own grant."""
+        new_keys = fast_keys()
+        rekey = WriterGrant.issue(
+            owner_keys, oid, "alice", new_keys.public, granted_at=clock.now()
+        )
+        rekeyed = DocumentWriter(new_keys, "alice", oid, clock)
+        rekeyed.put(world["dag"], "body", b"after-rekey")
+        verified = run_check(
+            world,
+            grants=[world["grant"], rekey],
+            deltas=world["dag"].deltas,
+        )
+        assert verified.merged.elements["body"].content == b"after-rekey"

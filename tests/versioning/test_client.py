@@ -87,6 +87,71 @@ class TestCachePurge:
         assert reader.cached_element(oid.hex, "extra") is None
 
 
+class TestServedIdsFallback:
+    def test_no_news_reread_without_claimed_id_list(self, world):
+        """Regression: a server that omits ``peer_delta_ids`` must not
+        turn every incremental no-news read into a false withholding
+        alarm — the check falls back to DAG membership."""
+
+        class StrippingRpc:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def call(self, endpoint, op, **kwargs):
+                answer = self.inner.call(endpoint, op, **kwargs)
+                if op == "versioning.fetch" and isinstance(answer, dict):
+                    answer = {
+                        k: v for k, v in answer.items() if k != "peer_delta_ids"
+                    }
+                return answer
+
+        reader, server, oid = world["reader"], world["server"], world["oid"]
+        reader.rpc = StrippingRpc(world["rpc"])
+        reader.read(server.endpoint, oid)
+        again = reader.read(server.endpoint, oid)
+        assert again.deltas_fetched == 0
+        assert again.merged.elements["body"].content == b"version-one"
+
+    def test_store_fetch_carries_claimed_id_list(self, world):
+        """The bare store's bundle guarantees the claimed-id field — no
+        RPC wrapper needed for withholding judgements."""
+        from repro.versioning import SignedDelta
+
+        bundle = world["server"].versioning.fetch(world["oid"].hex)
+        assert bundle["peer_delta_ids"] == [
+            SignedDelta.from_dict(d).delta_id for d in bundle["deltas"]
+        ]
+
+
+class TestRekey:
+    def test_rekeyed_writer_history_stays_readable(
+        self, world, owner_keys, clock
+    ):
+        """Regression: an owner re-key (new grant, same writer id) must
+        not make the writer's earlier deltas unverifiable — both grants
+        travel, and each key's deltas verify under its own grant."""
+        from repro.versioning import DocumentWriter, WriterGrant
+
+        from tests.conftest import fast_keys
+
+        reader, server, oid = world["reader"], world["server"], world["oid"]
+        reader.read(server.endpoint, oid)
+        new_keys = fast_keys()
+        server.versioning.put_grant(
+            oid.hex,
+            WriterGrant.issue(
+                owner_keys, oid, "alice", new_keys.public,
+                granted_at=clock.now(),
+            ),
+        )
+        rekeyed = DocumentWriter(new_keys, "alice", oid, clock)
+        server.versioning.put_delta(
+            oid.hex, rekeyed.put(world["view"], "body", b"version-two")
+        )
+        access = reader.read(server.endpoint, oid)
+        assert access.merged.elements["body"].content == b"version-two"
+
+
 class TestWithholding:
     def rolled_back_server(self, world):
         """A second server holding only the first delta — the state a

@@ -126,6 +126,146 @@ class TestFrontierCert:
         assert store.put_frontier_cert(oid.hex, new) is True
         assert store.put_frontier_cert(oid.hex, old) is False
 
+    def concurrent_roots(self, clock, owner_keys, oid, make_writer):
+        """Two writers, two concurrent root deltas, both at lamport 1."""
+        alice, alice_grant = make_writer("alice")
+        bob, bob_grant = make_writer("bob")
+        d_alice = alice.put(DeltaDag(), "a", b"alice-root")
+        d_bob = bob.put(DeltaDag(), "b", b"bob-root")
+
+        def build_store():
+            store = VersionedObjectStore(clock=clock)
+            store.register_object(owner_keys.public)
+            store.put_grant(oid.hex, alice_grant)
+            store.put_grant(oid.hex, bob_grant)
+            store.put_delta(oid.hex, d_alice)
+            store.put_delta(oid.hex, d_bob)
+            return store
+
+        return alice, d_alice, d_bob, build_store
+
+    def test_equal_lamport_tie_is_arrival_order_independent(
+        self, clock, owner_keys, oid, make_writer
+    ):
+        """Regression: two concurrent certs with the same Lamport bound
+        must settle on the same held cert on every replica, whatever
+        order they arrived in."""
+        alice, d_alice, d_bob, build_store = self.concurrent_roots(
+            clock, owner_keys, oid, make_writer
+        )
+        cert_a = alice.certify_frontier(merge_deltas([d_alice], oid_hex=oid.hex))
+        cert_b = alice.certify_frontier(merge_deltas([d_bob], oid_hex=oid.hex))
+        assert cert_a.lamport == cert_b.lamport
+        held = []
+        for first, second in ((cert_a, cert_b), (cert_b, cert_a)):
+            store = build_store()
+            store.put_frontier_cert(oid.hex, first)
+            store.put_frontier_cert(oid.hex, second)
+            held.append(store.fetch(oid.hex)["frontier_cert"])
+        assert held[0] == held[1]
+
+    def test_equal_lamport_dominating_frontier_wins(
+        self, clock, owner_keys, oid, make_writer
+    ):
+        """A stale pre-gossip frontier at the same Lamport bound never
+        displaces the dominating one."""
+        alice, d_alice, d_bob, build_store = self.concurrent_roots(
+            clock, owner_keys, oid, make_writer
+        )
+        partial = alice.certify_frontier(merge_deltas([d_alice], oid_hex=oid.hex))
+        full = alice.certify_frontier(
+            merge_deltas([d_alice, d_bob], oid_hex=oid.hex)
+        )
+        assert partial.lamport == full.lamport
+        store = build_store()
+        assert store.put_frontier_cert(oid.hex, full) is True
+        assert store.put_frontier_cert(oid.hex, partial) is False
+        store = build_store()
+        assert store.put_frontier_cert(oid.hex, partial) is True
+        assert store.put_frontier_cert(oid.hex, full) is True
+
+
+class TestRekey:
+    """Owner re-key: historical grants must keep old deltas verifiable."""
+
+    def rekey_alice(self, store, owner_keys, oid, clock):
+        from repro.versioning import DocumentWriter
+
+        new_keys = fast_keys()
+        grant = WriterGrant.issue(
+            owner_keys, oid, "alice", new_keys.public, granted_at=clock.now()
+        )
+        assert store.put_grant(oid.hex, grant) is True
+        return DocumentWriter(new_keys, "alice", oid, clock)
+
+    def test_rekey_retains_both_grants_and_old_deltas(
+        self, store, owner_keys, oid, make_writer, clock
+    ):
+        writer = registered(store, owner_keys, oid, make_writer)
+        dag = DeltaDag()
+        old_delta = writer.put(dag, "body", b"under-old-key")
+        store.put_delta(oid.hex, old_delta)
+        rekeyed = self.rekey_alice(store, owner_keys, oid, clock)
+        store.put_delta(oid.hex, rekeyed.put(dag, "body", b"under-new-key"))
+        bundle = store.fetch(oid.hex)
+        assert len(bundle["grants"]) == 2
+        assert len(bundle["deltas"]) == 2
+        assert old_delta.delta_id in bundle["peer_delta_ids"]
+
+    def test_rekey_survives_compaction_and_recovery(
+        self, clock, owner_keys, oid, make_writer, tmp_path
+    ):
+        """Regression: the snapshot must retain the pre-re-key grant, or
+        recovery replays the old-key deltas against the new grant alone
+        and bricks startup with RecoveryIntegrityError."""
+        store = VersionedObjectStore(
+            clock=clock, store=DurableStore(str(tmp_path), sync=False)
+        )
+        writer = registered(store, owner_keys, oid, make_writer)
+        dag = DeltaDag()
+        store.put_delta(oid.hex, writer.put(dag, "body", b"old-key-history"))
+        rekeyed = self.rekey_alice(store, owner_keys, oid, clock)
+        store.put_delta(oid.hex, rekeyed.put(dag, "body", b"new-key-history"))
+        store.store.compact(store._snapshot_state())
+        store.close()
+        revived = VersionedObjectStore(
+            clock=clock, store=DurableStore(str(tmp_path), sync=False)
+        )
+        assert revived.delta_count(oid.hex) == 2
+        assert len(revived.fetch(oid.hex)["grants"]) == 2
+        revived.close()
+
+    def test_recovery_tolerates_since_expired_grant(
+        self, clock, owner_keys, oid, tmp_path
+    ):
+        """A genuine grant whose not_after lapsed after admission must
+        not fail recovery closed — freshness is a client-side concern;
+        recovery re-proves signatures."""
+        from repro.versioning import DocumentWriter
+
+        store = VersionedObjectStore(
+            clock=clock, store=DurableStore(str(tmp_path), sync=False)
+        )
+        store.register_object(owner_keys.public)
+        keys = fast_keys()
+        store.put_grant(
+            oid.hex,
+            WriterGrant.issue(
+                owner_keys, oid, "shortlived", keys.public,
+                granted_at=clock.now(), not_after=clock.now() + 10.0,
+            ),
+        )
+        writer = DocumentWriter(keys, "shortlived", oid, clock)
+        store.put_delta(oid.hex, writer.put(DeltaDag(), "body", b"in-time"))
+        store.close()
+        clock.advance(1000.0)
+        revived = VersionedObjectStore(
+            clock=clock, store=DurableStore(str(tmp_path), sync=False)
+        )
+        assert revived.recovered_deltas == 1
+        assert revived.recovered_grants == 1
+        revived.close()
+
 
 class TestGossip:
     def test_one_round_converges_two_stores(
