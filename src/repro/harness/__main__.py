@@ -12,6 +12,7 @@ Usage::
     python -m repro.harness recovery [--quick] [--out PATH]
     python -m repro.harness convergence [--quick] [--out PATH]
     python -m repro.harness monitor [--quick] [--out PATH]
+    python -m repro.harness profile [--quick] [--out PATH]
     python -m repro.harness bench-report
     python -m repro.harness all
 """
@@ -40,7 +41,7 @@ def main(argv=None) -> int:
         choices=[
             "table1", "fig4", "fig5", "fig6", "fig7", "loadtest",
             "bench-security", "chaos", "trace", "revocation", "recovery",
-            "convergence", "monitor", "bench-report", "all",
+            "convergence", "monitor", "profile", "bench-report", "all",
         ],
         help="which artifact to regenerate",
     )
@@ -95,6 +96,10 @@ def main(argv=None) -> int:
                 return code
         elif target == "monitor":
             code = _run_monitor(quick=args.quick, seed=args.seed, out=args.out)
+            if code:
+                return code
+        elif target == "profile":
+            code = _run_profile(quick=args.quick, seed=args.seed, out=args.out)
             if code:
                 return code
         elif target == "bench-report":
@@ -278,6 +283,31 @@ def _run_monitor(quick: bool, seed: int, out=None) -> int:
             print(f"FAIL: {problem}")
         return 1
     print(f"\nall monitor gates passed; report written to {out}")
+    return 0
+
+
+def _run_profile(quick: bool, seed: int, out=None) -> int:
+    """Causal observability plane: cross-process stitching, critical-path
+    attribution, SLO burn-rate lifecycle."""
+    from repro.harness.profile_bench import (
+        REPORT_NAME,
+        check_report,
+        render_profile,
+        run_profile,
+        write_report,
+    )
+
+    report = run_profile(quick=quick, seed=seed)
+    if out is None:
+        out = pathlib.Path(__file__).resolve().parents[3] / REPORT_NAME
+    write_report(report, out)
+    print(render_profile(report))
+    problems = check_report(report)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print(f"\nall profile gates passed; report written to {out}")
     return 0
 
 

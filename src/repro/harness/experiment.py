@@ -192,6 +192,7 @@ class Testbed:
             clock=self.clock,
             tracer=self.tracer,
             metrics=self.metrics,
+            compute_context=services_host.compute,
             data_dir=(
                 os.path.join(self.data_dir, "objectserver")
                 if self.data_dir is not None
@@ -205,11 +206,12 @@ class Testbed:
         )
 
         self.network.register(
-            Endpoint(SERVICES_HOST, "naming"), self.naming.rpc_server().handle_frame
+            Endpoint(SERVICES_HOST, "naming"),
+            self.naming.rpc_server(tracer=self.tracer).handle_frame,
         )
         self.network.register(
             Endpoint(SERVICES_HOST, "location"),
-            self.location_service.rpc_server().handle_frame,
+            self.location_service.rpc_server(tracer=self.tracer).handle_frame,
         )
         self.network.register(
             Endpoint(SERVICES_HOST, "objectserver"),
@@ -411,6 +413,7 @@ class Testbed:
                 metrics=metrics,
                 metrics_client=host_name,
                 store=cursor_store,
+                tracer=tracer,
             )
         checker = SecurityChecker(
             self.clock,

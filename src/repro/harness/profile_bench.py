@@ -1,0 +1,581 @@
+"""Profile bench: cross-process causal traces, critical paths, SLOs.
+
+Where ``python -m repro.harness trace`` shares **one** tracer across
+the whole testbed (a single process's view), this harness gives every
+simulated process its own tracer — the ginger services, a peer object
+server at INRIA, and each client proxy — so the only thing holding a
+trace together is the propagated trace context in the RPC envelopes.
+That is exactly the paper's measurement problem at fleet scale: the
+Fig. 4 "timers in various parts of the proxy and server code" only
+compose into one end-to-end picture if the server's work can be causally
+attributed to the client access that caused it.
+
+The workload mixes the three traffic classes of a live GlobeDoc fleet:
+
+* **reads** — honest proxy accesses (verification fast path + content
+  cache) from the Amsterdam client;
+* **writes + gossip** — granted writers publishing signed deltas over
+  RPC to their home servers, then anti-entropy rounds between ginger
+  and the INRIA peer (``gossip.run`` traces whose ``server.handle`` /
+  ``versioning.put_delta`` / ``storage.journal`` work lands on the
+  *other* process's tracer);
+* **revocation** — explicit feed refreshes (``revocation.refresh``
+  roots) alongside the in-access revocation checks;
+* **SLO breach + recovery** — a lossy-transport phase whose retry
+  backoff pushes accesses over the latency objective, driving the
+  fast burn-rate alert through pending → firing → resolved once the
+  fault clears and the window drains.
+
+``BENCH_profile.json`` records the stitching health (cross-process
+stitch rate must be 1.0 — every server/gossip span reachable from its
+client root), the critical-path attribution per cost category (must sum
+to each trace's duration within 1%), critical-path p50/p99, the top-5
+hottest span families, and the SLO verdicts with the alert timeline.
+
+Run with ``python -m repro.harness profile [--quick]``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import tempfile
+from typing import Dict, List, Optional
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.verifycache import VerificationCache
+from repro.globedoc.element import PageElement
+from repro.globedoc.oid import ObjectId
+from repro.globedoc.owner import DocumentOwner
+from repro.harness.experiment import HOST_SITE, SERVICES_HOST, Testbed
+from repro.net.address import Endpoint
+from repro.net.faults import FaultPlan, FlakyTransport
+from repro.net.retry import RetryPolicy
+from repro.net.rpc import RpcClient
+from repro.obs import (
+    AlertEngine,
+    CriticalPathProfiler,
+    LatencyObjective,
+    MetricsRegistry,
+    RingBufferSink,
+    SloPlane,
+    Tracer,
+    TraceAssembler,
+)
+from repro.obs.alerts import STATE_FIRING, STATE_PENDING, STATE_RESOLVED
+from repro.obs.slo import AvailabilityObjective, BurnWindow
+from repro.proxy.contentcache import ContentCache
+from repro.server.objectserver import ObjectServer
+from repro.sim.clock import SimClock
+from repro.sim.random import derive_seed
+from repro.versioning import DeltaDag, SignedDelta, WriterGrant
+from repro.versioning.writer import DocumentWriter
+
+__all__ = [
+    "REPORT_NAME",
+    "run_profile",
+    "check_report",
+    "render_profile",
+    "write_report",
+]
+
+REPORT_NAME = "BENCH_profile.json"
+
+READ_HOST = "sporty.cs.vu.nl"
+WRITER_HOST = "ensamble02.cornell.edu"
+PEER_HOST = "canardo.inria.fr"
+BREACH_HOST = "ensamble02.cornell.edu"
+
+ELEMENTS = {
+    "index.html": b"<html><body>" + b"profile me " * 96 + b"</body></html>",
+    "style.css": b"body { margin: 0; } /* profiled */",
+    "logo.png": bytes(range(256)) * 48,
+}
+
+#: Every trace root must be one of these — a client access, a writer
+#: publish, an anti-entropy round, or a revocation-feed poll. Any other
+#: root means a server-side span failed to join its causing trace.
+ALLOWED_ROOTS = frozenset(
+    {"proxy.handle", "session.publish", "gossip.run", "revocation.refresh"}
+)
+
+#: Span families the mixed workload must produce somewhere in the fleet.
+EXPECTED_SPANS = (
+    "proxy.handle",
+    "check.certificate",
+    "check.element_hash",
+    "cache.get",
+    "rpc.call",
+    "server.handle",
+    "gossip.run",
+    "versioning.put_delta",
+    "storage.journal",
+    "revocation.refresh",
+)
+
+#: Cost categories the critical-path aggregate must cover.
+EXPECTED_CATEGORIES = ("cache", "crypto", "merge", "proxy", "rpc", "storage")
+
+#: Per-trace attribution must close to this relative tolerance (the
+#: boundary sweep is exact; this absorbs float rounding only).
+ATTRIBUTION_TOLERANCE = 0.01
+
+#: Latency SLO: 99% of proxy accesses complete within 250 ms (a
+#: DEFAULT_LATENCY_BUCKETS bound, as the objective requires).
+LATENCY_TARGET = 0.99
+LATENCY_THRESHOLD_S = 0.25
+
+SESSION_DROP_EVERY = 6
+
+
+def _tracer(clock: SimClock, origin: str, rings: Dict[str, RingBufferSink]) -> Tracer:
+    """One per-process tracer; its ring is registered under *origin*
+    but only attached (traced) once the workload starts."""
+    rings[origin] = RingBufferSink(capacity=65536)
+    return Tracer(clock=clock, origin=origin)
+
+
+def _attach_sinks(tracers: Dict[str, Tracer], rings: Dict[str, RingBufferSink]) -> None:
+    """Start recording: setup spans (publish, grants) stay untraced so
+    every recorded root belongs to the workload."""
+    for origin, tracer in tracers.items():
+        tracer.add_sink(rings[origin])
+
+
+def run_profile(quick: bool = False, seed: int = 0) -> dict:
+    """Drive the mixed workload, return the JSON-ready report."""
+    scratch = tempfile.mkdtemp(prefix="repro-profile-")
+    try:
+        return _run(quick, seed, scratch)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def _run(quick: bool, seed: int, scratch: str) -> dict:
+    reads = 36 if quick else 144
+    write_rounds = 3 if quick else 8
+    refreshes = 3 if quick else 8
+    breach_requests = 24 if quick else 48
+    recovery_requests = 6 if quick else 12
+
+    clock = SimClock()
+    clock.advance(100.0)
+    metrics = MetricsRegistry(clock=clock)
+    rings: Dict[str, RingBufferSink] = {}
+    tracers: Dict[str, Tracer] = {}
+    tracers["server-ginger"] = _tracer(clock, "server-ginger", rings)
+    tracers["server-inria"] = _tracer(clock, "server-inria", rings)
+    tracers["proxy-sporty"] = _tracer(clock, "proxy-sporty", rings)
+    tracers["writer-cornell"] = _tracer(clock, "writer-cornell", rings)
+    tracers["proxy-cornell"] = _tracer(clock, "proxy-cornell", rings)
+
+    # ---------------------------------------------------------- testbed
+    # data_dir turns on durable versioning journaling, so delta
+    # admission produces the storage.journal spans the storage category
+    # attributes. storage_sync off: the bench profiles the pipeline, not
+    # the disk.
+    testbed = Testbed(
+        clock=clock,
+        tracer=tracers["server-ginger"],
+        metrics=metrics,
+        data_dir=scratch,
+        storage_sync=False,
+    )
+    peer_server = ObjectServer(
+        host=PEER_HOST,
+        site=HOST_SITE[PEER_HOST],
+        clock=clock,
+        tracer=tracers["server-inria"],
+        metrics=metrics,
+        storage_sync=False,
+        compute_context=testbed.network.host(PEER_HOST).compute,
+    )
+    testbed.network.register(
+        Endpoint(PEER_HOST, "objectserver"), peer_server.rpc_server().handle_frame
+    )
+
+    owner = DocumentOwner(
+        "vu.nl/profile", keys=KeyPair.generate(1024), clock=clock
+    )
+    for element_name, content in ELEMENTS.items():
+        owner.put_element(PageElement(element_name, content))
+    published = testbed.publish(owner, validity=7 * 24 * 3600.0)
+
+    # Versioned object + grants on both servers (setup, untraced).
+    owner_keys = KeyPair.generate(1024)
+    oid = ObjectId.from_public_key(owner_keys.public)
+    writers: Dict[str, DocumentWriter] = {}
+    for index in range(2):
+        writer_id = f"writer{index:02d}"
+        keys = KeyPair.generate(1024)
+        grant = WriterGrant.issue(
+            owner_keys, oid, writer_id, keys.public, granted_at=clock.now()
+        )
+        for server in (testbed.object_server, peer_server):
+            server.versioning.register_object(owner_keys.public)
+            server.versioning.put_grant(oid.hex, grant)
+        writers[writer_id] = DocumentWriter(keys, writer_id, oid, clock)
+
+    # ------------------------------------------------------- SLO plane
+    engine = AlertEngine(metrics, clock, evaluation_cost=0.0005)
+    slo = SloPlane(metrics, engine)
+    latency = slo.add(
+        LatencyObjective(
+            "access_latency",
+            metric="proxy_access_seconds",
+            threshold_s=LATENCY_THRESHOLD_S,
+            target=LATENCY_TARGET,
+            description=f"{LATENCY_TARGET:.0%} of accesses within "
+            f"{LATENCY_THRESHOLD_S * 1e3:.0f} ms",
+        ),
+        fast=BurnWindow(window_seconds=60.0, threshold=10.0, severity="critical"),
+        slow=BurnWindow(window_seconds=300.0, threshold=2.0, severity="warning"),
+    )
+    slo.add(
+        AvailabilityObjective(
+            "access_availability",
+            metric="proxy_requests_total",
+            good_labels={"outcome": "ok"},
+            target=0.75,
+            description="three quarters of accesses succeed even through faults",
+        ),
+        fast=BurnWindow(window_seconds=60.0, threshold=3.0, severity="critical"),
+        slow=None,
+    )
+
+    _attach_sinks(tracers, rings)  # ---- recording starts here ----
+    workload: Dict[str, object] = {}
+
+    # ------------------------------------------------------------ reads
+    read_stack = testbed.client_stack(
+        READ_HOST,
+        verification_cache=VerificationCache(),
+        content_cache=ContentCache(
+            clock=clock,
+            ttl=30.0,
+            tracer=tracers["proxy-sporty"],
+            compute_context=testbed.network.host(READ_HOST).compute,
+        ),
+        revocation_max_staleness=120.0,
+        tracer=tracers["proxy-sporty"],
+    )
+    names = list(ELEMENTS)
+    read_ok = 0
+    for i in range(reads):
+        if i % SESSION_DROP_EVERY == 0:
+            read_stack.proxy.drop_all_sessions()
+        if read_stack.proxy.handle(published.url(names[i % len(names)])).ok:
+            read_ok += 1
+        if i % 8 == 0:
+            engine.evaluate()
+    workload["reads"] = reads
+    workload["read_ok"] = read_ok
+
+    # -------------------------------------------------- writes + gossip
+    writer_rpc = RpcClient(
+        testbed.network.transport_for(WRITER_HOST),
+        tracer=tracers["writer-cornell"],
+        metrics=metrics,
+    )
+    home_endpoints = {
+        "writer00": testbed.objectserver_endpoint,
+        "writer01": Endpoint(PEER_HOST, "objectserver"),
+    }
+    ginger_rpc = RpcClient(
+        testbed.network.transport_for(SERVICES_HOST),
+        tracer=tracers["server-ginger"],
+        metrics=metrics,
+    )
+    peer_rpc = RpcClient(
+        testbed.network.transport_for(PEER_HOST),
+        tracer=tracers["server-inria"],
+        metrics=metrics,
+    )
+    views = {writer_id: DeltaDag() for writer_id in writers}
+    writes = 0
+    gossip_rounds = 0
+    gossip_pulled = 0
+    gossip_pushed = 0
+    writer_tracer = tracers["writer-cornell"]
+    for round_index in range(write_rounds):
+        for writer_id, writer in sorted(writers.items()):
+            home = home_endpoints[writer_id]
+            with writer_tracer.span(
+                "session.publish", writer=writer_id, round=round_index
+            ) as span:
+                bundle = writer_rpc.call(
+                    home,
+                    "versioning.fetch",
+                    oid_hex=oid.hex,
+                    have_ids=views[writer_id].delta_ids,
+                )
+                views[writer_id].add_all(
+                    SignedDelta.from_dict(d) for d in bundle["deltas"]
+                )
+                delta = writer.put(
+                    views[writer_id],
+                    f"section-{round_index % 3}",
+                    bytes(f"round {round_index} by {writer_id}", "ascii"),
+                )
+                result = writer_rpc.call(
+                    home,
+                    "versioning.publish_delta",
+                    oid_hex=oid.hex,
+                    delta=delta.to_dict(),
+                )
+                span.set_attribute("added", bool(result.get("added")))
+            writes += 1
+            clock.advance(0.25)
+        # Anti-entropy both ways: ginger pulls from INRIA, then INRIA
+        # pulls from ginger. Each round is its own gossip.run trace
+        # rooted on the initiating server's tracer.
+        for initiator, rpc, peer in (
+            (testbed.object_server, ginger_rpc, Endpoint(PEER_HOST, "objectserver")),
+            (peer_server, peer_rpc, testbed.objectserver_endpoint),
+        ):
+            outcome = initiator.gossip_versioned(rpc, peer, oid.hex)
+            gossip_rounds += 1
+            gossip_pulled += outcome["pulled"]
+            gossip_pushed += outcome["pushed"]
+        engine.evaluate()
+    converged = set(testbed.object_server.versioning.delta_ids(oid.hex)) == set(
+        peer_server.versioning.delta_ids(oid.hex)
+    )
+    workload.update(
+        writes=writes,
+        gossip_rounds=gossip_rounds,
+        gossip_pulled=gossip_pulled,
+        gossip_pushed=gossip_pushed,
+        converged=converged,
+    )
+
+    # ------------------------------------------------------- revocation
+    for _ in range(refreshes):
+        read_stack.revocation.refresh()
+        clock.advance(1.0)
+    workload["revocation_refreshes"] = refreshes
+
+    # --------------------------------------------- SLO breach + recovery
+    plan = FaultPlan(
+        drop_probability=0.35, seed=derive_seed(seed, "profile-faults")
+    )
+    flaky = FlakyTransport(testbed.network.transport_for(BREACH_HOST), plan)
+    breach_stack = testbed.client_stack(
+        BREACH_HOST,
+        transport=flaky,
+        retry_policy=RetryPolicy(
+            max_attempts=4,
+            base_delay=0.2,
+            max_delay=1.0,
+            seed=derive_seed(seed, "profile-retry"),
+        ),
+        tracer=tracers["proxy-cornell"],
+    )
+    breach_ok = 0
+    for i in range(breach_requests):
+        if i % SESSION_DROP_EVERY == 0:
+            breach_stack.proxy.drop_all_sessions()
+        if breach_stack.proxy.handle(published.url(names[i % len(names)])).ok:
+            breach_ok += 1
+        if i % 4 == 3:
+            engine.evaluate()
+    workload["breach_requests"] = breach_requests
+    workload["breach_ok"] = breach_ok
+
+    # Fault clears; healthy traffic plus enough elapsed time for both
+    # burn windows to drain their bad samples.
+    recovery_ok = 0
+    for i in range(recovery_requests):
+        if read_stack.proxy.handle(published.url(names[i % len(names)])).ok:
+            recovery_ok += 1
+        clock.advance(10.0)
+        engine.evaluate()
+    for _ in range(30):
+        clock.advance(12.0)
+        engine.evaluate()
+    workload["recovery_requests"] = recovery_requests
+    workload["recovery_ok"] = recovery_ok
+
+    # --------------------------------------------------------- assemble
+    assembler = TraceAssembler()
+    for ring in rings.values():
+        assembler.add_sink(ring)
+    traces = assembler.collect()
+    stitching = assembler.summary(traces)
+    stitching["spans_dropped"] = sum(ring.dropped for ring in rings.values())
+
+    root_names: Dict[str, int] = {}
+    bad_roots: List[str] = []
+    span_names: Dict[str, int] = {}
+    for trace in traces:
+        for span in trace.spans:
+            span_names[span.name] = span_names.get(span.name, 0) + 1
+        for root in trace.roots:
+            root_names[root.name] = root_names.get(root.name, 0) + 1
+            if root.name not in ALLOWED_ROOTS:
+                bad_roots.append(f"{root.name} ({root.ref})")
+
+    profiler = CriticalPathProfiler()
+    max_rel_error = 0.0
+    for trace in traces:
+        trace_profile = profiler.add(trace)
+        if trace_profile is not None and trace_profile.duration > 0:
+            max_rel_error = max(
+                max_rel_error,
+                trace_profile.attribution_error / trace_profile.duration,
+            )
+
+    report = {
+        "name": "profile",
+        "quick": quick,
+        "seed": seed,
+        "workload": workload,
+        "stitching": stitching,
+        "roots": root_names,
+        "bad_roots": bad_roots,
+        "span_names": span_names,
+        "profile": profiler.aggregate(top=5),
+        "max_relative_attribution_error": max_rel_error,
+        "slo": slo.report(),
+        "latency_compliance": latency.compliance(metrics),
+        "alert_evaluations": engine.evaluations,
+    }
+    peer_server.close()
+    testbed.close_stores()
+    report["criteria"] = {"problems": check_report(report)}
+    return report
+
+
+def _lifecycle_complete(timeline: List[dict], rule: str) -> bool:
+    """True when *rule*'s events contain pending → firing → resolved in
+    causal order."""
+    wanted = [STATE_PENDING, STATE_FIRING, STATE_RESOLVED]
+    position = 0
+    for event in timeline:
+        if event.get("rule") != rule:
+            continue
+        if event.get("state") == wanted[position]:
+            position += 1
+            if position == len(wanted):
+                return True
+    return False
+
+
+def check_report(report: dict) -> List[str]:
+    """CI-gate violations (empty = pass)."""
+    problems: List[str] = []
+    workload = report.get("workload", {})
+    for phase, ok_key in (("reads", "read_ok"), ("recovery_requests", "recovery_ok")):
+        if workload.get(ok_key) != workload.get(phase):
+            problems.append(
+                f"{phase} degraded: {workload.get(ok_key)}/{workload.get(phase)} ok"
+            )
+    if not workload.get("converged"):
+        problems.append("servers did not converge after gossip")
+    if workload.get("gossip_pulled", 0) + workload.get("gossip_pushed", 0) == 0:
+        problems.append("gossip exchanged no deltas")
+
+    stitching = report.get("stitching", {})
+    if stitching.get("stitch_rate") != 1.0:
+        problems.append(
+            f"cross-process stitch rate {stitching.get('stitch_rate')} != 1.0 "
+            f"({stitching.get('orphan_spans')} orphan spans)"
+        )
+    for key in ("orphan_spans", "skewed_spans", "spans_dropped", "duplicate_refs"):
+        if stitching.get(key, 0):
+            problems.append(f"{key} = {stitching.get(key)} (expected 0)")
+    if not stitching.get("cross_process_spans"):
+        problems.append("no spans were adopted across processes")
+    if not stitching.get("cross_process_traces"):
+        problems.append("no trace spanned more than one process")
+    if report.get("bad_roots"):
+        problems.append(
+            "server/gossip spans surfaced as trace roots instead of joining "
+            f"their causing trace: {report['bad_roots'][:5]}"
+        )
+
+    span_names = report.get("span_names", {})
+    for name in EXPECTED_SPANS:
+        if not span_names.get(name):
+            problems.append(f"no {name!r} spans recorded")
+
+    profile = report.get("profile", {})
+    if not profile.get("traces_profiled"):
+        problems.append("no traces were profiled")
+    if profile.get("rootless_traces"):
+        problems.append(f"{profile['rootless_traces']} traces had no unique root")
+    rel_error = report.get("max_relative_attribution_error", 1.0)
+    if rel_error > ATTRIBUTION_TOLERANCE:
+        problems.append(
+            f"category attribution missed trace duration by {rel_error:.4%} "
+            f"(tolerance {ATTRIBUTION_TOLERANCE:.0%})"
+        )
+    categories = profile.get("categories", {})
+    for category in EXPECTED_CATEGORIES:
+        if category not in categories:
+            problems.append(f"no critical-path time attributed to {category!r}")
+    if len(profile.get("hottest", [])) < 5:
+        problems.append(
+            f"fewer than 5 hot span families: {len(profile.get('hottest', []))}"
+        )
+
+    slo = report.get("slo", {})
+    timeline = slo.get("alert_timeline", [])
+    if not _lifecycle_complete(timeline, "access_latency:fast_burn"):
+        problems.append(
+            "seeded SLO breach did not drive access_latency:fast_burn through "
+            "pending → firing → resolved"
+        )
+    verdicts = {v["objective"]: v for v in slo.get("objectives", [])}
+    if "access_latency" not in verdicts:
+        problems.append("latency objective missing from SLO verdicts")
+    return problems
+
+
+def render_profile(report: dict) -> str:
+    """Human-readable digest: categories, hot spans, stitching, SLOs."""
+    from repro.harness.report import render_table
+
+    profile = report["profile"]
+    critical = profile["critical_path_s"]
+    rows = [
+        [category, f"{entry['critical_s'] * 1e3:.1f} ms", f"{entry['fraction']:.1%}"]
+        for category, entry in sorted(
+            profile["categories"].items(), key=lambda kv: -kv[1]["critical_s"]
+        )
+    ]
+    lines = [
+        "Profile bench — cross-process critical-path attribution",
+        render_table(["category", "critical time", "share"], rows),
+        "",
+        f"traces: {profile['traces_profiled']} profiled, critical path "
+        f"p50 {critical['p50'] * 1e3:.1f} ms / p99 {critical['p99'] * 1e3:.1f} ms",
+        "hottest span families:",
+    ]
+    for entry in profile["hottest"]:
+        lines.append(
+            f"  {entry['name']:<24} {entry['critical_s'] * 1e3:9.1f} ms "
+            f"({entry['category']}, {entry['traces']} traces)"
+        )
+    stitching = report["stitching"]
+    lines.append(
+        f"stitching: rate {stitching['stitch_rate']:.3f}, "
+        f"{stitching['cross_process_spans']} cross-process spans over "
+        f"{stitching['traces']} traces ({stitching['orphan_spans']} orphans)"
+    )
+    for verdict in report["slo"]["objectives"]:
+        states = ", ".join(
+            f"{rule.split(':')[-1]}={state}"
+            for rule, state in sorted(verdict["alerts"].items())
+        )
+        lines.append(
+            f"SLO {verdict['objective']}: compliance {verdict['compliance']:.4f} "
+            f"vs target {verdict['target']:.2f} "
+            f"({'met' if verdict['met'] else 'MISSED'}; {states})"
+        )
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: pathlib.Path) -> None:
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

@@ -20,6 +20,7 @@ __all__ = [
     "render_concurrency_section",
     "render_recovery_section",
     "render_convergence_section",
+    "render_profile_section",
 ]
 
 
@@ -126,6 +127,9 @@ def render_bench_summary(reports: Dict[str, dict]) -> str:
     convergence = render_convergence_section(reports)
     if convergence:
         summary += "\n\n" + convergence
+    profile = render_profile_section(reports)
+    if profile:
+        summary += "\n\n" + profile
     return summary
 
 
@@ -186,6 +190,58 @@ def render_convergence_section(reports: Dict[str, dict]) -> str:
     if not lines:
         return ""
     return "Multi-writer convergence\n" + "\n".join(f"  {line}" for line in lines)
+
+
+def render_profile_section(reports: Dict[str, dict]) -> str:
+    """Digest of the causal-profile bench: stitching health, critical-path
+    category attribution, and the SLO verdicts.
+
+    Returns an empty string when ``BENCH_profile.json`` is absent (the
+    target has not run), so callers can append conditionally. Tolerant
+    of partial reports throughout.
+    """
+    report = reports.get("profile")
+    if not isinstance(report, dict) or "error" in report:
+        return ""
+    lines: List[str] = []
+    stitching = report.get("stitching") or {}
+    if stitching:
+        lines.append(
+            f"stitching: rate {stitching.get('stitch_rate', 0.0):.3f} over "
+            f"{stitching.get('traces', 0)} traces, "
+            f"{stitching.get('cross_process_spans', 0)} cross-process spans, "
+            f"{stitching.get('orphan_spans', 0)} orphans"
+        )
+    profile = report.get("profile") or {}
+    critical = profile.get("critical_path_s") or {}
+    if critical:
+        lines.append(
+            f"critical path: p50 {critical.get('p50', 0.0) * 1e3:.1f} ms, "
+            f"p99 {critical.get('p99', 0.0) * 1e3:.1f} ms over "
+            f"{profile.get('traces_profiled', 0)} traces"
+        )
+    categories = profile.get("categories") or {}
+    if categories:
+        top = sorted(
+            categories.items(), key=lambda kv: -kv[1].get("critical_s", 0.0)
+        )[:3]
+        lines.append(
+            "top categories: "
+            + ", ".join(
+                f"{name} {entry.get('fraction', 0.0):.1%}" for name, entry in top
+            )
+        )
+    slo = report.get("slo") or {}
+    for verdict in slo.get("objectives", []):
+        lines.append(
+            f"SLO {verdict.get('objective', '?')}: compliance "
+            f"{verdict.get('compliance', 0.0):.4f} vs target "
+            f"{verdict.get('target', 0.0):.2f} "
+            + ("(met)" if verdict.get("met") else "(missed)")
+        )
+    if not lines:
+        return ""
+    return "Causal profile\n" + "\n".join(f"  {line}" for line in lines)
 
 
 def render_recovery_section(reports: Dict[str, dict]) -> str:

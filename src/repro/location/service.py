@@ -122,8 +122,8 @@ class LocationService:
             )
         return result
 
-    def rpc_server(self) -> RpcServer:
-        server = RpcServer(name="location")
+    def rpc_server(self, tracer=None) -> RpcServer:
+        server = RpcServer(name="location", tracer=tracer)
         server.register_object(self)
         return server
 

@@ -151,9 +151,9 @@ class NameService:
             raise NameNotFound(f"no forwarding record for OID {str(oid_hex)[:12]}…")
         return {"record": record.to_dict()}
 
-    def rpc_server(self) -> RpcServer:
+    def rpc_server(self, tracer=None) -> RpcServer:
         """An RPC server exposing this service's operations."""
-        server = RpcServer(name="naming")
+        server = RpcServer(name="naming", tracer=tracer)
         server.register_object(self)
         return server
 

@@ -10,7 +10,7 @@ payloads, reproducing the paper's "about 2KB of extra information").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, Optional
 
 from repro.errors import EncodingError, RpcError, TransportError
 from repro.util.encoding import from_wire, to_wire
@@ -20,13 +20,25 @@ __all__ = ["Request", "Response"]
 
 @dataclass(frozen=True)
 class Request:
-    """An operation invocation on a remote endpoint."""
+    """An operation invocation on a remote endpoint.
+
+    ``ctx`` is the caller's trace context (``{"trace": ..., "span": ...}``)
+    — advisory observability metadata, never load-bearing. It is omitted
+    from the wire entirely when absent (a NOOP-traced client produces
+    byte-identical frames to an untraced build), and a malformed or
+    unexpected value on decode is carried through verbatim for the
+    server's tracer to ignore: trace context can never fail an RPC.
+    """
 
     op: str
     args: Mapping[str, Any] = field(default_factory=dict)
+    ctx: Optional[Mapping[str, Any]] = None
 
     def to_bytes(self) -> bytes:
-        return to_wire({"kind": "request", "op": self.op, "args": dict(self.args)})
+        frame = {"kind": "request", "op": self.op, "args": dict(self.args)}
+        if self.ctx:
+            frame["ctx"] = dict(self.ctx)
+        return to_wire(frame)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Request":
@@ -36,7 +48,12 @@ class Request:
             raise TransportError(f"undecodable request frame: {exc}") from exc
         if not isinstance(decoded, dict) or decoded.get("kind") != "request":
             raise TransportError("malformed request frame")
-        return cls(op=str(decoded["op"]), args=dict(decoded.get("args", {})))
+        ctx = decoded.get("ctx")
+        return cls(
+            op=str(decoded["op"]),
+            args=dict(decoded.get("args", {})),
+            ctx=ctx if isinstance(ctx, dict) else None,
+        )
 
     @property
     def wire_size(self) -> int:

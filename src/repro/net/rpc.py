@@ -99,17 +99,24 @@ class RpcServer:
         show server-side failures that the wire reports as mere failure
         responses.
         """
-        with self.tracer.span("server.handle", server=self.name) as span:
-            try:
-                request = Request.from_bytes(frame)
-            except Exception as exc:
+        try:
+            request = Request.from_bytes(frame)
+        except Exception as exc:
+            # Parse happens outside the span (there is no trace context
+            # to adopt from an undecodable frame); record the failure as
+            # a plain error-marked span so traces still show it.
+            with self.tracer.span("server.handle", server=self.name) as span:
+                span.set_attribute("op", "<malformed>")
                 span.mark_error(exc)
-                self._m_requests.labels(
-                    server=self.name, op="<malformed>", outcome="error"
-                ).inc()
-                return Response.failure(
-                    TransportError(f"bad request frame: {exc}")
-                ).to_bytes()
+            self._m_requests.labels(
+                server=self.name, op="<malformed>", outcome="error"
+            ).inc()
+            return Response.failure(
+                TransportError(f"bad request frame: {exc}")
+            ).to_bytes()
+        with self.tracer.span_from(
+            request.ctx, "server.handle", server=self.name
+        ) as span:
             span.set_attribute("op", request.op)
             handler = self._ops.get(request.op)
             if handler is None:
@@ -206,8 +213,10 @@ class RpcClient:
         endpoint = target.endpoint if isinstance(target, ContactAddress) else target
         if not isinstance(endpoint, Endpoint):
             raise RpcError(f"invalid RPC target: {target!r}")
-        request = Request(op=op, args=args)
         with self.tracer.span("rpc.call", op=op, target=str(endpoint)) as span:
+            # Built inside the span so the envelope carries *this* span
+            # as the remote parent of the server's ``server.handle``.
+            request = Request(op=op, args=args, ctx=self.tracer.context())
             started = self.metrics.clock.now() if self.metrics.enabled else 0.0
             try:
                 wire = request.to_bytes()
@@ -261,6 +270,9 @@ class RpcClient:
         for start in range(0, len(calls), window):
             chunk = calls[start : start + window]
             with self.tracer.span("rpc.call_many", calls=len(chunk)) as span:
+                # Every request in the window shares the call_many span
+                # as its remote parent — the window *is* the causal unit.
+                ctx = self.tracer.context()
                 prepared = []
                 for call in chunk:
                     endpoint = (
@@ -270,7 +282,7 @@ class RpcClient:
                     )
                     if not isinstance(endpoint, Endpoint):
                         raise RpcError(f"invalid RPC target: {call.target!r}")
-                    wire = Request(op=call.op, args=dict(call.args)).to_bytes()
+                    wire = Request(op=call.op, args=dict(call.args), ctx=ctx).to_bytes()
                     prepared.append((call, endpoint, wire))
                 self._m_inflight.set(len(prepared))
                 try:

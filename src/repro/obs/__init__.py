@@ -17,16 +17,44 @@ near-zero-cost way to report *where an access spends its time* and
   :data:`~repro.obs.metrics.NOOP_METRICS`;
 * alerts (:mod:`repro.obs.alerts`) — the SLO rule engine
   (:class:`~repro.obs.alerts.AlertEngine`) evaluating threshold and
-  rate-over-window rules on the scrape cadence.
+  rate-over-window rules on the scrape cadence;
+* traces (:mod:`repro.obs.trace`) — the
+  :class:`~repro.obs.trace.TraceAssembler` stitching per-process span
+  streams into cross-process causal trees by propagated trace context;
+* profiles (:mod:`repro.obs.profile`) — the
+  :class:`~repro.obs.profile.CriticalPathProfiler` attributing each
+  trace's wall time to cost categories along its critical path;
+* SLOs (:mod:`repro.obs.slo`) — latency/availability objectives over
+  registry metrics with burn-rate rules feeding the alert engine.
 
 See ``python -m repro.harness trace`` for the end-to-end profile built
-on the spans, ``python -m repro.harness monitor`` for the standing
-metrics/alerts plane, and DESIGN.md §4d/§4f for the span taxonomy and
-metric naming conventions.
+on the spans, ``python -m repro.harness profile`` for cross-process
+critical-path attribution and SLO verdicts, ``python -m repro.harness
+monitor`` for the standing metrics/alerts plane, and DESIGN.md
+§4d/§4f/§4j for the span taxonomy, metric naming conventions, and the
+causal-tracing design.
 """
 
 from repro.obs.span import NOOP_TRACER, NoopSpan, NoopTracer, Span, Tracer
 from repro.obs.sinks import JsonlSink, RingBufferSink, SpanSink, SpanStats
+from repro.obs.trace import AssembledTrace, TraceAssembler
+from repro.obs.profile import (
+    DEFAULT_CATEGORIES,
+    CriticalPathProfiler,
+    Segment,
+    TraceProfile,
+    categorize,
+)
+from repro.obs.slo import (
+    DEFAULT_FAST_WINDOW,
+    DEFAULT_SLOW_WINDOW,
+    AvailabilityObjective,
+    BurnRateRule,
+    BurnWindow,
+    LatencyObjective,
+    SloObjective,
+    SloPlane,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     NOOP_METRICS,
@@ -76,4 +104,19 @@ __all__ = [
     "STATE_PENDING",
     "STATE_FIRING",
     "STATE_RESOLVED",
+    "AssembledTrace",
+    "TraceAssembler",
+    "CriticalPathProfiler",
+    "TraceProfile",
+    "Segment",
+    "categorize",
+    "DEFAULT_CATEGORIES",
+    "SloObjective",
+    "LatencyObjective",
+    "AvailabilityObjective",
+    "BurnRateRule",
+    "BurnWindow",
+    "SloPlane",
+    "DEFAULT_FAST_WINDOW",
+    "DEFAULT_SLOW_WINDOW",
 ]

@@ -1,0 +1,266 @@
+"""Critical-path profiling over assembled traces.
+
+The paper's Fig. 4 asked "where does an access spend its time?" and
+answered with aggregate phase timers. The critical-path profiler
+answers the sharper question — *which* work actually bounded the
+latency of *this* access — by walking an
+:class:`~repro.obs.trace.AssembledTrace` and attributing every instant
+of the root span's wall time to exactly one span:
+
+* an instant covered by no child belongs to the span itself (its
+  *self time* — CPU the span spent between its calls);
+* an instant covered by one or more children belongs to the child that
+  ends **last** among those covering it — the *critical branch*. Under
+  :meth:`SimClock.parallel <repro.sim.clock.SimClock.parallel>`
+  max-of-parallel semantics, concurrent branches share wall time and
+  the region's cost is the slowest branch, so the longest-running
+  cover is precisely the branch the access was waiting on.
+
+The attribution is a recursive boundary sweep: child intervals cut the
+parent interval into segments, each segment is either self time or
+recursed into its critical branch. Segments partition the root
+interval exactly, so per-category totals sum to the trace duration by
+construction (the ``BENCH_profile`` gate checks this to within float
+rounding).
+
+Categories map span names to the cost buckets the roadmap cares about
+(crypto verify, RPC wait, storage, cache, merge, proxy logic); the
+:class:`CriticalPathProfiler` aggregates thousands of traces into
+per-category totals, critical-path latency percentiles, and a
+flame-style ranking of the hottest span families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.span import Span
+from repro.obs.trace import AssembledTrace
+from repro.util.stats import percentile
+
+__all__ = [
+    "DEFAULT_CATEGORIES",
+    "categorize",
+    "Segment",
+    "TraceProfile",
+    "CriticalPathProfiler",
+]
+
+#: Ordered (category, name-prefixes) table; first match wins. Names not
+#: matching any prefix fall into "other".
+DEFAULT_CATEGORIES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("crypto", ("check.", "pipeline.batch_verify", "revocation.")),
+    ("cache", ("cache.",)),
+    ("storage", ("storage.",)),
+    ("merge", ("versioning.", "gossip.")),
+    ("rpc", ("rpc.", "server.handle")),
+    ("proxy", ("proxy.", "session.", "bind.", "pipeline.")),
+)
+
+OTHER_CATEGORY = "other"
+
+
+def categorize(
+    name: str,
+    categories: Sequence[Tuple[str, Tuple[str, ...]]] = DEFAULT_CATEGORIES,
+) -> str:
+    """The cost category of one span name (first prefix match wins)."""
+    for category, prefixes in categories:
+        for prefix in prefixes:
+            if name.startswith(prefix):
+                return category
+    return OTHER_CATEGORY
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One attributed slice of a trace's wall time."""
+
+    start: float
+    end: float
+    span_name: str
+    category: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class TraceProfile:
+    """Critical-path attribution of a single assembled trace."""
+
+    trace_id: str
+    duration: float
+    segments: List[Segment] = field(default_factory=list)
+    by_category: Dict[str, float] = field(default_factory=dict)
+    by_name: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def attributed(self) -> float:
+        return sum(s.duration for s in self.segments)
+
+    @property
+    def attribution_error(self) -> float:
+        """|attributed - duration| — float rounding only, by design."""
+        return abs(self.attributed - self.duration)
+
+
+class CriticalPathProfiler:
+    """Profiles traces and aggregates flame-style statistics.
+
+    Feed it assembled traces (:meth:`add` or :meth:`profile`);
+    :meth:`aggregate` reports per-category totals and fractions,
+    critical-path latency percentiles, and the top-N hottest span
+    families by critical-path self time — the "O(1) hot paths exposed
+    by profiling" input the scale roadmap item asks for.
+    """
+
+    def __init__(
+        self,
+        categories: Sequence[Tuple[str, Tuple[str, ...]]] = DEFAULT_CATEGORIES,
+    ) -> None:
+        self.categories = tuple(categories)
+        self._durations: List[float] = []
+        self._category_totals: Dict[str, float] = {}
+        self._name_totals: Dict[str, float] = {}
+        self._name_counts: Dict[str, int] = {}
+        self.traces_profiled = 0
+        #: Traces skipped because they had no unique root to walk from.
+        self.rootless_traces = 0
+        self.max_attribution_error = 0.0
+
+    # ------------------------------------------------------------------
+    # Single-trace profiling
+    # ------------------------------------------------------------------
+
+    def profile(self, trace: AssembledTrace) -> Optional[TraceProfile]:
+        """Attribute one trace's wall time; None without a unique root."""
+        root = trace.root
+        if root is None or root.end is None:
+            return None
+        segments = self._segments(trace, root, root.start, root.end)
+        profile = TraceProfile(
+            trace_id=trace.trace_id, duration=root.duration, segments=segments
+        )
+        for seg in segments:
+            profile.by_category[seg.category] = (
+                profile.by_category.get(seg.category, 0.0) + seg.duration
+            )
+            profile.by_name[seg.span_name] = (
+                profile.by_name.get(seg.span_name, 0.0) + seg.duration
+            )
+        return profile
+
+    def _segments(
+        self, trace: AssembledTrace, span: Span, lo: float, hi: float
+    ) -> List[Segment]:
+        """Attribute [lo, hi] of *span*'s time, recursing into children.
+
+        The window always lies inside *span*'s own interval. Child
+        intervals are clamped to the window; boundary points cut it
+        into elementary segments each either uncovered (self time) or
+        recursed into the covering child that ends last.
+        """
+        if hi <= lo:
+            return []
+        children = [
+            c
+            for c in trace.children_of(span)
+            if c.end is not None and c.end > lo and c.start < hi
+        ]
+        if not children:
+            return [self._self_segment(span, lo, hi)]
+        bounds = {lo, hi}
+        for child in children:
+            bounds.add(max(lo, child.start))
+            bounds.add(min(hi, child.end))
+        cuts = sorted(bounds)
+        out: List[Segment] = []
+        for a, b in zip(cuts, cuts[1:]):
+            if b <= a:
+                continue
+            covering = [c for c in children if c.start <= a and c.end >= b]
+            if not covering:
+                out.append(self._self_segment(span, a, b))
+                continue
+            # The critical branch: the cover that runs longest. Ties
+            # break deterministically on (start, origin, span_id).
+            critical = max(covering, key=lambda c: (c.end, c.start, c.origin, c.span_id))
+            out.extend(self._segments(trace, critical, a, b))
+        return out
+
+    def _self_segment(self, span: Span, lo: float, hi: float) -> Segment:
+        return Segment(
+            start=lo,
+            end=hi,
+            span_name=span.name,
+            category=categorize(span.name, self.categories),
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def add(self, trace: AssembledTrace) -> Optional[TraceProfile]:
+        """Profile *trace* and fold it into the aggregate."""
+        profile = self.profile(trace)
+        if profile is None:
+            self.rootless_traces += 1
+            return None
+        self.traces_profiled += 1
+        self._durations.append(profile.duration)
+        self.max_attribution_error = max(
+            self.max_attribution_error, profile.attribution_error
+        )
+        for category, seconds in profile.by_category.items():
+            self._category_totals[category] = (
+                self._category_totals.get(category, 0.0) + seconds
+            )
+        for name, seconds in profile.by_name.items():
+            self._name_totals[name] = self._name_totals.get(name, 0.0) + seconds
+            self._name_counts[name] = self._name_counts.get(name, 0) + 1
+        return profile
+
+    def add_all(self, traces: Sequence[AssembledTrace]) -> int:
+        """Fold every trace in; returns how many were profiled."""
+        return sum(1 for t in traces if self.add(t) is not None)
+
+    def hottest(self, n: int = 5) -> List[dict]:
+        """Top-*n* span families by critical-path self time."""
+        ranked = sorted(self._name_totals.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [
+            {
+                "name": name,
+                "category": categorize(name, self.categories),
+                "critical_s": seconds,
+                "traces": self._name_counts[name],
+            }
+            for name, seconds in ranked[:n]
+        ]
+
+    def aggregate(self, top: int = 5) -> dict:
+        """The flame-style aggregate across every profiled trace."""
+        total = sum(self._durations)
+        categories = {
+            category: {
+                "critical_s": seconds,
+                "fraction": (seconds / total) if total else 0.0,
+            }
+            for category, seconds in sorted(self._category_totals.items())
+        }
+        return {
+            "traces_profiled": self.traces_profiled,
+            "rootless_traces": self.rootless_traces,
+            "critical_path_s": {
+                "total": total,
+                "mean": (total / len(self._durations)) if self._durations else 0.0,
+                "p50": percentile(self._durations, 50) if self._durations else 0.0,
+                "p99": percentile(self._durations, 99) if self._durations else 0.0,
+                "max": max(self._durations, default=0.0),
+            },
+            "categories": categories,
+            "hottest": self.hottest(top),
+            "max_attribution_error_s": self.max_attribution_error,
+        }

@@ -17,6 +17,7 @@ tracer as each span closes (children before parents).
 from __future__ import annotations
 
 import json
+import threading
 from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Dict, IO, List, Optional, Protocol, Union
@@ -34,27 +35,50 @@ class SpanSink(Protocol):
 
 
 class RingBufferSink:
-    """Keeps the most recent *capacity* spans in memory."""
+    """Keeps the most recent *capacity* spans in memory.
+
+    Appends, reads, and :meth:`drain` are serialised by an internal
+    lock: the TCP transport closes spans from worker threads while the
+    :class:`~repro.obs.trace.TraceAssembler` drains the buffer, and the
+    seen/dropped accounting must stay consistent under that race (a
+    drained span is neither lost nor double-counted).
+    """
 
     def __init__(self, capacity: int = 4096) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._spans: "deque[Span]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
         #: Lifetime spans received — cumulative, survives :meth:`clear`.
         self.seen = 0
         self._dropped = 0
 
     def on_span(self, span: Span) -> None:
-        if len(self._spans) == self.capacity:
-            self._dropped += 1  # the oldest span is about to fall off
-        self._spans.append(span)
-        self.seen += 1
+        with self._lock:
+            if len(self._spans) == self.capacity:
+                self._dropped += 1  # the oldest span is about to fall off
+            self._spans.append(span)
+            self.seen += 1
 
     @property
     def spans(self) -> List[Span]:
         """The retained spans, oldest first."""
-        return list(self._spans)
+        with self._lock:
+            return list(self._spans)
+
+    def drain(self) -> List[Span]:
+        """Atomically remove and return the retained spans, oldest first.
+
+        The assembler's collection primitive: spans handed out by a
+        drain count as delivered, not dropped, and any span appended
+        concurrently is either included in this drain or left for the
+        next one — never lost.
+        """
+        with self._lock:
+            drained = list(self._spans)
+            self._spans.clear()
+        return drained
 
     @property
     def dropped(self) -> int:
@@ -76,10 +100,12 @@ class RingBufferSink:
         """Drop the retained spans; the cumulative ``seen``/``dropped``
         accounting is preserved (monitoring counters must be monotone —
         a buffer reset must not look like traffic vanishing)."""
-        self._spans.clear()
+        with self._lock:
+            self._spans.clear()
 
     def __len__(self) -> int:
-        return len(self._spans)
+        with self._lock:
+            return len(self._spans)
 
 
 class JsonlSink:
@@ -152,6 +178,12 @@ class SpanStats:
     Durations are retained up to ``max_samples_per_name`` per span name
     for the percentile estimates (count/total/max stay exact beyond the
     cap; percentiles then describe the first N samples).
+
+    An *unclosed* span (``end is None`` — a tracer only emits closed
+    spans, but a buggy or eager caller may feed one directly) reports a
+    duration of 0.0, which would silently drag p50/mean toward zero.
+    Such spans are skipped entirely and tallied in ``unclosed_total``
+    so the corruption is visible instead of baked into the stats.
     """
 
     def __init__(self, max_samples_per_name: int = 8192) -> None:
@@ -161,8 +193,13 @@ class SpanStats:
             )
         self.max_samples_per_name = max_samples_per_name
         self._by_name: Dict[str, NameStats] = {}
+        #: Spans rejected because they were never closed.
+        self.unclosed_total = 0
 
     def on_span(self, span: Span) -> None:
+        if span.end is None:
+            self.unclosed_total += 1
+            return
         stats = self._by_name.get(span.name)
         if stats is None:
             stats = self._by_name[span.name] = NameStats()

@@ -1,0 +1,259 @@
+"""Cross-process trace assembly.
+
+Each simulated process (proxy host, object server, gossip peer) owns
+its own :class:`~repro.obs.span.Tracer` and span sink — the spans of
+one logical access are scattered across several per-process streams.
+The :class:`TraceAssembler` is the collector that puts them back
+together: it drains spans from any number of sinks, groups them by
+``trace_id``, and rebuilds each trace's causal tree by following
+``parent_id`` (same process) and ``remote_parent`` (propagated over the
+RPC envelope) references.
+
+The assembler is deliberately forgiving — observability must degrade,
+never fail. A span whose parent was dropped by a ring buffer becomes an
+*orphan* (flagged, still reported); a child whose interval escapes its
+parent's beyond the skew tolerance is flagged as *skewed* (per-process
+wall clocks drift; the simulated clock does not, so in simulation any
+skew is a bug); duplicate refs are ignored. The *stitch rate* — the
+fraction of spans reachable from a trace root — is the headline
+health number: 1.0 means every server/gossip span was successfully
+joined to the client span that caused it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.obs.span import Span
+
+__all__ = ["AssembledTrace", "TraceAssembler"]
+
+
+@dataclass
+class AssembledTrace:
+    """All known spans of one trace id, stitched into a tree.
+
+    ``roots`` are spans with no parent reference at all; ``orphans``
+    are spans that *claim* a parent the assembler never saw (dropped by
+    a ring buffer, emitted by an uncollected process, or fabricated by
+    garbage wire context). Orphans and their descendants are exactly
+    the spans not reachable from a root.
+    """
+
+    trace_id: str
+    spans: List[Span] = field(default_factory=list)
+    roots: List[Span] = field(default_factory=list)
+    orphans: List[Span] = field(default_factory=list)
+    skewed: List[Span] = field(default_factory=list)
+    _children: Dict[str, List[Span]] = field(default_factory=dict, repr=False)
+    _reachable: Set[str] = field(default_factory=set, repr=False)
+
+    @property
+    def root(self) -> Optional[Span]:
+        """The unique root span, or None when absent/ambiguous."""
+        return self.roots[0] if len(self.roots) == 1 else None
+
+    @property
+    def span_count(self) -> int:
+        return len(self.spans)
+
+    @property
+    def duration(self) -> float:
+        """The unique root's duration (0.0 without one)."""
+        root = self.root
+        return root.duration if root is not None else 0.0
+
+    @property
+    def origins(self) -> List[str]:
+        """The distinct emitting processes, sorted."""
+        return sorted({s.origin for s in self.spans})
+
+    @property
+    def cross_process_spans(self) -> List[Span]:
+        """Spans adopted over the wire (``remote_parent`` set)."""
+        return [s for s in self.spans if s.remote_parent is not None]
+
+    @property
+    def stitched(self) -> bool:
+        """True when every span is reachable from a single root."""
+        return self.root is not None and not self.orphans
+
+    @property
+    def stitch_rate(self) -> float:
+        """Fraction of spans reachable from a root (1.0 when empty)."""
+        if not self.spans:
+            return 1.0
+        return len(self._reachable) / len(self.spans)
+
+    def children_of(self, span: Span) -> List[Span]:
+        """Direct children (local and remote), ordered by start time."""
+        return list(self._children.get(span.ref, ()))
+
+    def named(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def is_reachable(self, span: Span) -> bool:
+        return span.ref in self._reachable
+
+    def unreachable(self) -> List[Span]:
+        """Spans not connected to any root (orphans + their subtrees)."""
+        return [s for s in self.spans if s.ref not in self._reachable]
+
+
+class TraceAssembler:
+    """Collects spans from per-process sinks and stitches traces.
+
+    Typical use::
+
+        assembler = TraceAssembler()
+        for sink in per_process_ring_sinks:
+            assembler.add_sink(sink)
+        ...run workload...
+        traces = assembler.collect()   # drain sinks + assemble
+
+    ``skew_tolerance`` bounds how far a child's interval may escape its
+    parent's before the child is flagged (seconds; applies per
+    comparison). Under the simulated clock the tolerance only needs to
+    absorb float rounding.
+    """
+
+    def __init__(self, skew_tolerance: float = 1e-9) -> None:
+        if skew_tolerance < 0:
+            raise ValueError(f"skew_tolerance must be non-negative, got {skew_tolerance}")
+        self.skew_tolerance = skew_tolerance
+        self._sinks: List = []
+        self._spans: Dict[str, Span] = {}  # ref -> span (dedup)
+        #: Spans discarded because another span already used their ref.
+        self.duplicate_refs = 0
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+
+    def add_sink(self, sink) -> None:
+        """Register a sink to drain on :meth:`collect`. The sink needs a
+        ``drain()`` (preferred, atomic) or ``spans`` accessor."""
+        self._sinks.append(sink)
+
+    def add_spans(self, spans: Iterable[Span]) -> int:
+        """Ingest spans directly; returns how many were new."""
+        added = 0
+        for span in spans:
+            ref = span.ref
+            if ref in self._spans:
+                if self._spans[ref] is not span:
+                    self.duplicate_refs += 1
+                continue
+            self._spans[ref] = span
+            added += 1
+        return added
+
+    def drain_sinks(self) -> int:
+        """Pull pending spans out of every registered sink."""
+        added = 0
+        for sink in self._sinks:
+            drain = getattr(sink, "drain", None)
+            if drain is not None:
+                added += self.add_spans(drain())
+            else:
+                added += self.add_spans(list(sink.spans))
+        return added
+
+    @property
+    def span_count(self) -> int:
+        return len(self._spans)
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    def collect(self) -> List["AssembledTrace"]:
+        """Drain sinks, then assemble — the one-call entry point."""
+        self.drain_sinks()
+        return self.assemble()
+
+    def assemble(self) -> List["AssembledTrace"]:
+        """Stitch the ingested spans into per-trace trees.
+
+        Traces are returned ordered by their earliest span start, spans
+        within a trace by (start, origin, span_id) — a deterministic
+        rendering of causal order.
+        """
+        by_trace: Dict[str, List[Span]] = {}
+        for span in self._spans.values():
+            by_trace.setdefault(span.trace_id, []).append(span)
+        traces = []
+        for trace_id, spans in by_trace.items():
+            traces.append(self._assemble_one(trace_id, spans))
+        traces.sort(key=lambda t: min(s.start for s in t.spans))
+        return traces
+
+    def _assemble_one(self, trace_id: str, spans: List[Span]) -> AssembledTrace:
+        spans = sorted(spans, key=lambda s: (s.start, s.origin, s.span_id))
+        present = {s.ref for s in spans}
+        trace = AssembledTrace(trace_id=trace_id, spans=spans)
+        for span in spans:
+            parent = span.parent_ref
+            if parent is None:
+                trace.roots.append(span)
+            elif parent in present:
+                trace._children.setdefault(parent, []).append(span)
+            else:
+                trace.orphans.append(span)
+        # Reachability: walk down from the roots (cycles are impossible
+        # from real tracers but garbage wire context could fabricate
+        # one; the visited set makes the walk terminate regardless).
+        stack = [r.ref for r in trace.roots]
+        while stack:
+            ref = stack.pop()
+            if ref in trace._reachable:
+                continue
+            trace._reachable.add(ref)
+            stack.extend(c.ref for c in trace._children.get(ref, ()))
+        # Skew: a child's interval escaping its parent's means the two
+        # clocks disagree about causal containment.
+        tol = self.skew_tolerance
+        for parent_ref, children in trace._children.items():
+            parent = self._spans.get(parent_ref)
+            if parent is None or parent.end is None:
+                continue
+            for child in children:
+                if child.start < parent.start - tol or (
+                    child.end is not None and child.end > parent.end + tol
+                ):
+                    trace.skewed.append(child)
+        return trace
+
+    # ------------------------------------------------------------------
+    # Fleet summary
+    # ------------------------------------------------------------------
+
+    def summary(self, traces: Optional[Sequence[AssembledTrace]] = None) -> dict:
+        """Aggregate stitching health over *traces* (default: assemble).
+
+        ``stitch_rate`` is span-weighted: reachable spans over all
+        spans. ``cross_process_trace_rate`` is the fraction of traces
+        spanning more than one origin — the propagation coverage check.
+        """
+        if traces is None:
+            traces = self.assemble()
+        total_spans = sum(t.span_count for t in traces)
+        reachable = sum(len(t._reachable) for t in traces)
+        cross = [t for t in traces if len(t.origins) > 1]
+        return {
+            "traces": len(traces),
+            "spans": total_spans,
+            "stitch_rate": (reachable / total_spans) if total_spans else 1.0,
+            "fully_stitched_traces": sum(1 for t in traces if t.stitched),
+            "orphan_spans": sum(len(t.orphans) for t in traces),
+            "skewed_spans": sum(len(t.skewed) for t in traces),
+            "cross_process_traces": len(cross),
+            "cross_process_trace_rate": (len(cross) / len(traces)) if traces else 0.0,
+            "cross_process_spans": sum(len(t.cross_process_spans) for t in traces),
+            "duplicate_refs": self.duplicate_refs,
+        }
+
+    def clear(self) -> None:
+        """Forget ingested spans (registered sinks stay registered)."""
+        self._spans.clear()

@@ -42,7 +42,7 @@ from repro.errors import (
     RevokedKeyError,
 )
 from repro.globedoc.oid import ObjectId
-from repro.obs import NOOP_METRICS
+from repro.obs import NOOP_METRICS, NOOP_TRACER
 from repro.revocation.feed import RevocationFeed
 from repro.revocation.statement import SCOPE_KEY, SCOPE_WRITER, RevocationStatement
 
@@ -84,12 +84,16 @@ class RevocationChecker:
         metrics=None,
         metrics_client: str = "",
         store=None,
+        tracer=None,
     ) -> None:
         if max_staleness <= 0:
             raise ValueError(f"max_staleness must be positive, got {max_staleness}")
         self.rpc = rpc
         self.feed_target = feed_target
         self.clock = clock
+        #: Optional: wraps each feed pull in a ``revocation.refresh``
+        #: span (a root when the poll fires outside any access).
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         self.max_staleness = max_staleness
         self.poll_interval = (
             poll_interval if poll_interval is not None else max_staleness / 2.0
@@ -234,29 +238,35 @@ class RevocationChecker:
         already seen, so the consumer must not treat its answers as a
         successful sync.
         """
-        answer = self.rpc.call(self.feed_target, "revocation.fetch", since=self._head)
-        head, statements = RevocationFeed.decode_delta(answer)
-        if head < self._head:
-            self.stats.head_regressions += 1
-            self._m_head_regressions.inc()
-            raise FeedRegressionError(
-                f"revocation feed head regressed from {self._head} to {head}: "
-                "the feed lost statements (restart without its log, or a "
-                "rollback attack) — failing closed"
+        with self.tracer.span("revocation.refresh", since=self._head) as span:
+            answer = self.rpc.call(
+                self.feed_target, "revocation.fetch", since=self._head
             )
-        self.stats.refreshes += 1
-        self._m_refreshes.inc()
-        ingested = 0
-        for statement in statements:
-            if self._ingest(statement):
-                ingested += 1
-        # Advance past invalid entries too: they are the feed's garbage,
-        # not ours, and re-fetching them forever helps nobody.
-        if head > self._head:
-            self._head = head
-            self._journal({"op": "head", "head": head})
-        self._synced_at = self.clock.now()
-        return ingested
+            head, statements = RevocationFeed.decode_delta(answer)
+            if head < self._head:
+                self.stats.head_regressions += 1
+                self._m_head_regressions.inc()
+                raise FeedRegressionError(
+                    f"revocation feed head regressed from {self._head} to {head}: "
+                    "the feed lost statements (restart without its log, or a "
+                    "rollback attack) — failing closed"
+                )
+            self.stats.refreshes += 1
+            self._m_refreshes.inc()
+            ingested = 0
+            for statement in statements:
+                if self._ingest(statement):
+                    ingested += 1
+            # Advance past invalid entries too: they are the feed's
+            # garbage, not ours, and re-fetching them forever helps
+            # nobody.
+            if head > self._head:
+                self._head = head
+                self._journal({"op": "head", "head": head})
+            self._synced_at = self.clock.now()
+            span.set_attribute("ingested", ingested)
+            span.set_attribute("head", head)
+            return ingested
 
     def _ingest(self, statement: RevocationStatement) -> bool:
         try:

@@ -69,6 +69,7 @@ class ObjectServer:
         metrics=None,
         data_dir: Optional[str] = None,
         storage_sync: bool = True,
+        compute_context=None,
     ) -> None:
         from repro.obs import NOOP_METRICS
         from repro.server.resources import ResourceAccountant, ResourceLimits
@@ -116,7 +117,10 @@ class ObjectServer:
                 os.path.join(data_dir, "versioning"), sync=storage_sync
             )
         self.versioning = VersionedObjectStore(
-            clock=self.clock, store=versioning_store
+            clock=self.clock,
+            store=versioning_store,
+            tracer=self.tracer,
+            compute_context=compute_context,
         )
         #: Operational events for the admin interface (entity
         #: revocations with the replicas they tore down).
@@ -493,7 +497,9 @@ class ObjectServer:
 
     def gossip_versioned(self, rpc, peer_endpoint, oid_hex: str) -> dict:
         """One anti-entropy round for *oid_hex* against a peer server."""
-        return gossip_once(self.versioning, rpc, peer_endpoint, oid_hex)
+        return gossip_once(
+            self.versioning, rpc, peer_endpoint, oid_hex, tracer=self.tracer
+        )
 
     # ------------------------------------------------------------------
     # RPC admin interface (authenticated surface)

@@ -22,6 +22,7 @@ half of the convergence story the harness gates.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -33,6 +34,7 @@ from repro.errors import (
     UnauthorizedWriterError,
 )
 from repro.globedoc.oid import ObjectId
+from repro.obs import NOOP_TRACER
 from repro.versioning.dag import DeltaDag
 from repro.versioning.delta import SignedDelta
 from repro.versioning.frontier import FrontierCertificate
@@ -56,11 +58,27 @@ class _ObjectState:
 
 
 class VersionedObjectStore:
-    """Per-OID delta DAGs with admission checks and durable journaling."""
+    """Per-OID delta DAGs with admission checks and durable journaling.
 
-    def __init__(self, clock=None, store=None) -> None:
+    ``tracer`` (optional) records ``versioning.put_delta`` spans around
+    full delta admission (signature + grant + DAG checks — the "merge"
+    cost bucket of the critical-path profiler) and ``storage.journal``
+    spans around durable appends.
+
+    ``compute_context`` (optional) follows the
+    :class:`~repro.proxy.checks.SecurityChecker` idiom: admission crypto
+    and journal writes run inside it so a simulated host charges their
+    measured CPU to the shared clock (see :meth:`SimHost.compute`).
+    Without one the operations are free, as before.
+    """
+
+    def __init__(
+        self, clock=None, store=None, tracer=None, compute_context=None
+    ) -> None:
         self.clock = clock
         self.store = store
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self._compute = compute_context if compute_context is not None else nullcontext
         self._objects: Dict[str, _ObjectState] = {}
         #: Recovery accounting for the convergence bench gates.
         self.recovered_deltas = 0
@@ -129,8 +147,10 @@ class VersionedObjectStore:
     def _journal(self, record: dict) -> None:
         if self.store is None or getattr(self, "_replaying", False):
             return
-        self.store.append(record)
-        self.store.maybe_compact(self._snapshot_state)
+        with self.tracer.span("storage.journal", op=str(record.get("op", ""))):
+            with self._compute():
+                self.store.append(record)
+                self.store.maybe_compact(self._snapshot_state)
 
     def _snapshot_state(self) -> dict:
         return {
@@ -221,15 +241,20 @@ class VersionedObjectStore:
         state = self._require(oid_hex)
         if delta.delta_id in state.dag:
             return False
-        delta.verify(state.oid)
-        if (delta.writer_id, delta.writer_key.der) not in state.grants:
-            raise UnauthorizedWriterError(
-                f"delta {delta.delta_id[:12]}… from writer "
-                f"{delta.writer_id!r} has no covering grant on this server"
-            )
-        added = state.dag.add(delta)
-        if added:
-            self._journal({"op": "delta", "oid": oid_hex, "delta": delta.to_dict()})
+        with self.tracer.span(
+            "versioning.put_delta", oid=oid_hex[:16], writer=delta.writer_id
+        ) as span:
+            with self._compute():
+                delta.verify(state.oid)
+                if (delta.writer_id, delta.writer_key.der) not in state.grants:
+                    raise UnauthorizedWriterError(
+                        f"delta {delta.delta_id[:12]}… from writer "
+                        f"{delta.writer_id!r} has no covering grant on this server"
+                    )
+                added = state.dag.add(delta)
+            span.set_attribute("added", added)
+            if added:
+                self._journal({"op": "delta", "oid": oid_hex, "delta": delta.to_dict()})
         return added
 
     def put_frontier_cert(self, oid_hex: str, cert: FrontierCertificate) -> bool:
@@ -347,7 +372,9 @@ class VersionedObjectStore:
             self.store.close()
 
 
-def gossip_once(store: VersionedObjectStore, rpc, peer_endpoint, oid_hex: str) -> dict:
+def gossip_once(
+    store: VersionedObjectStore, rpc, peer_endpoint, oid_hex: str, tracer=None
+) -> dict:
     """One anti-entropy round against a peer server: pull, then push.
 
     Pulls the peer's grants and the deltas this store lacks (re-verified
@@ -355,7 +382,23 @@ def gossip_once(store: VersionedObjectStore, rpc, peer_endpoint, oid_hex: str) -
     back everything the peer reported missing. After one round with a
     reachable, honest peer both DAGs are equal; the convergence bench
     asserts exactly that. Returns {pulled, pushed} counts.
+
+    ``tracer`` (optional) wraps the round in a ``gossip.run`` span —
+    the root of a gossip trace, with every peer RPC (and, through the
+    propagated context, the peer's ``server.handle`` work) as its
+    descendants.
     """
+    tracer = tracer if tracer is not None else NOOP_TRACER
+    with tracer.span("gossip.run", oid=oid_hex[:16], peer=str(peer_endpoint)) as span:
+        result = _gossip_round(store, rpc, peer_endpoint, oid_hex)
+        span.set_attribute("pulled", result["pulled"])
+        span.set_attribute("pushed", result["pushed"])
+        return result
+
+
+def _gossip_round(
+    store: VersionedObjectStore, rpc, peer_endpoint, oid_hex: str
+) -> dict:
     answer = rpc.call(
         peer_endpoint,
         "versioning.fetch",

@@ -1,0 +1,148 @@
+"""Profile-bench gates and report shape.
+
+One quick integration run per module (the same configuration CI
+executes) backs every assertion; mutation tests then pin that each gate
+actually detects the regression it names.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.harness.profile_bench import (
+    ALLOWED_ROOTS,
+    EXPECTED_CATEGORIES,
+    EXPECTED_SPANS,
+    check_report,
+    render_profile,
+    run_profile,
+    write_report,
+)
+from repro.harness.report import render_bench_summary, render_profile_section
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_profile(quick=True, seed=0)
+
+
+class TestQuickRunPassesGates:
+    def test_no_problems(self, report):
+        assert check_report(report) == []
+        assert report["criteria"]["problems"] == []
+
+    def test_stitching_is_total(self, report):
+        stitching = report["stitching"]
+        assert stitching["stitch_rate"] == 1.0
+        assert stitching["orphan_spans"] == 0
+        assert stitching["skewed_spans"] == 0
+        assert stitching["spans_dropped"] == 0
+        assert stitching["duplicate_refs"] == 0
+        assert stitching["cross_process_spans"] > 0
+        assert stitching["cross_process_traces"] > 0
+
+    def test_every_root_is_a_workload_entry_point(self, report):
+        assert report["bad_roots"] == []
+        assert set(report["roots"]) <= ALLOWED_ROOTS
+
+    def test_expected_span_families_present(self, report):
+        for name in EXPECTED_SPANS:
+            assert report["span_names"].get(name, 0) > 0, name
+
+    def test_attribution_closes_and_covers_categories(self, report):
+        profile = report["profile"]
+        assert profile["traces_profiled"] > 0
+        assert profile["rootless_traces"] == 0
+        assert report["max_relative_attribution_error"] <= 0.01
+        for category in EXPECTED_CATEGORIES:
+            assert category in profile["categories"], category
+        fractions = sum(c["fraction"] for c in profile["categories"].values())
+        assert fractions == pytest.approx(1.0)
+        assert len(profile["hottest"]) == 5
+
+    def test_burn_alert_walked_full_lifecycle(self, report):
+        states = [
+            event["state"]
+            for event in report["slo"]["alert_timeline"]
+            if event["rule"] == "access_latency:fast_burn"
+        ]
+        for state in ("pending", "firing", "resolved"):
+            assert state in states
+        assert states.index("firing") < states.index("resolved")
+
+    def test_report_is_json_serialisable(self, report, tmp_path):
+        out = tmp_path / "BENCH_profile.json"
+        write_report(report, out)
+        assert json.loads(out.read_text())["name"] == "profile"
+
+
+class TestGatesDetectRegressions:
+    def test_stitch_rate_below_one_flagged(self, report):
+        broken = copy.deepcopy(report)
+        broken["stitching"]["stitch_rate"] = 0.98
+        assert any("stitch rate" in p for p in check_report(broken))
+
+    def test_dropped_spans_flagged(self, report):
+        broken = copy.deepcopy(report)
+        broken["stitching"]["spans_dropped"] = 3
+        assert any("spans_dropped" in p for p in check_report(broken))
+
+    def test_bad_root_flagged(self, report):
+        broken = copy.deepcopy(report)
+        broken["bad_roots"] = ["server.handle (server-ginger:9)"]
+        assert any("trace roots" in p for p in check_report(broken))
+
+    def test_missing_span_family_flagged(self, report):
+        broken = copy.deepcopy(report)
+        del broken["span_names"]["gossip.run"]
+        assert any("gossip.run" in p for p in check_report(broken))
+
+    def test_attribution_error_flagged(self, report):
+        broken = copy.deepcopy(report)
+        broken["max_relative_attribution_error"] = 0.05
+        assert any("attribution" in p for p in check_report(broken))
+
+    def test_missing_category_flagged(self, report):
+        broken = copy.deepcopy(report)
+        del broken["profile"]["categories"]["storage"]
+        assert any("'storage'" in p for p in check_report(broken))
+
+    def test_incomplete_alert_lifecycle_flagged(self, report):
+        broken = copy.deepcopy(report)
+        broken["slo"]["alert_timeline"] = [
+            event
+            for event in broken["slo"]["alert_timeline"]
+            if not (
+                event["rule"] == "access_latency:fast_burn"
+                and event["state"] == "resolved"
+            )
+        ]
+        assert any("pending" in p for p in check_report(broken))
+
+    def test_degraded_reads_flagged(self, report):
+        broken = copy.deepcopy(report)
+        broken["workload"]["read_ok"] = broken["workload"]["reads"] - 1
+        assert any("reads degraded" in p for p in check_report(broken))
+
+
+class TestRendering:
+    def test_render_profile_mentions_the_headline_numbers(self, report):
+        text = render_profile(report)
+        assert "critical-path attribution" in text
+        assert "stitching: rate 1.000" in text
+        assert "SLO access_latency" in text
+        assert "hottest span families" in text
+
+    def test_bench_summary_includes_profile_section(self, report):
+        section = render_profile_section({"profile": report})
+        assert "Causal profile" in section
+        assert "stitching: rate 1.000" in section
+        summary = render_bench_summary({"profile": report})
+        assert "Causal profile" in summary
+
+    def test_section_absent_without_report(self):
+        assert render_profile_section({}) == ""
+        assert render_profile_section({"profile": {"error": "missing"}}) == ""

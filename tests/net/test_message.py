@@ -32,6 +32,48 @@ class TestRequest:
         assert Request(op="x").wire_size == len(Request(op="x").to_bytes())
 
 
+class TestRequestTraceContext:
+    """The ctx field is advisory: absent means absent on the wire, and
+    nothing a peer puts there can make decoding fail."""
+
+    def test_context_roundtrips(self):
+        ctx = {"trace": "client-000001", "span": "client:7"}
+        req = Request(op="globedoc.get", args={"name": "a"}, ctx=ctx)
+        restored = Request.from_bytes(req.to_bytes())
+        assert dict(restored.ctx) == ctx
+
+    def test_absent_context_omitted_from_wire(self):
+        bare = Request(op="globedoc.get", args={"name": "a"})
+        explicit_none = Request(op="globedoc.get", args={"name": "a"}, ctx=None)
+        assert bare.to_bytes() == explicit_none.to_bytes()
+        assert Request.from_bytes(bare.to_bytes()).ctx is None
+
+    def test_empty_context_treated_as_absent(self):
+        req = Request(op="globedoc.get", ctx={})
+        assert req.to_bytes() == Request(op="globedoc.get").to_bytes()
+
+    def test_garbage_context_decodes_without_error(self):
+        # Hostile or truncated ctx values must decode, never raise; a
+        # non-dict is normalised to None, a dict passes through verbatim
+        # for the server's tracer to ignore.
+        for garbage in ("junk", 7, [1, 2], True):
+            frame = Request(op="globedoc.get", ctx=None).to_bytes()
+            # Splice garbage in by re-encoding through the frame dict.
+            from repro.util.encoding import from_wire, to_wire
+
+            decoded = from_wire(frame)
+            decoded["ctx"] = garbage
+            restored = Request.from_bytes(to_wire(decoded))
+            assert restored.op == "globedoc.get"
+            assert restored.ctx is None
+        wrong_shape = {"trace": 9, "unexpected": "field"}
+        restored = Request.from_bytes(
+            Request(op="globedoc.get", ctx=wrong_shape).to_bytes()
+        )
+        assert restored.op == "globedoc.get"
+        assert dict(restored.ctx) == wrong_shape  # carried, not rejected
+
+
 class TestResponse:
     def test_success_roundtrip(self):
         resp = Response.success({"value": [1, 2, 3]})

@@ -1,0 +1,204 @@
+"""Critical-path profiler: categorisation, attribution, aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import CriticalPathProfiler, Span, TraceAssembler, categorize
+from repro.obs.profile import OTHER_CATEGORY
+
+
+def span_of(name, span_id, start, end, *, parent_id=None) -> Span:
+    return Span(
+        name=name, span_id=span_id, parent_id=parent_id, start=start,
+        end=end, trace_id="p-000001", origin="p",
+    )
+
+
+def assembled(spans):
+    assembler = TraceAssembler()
+    assembler.add_spans(spans)
+    return assembler.assemble()[0]
+
+
+class TestCategorize:
+    @pytest.mark.parametrize(
+        "name,category",
+        [
+            ("check.certificate", "crypto"),
+            ("pipeline.batch_verify", "crypto"),
+            ("revocation.refresh", "crypto"),
+            ("cache.get", "cache"),
+            ("storage.journal", "storage"),
+            ("versioning.put_delta", "merge"),
+            ("gossip.run", "merge"),
+            ("rpc.call", "rpc"),
+            ("rpc.attempt", "rpc"),
+            ("server.handle", "rpc"),
+            ("proxy.handle", "proxy"),
+            ("session.fetch", "proxy"),
+            ("bind.resolve", "proxy"),
+            ("http.get", OTHER_CATEGORY),
+        ],
+    )
+    def test_default_table(self, name, category):
+        assert categorize(name) == category
+
+    def test_first_match_wins_over_later_prefixes(self):
+        # "pipeline.batch_verify" sits in crypto *before* the generic
+        # "pipeline." proxy prefix; any other pipeline span is proxy.
+        assert categorize("pipeline.batch_verify") == "crypto"
+        assert categorize("pipeline.schedule") == "proxy"
+
+    def test_custom_table(self):
+        table = (("hot", ("x.",)),)
+        assert categorize("x.y", table) == "hot"
+        assert categorize("rpc.call", table) == OTHER_CATEGORY
+
+
+class TestSingleTraceAttribution:
+    def test_leaf_root_is_pure_self_time(self):
+        trace = assembled([span_of("proxy.handle", 1, 0.0, 10.0)])
+        profile = CriticalPathProfiler().profile(trace)
+        assert profile.duration == 10.0
+        assert profile.by_category == {"proxy": 10.0}
+        assert profile.attribution_error == 0.0
+
+    def test_sequential_children_and_gaps(self):
+        trace = assembled([
+            span_of("proxy.handle", 1, 0.0, 10.0),
+            span_of("rpc.call", 2, 2.0, 5.0, parent_id=1),
+            span_of("check.element_hash", 3, 6.0, 8.0, parent_id=1),
+        ])
+        profile = CriticalPathProfiler().profile(trace)
+        # Uncovered instants are the root's own time: [0,2]+[5,6]+[8,10].
+        assert profile.by_name == {
+            "proxy.handle": pytest.approx(5.0),
+            "rpc.call": pytest.approx(3.0),
+            "check.element_hash": pytest.approx(2.0),
+        }
+        assert profile.by_category == {
+            "proxy": pytest.approx(5.0),
+            "rpc": pytest.approx(3.0),
+            "crypto": pytest.approx(2.0),
+        }
+        assert profile.attributed == pytest.approx(profile.duration)
+
+    def test_nested_children_recurse(self):
+        trace = assembled([
+            span_of("proxy.handle", 1, 0.0, 10.0),
+            span_of("rpc.call", 2, 1.0, 9.0, parent_id=1),
+            span_of("server.handle", 3, 2.0, 8.0, parent_id=2),
+        ])
+        profile = CriticalPathProfiler().profile(trace)
+        assert profile.by_name == {
+            "proxy.handle": pytest.approx(2.0),   # [0,1] + [9,10]
+            "rpc.call": pytest.approx(2.0),       # [1,2] + [8,9]
+            "server.handle": pytest.approx(6.0),  # [2,8]
+        }
+        assert profile.attribution_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_parallel_children_charge_the_longest_cover(self):
+        # Two children overlap on [1,6]; the one ending last bounded
+        # the latency there (max-of-parallel semantics), so the whole
+        # covered region belongs to it.
+        trace = assembled([
+            span_of("proxy.handle", 1, 0.0, 10.0),
+            span_of("rpc.call", 2, 1.0, 6.0, parent_id=1),
+            span_of("check.certificate", 3, 1.0, 8.0, parent_id=1),
+        ])
+        profile = CriticalPathProfiler().profile(trace)
+        assert profile.by_category == {
+            "proxy": pytest.approx(3.0),   # [0,1] + [8,10]
+            "crypto": pytest.approx(7.0),  # [1,8] — the critical branch
+        }
+        assert "rpc" not in profile.by_category
+        assert profile.attributed == pytest.approx(10.0)
+
+    def test_segments_partition_the_root_interval(self):
+        trace = assembled([
+            span_of("proxy.handle", 1, 0.0, 10.0),
+            span_of("rpc.call", 2, 0.0, 4.0, parent_id=1),
+            span_of("rpc.call", 3, 3.0, 7.0, parent_id=1),
+            span_of("cache.get", 4, 6.5, 9.0, parent_id=1),
+        ])
+        profile = CriticalPathProfiler().profile(trace)
+        segments = sorted(profile.segments, key=lambda s: s.start)
+        assert segments[0].start == 0.0
+        assert segments[-1].end == 10.0
+        for left, right in zip(segments, segments[1:]):
+            assert left.end == pytest.approx(right.start)  # gap-free
+        assert profile.attribution_error == pytest.approx(0.0, abs=1e-12)
+
+
+class TestAggregation:
+    def test_rootless_traces_counted_not_profiled(self):
+        ambiguous = assembled([
+            span_of("proxy.handle", 1, 0.0, 1.0),
+            span_of("gossip.run", 2, 2.0, 3.0),  # second root
+        ])
+        still_open = assembled([
+            Span(name="proxy.handle", span_id=3, parent_id=None,
+                 start=0.0, trace_id="p-000002", origin="p"),
+        ])
+        profiler = CriticalPathProfiler()
+        assert profiler.add(ambiguous) is None
+        assert profiler.add(still_open) is None
+        assert profiler.rootless_traces == 2
+        assert profiler.traces_profiled == 0
+
+    def test_aggregate_totals_percentiles_and_fractions(self):
+        profiler = CriticalPathProfiler()
+        profiler.add(assembled([span_of("proxy.handle", 1, 0.0, 10.0)]))
+        profiler.add(assembled([
+            span_of("proxy.handle", 1, 0.0, 30.0),
+            span_of("rpc.call", 2, 0.0, 20.0, parent_id=1),
+        ]))
+        aggregate = profiler.aggregate()
+        assert aggregate["traces_profiled"] == 2
+        assert aggregate["rootless_traces"] == 0
+        path = aggregate["critical_path_s"]
+        assert path["total"] == pytest.approx(40.0)
+        assert path["mean"] == pytest.approx(20.0)
+        assert path["max"] == 30.0
+        assert 10.0 <= path["p50"] <= 30.0
+        assert path["p50"] <= path["p99"] <= 30.0
+        categories = aggregate["categories"]
+        assert categories["proxy"]["critical_s"] == pytest.approx(20.0)
+        assert categories["rpc"]["critical_s"] == pytest.approx(20.0)
+        assert sum(c["fraction"] for c in categories.values()) == pytest.approx(1.0)
+        assert aggregate["max_attribution_error_s"] <= 1e-9
+
+    def test_hottest_ranks_by_critical_self_time(self):
+        profiler = CriticalPathProfiler()
+        profiler.add(assembled([
+            span_of("proxy.handle", 1, 0.0, 10.0),
+            span_of("rpc.call", 2, 0.0, 7.0, parent_id=1),
+        ]))
+        profiler.add(assembled([
+            span_of("proxy.handle", 1, 0.0, 4.0),
+            span_of("check.certificate", 2, 0.0, 4.0, parent_id=1),
+        ]))
+        hottest = profiler.hottest(2)
+        assert [h["name"] for h in hottest] == ["rpc.call", "check.certificate"]
+        assert hottest[0]["category"] == "rpc"
+        assert hottest[0]["critical_s"] == pytest.approx(7.0)
+        assert hottest[0]["traces"] == 1
+        # Equal totals fall back to name order — deterministic output.
+        tied = CriticalPathProfiler()
+        tied.add(assembled([
+            span_of("proxy.handle", 1, 0.0, 4.0),
+            span_of("cache.get", 2, 0.0, 2.0, parent_id=1),
+            span_of("storage.journal", 3, 2.0, 4.0, parent_id=1),
+        ]))
+        assert [h["name"] for h in tied.hottest(2)] == [
+            "cache.get", "storage.journal",
+        ]
+
+    def test_empty_profiler_aggregate_is_well_formed(self):
+        aggregate = CriticalPathProfiler().aggregate()
+        assert aggregate["traces_profiled"] == 0
+        assert aggregate["critical_path_s"]["total"] == 0.0
+        assert aggregate["critical_path_s"]["p99"] == 0.0
+        assert aggregate["categories"] == {}
+        assert aggregate["hottest"] == []

@@ -64,6 +64,48 @@ class TestRingBufferSink:
         slowest = ring.slowest(2)
         assert [s.duration for s in slowest] == [0.5, 0.3]
 
+    def test_drain_returns_and_clears_atomically(self):
+        ring = RingBufferSink(capacity=4)
+        spans = make_spans([0.1] * 3)
+        for span in spans:
+            ring.on_span(span)
+        drained = ring.drain()
+        assert drained == spans
+        assert len(ring) == 0
+        # Drained spans were delivered, not lost: seen stays, dropped
+        # does not grow.
+        assert ring.seen == 3
+        assert ring.dropped == 0
+        assert ring.drain() == []
+
+    def test_drain_under_concurrent_append(self):
+        import threading
+
+        ring = RingBufferSink(capacity=10_000)
+        spans = make_spans([0.01] * 500)
+        collected = []
+        stop = threading.Event()
+
+        def drainer():
+            while not stop.is_set():
+                collected.extend(ring.drain())
+            collected.extend(ring.drain())
+
+        thread = threading.Thread(target=drainer)
+        thread.start()
+        try:
+            for span in spans:
+                ring.on_span(span)
+        finally:
+            stop.set()
+            thread.join()
+        # Every span ends up exactly once: drained or still buffered,
+        # never dropped, never duplicated.
+        assert ring.dropped == 0
+        assert ring.seen == 500
+        assert len(collected) + len(ring) == 500
+        assert len({id(s) for s in collected + ring.spans}) == 500
+
     def test_clear_preserves_cumulative_counters(self):
         ring = RingBufferSink(capacity=2)
         for span in make_spans([0.1] * 3):
@@ -173,6 +215,21 @@ class TestSpanStats:
     def test_invalid_cap(self):
         with pytest.raises(ValueError):
             SpanStats(max_samples_per_name=0)
+
+    def test_unclosed_spans_skipped_but_counted(self):
+        from repro.obs.span import Span
+
+        stats = SpanStats()
+        for span in make_spans([1.0, 2.0]):
+            stats.on_span(span)
+        open_span = Span(name="work", span_id=99, parent_id=None, start=0.0)
+        stats.on_span(open_span)
+        table = stats.stats()["work"]
+        # The open span neither distorts the aggregates...
+        assert table["count"] == 2
+        assert table["total_s"] == pytest.approx(3.0)
+        # ...nor disappears silently.
+        assert stats.unclosed_total == 1
 
     def test_names_get_and_clear(self):
         stats = SpanStats()

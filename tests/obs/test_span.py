@@ -129,6 +129,70 @@ class TestToDict:
         assert isinstance(d["attributes"]["obj"], str)
 
 
+class TestTraceContext:
+    def test_root_mints_trace_id_children_inherit(self, clock, ring):
+        tracer = Tracer(clock=clock, sinks=(ring,), origin="proxy-a")
+        with tracer.span("proxy.handle") as root:
+            with tracer.span("rpc.call") as child:
+                pass
+        assert root.trace_id == "proxy-a-000001"
+        assert child.trace_id == root.trace_id
+        with tracer.span("proxy.handle") as second:
+            pass
+        assert second.trace_id == "proxy-a-000002"
+
+    def test_context_names_innermost_live_span(self, tracer):
+        assert tracer.context() is None  # idle tracer: nothing to carry
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                ctx = tracer.context()
+                assert ctx == {"trace": inner.trace_id, "span": inner.ref}
+        assert tracer.context() is None
+
+    def test_ref_is_origin_qualified(self, clock):
+        tracer = Tracer(clock=clock, origin="server-x")
+        with tracer.span("server.handle") as span:
+            assert span.ref == f"server-x:{span.span_id}"
+            assert span.parent_ref is None
+
+    def test_adoption_sets_remote_parent(self, clock, ring):
+        tracer = Tracer(clock=clock, sinks=(ring,), origin="server-x")
+        ctx = {"trace": "client-000009", "span": "client:4"}
+        with tracer.span_from(ctx, "server.handle") as span:
+            pass
+        assert span.trace_id == "client-000009"
+        assert span.remote_parent == "client:4"
+        assert span.parent_id is None
+        assert span.parent_ref == "client:4"
+
+    def test_parse_context_accepts_exactly_the_wire_shape(self):
+        from repro.obs.span import parse_context
+
+        good = {"trace": "t-000001", "span": "t:1"}
+        assert parse_context(good) == good
+        assert parse_context({**good, "extra": "ignored"}) == good
+        for garbage in (
+            None, "t:1", 7, [], {},
+            {"trace": "t-000001"}, {"span": "t:1"},
+            {"trace": "", "span": "t:1"}, {"trace": "t", "span": ""},
+            {"trace": 1, "span": "t:1"}, {"trace": "t", "span": 1},
+        ):
+            assert parse_context(garbage) is None
+
+
+class TestSchema:
+    def test_to_dict_carries_schema_and_v2_fields(self, tracer, clock, ring):
+        from repro.obs.span import SPAN_SCHEMA
+
+        with tracer.span("work"):
+            clock.advance(0.5)
+        d = ring.spans[0].to_dict()
+        assert d["schema"] == SPAN_SCHEMA
+        assert SPAN_SCHEMA >= 2  # v2 added the propagation fields
+        for key in ("trace_id", "origin", "remote_parent"):
+            assert key in d
+
+
 class TestNoopTracer:
     def test_shared_context_and_span(self):
         tracer = NoopTracer()

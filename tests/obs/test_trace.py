@@ -1,0 +1,234 @@
+"""Cross-process trace assembly: stitching, orphans, skew, dedup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import RingBufferSink, Span, TraceAssembler, Tracer
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def clock():
+    return SimClock(0.0)
+
+
+def two_processes(clock):
+    """A client and a server tracer, each with its own ring sink."""
+    client_ring, server_ring = RingBufferSink(), RingBufferSink()
+    client = Tracer(clock=clock, sinks=(client_ring,), origin="client")
+    server = Tracer(clock=clock, sinks=(server_ring,), origin="server")
+    return client, client_ring, server, server_ring
+
+
+def span_of(name, span_id, start, end, *, origin="p", trace_id="p-000001",
+            parent_id=None, remote_parent=None) -> Span:
+    """A closed span with explicit interval (direct construction)."""
+    return Span(
+        name=name, span_id=span_id, parent_id=parent_id, start=start,
+        end=end, trace_id=trace_id, origin=origin,
+        remote_parent=remote_parent,
+    )
+
+
+class TestCrossProcessStitching:
+    def test_adopted_context_joins_one_trace(self, clock):
+        client, client_ring, server, server_ring = two_processes(clock)
+        with client.span("proxy.handle") as root:
+            clock.advance(0.1)
+            with client.span("rpc.call", op="globedoc.get") as call:
+                ctx = client.context()
+                with server.span_from(ctx, "server.handle") as handled:
+                    clock.advance(0.2)
+            clock.advance(0.1)
+
+        assert handled.trace_id == root.trace_id
+        assert handled.remote_parent == call.ref
+        assert handled.parent_id is None
+
+        assembler = TraceAssembler()
+        assembler.add_sink(client_ring)
+        assembler.add_sink(server_ring)
+        traces = assembler.collect()
+        assert len(traces) == 1
+        trace = traces[0]
+        assert trace.root is not None and trace.root.name == "proxy.handle"
+        assert trace.origins == ["client", "server"]
+        assert trace.stitched
+        assert trace.stitch_rate == 1.0
+        assert [s.name for s in trace.cross_process_spans] == ["server.handle"]
+        assert trace.children_of(call) == trace.named("server.handle")
+        assert trace.duration == pytest.approx(0.4)
+
+    def test_live_local_parent_wins_over_wire_context(self, clock):
+        _, _, server, server_ring = two_processes(clock)
+        foreign = {"trace": "client-000042", "span": "client:7"}
+        with server.span("gossip.run") as outer:
+            with server.span_from(foreign, "server.handle") as inner:
+                pass
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert inner.remote_parent is None
+
+    def test_garbage_context_degrades_to_root(self, clock):
+        _, _, server, server_ring = two_processes(clock)
+        for garbage in (None, 42, "trace", {}, {"trace": "", "span": "x:1"},
+                        {"trace": "t", "span": 9}):
+            with server.span_from(garbage, "server.handle") as span:
+                pass
+            assert span.remote_parent is None
+            assert span.trace_id.startswith("server-")
+        # Each degraded adoption is its own fully-stitched root trace.
+        assembler = TraceAssembler()
+        assembler.add_sink(server_ring)
+        traces = assembler.collect()
+        assert len(traces) == 6
+        assert all(t.stitched for t in traces)
+
+    def test_summary_aggregates_over_traces(self, clock):
+        client, client_ring, server, server_ring = two_processes(clock)
+        # One cross-process trace...
+        with client.span("proxy.handle"):
+            with server.span_from(client.context(), "server.handle"):
+                clock.advance(0.1)
+        # ...and one local-only trace.
+        with client.span("revocation.refresh"):
+            clock.advance(0.1)
+        assembler = TraceAssembler()
+        assembler.add_sink(client_ring)
+        assembler.add_sink(server_ring)
+        summary = assembler.summary(assembler.collect())
+        assert summary["traces"] == 2
+        assert summary["spans"] == 3
+        assert summary["stitch_rate"] == 1.0
+        assert summary["fully_stitched_traces"] == 2
+        assert summary["orphan_spans"] == 0
+        assert summary["skewed_spans"] == 0
+        assert summary["cross_process_traces"] == 1
+        assert summary["cross_process_trace_rate"] == 0.5
+        assert summary["cross_process_spans"] == 1
+        assert summary["duplicate_refs"] == 0
+
+
+class TestOrphans:
+    def test_missing_remote_parent_flags_orphan(self):
+        # The server adopted a context whose client span was never
+        # collected (dropped by a ring, or fabricated wire context).
+        lone = span_of("server.handle", 1, 0.0, 1.0, origin="server",
+                       trace_id="client-000001",
+                       remote_parent="client:99")
+        assembler = TraceAssembler()
+        assembler.add_spans([lone])
+        trace = assembler.assemble()[0]
+        assert trace.orphans == [lone]
+        assert trace.roots == []
+        assert trace.stitch_rate == 0.0
+        assert not trace.stitched
+        assert trace.unreachable() == [lone]
+        assert trace.duration == 0.0  # no unique root to measure
+
+    def test_orphan_subtree_not_reachable(self):
+        root = span_of("proxy.handle", 1, 0.0, 1.0)
+        orphan = span_of("rpc.call", 2, 0.1, 0.5, parent_id=77)
+        child_of_orphan = span_of("server.handle", 3, 0.2, 0.4, parent_id=2)
+        assembler = TraceAssembler()
+        assembler.add_spans([root, orphan, child_of_orphan])
+        trace = assembler.assemble()[0]
+        assert trace.orphans == [orphan]
+        assert trace.stitch_rate == pytest.approx(1 / 3)
+        assert trace.is_reachable(root)
+        assert not trace.is_reachable(orphan)
+        assert not trace.is_reachable(child_of_orphan)
+        assert set(s.ref for s in trace.unreachable()) == {
+            orphan.ref, child_of_orphan.ref,
+        }
+
+
+class TestSkew:
+    def test_child_escaping_parent_flagged(self):
+        parent = span_of("proxy.handle", 1, 0.0, 1.0)
+        late = span_of("rpc.call", 2, 0.5, 1.5, parent_id=1)
+        early = span_of("cache.get", 3, -0.5, 0.2, parent_id=1)
+        inside = span_of("check.hash", 4, 0.2, 0.4, parent_id=1)
+        assembler = TraceAssembler()
+        assembler.add_spans([parent, late, early, inside])
+        trace = assembler.assemble()[0]
+        assert {s.ref for s in trace.skewed} == {late.ref, early.ref}
+        # Skew is a flag, not an exclusion: the spans still stitch.
+        assert trace.stitch_rate == 1.0
+
+    def test_tolerance_absorbs_float_rounding(self):
+        parent = span_of("proxy.handle", 1, 0.0, 1.0)
+        child = span_of("rpc.call", 2, 0.0, 1.0 + 1e-12, parent_id=1)
+        assembler = TraceAssembler()
+        assembler.add_spans([parent, child])
+        assert assembler.assemble()[0].skewed == []
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            TraceAssembler(skew_tolerance=-1.0)
+
+
+class TestDedupAndDrain:
+    def test_same_span_object_ingested_once(self):
+        span = span_of("proxy.handle", 1, 0.0, 1.0)
+        assembler = TraceAssembler()
+        assert assembler.add_spans([span, span]) == 1
+        assert assembler.add_spans([span]) == 0
+        assert assembler.span_count == 1
+        assert assembler.duplicate_refs == 0
+
+    def test_conflicting_ref_counted_and_discarded(self):
+        first = span_of("proxy.handle", 1, 0.0, 1.0)
+        impostor = span_of("cache.get", 1, 5.0, 6.0)  # same origin:id
+        assembler = TraceAssembler()
+        assembler.add_spans([first])
+        assert assembler.add_spans([impostor]) == 0
+        assert assembler.duplicate_refs == 1
+        # First writer wins.
+        assert assembler.assemble()[0].spans[0].name == "proxy.handle"
+
+    def test_collect_drains_ring_sinks(self, clock):
+        client, client_ring, _, _ = two_processes(clock)
+        with client.span("proxy.handle"):
+            clock.advance(0.1)
+        assembler = TraceAssembler()
+        assembler.add_sink(client_ring)
+        assert len(assembler.collect()) == 1
+        assert len(client_ring) == 0  # drained, not copied
+        # Ingested spans are retained: a second collect still sees them.
+        assert len(assembler.collect()) == 1
+
+    def test_sink_without_drain_read_via_spans(self, clock):
+        class Plain:
+            def __init__(self):
+                self.spans = []
+
+            def on_span(self, span):
+                self.spans.append(span)
+
+        sink = Plain()
+        tracer = Tracer(clock=clock, sinks=(sink,), origin="client")
+        with tracer.span("proxy.handle"):
+            pass
+        assembler = TraceAssembler()
+        assembler.add_sink(sink)
+        assert len(assembler.collect()) == 1
+        assert len(sink.spans) == 1  # non-draining sinks keep theirs
+        # Re-collecting the same objects is idempotent, not a duplicate.
+        assert len(assembler.collect()) == 1
+        assert assembler.duplicate_refs == 0
+
+    def test_clear_forgets_spans_keeps_sinks(self, clock):
+        client, client_ring, _, _ = two_processes(clock)
+        with client.span("proxy.handle"):
+            pass
+        assembler = TraceAssembler()
+        assembler.add_sink(client_ring)
+        assembler.collect()
+        assembler.clear()
+        assert assembler.span_count == 0
+        assert assembler.assemble() == []
+        with client.span("proxy.handle"):
+            pass
+        assert len(assembler.collect()) == 1  # sink still registered
